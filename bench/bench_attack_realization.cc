@@ -1,0 +1,122 @@
+// Experiments X1/X2: realize the paper's two §3.1 flaws against a live
+// database and characterize the attack cost.
+//
+// X1 (inference): the clerk extracts the exact salary with the
+// w_budget/checkBudget probing attack; the probe count grows as
+// log2(search range), matching the "repeatedly changing the budget"
+// narrative. X2 (alteration): the updater forges arbitrary salaries
+// through updateSalary. The timed section measures probes/second
+// through the full query stack.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "attack/attacks.h"
+#include "text/workspace.h"
+
+namespace {
+
+using namespace oodbsec;
+
+constexpr const char* kWorkspaceTemplate = R"(
+class Broker { name: string; salary: int; budget: int; profit: int; }
+function checkBudget(broker: Broker): bool =
+  r_budget(broker) >= 10 * r_salary(broker);
+function calcSalary(budget: int, profit: int): int =
+  budget / 10 + profit / 2;
+function updateSalary(broker: Broker): null =
+  w_salary(broker, calcSalary(r_budget(broker), r_profit(broker)));
+user clerk can checkBudget, w_budget, r_name;
+user updater can updateSalary, w_budget, w_profit, r_name;
+object Broker { name = "John", salary = 57, budget = 400, profit = 30 }
+)";
+
+text::Workspace LoadOrDie() {
+  auto workspace = text::LoadWorkspace(kWorkspaceTemplate);
+  if (!workspace.ok()) std::abort();
+  return std::move(workspace).value();
+}
+
+void PrintReport() {
+  std::printf("=== X1: probing attack cost vs search range ===\n\n");
+  std::printf("%-14s %-10s %-10s %s\n", "range", "probes", "~2+log2",
+              "extracted salary");
+  for (int64_t range : {1000, 10000, 100000, 1000000, 10000000}) {
+    text::Workspace workspace = LoadOrDie();
+    attack::BinarySearchConfig config;
+    config.class_name = "Broker";
+    config.select_attr = "name";
+    config.select_value = types::Value::String("John");
+    config.write_fn = "w_budget";
+    config.compare_fn = "checkBudget";
+    config.factor = 10;
+    config.hi = range;
+    auto transcript = attack::ExtractHiddenValue(
+        *workspace.database, *workspace.users->Find("clerk"), config);
+    if (!transcript.ok()) {
+      std::printf("%-14lld attack failed: %s\n",
+                  static_cast<long long>(range),
+                  transcript.status().ToString().c_str());
+      continue;
+    }
+    std::printf("%-14lld %-10d %-10.1f %s\n", static_cast<long long>(range),
+                transcript->probes, 2 + std::log2(static_cast<double>(range)),
+                transcript->inferred.ToString().c_str());
+  }
+
+  std::printf("\n=== X2: forging the audited salary write ===\n\n");
+  std::printf("%-12s %-12s %s\n", "target", "written", "forged?");
+  for (int64_t target : {0, 1, 999, 54321}) {
+    text::Workspace workspace = LoadOrDie();
+    attack::ForgeConfig config;
+    config.class_name = "Broker";
+    config.select_attr = "name";
+    config.select_value = types::Value::String("John");
+    config.setup_writes = {{"w_profit", types::Value::Int(0)},
+                           {"w_budget", types::Value::Int(target * 10)}};
+    config.trigger_fn = "updateSalary";
+    auto transcript = attack::ForgeWrittenValue(
+        *workspace.database, *workspace.users->Find("updater"), config);
+    types::Oid john = workspace.database->Extent("Broker")[0];
+    auto salary = workspace.database->ReadAttribute(john, "salary");
+    bool hit = transcript.ok() && salary.ok() &&
+               salary.value() == types::Value::Int(target);
+    std::printf("%-12lld %-12s %s\n", static_cast<long long>(target),
+                salary.ok() ? salary.value().ToString().c_str() : "?",
+                hit ? "yes" : "NO");
+  }
+  std::printf("\n");
+}
+
+void BM_ProbeQueryThroughput(benchmark::State& state) {
+  text::Workspace workspace = LoadOrDie();
+  const schema::User* clerk = workspace.users->Find("clerk");
+  attack::BinarySearchConfig config;
+  config.class_name = "Broker";
+  config.select_attr = "name";
+  config.select_value = types::Value::String("John");
+  config.write_fn = "w_budget";
+  config.compare_fn = "checkBudget";
+  config.factor = 10;
+  config.hi = 10000;
+  int64_t probes = 0;
+  for (auto _ : state) {
+    auto transcript =
+        attack::ExtractHiddenValue(*workspace.database, *clerk, config);
+    if (!transcript.ok()) std::abort();
+    probes += transcript->probes;
+  }
+  state.counters["probes/s"] = benchmark::Counter(
+      static_cast<double>(probes), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ProbeQueryThroughput);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintReport();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

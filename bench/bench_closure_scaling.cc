@@ -1,0 +1,127 @@
+// Experiment P1: closure scaling.
+//
+// The F(F) closure runs over the unfolded program of the entire
+// capability list; its cost grows with the occurrence count, which in
+// turn grows with the number of granted functions and with call-chain
+// depth (unfolding duplicates callee bodies per call site — the reason
+// the paper restricts functions to be recursion-free). The report
+// prints occurrences/facts per configuration; the timed section sweeps
+// both dimensions.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/closure.h"
+#include "unfold/unfolded.h"
+
+namespace {
+
+using namespace oodbsec;
+
+// `width` independent comparator functions over `width` attributes.
+std::unique_ptr<schema::Schema> WideSchema(int width) {
+  schema::SchemaBuilder builder;
+  std::vector<schema::SchemaBuilder::AttributeSpec> attributes;
+  for (int i = 0; i < width; ++i) {
+    attributes.push_back({common::StrCat("a", i), "int"});
+  }
+  builder.AddClass("C", std::move(attributes));
+  for (int i = 0; i < width; ++i) {
+    builder.AddFunction(
+        common::StrCat("f", i), {{"o", "C"}}, "bool",
+        common::StrCat("r_a", i, "(o) >= ", i + 1, " * r_a",
+                       (i + 1) % width, "(o)"));
+  }
+  auto result = std::move(builder).Build();
+  if (!result.ok()) std::abort();
+  return std::move(result).value();
+}
+
+// A call chain of `depth` functions: g0 reads, g_{i} calls g_{i-1} twice
+// (so unfolded size grows exponentially with depth).
+std::unique_ptr<schema::Schema> DeepSchema(int depth) {
+  schema::SchemaBuilder builder;
+  builder.AddClass("C", {{"a0", "int"}});
+  builder.AddFunction("g0", {{"o", "C"}}, "int", "r_a0(o) + 1");
+  for (int i = 1; i < depth; ++i) {
+    builder.AddFunction(
+        common::StrCat("g", i), {{"o", "C"}}, "int",
+        common::StrCat("g", i - 1, "(o) + g", i - 1, "(o)"));
+  }
+  auto result = std::move(builder).Build();
+  if (!result.ok()) std::abort();
+  return std::move(result).value();
+}
+
+void PrintReport() {
+  std::printf("=== P1: closure scaling ===\n\n");
+  std::printf("width sweep (independent comparators granted together):\n");
+  std::printf("%-8s %-13s %-10s\n", "width", "occurrences", "facts");
+  for (int width : {2, 4, 8, 16}) {
+    auto schema = WideSchema(width);
+    std::vector<std::string> roots;
+    for (int i = 0; i < width; ++i) roots.push_back(common::StrCat("f", i));
+    auto set = unfold::UnfoldedSet::Build(*schema, roots);
+    if (!set.ok()) std::abort();
+    core::Closure closure(*set.value());
+    std::printf("%-8d %-13d %-10zu\n", width, set.value()->node_count(),
+                closure.fact_count());
+  }
+
+  std::printf("\ndepth sweep (one granted function, binary call chain —\n"
+              "unfolding duplicates callee bodies per call site):\n");
+  std::printf("%-8s %-13s %-10s\n", "depth", "occurrences", "facts");
+  for (int depth : {2, 4, 6, 8}) {
+    auto schema = DeepSchema(depth);
+    auto set = unfold::UnfoldedSet::Build(
+        *schema, {common::StrCat("g", depth - 1)});
+    if (!set.ok()) std::abort();
+    core::Closure closure(*set.value());
+    std::printf("%-8d %-13d %-10zu\n", depth, set.value()->node_count(),
+                closure.fact_count());
+  }
+  std::printf("\n");
+}
+
+void BM_ClosureWidth(benchmark::State& state) {
+  int width = static_cast<int>(state.range(0));
+  auto schema = WideSchema(width);
+  std::vector<std::string> roots;
+  for (int i = 0; i < width; ++i) roots.push_back(common::StrCat("f", i));
+  auto set = unfold::UnfoldedSet::Build(*schema, roots);
+  if (!set.ok()) std::abort();
+  for (auto _ : state) {
+    core::Closure closure(*set.value());
+    benchmark::DoNotOptimize(closure.fact_count());
+  }
+  state.counters["occurrences"] =
+      static_cast<double>(set.value()->node_count());
+}
+BENCHMARK(BM_ClosureWidth)->Arg(2)->Arg(4)->Arg(8)->Arg(16)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ClosureDepth(benchmark::State& state) {
+  int depth = static_cast<int>(state.range(0));
+  auto schema = DeepSchema(depth);
+  auto set =
+      unfold::UnfoldedSet::Build(*schema, {common::StrCat("g", depth - 1)});
+  if (!set.ok()) std::abort();
+  for (auto _ : state) {
+    core::Closure closure(*set.value());
+    benchmark::DoNotOptimize(closure.fact_count());
+  }
+  state.counters["occurrences"] =
+      static_cast<double>(set.value()->node_count());
+}
+BENCHMARK(BM_ClosureDepth)->Arg(2)->Arg(4)->Arg(6)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintReport();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,138 @@
+// Experiment D1: static vs dynamic enforcement (paper §5).
+//
+// The static algorithm must reject any grant set whose closure violates
+// a requirement — even for users who never combine the dangerous
+// functions. The dynamic session guard checks the closure of the
+// functions each session has actually exercised, denying exactly the
+// flaw-completing query. The report measures the benign-session service
+// rate under both regimes and the per-query guard overhead; the timed
+// section measures guarded vs unguarded query execution.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "dynamic/session_guard.h"
+#include "query/binder.h"
+#include "query/query_parser.h"
+#include "text/workspace.h"
+
+namespace {
+
+using namespace oodbsec;
+
+constexpr const char* kWorkspace = R"(
+class Broker { name: string; salary: int; budget: int; }
+function checkBudget(broker: Broker): bool =
+  r_budget(broker) >= 10 * r_salary(broker);
+user clerk can checkBudget, w_budget, r_name;
+require (clerk, r_salary(x) : ti);
+object Broker { name = "John", salary = 57, budget = 400 }
+)";
+
+std::unique_ptr<query::SelectQuery> Parse(const text::Workspace& workspace,
+                                          const std::string& source) {
+  auto parsed = query::ParseQueryString(source);
+  if (!parsed.ok()) std::abort();
+  if (!query::BindQuery(*parsed.value(), *workspace.schema).ok()) {
+    std::abort();
+  }
+  return std::move(parsed).value();
+}
+
+void PrintReport() {
+  std::printf("=== D1: static grant rejection vs dynamic session guard ===\n\n");
+
+  // Scenario: 20 clerk sessions; the first 16 only audit (checkBudget,
+  // r_name), the last 4 attempt the probing attack.
+  const int kSessions = 20;
+  const int kBenign = 16;
+
+  // Static regime: the grant set's closure violates the requirement, so
+  // ALL sessions are refused.
+  auto workspace = text::LoadWorkspace(kWorkspace);
+  if (!workspace.ok()) std::abort();
+  auto report = core::CheckRequirement(*workspace->schema,
+                                       *workspace->users,
+                                       workspace->requirements[0]);
+  if (!report.ok()) std::abort();
+  int static_served = report->satisfied ? kSessions : 0;
+
+  // Dynamic regime: each session runs its queries until denied.
+  int dynamic_served = 0;
+  int attacks_stopped = 0;
+  auto audit = Parse(*workspace,
+                     "select r_name(b), checkBudget(b) from b in Broker");
+  auto probe = Parse(
+      *workspace,
+      "select w_budget(b, 512), checkBudget(b) from b in Broker");
+  const schema::User& clerk = *workspace->users->Find("clerk");
+  for (int session = 0; session < kSessions; ++session) {
+    // Per-session guard so sessions are independent.
+    dynamic::SessionGuard session_guard(*workspace->schema,
+                                        *workspace->users,
+                                        workspace->requirements);
+    bool benign = session < kBenign;
+    bool served = true;
+    for (int q = 0; q < 3; ++q) {
+      const query::SelectQuery& query =
+          (benign || q < 2) ? *audit : *probe;
+      auto result = session_guard.Run(*workspace->database, clerk, query);
+      if (!result.ok()) {
+        served = false;
+        if (!benign) ++attacks_stopped;
+        break;
+      }
+    }
+    if (served && benign) ++dynamic_served;
+  }
+
+  std::printf("%-34s %-18s %s\n", "regime", "benign served",
+              "attacks stopped");
+  std::printf("%-34s %d/%-16d %s\n", "static A(R) on the grant set",
+              static_served == 0 ? 0 : kBenign, kBenign,
+              "n/a (grant refused)");
+  std::printf("%-34s %d/%-16d %d/%d\n", "dynamic session guard",
+              dynamic_served, kBenign, attacks_stopped,
+              kSessions - kBenign);
+  std::printf("\n");
+}
+
+void BM_GuardedQuery(benchmark::State& state) {
+  auto workspace = text::LoadWorkspace(kWorkspace);
+  if (!workspace.ok()) std::abort();
+  dynamic::SessionGuard guard(*workspace->schema, *workspace->users,
+                              workspace->requirements);
+  auto audit = Parse(*workspace,
+                     "select r_name(b), checkBudget(b) from b in Broker");
+  const schema::User& clerk = *workspace->users->Find("clerk");
+  for (auto _ : state) {
+    auto result = guard.Run(*workspace->database, clerk, *audit);
+    if (!result.ok()) std::abort();
+    benchmark::DoNotOptimize(result->rows);
+  }
+}
+BENCHMARK(BM_GuardedQuery);
+
+void BM_UnguardedQuery(benchmark::State& state) {
+  auto workspace = text::LoadWorkspace(kWorkspace);
+  if (!workspace.ok()) std::abort();
+  auto audit = Parse(*workspace,
+                     "select r_name(b), checkBudget(b) from b in Broker");
+  const schema::User& clerk = *workspace->users->Find("clerk");
+  query::QueryEvaluator evaluator(*workspace->database, &clerk);
+  for (auto _ : state) {
+    auto result = evaluator.Run(*audit);
+    if (!result.ok()) std::abort();
+    benchmark::DoNotOptimize(result->rows);
+  }
+}
+BENCHMARK(BM_UnguardedQuery);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintReport();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Experiment F1: reproduce the paper's Figure 1.
+//
+// F = {checkBudget(broker), w_budget(o, v)} must derive
+// ti[5:r_salary(4:broker)], with the key intermediate conclusions of
+// Figure 1 (=[8:o,1:broker], =[9:v,2:r_budget], ti/pa on the budget
+// read, ti on the comparison, ti on the product). The report prints the
+// machine-found derivation next to the expected conclusions; the timed
+// section measures the closure.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/closure.h"
+#include "unfold/unfolded.h"
+
+namespace {
+
+using namespace oodbsec;
+
+void PrintReport() {
+  auto schema = bench::BrokerSchema();
+  auto set = unfold::UnfoldedSet::Build(*schema, {"checkBudget", "w_budget"});
+  if (!set.ok()) std::abort();
+  core::Closure closure(*set.value());
+
+  std::printf("=== F1: Figure 1 derivation ===\n\n");
+  std::printf("S(F): %s\n      %s\n\n",
+              set.value()->NodeLabel(set.value()->roots()[0].body).c_str(),
+              set.value()->NodeLabel(set.value()->roots()[1].body).c_str());
+
+  struct Expected {
+    const char* paper_conclusion;
+    bool holds;
+  };
+  Expected expected[] = {
+      {"=[8:o, 1:broker]            (axiom for =)", closure.AreEqual(8, 1)},
+      {"=[9:v, 2:r_budget(broker)]  (rule for =)", closure.AreEqual(9, 2)},
+      {"ti[2:r_budget(broker)]      (inferability based on =)",
+       closure.HasTi(2)},
+      {"pa[2:r_budget(broker)]      (alterability based on =)",
+       closure.HasPa(2)},
+      {"ti[7:>=(...)]               (axiom)", closure.HasTi(7)},
+      {"ti[6:*(10, r_salary)]       (basic function)", closure.HasTi(6)},
+      {"ti[5:r_salary(broker)]      (basic function)  <-- THE FLAW",
+       closure.HasTi(5)},
+  };
+  std::printf("%-62s %s\n", "paper (Figure 1) conclusion", "reproduced");
+  for (const Expected& e : expected) {
+    std::printf("%-62s %s\n", e.paper_conclusion, e.holds ? "yes" : "NO");
+  }
+
+  std::printf("\nmachine derivation of ti[5:r_salary(broker)]:\n%s\n",
+              closure.ExplainFact(closure.TiFact(5)).c_str());
+  std::printf("closure facts: %zu over %d occurrences\n\n",
+              closure.fact_count(), set.value()->node_count());
+}
+
+void BM_Figure1Closure(benchmark::State& state) {
+  auto schema = bench::BrokerSchema();
+  auto set = unfold::UnfoldedSet::Build(*schema, {"checkBudget", "w_budget"});
+  if (!set.ok()) std::abort();
+  for (auto _ : state) {
+    core::Closure closure(*set.value());
+    benchmark::DoNotOptimize(closure.HasTi(5));
+  }
+}
+BENCHMARK(BM_Figure1Closure);
+
+void BM_Figure1IncludingUnfold(benchmark::State& state) {
+  auto schema = bench::BrokerSchema();
+  for (auto _ : state) {
+    auto set =
+        unfold::UnfoldedSet::Build(*schema, {"checkBudget", "w_budget"});
+    core::Closure closure(*set.value());
+    benchmark::DoNotOptimize(closure.HasTi(5));
+  }
+}
+BENCHMARK(BM_Figure1IncludingUnfold);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintReport();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

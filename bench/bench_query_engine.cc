@@ -1,0 +1,138 @@
+// Experiment P2: query-engine throughput.
+//
+// The substrate the attacks run on: select/where evaluation over class
+// extents (with capability enforcement), probing-style side-effecting
+// queries, and nested (child-set) queries. The report prints
+// rows-matched sanity numbers; the timed section sweeps extent sizes.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "common/strings.h"
+#include "query/binder.h"
+#include "query/query_evaluator.h"
+#include "query/query_parser.h"
+#include "schema/user.h"
+#include "store/database.h"
+
+namespace {
+
+using namespace oodbsec;
+using types::Value;
+
+std::unique_ptr<schema::Schema> PersonSchema() {
+  schema::SchemaBuilder builder;
+  builder.AddClass(
+      "Person", {{"name", "string"}, {"age", "int"}, {"child", "{Person}"}});
+  builder.AddFunction("isAdult", {{"p", "Person"}}, "bool",
+                      "r_age(p) >= 18");
+  auto result = std::move(builder).Build();
+  if (!result.ok()) std::abort();
+  return std::move(result).value();
+}
+
+store::Database Populate(const schema::Schema& schema, int count) {
+  store::Database db(schema);
+  for (int i = 0; i < count; ++i) {
+    auto oid = db.CreateObject("Person");
+    if (!oid.ok()) std::abort();
+    (void)db.WriteAttribute(*oid, "name",
+                            Value::String(common::StrCat("p", i)));
+    (void)db.WriteAttribute(*oid, "age", Value::Int(i % 90));
+  }
+  return db;
+}
+
+query::SelectQuery& ParseAndBind(const schema::Schema& schema,
+                                 const char* text,
+                                 std::unique_ptr<query::SelectQuery>& slot) {
+  auto parsed = query::ParseQueryString(text);
+  if (!parsed.ok()) std::abort();
+  slot = std::move(parsed).value();
+  if (!query::BindQuery(*slot, schema).ok()) std::abort();
+  return *slot;
+}
+
+void PrintReport() {
+  std::printf("=== P2: query engine ===\n\n");
+  auto schema = PersonSchema();
+  std::printf("%-10s %-14s %-14s\n", "extent", "adults", "filtered");
+  for (int extent : {10, 100, 1000}) {
+    store::Database db = Populate(*schema, extent);
+    std::unique_ptr<query::SelectQuery> q1, q2;
+    query::QueryEvaluator evaluator(db, nullptr);
+    auto adults = evaluator.Run(ParseAndBind(
+        *schema, "select r_name(p) from p in Person where isAdult(p)", q1));
+    auto filtered = evaluator.Run(ParseAndBind(
+        *schema,
+        "select r_age(p) from p in Person where r_name(p) == \"p7\"", q2));
+    if (!adults.ok() || !filtered.ok()) std::abort();
+    std::printf("%-10d %-14zu %-14zu\n", extent, adults->rows.size(),
+                filtered->rows.size());
+  }
+  std::printf("\n");
+}
+
+void BM_SelectWhereScan(benchmark::State& state) {
+  auto schema = PersonSchema();
+  store::Database db = Populate(*schema, static_cast<int>(state.range(0)));
+  std::unique_ptr<query::SelectQuery> slot;
+  query::SelectQuery& query = ParseAndBind(
+      *schema, "select r_name(p) from p in Person where isAdult(p)", slot);
+  query::QueryEvaluator evaluator(db, nullptr);
+  int64_t rows = 0;
+  for (auto _ : state) {
+    auto result = evaluator.Run(query);
+    if (!result.ok()) std::abort();
+    rows += static_cast<int64_t>(result->rows.size());
+  }
+  state.counters["rows/s"] = benchmark::Counter(
+      static_cast<double>(rows), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SelectWhereScan)->Arg(10)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_SideEffectingProbe(benchmark::State& state) {
+  auto schema = PersonSchema();
+  store::Database db = Populate(*schema, static_cast<int>(state.range(0)));
+  std::unique_ptr<query::SelectQuery> slot;
+  query::SelectQuery& query = ParseAndBind(
+      *schema,
+      "select w_age(p, 30), isAdult(p) from p in Person "
+      "where r_name(p) == \"p3\"",
+      slot);
+  query::QueryEvaluator evaluator(db, nullptr);
+  for (auto _ : state) {
+    auto result = evaluator.Run(query);
+    if (!result.ok()) std::abort();
+    benchmark::DoNotOptimize(result->rows);
+  }
+}
+BENCHMARK(BM_SideEffectingProbe)->Arg(100)->Arg(1000);
+
+void BM_CapabilityCheckedQuery(benchmark::State& state) {
+  auto schema = PersonSchema();
+  schema::UserRegistry users(*schema);
+  if (!users.AddUser("u").ok()) std::abort();
+  (void)users.Grant("u", "isAdult");
+  (void)users.Grant("u", "r_name");
+  store::Database db = Populate(*schema, 100);
+  std::unique_ptr<query::SelectQuery> slot;
+  query::SelectQuery& query = ParseAndBind(
+      *schema, "select r_name(p) from p in Person where isAdult(p)", slot);
+  query::QueryEvaluator evaluator(db, users.Find("u"));
+  for (auto _ : state) {
+    auto result = evaluator.Run(query);
+    if (!result.ok()) std::abort();
+    benchmark::DoNotOptimize(result->rows);
+  }
+}
+BENCHMARK(BM_CapabilityCheckedQuery);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintReport();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

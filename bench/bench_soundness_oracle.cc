@@ -1,0 +1,60 @@
+// Experiment S1: empirical soundness of A(R) (paper Theorem 1).
+//
+// Across randomized workloads, whenever the small-scope oracle confirms
+// a capability is genuinely achievable (Definitions 2-5, decided exactly
+// within the bound), the static closure must have derived it. Soundness
+// violations ("oracle-only") must be ZERO; "analyzer-only" cases are the
+// pessimism quantified in S2.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+namespace {
+
+using namespace oodbsec;
+
+constexpr uint32_t kSeeds[] = {1, 2, 3, 5, 8, 13, 21, 34, 55, 89};
+
+void PrintReport() {
+  std::printf("=== S1: soundness of the static analyzer vs oracle ===\n\n");
+  std::array<bench::AgreementCounts, 4> totals{};
+  for (uint32_t seed : kSeeds) {
+    auto counts = bench::CompareAnalyzerWithOracle(seed);
+    for (size_t i = 0; i < 4; ++i) totals[i].Merge(counts[i]);
+  }
+  const char* names[] = {"ti", "pi", "ta", "pa"};
+  std::printf("%-4s %-10s %-10s %-16s %-22s\n", "cap", "both-yes",
+              "both-no", "analyzer-only", "oracle-only (=violation)");
+  int violations = 0;
+  for (size_t i = 0; i < 4; ++i) {
+    std::printf("%-4s %-10d %-10d %-16d %-22d\n", names[i],
+                totals[i].both_yes, totals[i].both_no,
+                totals[i].analyzer_only, totals[i].oracle_only);
+    violations += totals[i].oracle_only;
+  }
+  std::printf("\nsoundness verdict over %d comparisons: %s\n\n",
+              totals[0].total() * 4,
+              violations == 0 ? "HOLDS (0 missed capabilities)"
+                              : "VIOLATED");
+  if (violations != 0) std::abort();
+}
+
+void BM_OneSoundnessTrial(benchmark::State& state) {
+  uint32_t seed = 1;
+  for (auto _ : state) {
+    auto counts = bench::CompareAnalyzerWithOracle(seed++);
+    benchmark::DoNotOptimize(counts);
+  }
+}
+BENCHMARK(BM_OneSoundnessTrial)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintReport();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

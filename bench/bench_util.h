@@ -1,0 +1,130 @@
+// Shared helpers for the benchmark/experiment binaries: the paper's
+// stockbroker workspace and a seeded random workload generator used by
+// the soundness (S1) and pessimism (S2) experiments.
+#ifndef OODBSEC_BENCH_BENCH_UTIL_H_
+#define OODBSEC_BENCH_BENCH_UTIL_H_
+
+#include <array>
+#include <memory>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "common/strings.h"
+#include "schema/schema.h"
+#include "core/analyzer.h"
+#include "schema/user.h"
+#include "semantics/oracle.h"
+
+namespace oodbsec::bench {
+
+inline std::unique_ptr<schema::Schema> BrokerSchema() {
+  schema::SchemaBuilder builder;
+  builder.AddClass("Broker", {{"name", "string"},
+                              {"salary", "int"},
+                              {"budget", "int"},
+                              {"profit", "int"}});
+  builder.AddFunction("checkBudget", {{"broker", "Broker"}}, "bool",
+                      ">=(r_budget(broker), *(10, r_salary(broker)))");
+  builder.AddFunction("calcSalary", {{"budget", "int"}, {"profit", "int"}},
+                      "int", "budget / 10 + profit / 2");
+  builder.AddFunction(
+      "updateSalary", {{"broker", "Broker"}}, "null",
+      "w_salary(broker, calcSalary(r_budget(broker), r_profit(broker)))");
+  auto result = std::move(builder).Build();
+  if (!result.ok()) std::abort();
+  return std::move(result).value();
+}
+
+// A randomly generated single-class workload: `attribute_count` int
+// attributes a0..aN on class C, plus `function_count` access functions
+// drawn from small templates (comparators, linear getters, updaters).
+struct RandomWorkload {
+  std::unique_ptr<schema::Schema> schema;
+  std::vector<std::string> function_names;  // candidates for grants
+};
+
+inline RandomWorkload MakeRandomWorkload(uint32_t seed, int attribute_count,
+                                         int function_count) {
+  std::mt19937 rng(seed);
+  auto pick_attr = [&] {
+    return common::StrCat(
+        "a", std::uniform_int_distribution<int>(0, attribute_count - 1)(rng));
+  };
+  auto small = [&](int lo, int hi) {
+    return std::uniform_int_distribution<int>(lo, hi)(rng);
+  };
+
+  schema::SchemaBuilder builder;
+  std::vector<schema::SchemaBuilder::AttributeSpec> attributes;
+  for (int i = 0; i < attribute_count; ++i) {
+    attributes.push_back({common::StrCat("a", i), "int"});
+  }
+  builder.AddClass("C", std::move(attributes));
+
+  RandomWorkload workload;
+  for (int i = 0; i < function_count; ++i) {
+    std::string name = common::StrCat("f", i);
+    switch (small(0, 3)) {
+      case 0:  // comparator: r_x(o) >= k * r_y(o)
+        builder.AddFunction(
+            name, {{"o", "C"}}, "bool",
+            common::StrCat("r_", pick_attr(), "(o) >= ", small(1, 3), " * r_",
+                           pick_attr(), "(o)"));
+        break;
+      case 1:  // linear getter: r_x(o) * k + c
+        builder.AddFunction(
+            name, {{"o", "C"}}, "int",
+            common::StrCat("r_", pick_attr(), "(o) * ", small(1, 2), " + ",
+                           small(0, 2)));
+        break;
+      case 2:  // threshold with caller argument: r_x(o) >= t
+        builder.AddFunction(
+            name, {{"o", "C"}, {"t", "int"}}, "bool",
+            common::StrCat("r_", pick_attr(), "(o) >= t"));
+        break;
+      default:  // updater: w_x(o, r_y(o) + k)
+        builder.AddFunction(
+            name, {{"o", "C"}}, "null",
+            common::StrCat("w_", pick_attr(), "(o, r_", pick_attr(), "(o) + ",
+                           small(0, 2), ")"));
+        break;
+    }
+    workload.function_names.push_back(std::move(name));
+  }
+  auto result = std::move(builder).Build();
+  if (!result.ok()) std::abort();
+  workload.schema = std::move(result).value();
+  return workload;
+}
+
+// ---------------------------------------------------------------------
+// Analyzer-vs-oracle comparison harness (experiments S1 and S2).
+
+struct AgreementCounts {
+  int both_yes = 0;      // analyzer and oracle agree: achievable
+  int both_no = 0;       // agree: not achievable
+  int analyzer_only = 0; // pessimism: flagged but unconfirmed in scope
+  int oracle_only = 0;   // SOUNDNESS VIOLATION: achievable yet unflagged
+
+  void Merge(const AgreementCounts& other) {
+    both_yes += other.both_yes;
+    both_no += other.both_no;
+    analyzer_only += other.analyzer_only;
+    oracle_only += other.oracle_only;
+  }
+  int total() const {
+    return both_yes + both_no + analyzer_only + oracle_only;
+  }
+};
+
+// Runs one randomized trial: builds a workload from `seed`, grants a
+// random capability list, then compares the F(F) closure against the
+// small-scope oracle on every attribute-read occurrence, for all four
+// capabilities. Returns per-capability agreement counts indexed by
+// core::Capability cast to int.
+std::array<AgreementCounts, 4> CompareAnalyzerWithOracle(uint32_t seed);
+
+}  // namespace oodbsec::bench
+
+#endif  // OODBSEC_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,97 @@
+// Partial information disclosure (the paper's §1 motivation: "a user
+// should be allowed to get just partial information on some data but
+// should not know the exact value of it").
+//
+// A hospital exposes patients' ages only coarsely:
+//   * ageBracket(p) = r_age(p) / 10   — decade only: SAFE by design
+//     (partial inferability is intended, total must be impossible);
+//   * isOlderThan(p, t) = r_age(p) >= t — looks equally coarse, but the
+//     caller controls the threshold: a FLAW (binary search pins the
+//     exact age).
+//
+// A(R) distinguishes the two designs, and the argument-probing attack
+// realizes the flawed one.
+//
+//   $ ./hospital_records
+#include <cstdio>
+
+#include "attack/attacks.h"
+#include "text/workspace.h"
+
+namespace {
+
+constexpr const char* kWorkspace = R"(
+class Patient {
+  patient_name: string;
+  age: int;
+  ward: int;
+}
+
+# Intended disclosure: the age bracket (decade) only.
+function ageBracket(p: Patient): int = r_age(p) / 10;
+
+# Looks harmless, but the threshold is caller-controlled.
+function isOlderThan(p: Patient, t: int): bool = r_age(p) >= t;
+
+user researcher can ageBracket, r_patient_name;
+user intake can isOlderThan, r_patient_name;
+
+# Neither user may learn an exact age.
+require (researcher, r_age(x) : ti);
+require (intake, r_age(x) : ti);
+# The researcher IS allowed partial knowledge; this one is expected to
+# be flagged, documenting the intended disclosure.
+require (researcher, r_age(x) : pi);
+
+object Patient { patient_name = "Ada",  age = 47, ward = 3 }
+object Patient { patient_name = "Berk", age = 62, ward = 1 }
+)";
+
+}  // namespace
+
+int main() {
+  using namespace oodbsec;
+
+  auto workspace = text::LoadWorkspace(kWorkspace);
+  if (!workspace.ok()) {
+    std::fprintf(stderr, "workspace error: %s\n",
+                 workspace.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("== Static analysis ==\n\n");
+  auto reports = text::CheckAllRequirements(*workspace);
+  if (!reports.ok()) {
+    std::fprintf(stderr, "analysis error: %s\n",
+                 reports.status().ToString().c_str());
+    return 1;
+  }
+  for (const core::AnalysisReport& report : *reports) {
+    std::printf("%s\n", report.ToString().c_str());
+  }
+  std::printf(
+      "ageBracket leaks only the decade (requirement 1 satisfied, 3 is\n"
+      "the intended partial disclosure); isOlderThan leaks everything\n"
+      "(requirement 2 violated).\n\n");
+
+  std::printf("== Realizing the isOlderThan flaw ==\n\n");
+  attack::ArgumentProbeConfig probe;
+  probe.class_name = "Patient";
+  probe.select_attr = "patient_name";
+  probe.select_value = types::Value::String("Ada");
+  probe.compare_fn = "isOlderThan";
+  probe.lo = 0;
+  probe.hi = 130;
+  auto transcript = attack::ExtractByArgumentProbing(
+      *workspace->database, *workspace->users->Find("intake"), probe);
+  if (!transcript.ok()) {
+    std::fprintf(stderr, "attack error: %s\n",
+                 transcript.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("intake extracted Ada's exact age = %s in %d queries, e.g.\n"
+              "  %s\n",
+              transcript->inferred.ToString().c_str(), transcript->probes,
+              transcript->queries[2].c_str());
+  return 0;
+}

@@ -1,0 +1,218 @@
+// oodbsec_shell — the command-line front end: load a workspace file,
+// analyze its security requirements, and run queries (optionally under
+// the dynamic session guard).
+//
+//   $ ./oodbsec_shell workspace.odb            # interactive
+//   $ echo 'analyze' | ./oodbsec_shell workspace.odb
+//
+// Commands:
+//   help                       this text
+//   schema                     list classes and functions
+//   users                      list users and capability lists
+//   requirements               list security requirements
+//   analyze                    run A(R) on every requirement
+//   explain <n>                derivation for requirement n's first flaw
+//   query <user> <select ...>  run a query as <user>
+//   guard <user> <select ...>  run it under the dynamic session guard
+//   quit
+#include <unistd.h>
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "common/strings.h"
+#include "dynamic/session_guard.h"
+#include "query/binder.h"
+#include "query/query_parser.h"
+#include "text/workspace.h"
+
+namespace {
+
+using namespace oodbsec;
+
+class Shell {
+ public:
+  explicit Shell(text::Workspace workspace)
+      : workspace_(std::move(workspace)),
+        guard_(*workspace_.schema, *workspace_.users,
+               workspace_.requirements) {}
+
+  // Returns false on "quit".
+  bool Handle(const std::string& line) {
+    std::istringstream in(line);
+    std::string command;
+    in >> command;
+    if (command.empty()) return true;
+    if (command == "quit" || command == "exit") return false;
+    if (command == "help") {
+      Help();
+    } else if (command == "schema") {
+      Schema();
+    } else if (command == "users") {
+      Users();
+    } else if (command == "requirements") {
+      Requirements();
+    } else if (command == "dump") {
+      std::printf("%s", text::FormatWorkspace(workspace_).c_str());
+    } else if (command == "analyze") {
+      Analyze();
+    } else if (command == "explain") {
+      size_t index = 0;
+      in >> index;
+      Explain(index);
+    } else if (command == "query" || command == "guard") {
+      std::string user;
+      in >> user;
+      std::string rest;
+      std::getline(in, rest);
+      RunQuery(user, rest, /*guarded=*/command == "guard");
+    } else {
+      std::printf("unknown command '%s' (try 'help')\n", command.c_str());
+    }
+    return true;
+  }
+
+ private:
+  void Help() {
+    std::printf(
+        "  schema | users | requirements   inspect the workspace\n"
+        "  analyze                         run A(R) on every requirement\n"
+        "  dump                            re-render the workspace file\n"
+        "  explain <n>                     derivation for requirement n\n"
+        "  query <user> <select ...>       run a query as <user>\n"
+        "  guard <user> <select ...>       ... under the session guard\n"
+        "  quit\n");
+  }
+
+  void Schema() {
+    for (const auto& cls : workspace_.schema->classes()) {
+      std::printf("class %s {", cls->name().c_str());
+      for (const auto& attr : cls->attributes()) {
+        std::printf(" %s: %s;", attr.name.c_str(),
+                    attr.type->ToString().c_str());
+      }
+      std::printf(" }   (%zu object(s))\n",
+                  workspace_.database->Extent(cls->name()).size());
+    }
+    for (const auto& fn : workspace_.schema->functions()) {
+      std::printf("function %s\n", fn->SignatureToString().c_str());
+    }
+  }
+
+  void Users() {
+    for (const schema::User* user : workspace_.users->users()) {
+      std::vector<std::string> caps(user->capabilities().begin(),
+                                    user->capabilities().end());
+      std::printf("user %s can %s\n", user->name().c_str(),
+                  common::Join(caps, ", ").c_str());
+    }
+  }
+
+  void Requirements() {
+    for (size_t i = 0; i < workspace_.requirements.size(); ++i) {
+      std::printf("[%zu] require %s\n", i,
+                  workspace_.requirements[i].ToString().c_str());
+    }
+  }
+
+  void Analyze() {
+    auto reports = text::CheckAllRequirements(workspace_);
+    if (!reports.ok()) {
+      std::printf("error: %s\n", reports.status().ToString().c_str());
+      return;
+    }
+    last_reports_ = std::move(reports).value();
+    for (size_t i = 0; i < last_reports_.size(); ++i) {
+      std::printf("[%zu] %s", i, last_reports_[i].ToString().c_str());
+    }
+    std::printf("(use 'explain <n>' for a derivation)\n");
+  }
+
+  void Explain(size_t index) {
+    if (last_reports_.empty()) Analyze();
+    if (index >= last_reports_.size()) {
+      std::printf("no requirement [%zu]\n", index);
+      return;
+    }
+    const core::AnalysisReport& report = last_reports_[index];
+    if (report.satisfied) {
+      std::printf("requirement [%zu] is satisfied; nothing to explain\n",
+                  index);
+      return;
+    }
+    std::printf("%s\n%s", report.flaws[0].description.c_str(),
+                report.flaws[0].derivation.c_str());
+  }
+
+  void RunQuery(const std::string& user_name, const std::string& source,
+                bool guarded) {
+    const schema::User* user = workspace_.users->Find(user_name);
+    if (user == nullptr) {
+      std::printf("unknown user '%s'\n", user_name.c_str());
+      return;
+    }
+    auto parsed = query::ParseQueryString(source);
+    if (!parsed.ok()) {
+      std::printf("parse error: %s\n", parsed.status().ToString().c_str());
+      return;
+    }
+    auto bound = query::BindQuery(*parsed.value(), *workspace_.schema);
+    if (!bound.ok()) {
+      std::printf("bind error: %s\n", bound.ToString().c_str());
+      return;
+    }
+    common::Result<query::QueryResult> result = [&] {
+      if (guarded) {
+        return guard_.Run(*workspace_.database, *user, *parsed.value());
+      }
+      query::QueryEvaluator evaluator(*workspace_.database, user);
+      return evaluator.Run(*parsed.value());
+    }();
+    if (!result.ok()) {
+      std::printf("%s\n", result.status().ToString().c_str());
+      return;
+    }
+    std::printf("%s(%zu row(s))\n", result->ToString().c_str(),
+                result->rows.size());
+  }
+
+  text::Workspace workspace_;
+  dynamic::SessionGuard guard_;
+  std::vector<core::AnalysisReport> last_reports_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: %s <workspace.odb> [command...]\n"
+                 "With no command, reads commands from stdin.\n",
+                 argv[0]);
+    return 2;
+  }
+  auto workspace = text::LoadWorkspaceFile(argv[1]);
+  if (!workspace.ok()) {
+    std::fprintf(stderr, "%s\n", workspace.status().ToString().c_str());
+    return 1;
+  }
+  Shell shell(std::move(workspace).value());
+
+  if (argc > 2) {
+    std::vector<std::string> pieces;
+    for (int i = 2; i < argc; ++i) pieces.emplace_back(argv[i]);
+    shell.Handle(common::Join(pieces, " "));
+    return 0;
+  }
+
+  std::string line;
+  bool tty_prompt = isatty(fileno(stdin)) != 0;
+  while (true) {
+    if (tty_prompt) std::printf("oodbsec> ");
+    if (!std::getline(std::cin, line)) break;
+    if (!shell.Handle(line)) break;
+  }
+  return 0;
+}

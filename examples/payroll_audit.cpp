@@ -1,0 +1,79 @@
+// Controllability decomposed (paper §3.1): controllability =
+// inferability + alterability, and the two are independent. A payroll
+// system demonstrates the full 2x2 matrix:
+//
+//   hr_operator  may trigger raises but cannot *choose* the written
+//                amount (alterability requirement satisfied);
+//   hr_admin     additionally controls the grade input — full write
+//                control (alterability flagged) yet still cannot *read*
+//                anything (inferability requirement satisfied):
+//                alterability without inferability;
+//   auditor      only observes a compliance predicate plus the grade —
+//                learns salary bounds (partial inferability flagged)
+//                but can alter nothing:
+//                inferability without alterability.
+//
+//   $ ./payroll_audit
+#include <cstdio>
+
+#include "text/workspace.h"
+
+namespace {
+
+constexpr const char* kWorkspace = R"(
+class Employee {
+  emp_name: string;
+  salary: int;
+  grade: int;
+}
+
+# A raise is computed, never chosen: salary += 100 * grade.
+function applyRaise(e: Employee): null =
+  w_salary(e, r_salary(e) + 100 * r_grade(e));
+
+# Compliance: a salary must stay within its grade band.
+function payrollOk(e: Employee): bool =
+  r_salary(e) <= 100 * r_grade(e) + 500;
+
+user hr_operator can applyRaise, r_emp_name;
+user hr_admin    can applyRaise, w_grade, r_emp_name;
+user auditor     can payrollOk, r_grade, r_emp_name;
+
+# Nobody below payroll itself may choose a salary outright...
+require (hr_operator, w_salary(a, v : ta));
+require (hr_admin,    w_salary(a, v : ta));
+# ...nor read one exactly, nor even narrow it down.
+require (hr_admin, r_salary(x) : ti);
+require (auditor,  r_salary(x) : pi);
+require (auditor,  w_salary(a, v : pa));
+
+object Employee { emp_name = "Kim", salary = 1200, grade = 7 }
+)";
+
+}  // namespace
+
+int main() {
+  using namespace oodbsec;
+
+  auto workspace = text::LoadWorkspace(kWorkspace);
+  if (!workspace.ok()) {
+    std::fprintf(stderr, "workspace error: %s\n",
+                 workspace.status().ToString().c_str());
+    return 1;
+  }
+  auto reports = text::CheckAllRequirements(*workspace);
+  if (!reports.ok()) {
+    std::fprintf(stderr, "analysis error: %s\n",
+                 reports.status().ToString().c_str());
+    return 1;
+  }
+  for (const core::AnalysisReport& report : *reports) {
+    std::printf("%s\n", report.ToString().c_str());
+  }
+  std::printf(
+      "Summary of the 2x2 matrix:\n"
+      "  hr_operator: no write control, no read        (both safe)\n"
+      "  hr_admin:    write control WITHOUT read       (alterability only)\n"
+      "  auditor:     read (bounds) WITHOUT any write  (inferability only)\n");
+  return 0;
+}

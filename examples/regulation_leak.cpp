@@ -1,0 +1,66 @@
+// Integrity constraints leak (paper §1.1): "because the knowledge of a
+// constraint always holds in a database, a user can compute more
+// sensitive values".
+//
+// The paper's opening regulation — "the budget of each broker should
+// not be higher than ten times his salary" — is declared as an
+// integrity constraint. A clerk who may merely READ budgets (no salary
+// function granted, nothing writable) still learns salary lower bounds,
+// because every user knows the regulation holds. The analyzer folds
+// constraint knowledge into every closure and flags it.
+//
+//   $ ./regulation_leak
+#include <cstdio>
+
+#include "text/workspace.h"
+
+namespace {
+
+constexpr const char* kWorkspace = R"(
+class Broker { name: string; salary: int; budget: int; }
+
+# The company regulation, enforced by the database.
+constraint budgetRegulation(b: Broker): bool =
+  r_budget(b) <= 10 * r_salary(b);
+
+user clerk   can r_budget, r_name;
+user auditor can r_name;
+
+# Salaries must not leak, not even partially.
+require (clerk, r_salary(x) : pi);
+require (auditor, r_salary(x) : pi);
+
+object Broker { name = "John", salary = 57, budget = 400 }
+)";
+
+}  // namespace
+
+int main() {
+  using namespace oodbsec;
+
+  auto workspace = text::LoadWorkspace(kWorkspace);
+  if (!workspace.ok()) {
+    std::fprintf(stderr, "workspace error: %s\n",
+                 workspace.status().ToString().c_str());
+    return 1;
+  }
+  auto reports = text::CheckAllRequirements(*workspace);
+  if (!reports.ok()) {
+    std::fprintf(stderr, "analysis error: %s\n",
+                 reports.status().ToString().c_str());
+    return 1;
+  }
+  for (const core::AnalysisReport& report : *reports) {
+    std::printf("%s", report.ToString().c_str());
+    if (!report.satisfied) {
+      std::printf("derivation:\n%s", report.flaws[0].derivation.c_str());
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "The clerk never invokes anything that touches salaries — the\n"
+      "regulation itself, known to everyone, turns the budget read into\n"
+      "a salary lower bound (budget <= 10 * salary). The auditor, who\n"
+      "cannot read budgets, learns nothing.\n");
+  return 0;
+}

@@ -1,0 +1,118 @@
+// The paper's running example (SIGMOD'96 §3.1/§4.2), end to end:
+//
+//  1. load the stockbroker workspace (schema, functions, users,
+//     requirements, seed objects);
+//  2. run algorithm A(R) on both paper requirements and print the
+//     Figure-1-style derivations;
+//  3. *realize* flaw 1 with the probing attack: a clerk who may only
+//     invoke checkBudget/w_budget/r_name extracts John's exact salary;
+//  4. realize flaw 2: an updater forges an arbitrary salary through the
+//     audited updateSalary path.
+//
+//   $ ./stockbroker
+#include <cstdio>
+
+#include "attack/attacks.h"
+#include "text/workspace.h"
+
+namespace {
+
+constexpr const char* kWorkspace = R"(
+class Broker {
+  name: string;
+  salary: int;
+  budget: int;
+  profit: int;
+}
+
+# The administrator's test: is the budget illegally high (over 10x the
+# salary)? Encapsulates reads of salary and budget.
+function checkBudget(broker: Broker): bool =
+  r_budget(broker) >= 10 * r_salary(broker);
+
+function calcSalary(budget: int, profit: int): int =
+  budget / 10 + profit / 2;
+
+# The weekly salary update: encapsulates the write of salary.
+function updateSalary(broker: Broker): null =
+  w_salary(broker, calcSalary(r_budget(broker), r_profit(broker)));
+
+user clerk can checkBudget, w_budget, r_name;
+user updater can updateSalary, w_budget, w_profit, r_name;
+
+require (clerk, r_salary(x) : ti);
+require (updater, w_salary(a, v : ta));
+
+object Broker { name = "John", salary = 57, budget = 400, profit = 30 }
+object Broker { name = "Mary", salary = 83, budget = 900, profit = 10 }
+)";
+
+}  // namespace
+
+int main() {
+  using namespace oodbsec;
+
+  auto workspace = text::LoadWorkspace(kWorkspace);
+  if (!workspace.ok()) {
+    std::fprintf(stderr, "workspace error: %s\n",
+                 workspace.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("== Static analysis: algorithm A(R) ==\n\n");
+  auto reports = text::CheckAllRequirements(*workspace);
+  if (!reports.ok()) {
+    std::fprintf(stderr, "analysis error: %s\n",
+                 reports.status().ToString().c_str());
+    return 1;
+  }
+  for (const core::AnalysisReport& report : *reports) {
+    std::printf("%s", report.ToString().c_str());
+    if (!report.satisfied) {
+      std::printf("derivation:\n%s\n", report.flaws[0].derivation.c_str());
+    }
+  }
+
+  std::printf("== Realizing flaw 1: the probing attack ==\n\n");
+  attack::BinarySearchConfig probe;
+  probe.class_name = "Broker";
+  probe.select_attr = "name";
+  probe.select_value = types::Value::String("John");
+  probe.write_fn = "w_budget";
+  probe.compare_fn = "checkBudget";
+  probe.factor = 10;
+  probe.hi = 10 * 1000;
+  auto transcript = attack::ExtractHiddenValue(
+      *workspace->database, *workspace->users->Find("clerk"), probe);
+  if (!transcript.ok()) {
+    std::fprintf(stderr, "attack error: %s\n",
+                 transcript.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("clerk extracted John's salary = %s in %d probing queries\n",
+              transcript->inferred.ToString().c_str(), transcript->probes);
+  std::printf("first probe: %s\n", transcript->queries.front().c_str());
+  std::printf("last probe:  %s\n\n", transcript->queries.back().c_str());
+
+  std::printf("== Realizing flaw 2: forging the salary write ==\n\n");
+  attack::ForgeConfig forge;
+  forge.class_name = "Broker";
+  forge.select_attr = "name";
+  forge.select_value = types::Value::String("Mary");
+  forge.setup_writes = {{"w_profit", types::Value::Int(0)},
+                        {"w_budget", types::Value::Int(12340)}};
+  forge.trigger_fn = "updateSalary";
+  auto forged = attack::ForgeWrittenValue(
+      *workspace->database, *workspace->users->Find("updater"), forge);
+  if (!forged.ok()) {
+    std::fprintf(stderr, "attack error: %s\n",
+                 forged.status().ToString().c_str());
+    return 1;
+  }
+  types::Oid mary = workspace->database->Extent("Broker")[1];
+  auto salary = workspace->database->ReadAttribute(mary, "salary");
+  std::printf("updater drove Mary's salary to %s via: %s\n",
+              salary.value().ToString().c_str(),
+              forged->queries.front().c_str());
+  return 0;
+}

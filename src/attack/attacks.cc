@@ -1,0 +1,194 @@
+#include "attack/attacks.h"
+
+#include "common/strings.h"
+#include "query/binder.h"
+#include "query/query_evaluator.h"
+#include "query/query_parser.h"
+
+namespace oodbsec::attack {
+
+using common::Result;
+using types::Value;
+
+namespace {
+
+std::string Selector(const std::string& var, const std::string& select_attr,
+                     const Value& select_value) {
+  if (select_attr.empty()) return "";
+  return common::StrCat(" where r_", select_attr, "(", var,
+                        ") == ", select_value.ToString());
+}
+
+// Runs one query text for `user`, returning the result rows.
+Result<query::QueryResult> RunQuery(store::Database& db,
+                                    const schema::User& user,
+                                    const std::string& text) {
+  OODBSEC_ASSIGN_OR_RETURN(std::unique_ptr<query::SelectQuery> parsed,
+                           query::ParseQueryString(text));
+  OODBSEC_RETURN_IF_ERROR(query::BindQuery(*parsed, db.schema()));
+  query::QueryEvaluator evaluator(db, &user);
+  return evaluator.Run(*parsed);
+}
+
+}  // namespace
+
+Result<ProbeTranscript> ExtractHiddenValue(store::Database& db,
+                                           const schema::User& user,
+                                           const BinarySearchConfig& config) {
+  ProbeTranscript transcript;
+  std::string selector =
+      Selector("b", config.select_attr, config.select_value);
+
+  // One probe: write `value` through write_fn, then invoke compare_fn;
+  // both happen inside one query, items evaluated left to right.
+  auto probe = [&](int64_t value) -> Result<bool> {
+    std::string text = common::StrCat(
+        "select ", config.write_fn, "(b, ", value, "), ", config.compare_fn,
+        "(b) from b in ", config.class_name, selector);
+    transcript.queries.push_back(text);
+    ++transcript.probes;
+    OODBSEC_ASSIGN_OR_RETURN(query::QueryResult result,
+                             RunQuery(db, user, text));
+    if (result.rows.size() != 1 || !result.rows[0][1].is_bool()) {
+      return common::FailedPreconditionError(common::StrCat(
+          "probe expected one boolean row, got:\n", result.ToString()));
+    }
+    return result.rows[0][1].bool_value();
+  };
+
+  if (config.increasing) {
+    // compare(p) == (p >= factor*h): find the smallest true probe; then
+    // h = p / factor.
+    OODBSEC_ASSIGN_OR_RETURN(bool at_hi, probe(config.hi));
+    if (!at_hi) {
+      return common::OutOfRangeError(
+          "comparator is false at the top of the search range; the hidden "
+          "value lies outside [lo, hi]");
+    }
+    OODBSEC_ASSIGN_OR_RETURN(bool at_lo, probe(config.lo));
+    int64_t lo = config.lo;
+    int64_t hi = config.hi;
+    if (at_lo) {
+      if (config.lo != 0) {
+        return common::OutOfRangeError(
+            "comparator is already true at the bottom of the search range; "
+            "the hidden value lies below lo");
+      }
+      hi = lo;  // the threshold is exactly the bottom of the range
+    }
+    while (lo < hi) {
+      int64_t mid = lo + (hi - lo) / 2;
+      OODBSEC_ASSIGN_OR_RETURN(bool at_mid, probe(mid));
+      if (at_mid) {
+        hi = mid;
+      } else {
+        lo = mid + 1;
+      }
+    }
+    transcript.inferred = Value::Int(hi / config.factor);
+    return transcript;
+  }
+
+  // compare(p) == (h >= p / factor-ish): find the largest true probe;
+  // then h = p / factor.
+  OODBSEC_ASSIGN_OR_RETURN(bool at_lo, probe(config.lo));
+  if (!at_lo) {
+    return common::OutOfRangeError(
+        "comparator is false at the bottom of the search range; the hidden "
+        "value lies outside [lo, hi]");
+  }
+  OODBSEC_ASSIGN_OR_RETURN(bool at_hi, probe(config.hi));
+  int64_t lo = config.lo;
+  int64_t hi = config.hi;
+  if (at_hi) {
+    lo = hi;
+  }
+  while (lo < hi) {
+    int64_t mid = lo + (hi - lo + 1) / 2;  // upper mid: find the last true
+    OODBSEC_ASSIGN_OR_RETURN(bool at_mid, probe(mid));
+    if (at_mid) {
+      lo = mid;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  transcript.inferred = Value::Int(lo / config.factor);
+  return transcript;
+}
+
+Result<ProbeTranscript> ExtractByArgumentProbing(
+    store::Database& db, const schema::User& user,
+    const ArgumentProbeConfig& config) {
+  ProbeTranscript transcript;
+  std::string selector =
+      Selector("b", config.select_attr, config.select_value);
+
+  auto probe = [&](int64_t threshold) -> Result<bool> {
+    std::string text =
+        common::StrCat("select ", config.compare_fn, "(b, ", threshold,
+                       ") from b in ", config.class_name, selector);
+    transcript.queries.push_back(text);
+    ++transcript.probes;
+    OODBSEC_ASSIGN_OR_RETURN(query::QueryResult result,
+                             RunQuery(db, user, text));
+    if (result.rows.size() != 1 || !result.rows[0][0].is_bool()) {
+      return common::FailedPreconditionError(common::StrCat(
+          "probe expected one boolean row, got:\n", result.ToString()));
+    }
+    bool outcome = result.rows[0][0].bool_value();
+    return config.ascending ? outcome : !outcome;
+  };
+
+  // probe(t) == (hidden >= t): the largest t with probe(t) true is the
+  // hidden value itself.
+  OODBSEC_ASSIGN_OR_RETURN(bool at_lo, probe(config.lo));
+  if (!at_lo) {
+    return common::OutOfRangeError(
+        "comparator is false at the bottom of the search range");
+  }
+  OODBSEC_ASSIGN_OR_RETURN(bool at_hi, probe(config.hi));
+  int64_t lo = config.lo;
+  int64_t hi = config.hi;
+  if (at_hi) {
+    lo = hi;
+  }
+  while (lo < hi) {
+    int64_t mid = lo + (hi - lo + 1) / 2;  // upper mid: find the last true
+    OODBSEC_ASSIGN_OR_RETURN(bool at_mid, probe(mid));
+    if (at_mid) {
+      lo = mid;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  transcript.inferred = Value::Int(lo);
+  return transcript;
+}
+
+Result<ProbeTranscript> ForgeWrittenValue(store::Database& db,
+                                          const schema::User& user,
+                                          const ForgeConfig& config) {
+  ProbeTranscript transcript;
+  std::string selector =
+      Selector("b", config.select_attr, config.select_value);
+
+  std::string items;
+  for (const auto& [write_fn, value] : config.setup_writes) {
+    items += common::StrCat(write_fn, "(b, ", value.ToString(), "), ");
+  }
+  items += common::StrCat(config.trigger_fn, "(b)");
+  std::string text = common::StrCat("select ", items, " from b in ",
+                                    config.class_name, selector);
+  transcript.queries.push_back(text);
+  ++transcript.probes;
+  OODBSEC_ASSIGN_OR_RETURN(query::QueryResult result,
+                           RunQuery(db, user, text));
+  if (result.rows.size() != 1) {
+    return common::FailedPreconditionError(
+        common::StrCat("forge query matched ", result.rows.size(),
+                       " row(s); expected exactly one victim"));
+  }
+  return transcript;
+}
+
+}  // namespace oodbsec::attack

@@ -1,0 +1,103 @@
+// Concrete attack strategies that *realize* the flaws A(R) detects, by
+// issuing ordinary queries under a user's capability list (so every
+// probe passes the same access control a real client would).
+//
+// The paper's §3.1 inference attack: "if that user can change the amount
+// of the budget to any value he wants, he can infer the exact amount of
+// the salary by repeatedly changing the budget to several values and
+// invoking the testing function". ExtractHiddenValue implements it as a
+// binary search over the probe attribute, driving queries of the form
+//
+//   select w_budget(b, <probe>), checkBudget(b)
+//   from b in Broker where r_name(b) == "John"
+//
+// The §3.1 alteration attack: a user who can alter the inputs of an
+// audited update (updateSalary) writes an arbitrary salary.
+// ForgeWrittenValue implements it by setting up the inputs and
+// triggering the update.
+#ifndef OODBSEC_ATTACK_ATTACKS_H_
+#define OODBSEC_ATTACK_ATTACKS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "schema/user.h"
+#include "store/database.h"
+#include "types/value.h"
+
+namespace oodbsec::attack {
+
+struct ProbeTranscript {
+  types::Value inferred;             // the extracted value
+  int probes = 0;                    // number of probing queries issued
+  std::vector<std::string> queries;  // every query issued, in order
+};
+
+struct BinarySearchConfig {
+  std::string class_name;     // e.g. "Broker"
+  // Optional victim selector: where r_<select_attr>(b) == select_value.
+  std::string select_attr;    // empty = first/only object
+  types::Value select_value;
+
+  std::string write_fn;       // e.g. "w_budget" — the controllable input
+  std::string compare_fn;     // e.g. "checkBudget" — the boolean monotone
+                              // test: compare(obj) == (input >= factor*h)
+                              // when `increasing`, or == (h >= input)
+                              // when not.
+  bool increasing = true;
+  int64_t factor = 1;         // h = threshold / factor
+  int64_t lo = 0;             // inclusive search range for factor*h
+  int64_t hi = 1 << 20;
+};
+
+// Extracts the hidden value h via O(log(hi-lo)) probing queries, using
+// only functions on `user`'s capability list (PermissionDenied if any
+// probe would need more). The database is mutated by the probes, as a
+// real attack would.
+common::Result<ProbeTranscript> ExtractHiddenValue(
+    store::Database& db, const schema::User& user,
+    const BinarySearchConfig& config);
+
+struct ArgumentProbeConfig {
+  std::string class_name;
+  std::string select_attr;  // optional victim selector (as above)
+  types::Value select_value;
+
+  // A granted boolean function compare_fn(obj, threshold) that tests
+  // hidden >= threshold (or <=, see `ascending`).
+  std::string compare_fn;
+  bool ascending = true;  // true: compare == (hidden >= threshold)
+  int64_t lo = 0;
+  int64_t hi = 1 << 20;
+};
+
+// Extracts a hidden value through a threshold function that takes the
+// probe as an *argument* (no writes needed): the paper's observation
+// that controllability of a comparison operand suffices.
+common::Result<ProbeTranscript> ExtractByArgumentProbing(
+    store::Database& db, const schema::User& user,
+    const ArgumentProbeConfig& config);
+
+struct ForgeConfig {
+  std::string class_name;
+  std::string select_attr;  // optional victim selector (as above)
+  types::Value select_value;
+
+  // Input writes performed before the trigger, e.g.
+  // {("w_profit", 0), ("w_budget", 10*target)}.
+  std::vector<std::pair<std::string, types::Value>> setup_writes;
+  std::string trigger_fn;  // e.g. "updateSalary"
+};
+
+// Performs the setup writes and the trigger in one query. Returns the
+// query transcript; the caller verifies the effect (the attacker need
+// not be able to read it back).
+common::Result<ProbeTranscript> ForgeWrittenValue(store::Database& db,
+                                                  const schema::User& user,
+                                                  const ForgeConfig& config);
+
+}  // namespace oodbsec::attack
+
+#endif  // OODBSEC_ATTACK_ATTACKS_H_

@@ -1,0 +1,91 @@
+// The metarule engine (paper §4.1).
+//
+// The rules for basic functions "depend on the semantics of each basic
+// function"; the paper therefore gives METARULES of the form "if the
+// semantics of fb satisfies this condition, then this rule must be
+// added", e.g.
+//
+//   if  ∃v2. ∀r ∈ Dom(fb). ∃v1. fb(v1,v2) = r   then  ta[e1] -> ta[fb(e1,e2)]
+//   if  ∃r. ∃v1. ∀v2. fb(v1,v2) = r             then  ti[e1] -> ti[fb(e1,e2)]
+//
+// This engine makes those quantified side conditions executable: it
+// tabulates fb extensionally over finite sample domains and
+//   * validates a given BasicRule (does the condition corresponding to
+//     the rule's shape hold?), used to machine-check every rule shipped
+//     in core/basic_rules.cc;
+//   * synthesizes the rule set for a function from the templates.
+//
+// Sample domains stand in for the (conceptually unbounded) int domain;
+// a condition that holds on the sample is taken to hold in the paper's
+// may-semantics (pessimistic direction: extra rules cost precision,
+// never soundness of flaw *detection*).
+#ifndef OODBSEC_BASICFUN_METARULES_H_
+#define OODBSEC_BASICFUN_METARULES_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "core/basic_rules.h"
+#include "exec/basic_functions.h"
+#include "types/domain.h"
+
+namespace oodbsec::basicfun {
+
+// int: -4..4, bool: {false,true}, string: {"", "a", "b", "ab"}.
+types::DomainMap DefaultSampleDomains(const types::TypePool& pool);
+
+class MetaruleEngine {
+ public:
+  // Fails if a parameter or result type has no sample domain.
+  static common::Result<std::unique_ptr<MetaruleEngine>> Create(
+      const exec::BasicFunction& fn, const types::DomainMap& domains);
+
+  const exec::BasicFunction& function() const { return *fn_; }
+
+  // True when the metarule condition for `rule`'s shape holds over the
+  // sample domains; an error if the shape matches no known template.
+  common::Result<bool> ValidateRule(const core::BasicRule& rule) const;
+
+  // All rules whose template conditions hold. Labels carry the template
+  // name, e.g. "+: MT-invert(1)".
+  std::vector<core::BasicRule> Synthesize() const;
+
+ private:
+  MetaruleEngine() = default;
+
+  size_t arity() const { return fn_->arity(); }
+  const types::ValueSet& ArgDomain(int i) const {
+    return arg_domains_[static_cast<size_t>(i)];
+  }
+
+  // --- template conditions (binary: i is the swept argument, j the
+  // other; unary: i = 0) ---
+  bool TaSweep(int i) const;        // ∃ fix. arg i covers Dom(result)
+  bool PaToTaResult(int i) const;   // ∃ fix, two values covering Dom(result)
+  bool PaPerturb(int i) const;      // ∃ fix, two values with different results
+  bool TiAbsorb(int i) const;       // ∃ value of i forcing a constant result
+  bool PiRestrict(int i) const;     // ∃ value of i with image ⊊ Dom(result)
+  bool ResultBounds(int i) const;   // ∃ r with preimage_i ⊊ Dom(i)
+  // ∃ r and a fixed other argument with 0 < |{v_i : f = r}| < |Dom(i)|.
+  bool ResultGivenOtherBounds(int i) const;
+  bool Invertible(int i) const;     // ∃ r, fix with unique preimage in i
+  bool InvertibleAlways(int i) const;  // ∀ r, fix: preimage in i ≤ 1
+  bool Probe(int target) const;     // sweeping the other arg separates target
+  bool ResultPairs() const;         // ∃ r: preimage ⊊ Dom(0) x Dom(1)
+  bool ImageProper() const;         // image(f) ⊊ Dom(result)
+  bool ArgTiesPair(int i) const;    // ∃ v_i: {(v_j, f)} ⊊ Dom(j) x Dom(res)
+  bool CornerPins(int i, int target) const;  // small pi-sets pin `target`
+  bool PairPins(int i, int target) const;    // small pi* set pins `target`
+
+  const exec::BasicFunction* fn_ = nullptr;
+  std::vector<types::ValueSet> arg_domains_;
+  types::ValueSet result_domain_;
+  // rows_[k] = argument tuple; results_[k] = fn(rows_[k]).
+  std::vector<types::ValueSet> rows_;
+  types::ValueSet results_;
+};
+
+}  // namespace oodbsec::basicfun
+
+#endif  // OODBSEC_BASICFUN_METARULES_H_

@@ -1,0 +1,56 @@
+#include "common/diagnostics.h"
+
+#include "common/strings.h"
+
+namespace oodbsec::common {
+
+namespace {
+std::string_view SeverityName(Severity severity) {
+  switch (severity) {
+    case Severity::kError:
+      return "error";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kNote:
+      return "note";
+  }
+  return "unknown";
+}
+}  // namespace
+
+std::string Diagnostic::ToString() const {
+  return StrCat(location.ToString(), ": ", SeverityName(severity), ": ",
+                message);
+}
+
+void DiagnosticSink::Error(SourceLocation location, std::string message) {
+  diagnostics_.push_back(
+      {Severity::kError, location, std::move(message)});
+  ++error_count_;
+}
+
+void DiagnosticSink::Warning(SourceLocation location, std::string message) {
+  diagnostics_.push_back(
+      {Severity::kWarning, location, std::move(message)});
+}
+
+void DiagnosticSink::Note(SourceLocation location, std::string message) {
+  diagnostics_.push_back({Severity::kNote, location, std::move(message)});
+}
+
+std::string DiagnosticSink::ToString() const {
+  std::vector<std::string> lines;
+  lines.reserve(diagnostics_.size());
+  for (const Diagnostic& d : diagnostics_) lines.push_back(d.ToString());
+  return Join(lines, "\n");
+}
+
+Status DiagnosticSink::ToStatus() const {
+  if (!has_errors()) return Status::Ok();
+  for (const Diagnostic& d : diagnostics_) {
+    if (d.severity == Severity::kError) return ParseError(d.ToString());
+  }
+  return ParseError("unknown parse error");
+}
+
+}  // namespace oodbsec::common

@@ -1,0 +1,50 @@
+// Diagnostic collection for the language front ends. Parsers and type
+// checkers report into a DiagnosticSink so a single pass can surface
+// multiple errors with source locations.
+#ifndef OODBSEC_COMMON_DIAGNOSTICS_H_
+#define OODBSEC_COMMON_DIAGNOSTICS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/source_location.h"
+#include "common/status.h"
+
+namespace oodbsec::common {
+
+enum class Severity { kError, kWarning, kNote };
+
+struct Diagnostic {
+  Severity severity = Severity::kError;
+  SourceLocation location;
+  std::string message;
+
+  // Renders "<line>:<col>: error: <message>".
+  std::string ToString() const;
+};
+
+// Accumulates diagnostics emitted during a front-end pass.
+class DiagnosticSink {
+ public:
+  void Error(SourceLocation location, std::string message);
+  void Warning(SourceLocation location, std::string message);
+  void Note(SourceLocation location, std::string message);
+
+  bool has_errors() const { return error_count_ > 0; }
+  int error_count() const { return error_count_; }
+  const std::vector<Diagnostic>& diagnostics() const { return diagnostics_; }
+
+  // One diagnostic per line; empty string when nothing was reported.
+  std::string ToString() const;
+
+  // ParseError status summarizing the first error, or OK when clean.
+  Status ToStatus() const;
+
+ private:
+  std::vector<Diagnostic> diagnostics_;
+  int error_count_ = 0;
+};
+
+}  // namespace oodbsec::common
+
+#endif  // OODBSEC_COMMON_DIAGNOSTICS_H_

@@ -1,0 +1,73 @@
+// Result<T>: a value-or-Status union, the return type of fallible
+// operations that produce a value. See status.h for the error space.
+#ifndef OODBSEC_COMMON_RESULT_H_
+#define OODBSEC_COMMON_RESULT_H_
+
+#include <cassert>
+#include <cstdlib>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace oodbsec::common {
+
+// Holds either a `T` or a non-OK `Status`. Constructing a Result from an
+// OK status is a programming error and aborts.
+template <typename T>
+class Result {
+ public:
+  // Intentionally implicit so `return value;` and `return SomeError(...)`
+  // both work, mirroring absl::StatusOr.
+  Result(T value) : rep_(std::move(value)) {}         // NOLINT
+  Result(Status status) : rep_(std::move(status)) {}  // NOLINT
+  Result(StatusCode code, std::string message)
+      : rep_(Status(code, std::move(message))) {}
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(rep_));
+  }
+
+  // Returns the error; OK when the Result holds a value.
+  Status status() const {
+    if (ok()) return Status::Ok();
+    return std::get<Status>(rep_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> rep_;
+};
+
+}  // namespace oodbsec::common
+
+// Assigns the value of `rexpr` (a Result<T> expression) to `lhs`, or
+// returns its Status from the enclosing function.
+#define OODBSEC_ASSIGN_OR_RETURN(lhs, rexpr)                \
+  OODBSEC_ASSIGN_OR_RETURN_IMPL_(                           \
+      OODBSEC_RESULT_CONCAT_(_oodbsec_result_, __LINE__), lhs, rexpr)
+
+#define OODBSEC_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                   \
+  if (!tmp.ok()) return tmp.status();                   \
+  lhs = std::move(tmp).value()
+
+#define OODBSEC_RESULT_CONCAT_(a, b) OODBSEC_RESULT_CONCAT_IMPL_(a, b)
+#define OODBSEC_RESULT_CONCAT_IMPL_(a, b) a##b
+
+#endif  // OODBSEC_COMMON_RESULT_H_

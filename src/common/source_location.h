@@ -1,0 +1,40 @@
+// Positions and ranges in source text, used by both language front ends
+// (the function definition language and the query language) for
+// diagnostics.
+#ifndef OODBSEC_COMMON_SOURCE_LOCATION_H_
+#define OODBSEC_COMMON_SOURCE_LOCATION_H_
+
+#include <string>
+
+namespace oodbsec::common {
+
+// 1-based line and column. A default-constructed location (0,0) means
+// "unknown", e.g. for programmatically built ASTs.
+struct SourceLocation {
+  int line = 0;
+  int column = 0;
+
+  bool known() const { return line > 0; }
+  std::string ToString() const {
+    if (!known()) return "<unknown>";
+    return std::to_string(line) + ":" + std::to_string(column);
+  }
+
+  friend bool operator==(const SourceLocation&, const SourceLocation&) =
+      default;
+};
+
+// Half-open [begin, end) range of source text.
+struct SourceRange {
+  SourceLocation begin;
+  SourceLocation end;
+
+  bool known() const { return begin.known(); }
+  std::string ToString() const { return begin.ToString(); }
+
+  friend bool operator==(const SourceRange&, const SourceRange&) = default;
+};
+
+}  // namespace oodbsec::common
+
+#endif  // OODBSEC_COMMON_SOURCE_LOCATION_H_

@@ -1,0 +1,84 @@
+#include "common/status.h"
+
+namespace oodbsec::common {
+
+std::string_view StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kInvalidArgument:
+      return "invalid_argument";
+    case StatusCode::kNotFound:
+      return "not_found";
+    case StatusCode::kAlreadyExists:
+      return "already_exists";
+    case StatusCode::kFailedPrecondition:
+      return "failed_precondition";
+    case StatusCode::kPermissionDenied:
+      return "permission_denied";
+    case StatusCode::kTypeError:
+      return "type_error";
+    case StatusCode::kParseError:
+      return "parse_error";
+    case StatusCode::kOutOfRange:
+      return "out_of_range";
+    case StatusCode::kUnimplemented:
+      return "unimplemented";
+    case StatusCode::kInternal:
+      return "internal";
+  }
+  return "unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "ok";
+  std::string out(StatusCodeName(code_));
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+Status Status::WithContext(std::string_view context) const {
+  if (ok()) return *this;
+  std::string message(context);
+  message += ": ";
+  message += message_;
+  return Status(code_, std::move(message));
+}
+
+std::ostream& operator<<(std::ostream& os, const Status& status) {
+  return os << status.ToString();
+}
+
+Status InvalidArgumentError(std::string_view message) {
+  return Status(StatusCode::kInvalidArgument, std::string(message));
+}
+Status NotFoundError(std::string_view message) {
+  return Status(StatusCode::kNotFound, std::string(message));
+}
+Status AlreadyExistsError(std::string_view message) {
+  return Status(StatusCode::kAlreadyExists, std::string(message));
+}
+Status FailedPreconditionError(std::string_view message) {
+  return Status(StatusCode::kFailedPrecondition, std::string(message));
+}
+Status PermissionDeniedError(std::string_view message) {
+  return Status(StatusCode::kPermissionDenied, std::string(message));
+}
+Status TypeError(std::string_view message) {
+  return Status(StatusCode::kTypeError, std::string(message));
+}
+Status ParseError(std::string_view message) {
+  return Status(StatusCode::kParseError, std::string(message));
+}
+Status OutOfRangeError(std::string_view message) {
+  return Status(StatusCode::kOutOfRange, std::string(message));
+}
+Status UnimplementedError(std::string_view message) {
+  return Status(StatusCode::kUnimplemented, std::string(message));
+}
+Status InternalError(std::string_view message) {
+  return Status(StatusCode::kInternal, std::string(message));
+}
+
+}  // namespace oodbsec::common

@@ -1,0 +1,87 @@
+// Error handling primitives for oodbsec.
+//
+// The library does not use exceptions. Fallible operations return a
+// `Status` (or a `Result<T>`, see result.h) that carries an error code and
+// a human-readable message. `Status` is cheap to copy in the OK case.
+#ifndef OODBSEC_COMMON_STATUS_H_
+#define OODBSEC_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace oodbsec::common {
+
+// Canonical error space. Kept deliberately small; the message carries the
+// detail.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kPermissionDenied,
+  kTypeError,
+  kParseError,
+  kOutOfRange,
+  kUnimplemented,
+  kInternal,
+};
+
+// Returns the canonical lower_snake name of `code`, e.g. "invalid_argument".
+std::string_view StatusCodeName(StatusCode code);
+
+// A success-or-error value. Default-constructed Status is OK.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // Renders "ok" or "<code>: <message>".
+  std::string ToString() const;
+
+  // Prepends `context` to the message, keeping the code. No-op when OK.
+  Status WithContext(std::string_view context) const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+// Factory helpers, mirroring the codes above.
+Status InvalidArgumentError(std::string_view message);
+Status NotFoundError(std::string_view message);
+Status AlreadyExistsError(std::string_view message);
+Status FailedPreconditionError(std::string_view message);
+Status PermissionDeniedError(std::string_view message);
+Status TypeError(std::string_view message);
+Status ParseError(std::string_view message);
+Status OutOfRangeError(std::string_view message);
+Status UnimplementedError(std::string_view message);
+Status InternalError(std::string_view message);
+
+}  // namespace oodbsec::common
+
+// Evaluates `expr` (a Status expression); returns it from the enclosing
+// function if it is not OK.
+#define OODBSEC_RETURN_IF_ERROR(expr)                        \
+  do {                                                       \
+    ::oodbsec::common::Status _oodbsec_status_ = (expr);     \
+    if (!_oodbsec_status_.ok()) return _oodbsec_status_;     \
+  } while (false)
+
+#endif  // OODBSEC_COMMON_STATUS_H_

@@ -1,0 +1,69 @@
+#include "common/strings.h"
+
+namespace oodbsec::common {
+
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view separator) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out.append(separator);
+    out.append(parts[i]);
+  }
+  return out;
+}
+
+std::vector<std::string> Split(std::string_view text, char delimiter) {
+  std::vector<std::string> parts;
+  size_t start = 0;
+  while (true) {
+    size_t pos = text.find(delimiter, start);
+    if (pos == std::string_view::npos) {
+      parts.emplace_back(text.substr(start));
+      return parts;
+    }
+    parts.emplace_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::string_view StripWhitespace(std::string_view text) {
+  size_t begin = 0;
+  while (begin < text.size() &&
+         (text[begin] == ' ' || text[begin] == '\t' || text[begin] == '\n' ||
+          text[begin] == '\r')) {
+    ++begin;
+  }
+  size_t end = text.size();
+  while (end > begin &&
+         (text[end - 1] == ' ' || text[end - 1] == '\t' ||
+          text[end - 1] == '\n' || text[end - 1] == '\r')) {
+    --end;
+  }
+  return text.substr(begin, end - begin);
+}
+
+std::string QuoteString(std::string_view text) {
+  std::string out = "\"";
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+}  // namespace oodbsec::common

@@ -1,0 +1,60 @@
+// Small string utilities (concatenation, join, split, escaping) used
+// throughout the library. Deliberately minimal; no locale handling.
+#ifndef OODBSEC_COMMON_STRINGS_H_
+#define OODBSEC_COMMON_STRINGS_H_
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace oodbsec::common {
+
+namespace internal_strings {
+inline void AppendPiece(std::string& out, std::string_view piece) {
+  out.append(piece);
+}
+inline void AppendPiece(std::string& out, const std::string& piece) {
+  out.append(piece);
+}
+inline void AppendPiece(std::string& out, const char* piece) {
+  out.append(piece);
+}
+inline void AppendPiece(std::string& out, char piece) { out.push_back(piece); }
+inline void AppendPiece(std::string& out, bool piece) {
+  out.append(piece ? "true" : "false");
+}
+template <typename T>
+  requires std::is_arithmetic_v<T>
+void AppendPiece(std::string& out, T piece) {
+  out.append(std::to_string(piece));
+}
+}  // namespace internal_strings
+
+// Concatenates all arguments into one string. Numbers are rendered with
+// std::to_string; bools as "true"/"false".
+template <typename... Pieces>
+std::string StrCat(const Pieces&... pieces) {
+  std::string out;
+  (internal_strings::AppendPiece(out, pieces), ...);
+  return out;
+}
+
+// Joins `parts` with `separator`.
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view separator);
+
+// Splits `text` on `delimiter`; keeps empty pieces.
+std::vector<std::string> Split(std::string_view text, char delimiter);
+
+// Removes leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view text);
+
+// Renders `text` as a double-quoted string literal with \", \\, \n, \t
+// escapes.
+std::string QuoteString(std::string_view text);
+
+}  // namespace oodbsec::common
+
+#endif  // OODBSEC_COMMON_STRINGS_H_

@@ -1,0 +1,88 @@
+// Algorithm A(R) (paper §4.1, Definition 6): decides whether a security
+// requirement is satisfied by computing the F(F) closure over the
+// program of every function in the user's capability list and looking
+// for an invocation site of the requirement's function at which all
+// listed capabilities are simultaneously derivable.
+//
+// Invocation sites of f in S(F):
+//   * every let(f) occurrence (indirect invocation): arguments are the
+//     bound expressions, the returned value is the let node;
+//   * every r_att / w_att occurrence when f is a special function;
+//   * the root itself when f is on the capability list: argument
+//     capabilities hold trivially (the user passes the arguments), the
+//     returned value is the unfolded body.
+//
+// The algorithm is sound (paper Theorem 1): if the requirement is
+// actually violable, some site is reported. It is pessimistic: reported
+// sites may be unrealizable (see the S2/pessimism experiment).
+#ifndef OODBSEC_CORE_ANALYZER_H_
+#define OODBSEC_CORE_ANALYZER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/closure.h"
+#include "core/requirement.h"
+#include "schema/user.h"
+
+namespace oodbsec::core {
+
+// One invocation site at which every required capability is derivable.
+struct FlawSite {
+  int site_id = 0;          // occurrence id of the site (0 for pure roots)
+  bool is_root_site = false;
+  std::string description;  // human-readable site label
+  std::vector<FactId> supporting_facts;
+  std::string derivation;   // Figure-1 style justification
+};
+
+struct AnalysisReport {
+  Requirement requirement;
+  bool satisfied = true;
+  std::vector<FlawSite> flaws;
+
+  // Closure statistics (for the scaling experiments).
+  int node_count = 0;
+  size_t fact_count = 0;
+
+  std::string ToString() const;
+};
+
+// The per-user analysis context: the unfolded capability-list program
+// and its closure, reusable across many requirement checks.
+class UserAnalysis {
+ public:
+  // Unfolds every function on `user`'s capability list and computes the
+  // closure.
+  static common::Result<std::unique_ptr<UserAnalysis>> Build(
+      const schema::Schema& schema, const schema::User& user,
+      ClosureOptions options = {});
+
+  const unfold::UnfoldedSet& set() const { return *set_; }
+  const Closure& closure() const { return *closure_; }
+  const std::string& user_name() const { return user_name_; }
+
+  // Checks one requirement (its user field must match this analysis'
+  // user). The requirement's function need not be on the capability
+  // list — indirect invocation sites still count.
+  common::Result<AnalysisReport> Check(const Requirement& requirement) const;
+
+ private:
+  UserAnalysis() = default;
+
+  std::string user_name_;
+  std::unique_ptr<unfold::UnfoldedSet> set_;
+  std::unique_ptr<Closure> closure_;
+};
+
+// One-shot convenience: build the user's analysis and check one
+// requirement.
+common::Result<AnalysisReport> CheckRequirement(
+    const schema::Schema& schema, const schema::UserRegistry& users,
+    const Requirement& requirement, ClosureOptions options = {});
+
+}  // namespace oodbsec::core
+
+#endif  // OODBSEC_CORE_ANALYZER_H_

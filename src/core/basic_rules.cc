@@ -1,0 +1,290 @@
+#include "core/basic_rules.h"
+
+#include <map>
+
+#include "common/strings.h"
+
+namespace oodbsec::core {
+
+RuleAtom Ta(int pos) { return {RuleAtom::Pred::kTa, pos, 0}; }
+RuleAtom Pa(int pos) { return {RuleAtom::Pred::kPa, pos, 0}; }
+RuleAtom Ti(int pos) { return {RuleAtom::Pred::kTi, pos, 0}; }
+RuleAtom Pi(int pos) { return {RuleAtom::Pred::kPi, pos, 0}; }
+RuleAtom PiStar(int pos, int pos2) {
+  return {RuleAtom::Pred::kPiStar, pos, pos2};
+}
+
+std::string RuleAtom::ToString() const {
+  auto pos_name = [](int p) {
+    return p == kResultPos ? std::string("R") : common::StrCat("e", p);
+  };
+  switch (pred) {
+    case Pred::kTa:
+      return common::StrCat("ta[", pos_name(pos), "]");
+    case Pred::kPa:
+      return common::StrCat("pa[", pos_name(pos), "]");
+    case Pred::kTi:
+      return common::StrCat("ti[", pos_name(pos), "]");
+    case Pred::kPi:
+      return common::StrCat("pi[", pos_name(pos), "]");
+    case Pred::kPiStar:
+      return common::StrCat("pi*[(", pos_name(pos), ", ", pos_name(pos2),
+                            ")]");
+  }
+  return "?";
+}
+
+std::string BasicRule::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(premises.size());
+  for (const RuleAtom& atom : premises) parts.push_back(atom.ToString());
+  return common::StrCat(common::Join(parts, ", "), " -> ",
+                        conclusion.ToString(), "   (", label, ")");
+}
+
+namespace {
+
+constexpr int R = kResultPos;
+
+void Add(std::vector<BasicRule>& rules, std::string label,
+         std::vector<RuleAtom> premises, RuleAtom conclusion) {
+  rules.push_back({std::move(label), std::move(premises), conclusion});
+}
+
+// Rules every deterministic function admits.
+void AddDeterminism(std::vector<BasicRule>& rules, const std::string& op,
+                    int arity) {
+  std::vector<RuleAtom> premises;
+  for (int i = 0; i < arity; ++i) premises.push_back(Ti(i));
+  Add(rules, op + ": known arguments", std::move(premises), Ti(R));
+}
+
+// Comparison predicates over a totally ordered domain, and equality
+// tests: the paper prints this set for >= (§4.1).
+std::vector<BasicRule> ComparisonFamily(const std::string& op) {
+  std::vector<BasicRule> rules;
+  // pa[e1] -> ta[>=(e1,e2)]: two probe values can straddle e2; the bool
+  // result domain is then fully covered (pessimistically).
+  Add(rules, op + ": flip via left", {Pa(0)}, Ta(R));
+  Add(rules, op + ": flip via right", {Pa(1)}, Ta(R));
+  // pi[e1], pi[e2] -> ti[>=]: the two candidate sets may determine the
+  // comparison.
+  Add(rules, op + ": bounded operands", {Pi(0), Pi(1)}, Ti(R));
+  // pi*[(e1,e2)] -> ti[>=]: a pair constraint may pin the comparison.
+  Add(rules, op + ": pair constraint", {PiStar(0, 1)}, Ti(R));
+  // ti[e1], pa[e1], ti[>=(e1,e2)] -> ti[e2]: the paper's probing rule —
+  // sweep a known, alterable left operand and watch the result flip.
+  Add(rules, op + ": probe right via left", {Ti(0), Pa(0), Ti(R)}, Ti(1));
+  Add(rules, op + ": probe left via right", {Ti(1), Pa(1), Ti(R)}, Ti(0));
+  // pi[e1], ti[>=] -> pi[e2]: a bounded operand plus the outcome bounds
+  // the other operand.
+  Add(rules, op + ": bound right", {Pi(0), Ti(R)}, Pi(1));
+  Add(rules, op + ": bound left", {Pi(1), Ti(R)}, Pi(0));
+  // ti[>=] -> pi*[(e1,e2)]: the outcome constrains the operand pair.
+  Add(rules, op + ": outcome pairs operands", {Ti(R)}, PiStar(0, 1));
+  // pi[e1] -> pi*[(e2, >=)]: a bounded operand ties the other operand to
+  // the outcome.
+  Add(rules, op + ": left ties (right,result)", {Pi(0)}, PiStar(1, R));
+  Add(rules, op + ": right ties (left,result)", {Pi(1)}, PiStar(0, R));
+  AddDeterminism(rules, op, 2);
+  return rules;
+}
+
+// + and - on int, concat on string: alterable and invertible in each
+// argument given the other.
+std::vector<BasicRule> InvertibleFamily(const std::string& op) {
+  std::vector<BasicRule> rules;
+  Add(rules, op + ": sweep left", {Ta(0)}, Ta(R));
+  Add(rules, op + ": sweep right", {Ta(1)}, Ta(R));
+  Add(rules, op + ": perturb left", {Pa(0)}, Pa(R));
+  Add(rules, op + ": perturb right", {Pa(1)}, Pa(R));
+  Add(rules, op + ": bounded operands", {Pi(0), Pi(1)}, Pi(R));
+  Add(rules, op + ": invert right", {Ti(R), Ti(0)}, Ti(1));
+  Add(rules, op + ": invert left", {Ti(R), Ti(1)}, Ti(0));
+  Add(rules, op + ": bound right via result", {Ti(R), Pi(0)}, Pi(1));
+  Add(rules, op + ": bound left via result", {Ti(R), Pi(1)}, Pi(0));
+  Add(rules, op + ": bound right via known left", {Pi(R), Ti(0)}, Pi(1));
+  Add(rules, op + ": bound left via known right", {Pi(R), Ti(1)}, Pi(0));
+  Add(rules, op + ": outcome pairs operands", {Ti(R)}, PiStar(0, 1));
+  Add(rules, op + ": bounded outcome pairs operands", {Pi(R)}, PiStar(0, 1));
+  Add(rules, op + ": left ties (right,result)", {Pi(0)}, PiStar(1, R));
+  Add(rules, op + ": right ties (left,result)", {Pi(1)}, PiStar(0, R));
+  AddDeterminism(rules, op, 2);
+  return rules;
+}
+
+// * on int: the paper prints this set (§4.1); multiplication absorbs 0
+// and is invertible for known non-zero factors (pessimistically: for any
+// known factor).
+std::vector<BasicRule> MultiplicativeFamily(const std::string& op) {
+  std::vector<BasicRule> rules;
+  // ta[e1] -> ta[*]: e2 may be 1.
+  Add(rules, op + ": sweep left", {Ta(0)}, Ta(R));
+  Add(rules, op + ": sweep right", {Ta(1)}, Ta(R));
+  Add(rules, op + ": perturb left", {Pa(0)}, Pa(R));
+  Add(rules, op + ": perturb right", {Pa(1)}, Pa(R));
+  // ti[e1] -> ti[*]: e1 may be 0, which absorbs.
+  Add(rules, op + ": absorbing left", {Ti(0)}, Ti(R));
+  Add(rules, op + ": absorbing right", {Ti(1)}, Ti(R));
+  Add(rules, op + ": bounded left", {Pi(0)}, Pi(R));
+  Add(rules, op + ": bounded right", {Pi(1)}, Pi(R));
+  // pi[e1] -> pi*[(e2, *)].
+  Add(rules, op + ": left ties (right,result)", {Pi(0)}, PiStar(1, R));
+  Add(rules, op + ": right ties (left,result)", {Pi(1)}, PiStar(0, R));
+  // pi[e1], pi[*] -> ti[e2]: the paper's {2,3} x {4,5} example.
+  Add(rules, op + ": corner right", {Pi(0), Pi(R)}, Ti(1));
+  Add(rules, op + ": corner left", {Pi(1), Pi(R)}, Ti(0));
+  Add(rules, op + ": altered corner right", {Pa(0), Pi(R)}, Ti(1));
+  Add(rules, op + ": altered corner left", {Pa(1), Pi(R)}, Ti(0));
+  // pi[*] -> pi[e2]: a bounded product bounds each factor.
+  Add(rules, op + ": factor bound left", {Pi(R)}, Pi(0));
+  Add(rules, op + ": factor bound right", {Pi(R)}, Pi(1));
+  // pi*[(e1, *)] -> ti[e2].
+  Add(rules, op + ": pair pins right", {PiStar(0, R)}, Ti(1));
+  Add(rules, op + ": pair pins left", {PiStar(1, R)}, Ti(0));
+  Add(rules, op + ": bounded outcome pairs operands", {Pi(R)}, PiStar(0, 1));
+  // ti[e1], ti[*] -> ti[e2]: divide out a known factor (Figure 1's final
+  // step, 10 * r_salary).
+  Add(rules, op + ": invert known factor right", {Ti(0), Ti(R)}, Ti(1));
+  Add(rules, op + ": invert known factor left", {Ti(1), Ti(R)}, Ti(0));
+  AddDeterminism(rules, op, 2);
+  return rules;
+}
+
+// Integer division: totalized (x/0 = 0), left-invertible only
+// approximately.
+std::vector<BasicRule> DivisionFamily(const std::string& op) {
+  std::vector<BasicRule> rules;
+  // ta[e1] -> ta[/]: e2 may be 1.
+  Add(rules, op + ": sweep dividend", {Ta(0)}, Ta(R));
+  Add(rules, op + ": perturb dividend", {Pa(0)}, Pa(R));
+  Add(rules, op + ": perturb divisor", {Pa(1)}, Pa(R));
+  Add(rules, op + ": bounded operands", {Pi(0), Pi(1)}, Pi(R));
+  // ti[/], ti[e2] -> pi[e1]: quotient and divisor bracket the dividend.
+  Add(rules, op + ": bracket dividend", {Ti(R), Ti(1)}, Pi(0));
+  Add(rules, op + ": bound divisor", {Ti(R), Ti(0)}, Pi(1));
+  // Probing: sweep a known dividend (divisor) and watch quotients.
+  Add(rules, op + ": probe divisor", {Ti(0), Pa(0), Ti(R)}, Ti(1));
+  Add(rules, op + ": probe dividend", {Ti(1), Pa(1), Ti(R)}, Ti(0));
+  Add(rules, op + ": outcome pairs operands", {Ti(R)}, PiStar(0, 1));
+  AddDeterminism(rules, op, 2);
+  return rules;
+}
+
+// Remainder: totalized (x%0 = 0); the result never covers all of int.
+std::vector<BasicRule> RemainderFamily(const std::string& op) {
+  std::vector<BasicRule> rules;
+  Add(rules, op + ": perturb dividend", {Pa(0)}, Pa(R));
+  Add(rules, op + ": perturb divisor", {Pa(1)}, Pa(R));
+  Add(rules, op + ": bounded operands", {Pi(0), Pi(1)}, Pi(R));
+  // r = a % b constrains a to a residue class and b to divisors of a-r.
+  Add(rules, op + ": residue bound", {Ti(R), Ti(1)}, Pi(0));
+  Add(rules, op + ": divisor bound", {Ti(R), Ti(0)}, Pi(1));
+  // No probe rules: x % b == x % -b, so sweeping the dividend cannot
+  // separate a divisor from its negation (caught by the metarule
+  // engine), and symmetrically sweeping the divisor cannot separate
+  // dividends congruent under every modulus in range.
+  Add(rules, op + ": outcome pairs operands", {Ti(R)}, PiStar(0, 1));
+  AddDeterminism(rules, op, 2);
+  return rules;
+}
+
+// min/max: alterable through either argument (the other may not bind),
+// the outcome bounds both arguments, probeable.
+std::vector<BasicRule> ExtremumFamily(const std::string& op) {
+  std::vector<BasicRule> rules;
+  Add(rules, op + ": sweep left", {Ta(0)}, Ta(R));
+  Add(rules, op + ": sweep right", {Ta(1)}, Ta(R));
+  Add(rules, op + ": perturb left", {Pa(0)}, Pa(R));
+  Add(rules, op + ": perturb right", {Pa(1)}, Pa(R));
+  Add(rules, op + ": outcome bounds left", {Ti(R)}, Pi(0));
+  Add(rules, op + ": outcome bounds right", {Ti(R)}, Pi(1));
+  Add(rules, op + ": probe right via left", {Ti(0), Pa(0), Ti(R)}, Ti(1));
+  Add(rules, op + ": probe left via right", {Ti(1), Pa(1), Ti(R)}, Ti(0));
+  Add(rules, op + ": outcome pairs operands", {Ti(R)}, PiStar(0, 1));
+  AddDeterminism(rules, op, 2);
+  return rules;
+}
+
+// and/or: absorbing element in each argument; fully probeable.
+std::vector<BasicRule> BoolConnectiveFamily(const std::string& op) {
+  std::vector<BasicRule> rules;
+  // pa over bool means both values, which flips the result when the
+  // other operand may be non-absorbing.
+  Add(rules, op + ": flip via left", {Pa(0)}, Ta(R));
+  Add(rules, op + ": flip via right", {Pa(1)}, Ta(R));
+  // ti[e1] -> ti[R]: e1 may be the absorbing element.
+  Add(rules, op + ": absorbing left", {Ti(0)}, Ti(R));
+  Add(rules, op + ": absorbing right", {Ti(1)}, Ti(R));
+  // The non-absorbing outcome pins both operands.
+  Add(rules, op + ": outcome bounds left", {Ti(R)}, Pi(0));
+  Add(rules, op + ": outcome bounds right", {Ti(R)}, Pi(1));
+  Add(rules, op + ": probe right via left", {Ti(0), Pa(0), Ti(R)}, Ti(1));
+  Add(rules, op + ": probe left via right", {Ti(1), Pa(1), Ti(R)}, Ti(0));
+  Add(rules, op + ": outcome pairs operands", {Ti(R)}, PiStar(0, 1));
+  Add(rules, op + ": left ties (right,result)", {Pi(0)}, PiStar(1, R));
+  Add(rules, op + ": right ties (left,result)", {Pi(1)}, PiStar(0, R));
+  AddDeterminism(rules, op, 2);
+  return rules;
+}
+
+// not / neg: bijective unary functions propagate everything both ways.
+std::vector<BasicRule> BijectiveUnaryFamily(const std::string& op) {
+  std::vector<BasicRule> rules;
+  Add(rules, op + ": sweep", {Ta(0)}, Ta(R));
+  Add(rules, op + ": perturb", {Pa(0)}, Pa(R));
+  Add(rules, op + ": forward", {Ti(0)}, Ti(R));
+  Add(rules, op + ": forward bound", {Pi(0)}, Pi(R));
+  Add(rules, op + ": backward", {Ti(R)}, Ti(0));
+  Add(rules, op + ": backward bound", {Pi(R)}, Pi(0));
+  return rules;
+}
+
+// abs: two-to-one; its image is a proper subset of int.
+std::vector<BasicRule> AbsFamily(const std::string& op) {
+  std::vector<BasicRule> rules;
+  Add(rules, op + ": perturb", {Pa(0)}, Pa(R));
+  Add(rules, op + ": forward", {Ti(0)}, Ti(R));
+  Add(rules, op + ": forward bound", {Pi(0)}, Pi(R));
+  // |x| = r leaves two candidates for x.
+  Add(rules, op + ": backward bound", {Ti(R)}, Pi(0));
+  Add(rules, op + ": backward set bound", {Pi(R)}, Pi(0));
+  // The result is always non-negative: partial inferability for free.
+  Add(rules, op + ": non-negative image", {}, Pi(R));
+  return rules;
+}
+
+const std::map<std::string, std::vector<BasicRule>>& FamilyTable() {
+  static const auto& table = *new std::map<std::string, std::vector<BasicRule>>{
+      {"<", ComparisonFamily("<")},
+      {">", ComparisonFamily(">")},
+      {"<=", ComparisonFamily("<=")},
+      {">=", ComparisonFamily(">=")},
+      {"==", ComparisonFamily("==")},
+      {"!=", ComparisonFamily("!=")},
+      {"+", InvertibleFamily("+")},
+      {"-", InvertibleFamily("-")},
+      {"concat", InvertibleFamily("concat")},
+      {"*", MultiplicativeFamily("*")},
+      {"/", DivisionFamily("/")},
+      {"%", RemainderFamily("%")},
+      {"min", ExtremumFamily("min")},
+      {"max", ExtremumFamily("max")},
+      {"and", BoolConnectiveFamily("and")},
+      {"or", BoolConnectiveFamily("or")},
+      {"not", BijectiveUnaryFamily("not")},
+      {"neg", BijectiveUnaryFamily("neg")},
+      {"abs", AbsFamily("abs")},
+  };
+  return table;
+}
+
+}  // namespace
+
+const std::vector<BasicRule>& RulesFor(const exec::BasicFunction& fn) {
+  static const std::vector<BasicRule>& empty = *new std::vector<BasicRule>();
+  auto it = FamilyTable().find(fn.name());
+  return it == FamilyTable().end() ? empty : it->second;
+}
+
+}  // namespace oodbsec::core

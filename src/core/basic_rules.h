@@ -1,0 +1,71 @@
+// Capability-propagation rules for basic functions (paper §4.1).
+//
+// The generic rules of Table 2 handle variables, lets and attribute
+// reads/writes; propagation through a basic function fb depends on fb's
+// semantics and is given by per-function rules derived from the paper's
+// metarules. This file ships the hand-derived rule sets for the default
+// catalog (the paper prints the sets for >= and * explicitly; the rest
+// follow the same metarules). src/basicfun contains the metarule engine
+// that machine-checks each shipped rule's quantified side condition over
+// finite sample domains.
+//
+// A rule is a schema over the positions of one call occurrence
+// fb(e_0, …, e_{n-1}):
+//
+//   positions 0 … n-1 denote the arguments, kResultPos the call itself.
+//
+// Example (the paper's >= probing rule):
+//   ti[e1], pa[e1], ti[>=(e1,e2)] -> ti[e2]
+// is {premises: {ti@0, pa@0, ti@result}, conclusion: ti@1}.
+//
+// num/dir provenance guards (§4.1) are applied uniformly by the closure
+// engine: a ti/pi/pi* premise *on an argument* must not originate from
+// this call's result rule (num = call id, dir = '-') when the conclusion
+// is the result, and a premise *involving the result* must not originate
+// from this call's argument rules (num = call id, dir = '+') when the
+// conclusion is an argument.
+#ifndef OODBSEC_CORE_BASIC_RULES_H_
+#define OODBSEC_CORE_BASIC_RULES_H_
+
+#include <string>
+#include <vector>
+
+#include "exec/basic_functions.h"
+
+namespace oodbsec::core {
+
+// Position of the call's own value in a rule atom.
+inline constexpr int kResultPos = -1;
+
+struct RuleAtom {
+  enum class Pred { kTa, kPa, kTi, kPi, kPiStar };
+
+  Pred pred = Pred::kTa;
+  int pos = 0;    // argument index or kResultPos
+  int pos2 = 0;   // second component, kPiStar only
+
+  std::string ToString() const;
+};
+
+// Atom factories for terse rule tables.
+RuleAtom Ta(int pos);
+RuleAtom Pa(int pos);
+RuleAtom Ti(int pos);
+RuleAtom Pi(int pos);
+RuleAtom PiStar(int pos, int pos2);
+
+struct BasicRule {
+  std::string label;  // shown in derivations, e.g. ">=: probe argument"
+  std::vector<RuleAtom> premises;
+  RuleAtom conclusion;
+
+  std::string ToString() const;
+};
+
+// The shipped rules for `fn`; empty for functions with no propagation
+// beyond the generic ones. The returned reference is stable.
+const std::vector<BasicRule>& RulesFor(const exec::BasicFunction& fn);
+
+}  // namespace oodbsec::core
+
+#endif  // OODBSEC_CORE_BASIC_RULES_H_

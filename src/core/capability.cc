@@ -1,0 +1,49 @@
+#include "core/capability.h"
+
+namespace oodbsec::core {
+
+std::string_view CapabilityName(Capability capability) {
+  switch (capability) {
+    case Capability::kTotalInferability:
+      return "ti";
+    case Capability::kPartialInferability:
+      return "pi";
+    case Capability::kTotalAlterability:
+      return "ta";
+    case Capability::kPartialAlterability:
+      return "pa";
+  }
+  return "??";
+}
+
+std::optional<Capability> ParseCapability(std::string_view text) {
+  if (text == "ti") return Capability::kTotalInferability;
+  if (text == "pi") return Capability::kPartialInferability;
+  if (text == "ta") return Capability::kTotalAlterability;
+  if (text == "pa") return Capability::kPartialAlterability;
+  return std::nullopt;
+}
+
+bool Implies(Capability stronger, Capability weaker) {
+  if (stronger == weaker) return true;
+  if (stronger == Capability::kTotalInferability &&
+      weaker == Capability::kPartialInferability) {
+    return true;
+  }
+  if (stronger == Capability::kTotalAlterability &&
+      weaker == Capability::kPartialAlterability) {
+    return true;
+  }
+  return false;
+}
+
+bool IsInferability(Capability capability) {
+  return capability == Capability::kTotalInferability ||
+         capability == Capability::kPartialInferability;
+}
+
+bool IsAlterability(Capability capability) {
+  return !IsInferability(capability);
+}
+
+}  // namespace oodbsec::core

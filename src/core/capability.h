@@ -1,0 +1,40 @@
+// The four user capabilities of §3.1:
+//
+//   ti  total inferability    — infer the exact value
+//   pi  partial inferability  — infer a proper subset it must lie in
+//   ta  total alterability    — change the value to anything in its domain
+//   pa  partial alterability  — change it within some limited subset
+//
+// Controllability = inferability + alterability. Total implies partial
+// within each family (ti => pi, ta => pa).
+#ifndef OODBSEC_CORE_CAPABILITY_H_
+#define OODBSEC_CORE_CAPABILITY_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace oodbsec::core {
+
+enum class Capability {
+  kTotalInferability,
+  kPartialInferability,
+  kTotalAlterability,
+  kPartialAlterability,
+};
+
+// "ti", "pi", "ta", "pa".
+std::string_view CapabilityName(Capability capability);
+
+// Parses "ti" | "pi" | "ta" | "pa".
+std::optional<Capability> ParseCapability(std::string_view text);
+
+// ti => pi and ta => pa; every capability implies itself.
+bool Implies(Capability stronger, Capability weaker);
+
+bool IsInferability(Capability capability);
+bool IsAlterability(Capability capability);
+
+}  // namespace oodbsec::core
+
+#endif  // OODBSEC_CORE_CAPABILITY_H_

@@ -1,0 +1,797 @@
+#include "core/closure.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/strings.h"
+
+namespace oodbsec::core {
+
+using unfold::Node;
+using unfold::NodeKind;
+
+namespace {
+
+// Maximum distinct (num, dir) origins kept per class. Every rule guard
+// excludes at most one origin and the pi-join needs two, so four keeps
+// the system complete while bounding the state (see closure.h).
+constexpr size_t kOriginCap = 4;
+
+}  // namespace
+
+std::string Origin::ToString() const {
+  return common::StrCat("(", num, ",", std::string(1, dir), ")");
+}
+
+Closure::Closure(const unfold::UnfoldedSet& set, ClosureOptions options)
+    : set_(&set), options_(options) {
+  int n = set.node_count();
+  uf_parent_.resize(n + 1);
+  uf_rank_.assign(n + 1, 0);
+  eq_edges_.resize(n + 1);
+  ta_.assign(n + 1, kNoFact);
+  pa_.assign(n + 1, kNoFact);
+  for (int i = 1; i <= n; ++i) {
+    uf_parent_[i] = i;
+    members_[i] = {i};
+  }
+  // Cross-reference tables.
+  for (int i = 1; i <= n; ++i) {
+    const Node* node = set.node(i);
+    if (node->kind == NodeKind::kBasicCall) {
+      touching_calls_[Find(node->id)].insert(node);
+      for (const Node* child : node->children) {
+        touching_calls_[Find(child->id)].insert(node);
+      }
+    }
+    if (node->kind == NodeKind::kReadAttr) {
+      obj_reads_[Find(node->object_child()->id)].push_back(node);
+    }
+    if (node->kind == NodeKind::kWriteAttr) {
+      obj_writes_[Find(node->object_child()->id)].push_back(node);
+    }
+  }
+  for (const unfold::Binder& binder : set.binders()) {
+    if (binder.bound_expr != nullptr) {
+      binder_of_bound_expr_[binder.bound_expr->id] = binder.id;
+    }
+  }
+
+  Seed();
+  Run();
+}
+
+// ---------------------------------------------------------------------
+// Union-find with proof forest.
+
+int Closure::Find(int id) const {
+  int root = id;
+  while (uf_parent_[root] != root) root = uf_parent_[root];
+  while (uf_parent_[id] != root) {
+    int next = uf_parent_[id];
+    uf_parent_[id] = root;
+    id = next;
+  }
+  return root;
+}
+
+void Closure::ExplainEquality(int id1, int id2,
+                              std::vector<FactId>& out) const {
+  if (id1 == id2) return;
+  // BFS through the proof forest (paths are unique).
+  std::vector<int> prev_node(eq_edges_.size(), 0);
+  std::vector<FactId> prev_edge(eq_edges_.size(), kNoFact);
+  std::vector<int> queue = {id1};
+  prev_node[id1] = id1;
+  for (size_t head = 0; head < queue.size(); ++head) {
+    int current = queue[head];
+    if (current == id2) break;
+    for (const auto& [next, edge] : eq_edges_[current]) {
+      if (prev_node[next] != 0) continue;
+      prev_node[next] = current;
+      prev_edge[next] = edge;
+      queue.push_back(next);
+    }
+  }
+  assert(prev_node[id2] != 0 && "equality explanation requested for "
+                                "non-equal occurrences");
+  for (int at = id2; at != id1; at = prev_node[at]) {
+    out.push_back(prev_edge[at]);
+  }
+}
+
+// ---------------------------------------------------------------------
+// Fact derivation.
+
+FactId Closure::Log(Fact fact, std::string rule,
+                    std::vector<FactId> premises) {
+  FactId id = static_cast<FactId>(steps_.size());
+  steps_.push_back({fact, std::move(rule), std::move(premises)});
+  worklist_.push_back(id);
+  return id;
+}
+
+FactId Closure::AddTa(int id, std::string rule, std::vector<FactId> premises) {
+  if (ta_[id] != kNoFact) return ta_[id];
+  FactId fact = Log({Fact::Kind::kTa, id, 0, {}}, std::move(rule),
+                    std::move(premises));
+  ta_[id] = fact;
+  return fact;
+}
+
+FactId Closure::AddPa(int id, std::string rule, std::vector<FactId> premises) {
+  if (pa_[id] != kNoFact) return pa_[id];
+  FactId fact = Log({Fact::Kind::kPa, id, 0, {}}, std::move(rule),
+                    std::move(premises));
+  pa_[id] = fact;
+  return fact;
+}
+
+FactId Closure::AddTi(int id, Origin origin, std::string rule,
+                      std::vector<FactId> premises) {
+  auto& origins = ti_[Find(id)];
+  auto it = origins.find(origin);
+  if (it != origins.end()) return it->second;
+  if (origins.size() >= kOriginCap) return kNoFact;
+  FactId fact = Log({Fact::Kind::kTi, id, 0, origin}, std::move(rule),
+                    std::move(premises));
+  origins.emplace(origin, fact);
+  return fact;
+}
+
+FactId Closure::AddPi(int id, Origin origin, std::string rule,
+                      std::vector<FactId> premises) {
+  auto& origins = pi_[Find(id)];
+  auto it = origins.find(origin);
+  if (it != origins.end()) return it->second;
+  if (origins.size() >= kOriginCap) return kNoFact;
+  FactId fact = Log({Fact::Kind::kPi, id, 0, origin}, std::move(rule),
+                    std::move(premises));
+  origins.emplace(origin, fact);
+  return fact;
+}
+
+FactId Closure::AddPiStar(int id1, int id2, Origin origin, std::string rule,
+                          std::vector<FactId> premises) {
+  std::pair<int, int> key = {Find(id1), Find(id2)};
+  auto& origins = pistar_[key];
+  auto it = origins.find(origin);
+  if (it != origins.end()) return it->second;
+  if (origins.size() >= kOriginCap) return kNoFact;
+  FactId fact = Log({Fact::Kind::kPiStar, id1, id2, origin}, std::move(rule),
+                    std::move(premises));
+  origins.emplace(origin, fact);
+  pistar_touching_[key.first].insert(key);
+  pistar_touching_[key.second].insert(key);
+  return fact;
+}
+
+FactId Closure::AddEq(int id1, int id2, std::string rule,
+                      std::vector<FactId> premises) {
+  if (Find(id1) == Find(id2)) return kNoFact;  // already known
+  return Log({Fact::Kind::kEq, id1, id2, {}}, std::move(rule),
+             std::move(premises));
+}
+
+// ---------------------------------------------------------------------
+// Seeding: the axioms of Table 2.
+
+void Closure::Seed() {
+  const unfold::UnfoldedSet& set = *set_;
+
+  // Axioms for outer-most argument variables: ta[x] and ti[x, l, +].
+  for (const unfold::Binder& binder : set.binders()) {
+    if (!binder.is_root_arg) continue;
+    for (const Node* occurrence : binder.occurrences) {
+      AddTa(occurrence->id, "axiom: outer-most argument (alterable)", {});
+      AddTi(occurrence->id, {occurrence->id, '+'},
+            "axiom: outer-most argument (known)", {});
+    }
+  }
+
+  // Axioms for constants and observed results.
+  for (int i = 1; i <= set.node_count(); ++i) {
+    const Node* node = set.node(i);
+    if (node->kind == NodeKind::kConstant) {
+      AddTi(node->id, {node->id, '+'}, "axiom: constant", {});
+    }
+  }
+  for (const unfold::Root& root : set.roots()) {
+    AddTi(root.body->id, {0, '-'}, "axiom: observed result", {});
+  }
+
+  // Equality axioms: occurrences of the same variable, let bindings, and
+  // let bodies.
+  for (const unfold::Binder& binder : set.binders()) {
+    for (size_t i = 1; i < binder.occurrences.size(); ++i) {
+      AddEq(binder.occurrences[0]->id, binder.occurrences[i]->id,
+            "axiom for =: same variable", {});
+    }
+    if (binder.bound_expr != nullptr && !binder.occurrences.empty()) {
+      AddEq(binder.occurrences[0]->id, binder.bound_expr->id,
+            "axiom for =: let binding", {});
+    }
+  }
+  for (int i = 1; i <= set.node_count(); ++i) {
+    const Node* node = set.node(i);
+    if (node->is_let()) {
+      AddEq(node->body()->id, node->id, "axiom for =: let value", {});
+    }
+  }
+
+  // The pessimistic axiom: outer-most argument variables of the same
+  // type may be given the same value (paper Table 2, rule 3).
+  if (options_.same_type_argument_equality) {
+    std::map<const types::Type*, const Node*> representative;
+    for (const unfold::Binder& binder : set.binders()) {
+      if (!binder.is_root_arg || binder.occurrences.empty()) continue;
+      const Node* occurrence = binder.occurrences[0];
+      auto [it, inserted] =
+          representative.emplace(binder.type, occurrence);
+      if (!inserted) {
+        AddEq(it->second->id, occurrence->id,
+              "axiom for =: outer-most arguments of the same type", {});
+      }
+    }
+  }
+
+  // Premise-free basic-function rules (e.g. "abs: non-negative image")
+  // and rules whose premises are all axioms.
+  if (options_.basic_function_rules) {
+    for (int i = 1; i <= set.node_count(); ++i) {
+      if (set.node(i)->kind == NodeKind::kBasicCall) {
+        ReevalBasicCall(set.node(i));
+      }
+    }
+  }
+}
+
+void Closure::Run() {
+  while (!worklist_.empty()) {
+    FactId fact_id = worklist_.front();
+    worklist_.pop_front();
+    Process(fact_id);
+  }
+}
+
+void Closure::Process(FactId fact_id) {
+  // Copy: steps_ may reallocate while rules fire.
+  Fact fact = steps_[fact_id].fact;
+  switch (fact.kind) {
+    case Fact::Kind::kTa:
+      ProcessTa(fact, fact_id);
+      break;
+    case Fact::Kind::kPa:
+      ProcessPa(fact, fact_id);
+      break;
+    case Fact::Kind::kEq:
+      ProcessEqMerge(fact, fact_id);
+      break;
+    case Fact::Kind::kTi:
+      ProcessTi(fact, fact_id);
+      break;
+    case Fact::Kind::kPi:
+      ProcessPi(fact, fact_id);
+      break;
+    case Fact::Kind::kPiStar:
+      ProcessPiStar(fact, fact_id);
+      break;
+  }
+}
+
+// ---------------------------------------------------------------------
+// Alterability rules (Table 2, rule 1).
+
+void Closure::FireWriteValueRules(const Node* write, FactId alter_fact,
+                                  const Node* read) {
+  // Premises: the alterability of the written value plus the equality of
+  // the write and read objects.
+  const Node* value = write->value_child();
+  std::vector<FactId> premises = {alter_fact};
+  ExplainEquality(write->object_child()->id, read->object_child()->id,
+                  premises);
+  if (ta_[value->id] != kNoFact) {
+    AddTa(read->id, "alterability based on = (written value, total)",
+          premises);
+  } else {
+    AddPa(read->id, "alterability based on = (written value)", premises);
+  }
+}
+
+void Closure::FireLetAndWriteRulesForAlterability(int id, bool total,
+                                                  FactId fact_id) {
+  const Node* node = set_->node(id);
+  const Node* parent = node->parent;
+
+  // Written value -> reads of the same attribute on a provably equal
+  // object.
+  if (options_.write_read_equality && parent != nullptr &&
+      parent->kind == NodeKind::kWriteAttr && node->child_index == 1) {
+    for (const Node* read : set_->reads(parent->attribute)) {
+      if (Find(parent->object_child()->id) ==
+          Find(read->object_child()->id)) {
+        FireWriteValueRules(parent, fact_id, read);
+      }
+    }
+  }
+
+  // Let rules: a bound expression's alterability reaches every
+  // occurrence of the variable; a body's reaches the let value.
+  auto binder_it = binder_of_bound_expr_.find(id);
+  if (binder_it != binder_of_bound_expr_.end()) {
+    for (const Node* occurrence :
+         set_->binder(binder_it->second).occurrences) {
+      if (total) {
+        AddTa(occurrence->id, "let: bound expression to variable",
+              {fact_id});
+      } else {
+        AddPa(occurrence->id, "let: bound expression to variable",
+              {fact_id});
+      }
+    }
+  }
+  if (parent != nullptr && parent->is_let() && parent->body() == node) {
+    if (total) {
+      AddTa(parent->id, "let: body to let value", {fact_id});
+    } else {
+      AddPa(parent->id, "let: body to let value", {fact_id});
+    }
+  }
+}
+
+void Closure::ProcessTa(const Fact& fact, FactId fact_id) {
+  AddPa(fact.a, "ta => pa", {fact_id});
+  FireLetAndWriteRulesForAlterability(fact.a, /*total=*/true, fact_id);
+  const Node* parent = set_->node(fact.a)->parent;
+  if (parent != nullptr && parent->kind == NodeKind::kBasicCall &&
+      options_.basic_function_rules) {
+    ReevalBasicCall(parent);
+  }
+}
+
+void Closure::ProcessPa(const Fact& fact, FactId fact_id) {
+  const Node* node = set_->node(fact.a);
+  const Node* parent = node->parent;
+
+  if (parent != nullptr && node->child_index == 0) {
+    if (parent->kind == NodeKind::kReadAttr) {
+      // Altering which object is read alters the read result (see
+      // ClosureOptions::read_object_total_alterability for the
+      // conclusion's strength).
+      if (options_.read_object_total_alterability) {
+        AddTa(parent->id, "alterability via read object", {fact_id});
+      } else {
+        AddPa(parent->id, "alterability via read object", {fact_id});
+      }
+    }
+    if (parent->kind == NodeKind::kWriteAttr &&
+        options_.write_read_equality) {
+      // Altering which object is written lets the user hit the object of
+      // any read of the attribute.
+      for (const Node* read : set_->reads(parent->attribute)) {
+        AddTa(read->id, "alterability via write object", {fact_id});
+      }
+    }
+  }
+
+  FireLetAndWriteRulesForAlterability(fact.a, /*total=*/false, fact_id);
+
+  if (parent != nullptr && parent->kind == NodeKind::kBasicCall &&
+      options_.basic_function_rules) {
+    ReevalBasicCall(parent);
+  }
+}
+
+// ---------------------------------------------------------------------
+// Equality merges (Table 2, rules 2 & 3).
+
+void Closure::ProcessEqMerge(const Fact& fact, FactId fact_id) {
+  int ra = Find(fact.a);
+  int rb = Find(fact.b);
+  if (ra == rb) return;  // derived redundantly while queued
+
+  // Proof forest edge between the original endpoints.
+  eq_edges_[fact.a].emplace_back(fact.b, fact_id);
+  eq_edges_[fact.b].emplace_back(fact.a, fact_id);
+
+  // Read/read and write/read equality rules, fired across the two halves
+  // before the merge (within-half pairs were handled earlier).
+  if (options_.write_read_equality) {
+    auto cross = [&](int obj_side, int read_side) {
+      for (const Node* write : obj_writes_[obj_side]) {
+        for (const Node* read : obj_reads_[read_side]) {
+          if (write->attribute != read->attribute) continue;
+          // =[e1,e2] -> =[e3, r_att(e2)] where w_att(e1, e3): the written
+          // value equals reads of the attribute on an equal object.
+          std::vector<FactId> premises;
+          ExplainEquality(write->object_child()->id,
+                          read->object_child()->id, premises);
+          // The merge is in progress: the chain runs through this fact.
+          premises.push_back(fact_id);
+          std::sort(premises.begin(), premises.end());
+          premises.erase(std::unique(premises.begin(), premises.end()),
+                         premises.end());
+          AddEq(write->value_child()->id, read->id,
+                "=: written value equals read", premises);
+          // Alterability of the written value transfers to the read.
+          FactId alter = ta_[write->value_child()->id] != kNoFact
+                             ? ta_[write->value_child()->id]
+                             : pa_[write->value_child()->id];
+          if (alter != kNoFact) FireWriteValueRules(write, alter, read);
+        }
+      }
+      for (const Node* read1 : obj_reads_[obj_side]) {
+        for (const Node* read2 : obj_reads_[read_side]) {
+          if (read1 == read2 || read1->attribute != read2->attribute) {
+            continue;
+          }
+          AddEq(read1->id, read2->id, "=: reads of equal objects",
+                {fact_id});
+        }
+      }
+    };
+    cross(ra, rb);
+    cross(rb, ra);
+  }
+
+  // Union by rank.
+  int root = ra;
+  int absorbed = rb;
+  if (uf_rank_[root] < uf_rank_[absorbed]) std::swap(root, absorbed);
+  if (uf_rank_[root] == uf_rank_[absorbed]) ++uf_rank_[root];
+  uf_parent_[absorbed] = root;
+
+  // Merge per-class tables.
+  auto merge_members = [&](auto& table) {
+    auto it = table.find(absorbed);
+    if (it == table.end()) return;
+    auto& target = table[root];
+    target.insert(target.end(), it->second.begin(), it->second.end());
+    table.erase(it);
+  };
+  merge_members(members_);
+  merge_members(obj_reads_);
+  merge_members(obj_writes_);
+  {
+    auto it = touching_calls_.find(absorbed);
+    if (it != touching_calls_.end()) {
+      touching_calls_[root].insert(it->second.begin(), it->second.end());
+      touching_calls_.erase(it);
+    }
+  }
+
+  // Merge inferability origin sets ("=: inferability propagation" is
+  // materialized by class-level storage).
+  auto merge_origins = [&](std::map<int, std::map<Origin, FactId>>& table) {
+    auto it = table.find(absorbed);
+    if (it == table.end()) return;
+    auto& target = table[root];
+    for (const auto& [origin, fid] : it->second) {
+      if (target.size() >= kOriginCap) break;
+      target.emplace(origin, fid);
+    }
+    table.erase(it);
+  };
+  merge_origins(ti_);
+  merge_origins(pi_);
+
+  // Re-key pi* pairs that touch the absorbed class.
+  {
+    auto touching_it = pistar_touching_.find(absorbed);
+    if (touching_it != pistar_touching_.end()) {
+      std::set<std::pair<int, int>> keys = std::move(touching_it->second);
+      pistar_touching_.erase(touching_it);
+      for (const std::pair<int, int>& key : keys) {
+        auto pair_it = pistar_.find(key);
+        if (pair_it == pistar_.end()) continue;
+        std::map<Origin, FactId> origins = std::move(pair_it->second);
+        pistar_.erase(pair_it);
+        pistar_touching_[key.first].erase(key);
+        pistar_touching_[key.second].erase(key);
+        std::pair<int, int> new_key = {
+            key.first == absorbed ? root : key.first,
+            key.second == absorbed ? root : key.second};
+        auto& target = pistar_[new_key];
+        for (const auto& [origin, fid] : origins) {
+          if (target.size() >= kOriginCap) break;
+          target.emplace(origin, fid);
+        }
+        pistar_touching_[new_key.first].insert(new_key);
+        pistar_touching_[new_key.second].insert(new_key);
+      }
+    }
+  }
+
+  // =[e1,e2] -> pi*[(e1,e2), 0, +]: equal expressions form a known pair.
+  AddPiStar(fact.a, fact.b, {0, '+'}, "=: pair of equals", {fact_id});
+
+  // The merged class may have gained inferability origins (pi-join) and
+  // new rule opportunities.
+  if (options_.pi_join_to_ti) {
+    auto pi_it = pi_.find(root);
+    if (pi_it != pi_.end() && pi_it->second.size() >= 2) {
+      auto first = pi_it->second.begin();
+      auto second = std::next(first);
+      AddTi(fact.a, first->first, "join of partial inferabilities",
+            {first->second, second->second});
+    }
+  }
+  if (options_.basic_function_rules) ReevalCallsTouching(root);
+}
+
+// ---------------------------------------------------------------------
+// Inferability rules (Table 2, rule 2 + basic-function rules).
+
+void Closure::ProcessTi(const Fact& fact, FactId fact_id) {
+  AddPi(fact.a, fact.origin, "ti => pi", {fact_id});
+  if (options_.basic_function_rules) ReevalCallsTouching(Find(fact.a));
+}
+
+void Closure::ProcessPi(const Fact& fact, FactId fact_id) {
+  if (options_.pi_join_to_ti) {
+    const auto& origins = pi_[Find(fact.a)];
+    if (origins.size() >= 2) {
+      // pi[e,n1,d1], pi[e,n2,d2] -> ti[e,n1,d1] for (n1,d1) != (n2,d2):
+      // two differently-obtained candidate sets may intersect to a
+      // single value (pessimistic assumption 2 of §4.1).
+      for (const auto& [origin, other_fact] : origins) {
+        if (origin == fact.origin) continue;
+        AddTi(fact.a, fact.origin, "join of partial inferabilities",
+              {fact_id, other_fact});
+        AddTi(fact.a, origin, "join of partial inferabilities",
+              {other_fact, fact_id});
+        break;
+      }
+    }
+  }
+  if (options_.basic_function_rules) ReevalCallsTouching(Find(fact.a));
+}
+
+void Closure::ProcessPiStar(const Fact& fact, FactId fact_id) {
+  // pi*[(e1,e2)] -> pi*[(e2,e1)] (transposing the set is free).
+  AddPiStar(fact.b, fact.a, fact.origin, "pi*: swap", {fact_id});
+
+  // Join: pi*[(ea,eb)], pi*[(eb,ec)] -> pi*[(ea,ec)].
+  int ra = Find(fact.a);
+  int rb = Find(fact.b);
+  std::set<std::pair<int, int>> keys = pistar_touching_[rb];
+  for (const std::pair<int, int>& key : keys) {
+    if (key.first != rb) continue;
+    auto it = pistar_.find(key);
+    if (it == pistar_.end() || it->second.empty()) continue;
+    int rc = key.second;
+    if (rc == ra) continue;
+    // Conclusion keeps the first pair's provenance (paper Table 2).
+    AddPiStar(fact.a, members_[rc].front(), fact.origin, "pi*: join",
+              {fact_id, it->second.begin()->second});
+  }
+  std::set<std::pair<int, int>> left_keys = pistar_touching_[ra];
+  for (const std::pair<int, int>& key : left_keys) {
+    if (key.second != ra) continue;
+    auto it = pistar_.find(key);
+    if (it == pistar_.end() || it->second.empty()) continue;
+    int rc = key.first;
+    if (rc == rb) continue;
+    AddPiStar(members_[rc].front(), fact.b, it->second.begin()->first,
+              "pi*: join", {it->second.begin()->second, fact_id});
+  }
+
+  if (options_.basic_function_rules) {
+    ReevalCallsTouching(ra);
+    if (rb != ra) ReevalCallsTouching(rb);
+  }
+}
+
+// ---------------------------------------------------------------------
+// Basic-function rules (§4.1).
+
+bool Closure::PickOrigin(const std::map<Origin, FactId>& origins,
+                         const Origin* excluded, Origin& origin_out,
+                         FactId& fact_out) {
+  for (const auto& [origin, fact] : origins) {
+    if (excluded != nullptr && origin == *excluded) continue;
+    origin_out = origin;
+    fact_out = fact;
+    return true;
+  }
+  return false;
+}
+
+void Closure::ReevalBasicCall(const Node* call) {
+  const std::vector<BasicRule>& rules = RulesFor(*call->basic);
+  if (rules.empty()) return;
+
+  auto id_at = [&](int pos) {
+    return pos == kResultPos ? call->id : call->children[pos]->id;
+  };
+  // The feedback guards of §4.1: an argument premise must not originate
+  // from this call's result rules, a result-involving premise must not
+  // originate from this call's argument rules.
+  Origin arg_guard = {call->id, '-'};
+  Origin result_guard = {call->id, '+'};
+
+  for (const BasicRule& rule : rules) {
+    std::vector<FactId> premises;
+    bool ok = true;
+    for (const RuleAtom& atom : rule.premises) {
+      int id = id_at(atom.pos);
+      switch (atom.pred) {
+        case RuleAtom::Pred::kTa:
+          if (ta_[id] == kNoFact) ok = false;
+          else premises.push_back(ta_[id]);
+          break;
+        case RuleAtom::Pred::kPa:
+          if (pa_[id] == kNoFact) ok = false;
+          else premises.push_back(pa_[id]);
+          break;
+        case RuleAtom::Pred::kTi:
+        case RuleAtom::Pred::kPi: {
+          const Origin* excluded =
+              atom.pos == kResultPos ? &result_guard : &arg_guard;
+          auto table_it = (atom.pred == RuleAtom::Pred::kTi ? ti_ : pi_)
+                              .find(Find(id));
+          Origin origin;
+          FactId fact;
+          if (table_it == (atom.pred == RuleAtom::Pred::kTi ? ti_ : pi_)
+                              .end() ||
+              !PickOrigin(table_it->second, excluded, origin, fact)) {
+            ok = false;
+          } else {
+            premises.push_back(fact);
+            // The stored fact may live on another member of id's
+            // equality class; include the =-chain in the justification.
+            int stored_at = steps_[fact].fact.a;
+            if (stored_at != id) ExplainEquality(stored_at, id, premises);
+          }
+          break;
+        }
+        case RuleAtom::Pred::kPiStar: {
+          bool involves_result =
+              atom.pos == kResultPos || atom.pos2 == kResultPos;
+          const Origin* excluded =
+              involves_result ? &result_guard : &arg_guard;
+          auto it = pistar_.find({Find(id), Find(id_at(atom.pos2))});
+          Origin origin;
+          FactId fact;
+          if (it == pistar_.end() ||
+              !PickOrigin(it->second, excluded, origin, fact)) {
+            ok = false;
+          } else {
+            premises.push_back(fact);
+          }
+          break;
+        }
+      }
+      if (!ok) break;
+    }
+    if (!ok) continue;
+
+    bool premise_involves_result = false;
+    for (const RuleAtom& atom : rule.premises) {
+      if (atom.pos == kResultPos ||
+          (atom.pred == RuleAtom::Pred::kPiStar &&
+           atom.pos2 == kResultPos)) {
+        premise_involves_result = true;
+      }
+    }
+    char dir = premise_involves_result ? '-' : '+';
+
+    const RuleAtom& conclusion = rule.conclusion;
+    switch (conclusion.pred) {
+      case RuleAtom::Pred::kTa:
+        AddTa(id_at(conclusion.pos), rule.label, premises);
+        break;
+      case RuleAtom::Pred::kPa:
+        AddPa(id_at(conclusion.pos), rule.label, premises);
+        break;
+      case RuleAtom::Pred::kTi:
+        AddTi(id_at(conclusion.pos),
+              {call->id, conclusion.pos == kResultPos ? '+' : '-'},
+              rule.label, premises);
+        break;
+      case RuleAtom::Pred::kPi:
+        AddPi(id_at(conclusion.pos),
+              {call->id, conclusion.pos == kResultPos ? '+' : '-'},
+              rule.label, premises);
+        break;
+      case RuleAtom::Pred::kPiStar:
+        AddPiStar(id_at(conclusion.pos), id_at(conclusion.pos2),
+                  {call->id, dir}, rule.label, premises);
+        break;
+    }
+  }
+}
+
+void Closure::ReevalCallsTouching(int rep) {
+  auto it = touching_calls_.find(rep);
+  if (it == touching_calls_.end()) return;
+  // Copy: merges triggered by derived equalities may mutate the table.
+  std::vector<const Node*> calls(it->second.begin(), it->second.end());
+  for (const Node* call : calls) ReevalBasicCall(call);
+}
+
+// ---------------------------------------------------------------------
+// Queries and rendering.
+
+bool Closure::HasTi(int id) const {
+  auto it = ti_.find(Find(id));
+  return it != ti_.end() && !it->second.empty();
+}
+
+bool Closure::HasPi(int id) const {
+  if (HasTi(id)) return true;
+  auto it = pi_.find(Find(id));
+  return it != pi_.end() && !it->second.empty();
+}
+
+bool Closure::AreEqual(int id1, int id2) const {
+  return Find(id1) == Find(id2);
+}
+
+FactId Closure::TiFact(int id) const {
+  auto it = ti_.find(Find(id));
+  if (it == ti_.end() || it->second.empty()) return kNoFact;
+  return it->second.begin()->second;
+}
+
+FactId Closure::PiFact(int id) const {
+  auto it = pi_.find(Find(id));
+  if (it != pi_.end() && !it->second.empty()) {
+    return it->second.begin()->second;
+  }
+  return TiFact(id);
+}
+
+std::string Closure::FactToString(const Fact& fact) const {
+  switch (fact.kind) {
+    case Fact::Kind::kTa:
+      return common::StrCat("ta[", set_->ShortLabel(fact.a), "]");
+    case Fact::Kind::kPa:
+      return common::StrCat("pa[", set_->ShortLabel(fact.a), "]");
+    case Fact::Kind::kTi:
+      return common::StrCat("ti[", set_->ShortLabel(fact.a), ", ",
+                            fact.origin.ToString(), "]");
+    case Fact::Kind::kPi:
+      return common::StrCat("pi[", set_->ShortLabel(fact.a), ", ",
+                            fact.origin.ToString(), "]");
+    case Fact::Kind::kPiStar:
+      return common::StrCat("pi*[(", set_->ShortLabel(fact.a), ", ",
+                            set_->ShortLabel(fact.b), "), ",
+                            fact.origin.ToString(), "]");
+    case Fact::Kind::kEq:
+      return common::StrCat("=[", set_->ShortLabel(fact.a), ", ",
+                            set_->ShortLabel(fact.b), "]");
+  }
+  return "?";
+}
+
+std::string Closure::ExplainFact(FactId fact) const {
+  return ExplainFacts({fact});
+}
+
+std::string Closure::ExplainFacts(const std::vector<FactId>& facts) const {
+  // Collect the supporting sub-derivation, then print in derivation
+  // order (premises always precede conclusions because FactIds grow).
+  std::set<FactId> needed;
+  std::vector<FactId> stack(facts.begin(), facts.end());
+  while (!stack.empty()) {
+    FactId current = stack.back();
+    stack.pop_back();
+    if (current == kNoFact || needed.count(current) > 0) continue;
+    needed.insert(current);
+    for (FactId premise : steps_[current].premises) {
+      stack.push_back(premise);
+    }
+  }
+  std::string out;
+  for (FactId id : needed) {  // std::set iterates in increasing order
+    const DerivationStep& step = steps_[id];
+    out += FactToString(step.fact);
+    out += "   (";
+    out += step.rule;
+    out += ")\n";
+  }
+  return out;
+}
+
+}  // namespace oodbsec::core

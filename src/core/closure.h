@@ -1,0 +1,209 @@
+// The static inference system F(F) (paper §4.1, Table 2) and its closure
+// computation.
+//
+// Terms range over the numbered occurrences of an UnfoldedSet:
+//
+//   ta[e]              the user may totally alter e
+//   pa[e]              the user may partially alter e
+//   ti[e, num, dir]    the user may totally infer e
+//   pi[e, num, dir]    the user may partially infer e
+//   pi*[(e1,e2), num, dir]  the user may infer a proper subset the pair
+//                            (e1,e2) must lie in
+//   =[e1, e2]          the user can recognize e1 and e2 as equal
+//
+// (num, dir) records how an inferability was obtained: num is the
+// occurrence that produced it ('+' = from the arguments of that
+// occurrence, '-' = from its result; num 0 marks axioms of observation /
+// equality). The provenance serves two purposes (paper §4.1): two
+// *different* partial inferabilities on the same expression join to a
+// total one, and a basic-function rule must not feed an inferability
+// back to the occurrence that produced it.
+//
+// Implementation notes:
+//  * Equality is an equivalence; it is maintained as a union-find with a
+//    proof forest, so every use of an equality premise can be explained
+//    by base =-facts (Explain()).
+//  * ti/pi/pi* live on equality classes: the Table-2 rules
+//    "=[e1,e2], ti[e1] -> ti[e2]" etc. are materialized by class lookup
+//    instead of fact copies. Alterability (ta/pa) does NOT propagate
+//    through generic equality (only through the specific read/write and
+//    let rules), so ta/pa are per-occurrence flags.
+//  * Inferability origin sets are capped at a small constant per class;
+//    since every guard excludes at most one origin and the join rule
+//    needs two, keeping 4 distinct origins preserves completeness while
+//    bounding the closure size.
+#ifndef OODBSEC_CORE_CLOSURE_H_
+#define OODBSEC_CORE_CLOSURE_H_
+
+#include <deque>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/basic_rules.h"
+#include "unfold/unfolded.h"
+
+namespace oodbsec::core {
+
+struct Origin {
+  int num = 0;
+  char dir = '+';
+
+  friend auto operator<=>(const Origin&, const Origin&) = default;
+  std::string ToString() const;
+};
+
+using FactId = int;
+inline constexpr FactId kNoFact = -1;
+
+struct Fact {
+  enum class Kind { kTa, kPa, kTi, kPi, kPiStar, kEq };
+
+  Kind kind = Kind::kTa;
+  int a = 0;       // occurrence id
+  int b = 0;       // second occurrence (kPiStar, kEq)
+  Origin origin;   // kTi / kPi / kPiStar
+};
+
+struct DerivationStep {
+  Fact fact;
+  std::string rule;              // e.g. "axiom: constant", ">=: probe …"
+  std::vector<FactId> premises;  // earlier steps
+};
+
+// Ablation switches for experiment A1 (see DESIGN.md §7). All on by
+// default; each "off" weakens the analyzer and must lose a documented
+// detection.
+struct ClosureOptions {
+  // The pessimistic axiom "=[x1,x2] for outer-most argument variables of
+  // the same type".
+  bool same_type_argument_equality = true;
+  // The rule pi[e,n1,d1], pi[e,n2,d2] -> ti[e,n1,d1].
+  bool pi_join_to_ti = true;
+  // The per-basic-function rule sets (basic_rules.h).
+  bool basic_function_rules = true;
+  // The =-based rules for reads/writes (equal objects make reads equal,
+  // a written value equals subsequent reads, written-value alterability
+  // transfers to reads).
+  bool write_read_equality = true;
+  // Strength of the read-object rule "pa[e1] -> ?a[r_att(e1)]" (altering
+  // *which* object is read alters the read result). Under the paper's
+  // exists-D semantics (Definition 2 quantifies the database state
+  // existentially) the conclusion is total alterability; the default is
+  // the moderate partial reading, which preserves the paper's intended
+  // contrast that updateSalary becomes *totally* controllable only when
+  // w_budget is also granted (§3.1).
+  bool read_object_total_alterability = false;
+};
+
+class Closure {
+ public:
+  // Computes the full closure over `set`. The set must outlive the
+  // closure.
+  explicit Closure(const unfold::UnfoldedSet& set, ClosureOptions options = {});
+
+  Closure(const Closure&) = delete;
+  Closure& operator=(const Closure&) = delete;
+
+  const unfold::UnfoldedSet& set() const { return *set_; }
+
+  // Capability queries by occurrence id. pi/pa include ti/ta (the
+  // implication rules are materialized).
+  bool HasTa(int id) const { return ta_[id] != kNoFact; }
+  bool HasPa(int id) const { return pa_[id] != kNoFact; }
+  bool HasTi(int id) const;
+  bool HasPi(int id) const;
+  bool AreEqual(int id1, int id2) const;
+
+  // Supporting facts for derivation printing; kNoFact when absent.
+  FactId TaFact(int id) const { return ta_[id]; }
+  FactId PaFact(int id) const { return pa_[id]; }
+  FactId TiFact(int id) const;
+  FactId PiFact(int id) const;
+
+  size_t fact_count() const { return steps_.size(); }
+  const std::vector<DerivationStep>& steps() const { return steps_; }
+
+  // Renders one fact, e.g. "ti[5:r_salary(broker), 6, -]".
+  std::string FactToString(const Fact& fact) const;
+  // Renders the full derivation supporting `fact` (premises first,
+  // Figure-1 style), one step per line.
+  std::string ExplainFact(FactId fact) const;
+  std::string ExplainFacts(const std::vector<FactId>& facts) const;
+
+ private:
+  // --- union-find with proof forest ---
+  int Find(int id) const;
+  // Appends the base =-fact ids proving id1 == id2 to `out`.
+  void ExplainEquality(int id1, int id2, std::vector<FactId>& out) const;
+
+  // --- fact derivation (dedup + log + worklist) ---
+  FactId AddTa(int id, std::string rule, std::vector<FactId> premises);
+  FactId AddPa(int id, std::string rule, std::vector<FactId> premises);
+  FactId AddTi(int id, Origin origin, std::string rule,
+               std::vector<FactId> premises);
+  FactId AddPi(int id, Origin origin, std::string rule,
+               std::vector<FactId> premises);
+  FactId AddPiStar(int id1, int id2, Origin origin, std::string rule,
+                   std::vector<FactId> premises);
+  FactId AddEq(int id1, int id2, std::string rule,
+               std::vector<FactId> premises);
+  FactId Log(Fact fact, std::string rule, std::vector<FactId> premises);
+
+  // --- rule application ---
+  void Seed();
+  void Run();
+  void Process(FactId fact_id);
+  void ProcessTa(const Fact& fact, FactId fact_id);
+  void ProcessPa(const Fact& fact, FactId fact_id);
+  void ProcessEqMerge(const Fact& fact, FactId fact_id);
+  void ProcessTi(const Fact& fact, FactId fact_id);
+  void ProcessPi(const Fact& fact, FactId fact_id);
+  void ProcessPiStar(const Fact& fact, FactId fact_id);
+  void FireLetAndWriteRulesForAlterability(int id, bool total,
+                                           FactId fact_id);
+  void FireWriteValueRules(const unfold::Node* write, FactId eq_or_alter,
+                           const unfold::Node* read);
+  void ReevalBasicCall(const unfold::Node* call);
+  void ReevalCallsTouching(int rep);
+
+  // Picks an origin of `origins` different from `excluded` (or any if
+  // `excluded` is null); returns false if none.
+  static bool PickOrigin(const std::map<Origin, FactId>& origins,
+                         const Origin* excluded, Origin& origin_out,
+                         FactId& fact_out);
+
+  const unfold::UnfoldedSet* set_;
+  ClosureOptions options_;
+
+  // Union-find over occurrence ids (1-based).
+  mutable std::vector<int> uf_parent_;
+  std::vector<int> uf_rank_;
+  std::map<int, std::vector<int>> members_;
+  // Proof forest: accepted merge edges only.
+  std::vector<std::vector<std::pair<int, FactId>>> eq_edges_;
+
+  std::vector<FactId> ta_;
+  std::vector<FactId> pa_;
+  // Keyed by class representative.
+  std::map<int, std::map<Origin, FactId>> ti_;
+  std::map<int, std::map<Origin, FactId>> pi_;
+  std::map<std::pair<int, int>, std::map<Origin, FactId>> pistar_;
+  std::map<int, std::set<std::pair<int, int>>> pistar_touching_;
+
+  // Class rep -> basic calls with an argument or themselves in the class.
+  std::map<int, std::set<const unfold::Node*>> touching_calls_;
+  // Class rep -> reads/writes whose *object* child is in the class.
+  std::map<int, std::vector<const unfold::Node*>> obj_reads_;
+  std::map<int, std::vector<const unfold::Node*>> obj_writes_;
+  // Bound-expression node id -> binder id (for the let rules).
+  std::map<int, int> binder_of_bound_expr_;
+
+  std::vector<DerivationStep> steps_;
+  std::deque<FactId> worklist_;
+};
+
+}  // namespace oodbsec::core
+
+#endif  // OODBSEC_CORE_CLOSURE_H_

@@ -1,0 +1,51 @@
+// Security requirement descriptions (paper §3.1):
+//
+//   req  ::= (u, f(x1 : clist, …, xn : clist) : clist)
+//   cap  ::= ti | pi | ta | pa
+//
+// "(u, f(… xi : c …) : c')" means: user u must NOT be able to invoke f in
+// a context where they simultaneously achieve every listed capability on
+// each argument and on the returned value. Both paper examples parse:
+//
+//   (clerk, r_salary(x) : ti)      -- must not infer the salary read
+//   (u, w_salary(a, v : pa))       -- must not alter the written value
+#ifndef OODBSEC_CORE_REQUIREMENT_H_
+#define OODBSEC_CORE_REQUIREMENT_H_
+
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/diagnostics.h"
+#include "common/result.h"
+#include "core/capability.h"
+#include "lang/parser.h"
+
+namespace oodbsec::core {
+
+struct Requirement {
+  std::string user;
+  std::string function;
+  std::vector<std::string> arg_names;             // for printing only
+  std::vector<std::set<Capability>> arg_caps;     // one entry per argument
+  std::set<Capability> return_caps;
+
+  // Total number of capabilities listed (must be >= 1 to be meaningful).
+  size_t capability_count() const;
+
+  // Round-trips through ParseRequirement.
+  std::string ToString() const;
+};
+
+// Parses a requirement from `stream`; reports into `sink` and returns
+// nullopt on error. Shared with the workspace format (src/text).
+std::optional<Requirement> ParseRequirement(lang::TokenStream& stream,
+                                            common::DiagnosticSink& sink);
+
+// Parses `source` as a complete requirement.
+common::Result<Requirement> ParseRequirementString(std::string_view source);
+
+}  // namespace oodbsec::core
+
+#endif  // OODBSEC_CORE_REQUIREMENT_H_

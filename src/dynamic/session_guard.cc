@@ -1,0 +1,93 @@
+#include "dynamic/session_guard.h"
+
+#include "common/strings.h"
+#include "query/capability.h"
+
+namespace oodbsec::dynamic {
+
+using common::Result;
+
+SessionGuard::SessionGuard(const schema::Schema& schema,
+                           const schema::UserRegistry& users,
+                           std::vector<core::Requirement> requirements,
+                           core::ClosureOptions options)
+    : schema_(schema),
+      users_(users),
+      requirements_(std::move(requirements)),
+      options_(options) {}
+
+const std::set<std::string>& SessionGuard::SessionFunctions(
+    const std::string& user) const {
+  static const std::set<std::string>& empty = *new std::set<std::string>();
+  auto it = sessions_.find(user);
+  return it == sessions_.end() ? empty : it->second;
+}
+
+Result<GuardDecision> SessionGuard::CheckSet(
+    const std::string& user, const std::set<std::string>& functions) {
+  std::string key = user + "|";
+  for (const std::string& fn : functions) {
+    key += fn;
+    key += ',';
+  }
+  auto memo_it = memo_.find(key);
+  if (memo_it != memo_.end()) return memo_it->second;
+
+  // A transient user carrying exactly the session's function set: the
+  // closure then ranges over what was actually exercised, not the full
+  // grant list.
+  schema::User session_user(user);
+  for (const std::string& fn : functions) session_user.Grant(fn);
+  OODBSEC_ASSIGN_OR_RETURN(
+      std::unique_ptr<core::UserAnalysis> analysis,
+      core::UserAnalysis::Build(schema_, session_user, options_));
+  ++closure_evaluations_;
+
+  GuardDecision decision;
+  for (const core::Requirement& requirement : requirements_) {
+    if (requirement.user != user) continue;
+    OODBSEC_ASSIGN_OR_RETURN(core::AnalysisReport report,
+                             analysis->Check(requirement));
+    if (!report.satisfied) {
+      decision.allowed = false;
+      decision.violated_requirement = requirement.ToString();
+      decision.derivation = report.flaws[0].derivation;
+      break;
+    }
+  }
+  memo_.emplace(std::move(key), decision);
+  return decision;
+}
+
+Result<GuardDecision> SessionGuard::Decide(const schema::User& user,
+                                           const query::SelectQuery& query) {
+  if (!query.bound) {
+    return common::FailedPreconditionError("query is not bound");
+  }
+  std::set<std::string> functions = SessionFunctions(user.name());
+  for (const std::string& fn : query::CollectInvokedFunctions(query)) {
+    functions.insert(fn);
+  }
+  return CheckSet(user.name(), functions);
+}
+
+Result<query::QueryResult> SessionGuard::Run(store::Database& db,
+                                             const schema::User& user,
+                                             const query::SelectQuery& query) {
+  OODBSEC_ASSIGN_OR_RETURN(GuardDecision decision, Decide(user, query));
+  if (!decision.allowed) {
+    return common::PermissionDeniedError(common::StrCat(
+        "query denied: executing it would violate ",
+        decision.violated_requirement));
+  }
+  // Commit BEFORE execution: a query that errors mid-way may already
+  // have performed writes, so its functions count as exercised.
+  std::set<std::string>& session = sessions_[user.name()];
+  for (const std::string& fn : query::CollectInvokedFunctions(query)) {
+    session.insert(fn);
+  }
+  query::QueryEvaluator evaluator(db, &user);
+  return evaluator.Run(query);
+}
+
+}  // namespace oodbsec::dynamic

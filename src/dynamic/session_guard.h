@@ -1,0 +1,100 @@
+// Dynamic flaw detection (the paper's §5 future-work alternative:
+// "develop a mechanism to dynamically detect security flaws during
+// execution of queries").
+//
+// The static algorithm A(R) must assume the user will eventually combine
+// *everything* on their capability list, so a grant set whose closure
+// violates a requirement is condemned outright. The dynamic guard
+// instead tracks the functions each session has actually invoked and
+// checks, per incoming query,
+//
+//   closure( invoked-so-far  ∪  functions(query) )  |=  requirements?
+//
+// A query is DENIED exactly when executing it would, for the first
+// time, let the session's accumulated function set derive a forbidden
+// capability. The paper's trade-off is therefore observable: the clerk
+// who only ever calls checkBudget keeps working under a grant set the
+// static analyzer must reject, and the guard steps in precisely at the
+// first query that mixes w_budget probes with checkBudget.
+//
+// Soundness note: once a session has invoked a set S, the user may
+// already have learned/planted everything S's closure derives, so the
+// guard checks the *union* before execution — detection can never lag
+// one query behind.
+#ifndef OODBSEC_DYNAMIC_SESSION_GUARD_H_
+#define OODBSEC_DYNAMIC_SESSION_GUARD_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/analyzer.h"
+#include "core/requirement.h"
+#include "query/query.h"
+#include "query/query_evaluator.h"
+#include "schema/user.h"
+#include "store/database.h"
+
+namespace oodbsec::dynamic {
+
+// The outcome of guarding one query.
+struct GuardDecision {
+  bool allowed = true;
+  // When denied: which requirement would become violated, and the
+  // offending derivation (Figure-1 style).
+  std::string violated_requirement;
+  std::string derivation;
+};
+
+// Per-user session state and enforcement. One guard serves many users;
+// each user accumulates an invoked-function set.
+class SessionGuard {
+ public:
+  SessionGuard(const schema::Schema& schema,
+               const schema::UserRegistry& users,
+               std::vector<core::Requirement> requirements,
+               core::ClosureOptions options = {});
+
+  // Decides whether `user` may run the bound `query` now. Does not
+  // execute anything and does not yet commit the query's functions to
+  // the session.
+  common::Result<GuardDecision> Decide(const schema::User& user,
+                                       const query::SelectQuery& query);
+
+  // Convenience: decide, then (if allowed) execute through a
+  // capability-checked QueryEvaluator and commit the query's functions
+  // to the session. A denied query returns PermissionDenied carrying
+  // the violated requirement.
+  common::Result<query::QueryResult> Run(store::Database& db,
+                                         const schema::User& user,
+                                         const query::SelectQuery& query);
+
+  // Functions `user` has successfully invoked so far in this guard.
+  const std::set<std::string>& SessionFunctions(
+      const std::string& user) const;
+
+  // Number of closure computations performed (for the D1 experiment).
+  int closure_evaluations() const { return closure_evaluations_; }
+
+ private:
+  // Runs A(R) for every requirement of `user` against `functions`.
+  // Returns the first violation found, or an allowed decision.
+  common::Result<GuardDecision> CheckSet(
+      const std::string& user, const std::set<std::string>& functions);
+
+  const schema::Schema& schema_;
+  const schema::UserRegistry& users_;
+  std::vector<core::Requirement> requirements_;
+  core::ClosureOptions options_;
+  std::map<std::string, std::set<std::string>> sessions_;
+  // Memo: function-set key -> decision (closures are deterministic).
+  std::map<std::string, GuardDecision> memo_;
+  int closure_evaluations_ = 0;
+};
+
+}  // namespace oodbsec::dynamic
+
+#endif  // OODBSEC_DYNAMIC_SESSION_GUARD_H_

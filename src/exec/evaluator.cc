@@ -1,0 +1,163 @@
+#include "exec/evaluator.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+#include "lang/printer.h"
+
+namespace oodbsec::exec {
+
+using common::Result;
+using types::Value;
+
+void Environment::Push(std::string name, Value value) {
+  bindings_.emplace_back(std::move(name), std::move(value));
+}
+
+void Environment::Pop(size_t count) {
+  bindings_.resize(bindings_.size() - std::min(count, bindings_.size()));
+}
+
+const Value* Environment::Find(std::string_view name) const {
+  for (auto it = bindings_.rbegin(); it != bindings_.rend(); ++it) {
+    if (it->first == name) return &it->second;
+  }
+  return nullptr;
+}
+
+Result<Value> Evaluator::CallFunction(const schema::FunctionDecl& fn,
+                                      const std::vector<Value>& args) {
+  if (args.size() != fn.params().size()) {
+    return common::InvalidArgumentError(
+        common::StrCat("'", fn.name(), "' expects ", fn.params().size(),
+                       " argument(s), got ", args.size()));
+  }
+  Environment env;
+  for (size_t i = 0; i < args.size(); ++i) {
+    env.Push(fn.params()[i].name, args[i]);
+  }
+  return Eval(fn.body(), env);
+}
+
+Result<Value> Evaluator::CallByName(std::string_view name,
+                                    const std::vector<Value>& args) {
+  schema::Callable callable = db_.schema().ResolveCallable(name);
+  switch (callable.kind) {
+    case schema::Callable::Kind::kAccess:
+      return CallFunction(*callable.access, args);
+    case schema::Callable::Kind::kReadAttr: {
+      if (args.size() != 1 || !args[0].is_object()) {
+        return common::InvalidArgumentError(
+            common::StrCat("'", name, "' expects one object argument"));
+      }
+      return db_.ReadAttribute(args[0].oid(), callable.attribute->name);
+    }
+    case schema::Callable::Kind::kWriteAttr: {
+      if (args.size() != 2 || !args[0].is_object()) {
+        return common::InvalidArgumentError(
+            common::StrCat("'", name, "' expects (object, value) arguments"));
+      }
+      OODBSEC_RETURN_IF_ERROR(
+          db_.WriteAttribute(args[0].oid(), callable.attribute->name,
+                             args[1]));
+      return Value::Null();
+    }
+    case schema::Callable::Kind::kNone:
+      return common::NotFoundError(
+          common::StrCat("unknown callable '", name, "'"));
+  }
+  return common::InternalError("unreachable");
+}
+
+Result<Value> Evaluator::Eval(const lang::Expr& expr, Environment& env) {
+  Value result;
+  switch (expr.kind()) {
+    case lang::ExprKind::kConstant:
+      result = expr.AsConstant().value();
+      break;
+
+    case lang::ExprKind::kVarRef: {
+      const Value* value = env.Find(expr.AsVarRef().name());
+      if (value == nullptr) {
+        return common::InternalError(common::StrCat(
+            "unbound variable '", expr.AsVarRef().name(),
+            "' at evaluation time (missing type check?)"));
+      }
+      result = *value;
+      break;
+    }
+
+    case lang::ExprKind::kCall: {
+      const lang::CallExpr& call = expr.AsCall();
+      std::vector<Value> args;
+      args.reserve(call.args().size());
+      for (const auto& arg : call.args()) {
+        OODBSEC_ASSIGN_OR_RETURN(Value value, Eval(*arg, env));
+        args.push_back(std::move(value));
+      }
+      switch (call.target()) {
+        case lang::CallTarget::kBasic:
+          result = call.basic()->Eval(args);
+          break;
+        case lang::CallTarget::kAccess: {
+          const schema::FunctionDecl* fn =
+              db_.schema().FindFunction(call.name());
+          if (fn == nullptr) {
+            return common::InternalError(
+                common::StrCat("missing function '", call.name(), "'"));
+          }
+          OODBSEC_ASSIGN_OR_RETURN(result, CallFunction(*fn, args));
+          break;
+        }
+        case lang::CallTarget::kReadAttr: {
+          if (!args[0].is_object()) {
+            return common::FailedPreconditionError(common::StrCat(
+                "attribute read '", call.name(), "' on ", args[0].ToString()));
+          }
+          OODBSEC_ASSIGN_OR_RETURN(
+              result, db_.ReadAttribute(args[0].oid(), call.attribute()));
+          break;
+        }
+        case lang::CallTarget::kWriteAttr: {
+          if (!args[0].is_object()) {
+            return common::FailedPreconditionError(common::StrCat(
+                "attribute write '", call.name(), "' on ",
+                args[0].ToString()));
+          }
+          OODBSEC_RETURN_IF_ERROR(
+              db_.WriteAttribute(args[0].oid(), call.attribute(), args[1]));
+          result = Value::Null();
+          break;
+        }
+        case lang::CallTarget::kUnresolved:
+          return common::InternalError(common::StrCat(
+              "unresolved call '", call.name(), "' (missing type check?)"));
+      }
+      break;
+    }
+
+    case lang::ExprKind::kLet: {
+      const lang::LetExpr& let = expr.AsLet();
+      size_t pushed = 0;
+      for (const lang::LetExpr::Binding& binding : let.bindings()) {
+        Result<Value> init = Eval(*binding.init, env);
+        if (!init.ok()) {
+          env.Pop(pushed);
+          return init;
+        }
+        env.Push(binding.name, std::move(init).value());
+        ++pushed;
+      }
+      Result<Value> body = Eval(let.body(), env);
+      env.Pop(pushed);
+      if (!body.ok()) return body;
+      result = std::move(body).value();
+      break;
+    }
+  }
+
+  if (trace_) trace_(expr, result);
+  return result;
+}
+
+}  // namespace oodbsec::exec

@@ -1,0 +1,66 @@
+// The interpreter for the function definition language, evaluating
+// type-checked expressions against a database state.
+//
+// An optional trace hook observes every subexpression evaluation in
+// evaluation order (arguments before application, let inits before the
+// body); the unfolding machinery uses it to build execution instances
+// (paper §3.3).
+#ifndef OODBSEC_EXEC_EVALUATOR_H_
+#define OODBSEC_EXEC_EVALUATOR_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "lang/ast.h"
+#include "schema/schema.h"
+#include "store/database.h"
+#include "types/value.h"
+
+namespace oodbsec::exec {
+
+// A lexical environment: name -> value, innermost binding wins.
+class Environment {
+ public:
+  void Push(std::string name, types::Value value);
+  // Removes the innermost `count` bindings (clamped to size()).
+  void Pop(size_t count = 1);
+  size_t size() const { return bindings_.size(); }
+  // nullptr when unbound.
+  const types::Value* Find(std::string_view name) const;
+
+ private:
+  std::vector<std::pair<std::string, types::Value>> bindings_;
+};
+
+class Evaluator {
+ public:
+  using TraceHook =
+      std::function<void(const lang::Expr&, const types::Value&)>;
+
+  explicit Evaluator(store::Database& db) : db_(db) {}
+
+  // Calls an access function with the given argument values.
+  common::Result<types::Value> CallFunction(
+      const schema::FunctionDecl& fn, const std::vector<types::Value>& args);
+
+  // Calls any callable (access function or special r_/w_) by name.
+  common::Result<types::Value> CallByName(
+      std::string_view name, const std::vector<types::Value>& args);
+
+  // Evaluates `expr` under `env`. The expression must be type checked.
+  common::Result<types::Value> Eval(const lang::Expr& expr, Environment& env);
+
+  void set_trace_hook(TraceHook hook) { trace_ = std::move(hook); }
+
+  store::Database& database() { return db_; }
+
+ private:
+  store::Database& db_;
+  TraceHook trace_;
+};
+
+}  // namespace oodbsec::exec
+
+#endif  // OODBSEC_EXEC_EVALUATOR_H_

@@ -1,0 +1,46 @@
+// Hand-written lexer for all textual inputs of the library.
+//
+// Comments run from '#' or '//' to end of line. String literals use
+// double quotes with \" \\ \n \t escapes. Identifiers are
+// [A-Za-z_][A-Za-z0-9_]*; a reserved word lexes as its keyword token.
+#ifndef OODBSEC_LANG_LEXER_H_
+#define OODBSEC_LANG_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lang/token.h"
+
+namespace oodbsec::lang {
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view source);
+
+  // Returns the next token, advancing. After the end of input, keeps
+  // returning kEnd. Lexical errors produce a kError token whose text is
+  // the message; the lexer then skips the offending character.
+  Token Next();
+
+  // Tokenizes everything up to and including the kEnd token.
+  static std::vector<Token> TokenizeAll(std::string_view source);
+
+ private:
+  char Peek(int ahead = 0) const;
+  char Advance();
+  bool AtEnd() const { return pos_ >= source_.size(); }
+  void SkipWhitespaceAndComments();
+  common::SourceLocation Here() const { return {line_, column_}; }
+  Token Make(TokenKind kind, common::SourceLocation loc,
+             std::string text = std::string()) const;
+
+  std::string_view source_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+};
+
+}  // namespace oodbsec::lang
+
+#endif  // OODBSEC_LANG_LEXER_H_

@@ -1,0 +1,352 @@
+#include "lang/parser.h"
+
+#include <utility>
+
+#include "common/strings.h"
+
+namespace oodbsec::lang {
+
+namespace {
+
+// Operator name for a token, or nullptr if the token is not an operator.
+const char* OperatorName(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kPlus:
+      return "+";
+    case TokenKind::kMinus:
+      return "-";
+    case TokenKind::kStar:
+      return "*";
+    case TokenKind::kSlash:
+      return "/";
+    case TokenKind::kPercent:
+      return "%";
+    case TokenKind::kLess:
+      return "<";
+    case TokenKind::kGreater:
+      return ">";
+    case TokenKind::kLessEq:
+      return "<=";
+    case TokenKind::kGreaterEq:
+      return ">=";
+    case TokenKind::kEqEq:
+      return "==";
+    case TokenKind::kNotEq:
+      return "!=";
+    case TokenKind::kKwAnd:
+      return "and";
+    case TokenKind::kKwOr:
+      return "or";
+    case TokenKind::kKwNot:
+      return "not";
+    default:
+      return nullptr;
+  }
+}
+
+bool IsComparison(TokenKind kind) {
+  return kind == TokenKind::kLess || kind == TokenKind::kGreater ||
+         kind == TokenKind::kLessEq || kind == TokenKind::kGreaterEq ||
+         kind == TokenKind::kEqEq || kind == TokenKind::kNotEq;
+}
+
+class ExprParser {
+ public:
+  ExprParser(TokenStream& stream, common::DiagnosticSink& sink)
+      : stream_(stream), sink_(sink) {}
+
+  std::unique_ptr<Expr> Parse() { return ParseOr(); }
+
+ private:
+  using ExprPtr = std::unique_ptr<Expr>;
+
+  ExprPtr ParseOr() {
+    ExprPtr lhs = ParseAnd();
+    while (lhs != nullptr && stream_.Check(TokenKind::kKwOr)) {
+      common::SourceLocation loc = stream_.location();
+      stream_.Advance();
+      ExprPtr rhs = ParseAnd();
+      if (rhs == nullptr) return nullptr;
+      lhs = Binary("or", std::move(lhs), std::move(rhs), loc);
+    }
+    return lhs;
+  }
+
+  ExprPtr ParseAnd() {
+    ExprPtr lhs = ParseNot();
+    while (lhs != nullptr && stream_.Check(TokenKind::kKwAnd)) {
+      common::SourceLocation loc = stream_.location();
+      stream_.Advance();
+      ExprPtr rhs = ParseNot();
+      if (rhs == nullptr) return nullptr;
+      lhs = Binary("and", std::move(lhs), std::move(rhs), loc);
+    }
+    return lhs;
+  }
+
+  ExprPtr ParseNot() {
+    if (stream_.Check(TokenKind::kKwNot)) {
+      common::SourceLocation loc = stream_.location();
+      stream_.Advance();
+      ExprPtr operand = ParseNot();
+      if (operand == nullptr) return nullptr;
+      return Unary("not", std::move(operand), loc);
+    }
+    return ParseComparison();
+  }
+
+  ExprPtr ParseComparison() {
+    ExprPtr lhs = ParseAdditive();
+    if (lhs == nullptr) return nullptr;
+    if (IsComparison(stream_.Peek().kind)) {
+      common::SourceLocation loc = stream_.location();
+      const char* op = OperatorName(stream_.Advance().kind);
+      ExprPtr rhs = ParseAdditive();
+      if (rhs == nullptr) return nullptr;
+      // Comparisons are non-associative: a < b < c is a parse error.
+      if (IsComparison(stream_.Peek().kind)) {
+        sink_.Error(stream_.location(),
+                    "comparison operators cannot be chained");
+        return nullptr;
+      }
+      return Binary(op, std::move(lhs), std::move(rhs), loc);
+    }
+    return lhs;
+  }
+
+  ExprPtr ParseAdditive() {
+    ExprPtr lhs = ParseMultiplicative();
+    while (lhs != nullptr &&
+           (stream_.Check(TokenKind::kPlus) ||
+            stream_.Check(TokenKind::kMinus))) {
+      common::SourceLocation loc = stream_.location();
+      const char* op = OperatorName(stream_.Advance().kind);
+      ExprPtr rhs = ParseMultiplicative();
+      if (rhs == nullptr) return nullptr;
+      lhs = Binary(op, std::move(lhs), std::move(rhs), loc);
+    }
+    return lhs;
+  }
+
+  ExprPtr ParseMultiplicative() {
+    ExprPtr lhs = ParseUnary();
+    while (lhs != nullptr &&
+           (stream_.Check(TokenKind::kStar) ||
+            stream_.Check(TokenKind::kSlash) ||
+            stream_.Check(TokenKind::kPercent))) {
+      common::SourceLocation loc = stream_.location();
+      const char* op = OperatorName(stream_.Advance().kind);
+      ExprPtr rhs = ParseUnary();
+      if (rhs == nullptr) return nullptr;
+      lhs = Binary(op, std::move(lhs), std::move(rhs), loc);
+    }
+    return lhs;
+  }
+
+  ExprPtr ParseUnary() {
+    if (stream_.Check(TokenKind::kMinus)) {
+      common::SourceLocation loc = stream_.location();
+      stream_.Advance();
+      // Fold -<int literal> into a constant.
+      if (stream_.Check(TokenKind::kIntLiteral)) {
+        Token token = stream_.Advance();
+        return WithLoc(MakeInt(-token.int_value), loc);
+      }
+      // "-(" is ambiguous: unary minus of a parenthesized expression, or
+      // the paper's prefix call "-(a, b)". A comma after the first inner
+      // expression disambiguates.
+      if (stream_.Check(TokenKind::kLParen)) {
+        stream_.Advance();
+        ExprPtr first = Parse();
+        if (first == nullptr) return nullptr;
+        if (stream_.Match(TokenKind::kComma)) {
+          ExprPtr second = Parse();
+          if (second == nullptr) return nullptr;
+          if (!stream_.Expect(TokenKind::kRParen, "')'", sink_)) {
+            return nullptr;
+          }
+          return Binary("-", std::move(first), std::move(second), loc);
+        }
+        if (!stream_.Expect(TokenKind::kRParen, "')'", sink_)) {
+          return nullptr;
+        }
+        return Unary("neg", std::move(first), loc);
+      }
+      ExprPtr operand = ParseUnary();
+      if (operand == nullptr) return nullptr;
+      return Unary("neg", std::move(operand), loc);
+    }
+    return ParsePrimary();
+  }
+
+  ExprPtr ParsePrimary() {
+    const Token& token = stream_.Peek();
+    common::SourceLocation loc = token.location;
+    switch (token.kind) {
+      case TokenKind::kIntLiteral: {
+        Token t = stream_.Advance();
+        return WithLoc(MakeInt(t.int_value), loc);
+      }
+      case TokenKind::kStringLiteral: {
+        Token t = stream_.Advance();
+        return WithLoc(MakeString(t.text), loc);
+      }
+      case TokenKind::kKwTrue:
+        stream_.Advance();
+        return WithLoc(MakeBool(true), loc);
+      case TokenKind::kKwFalse:
+        stream_.Advance();
+        return WithLoc(MakeBool(false), loc);
+      case TokenKind::kKwNull:
+        stream_.Advance();
+        return WithLoc(MakeNull(), loc);
+      case TokenKind::kLParen: {
+        stream_.Advance();
+        ExprPtr inner = Parse();
+        if (inner == nullptr) return nullptr;
+        if (!stream_.Expect(TokenKind::kRParen, "')'", sink_)) return nullptr;
+        return inner;
+      }
+      case TokenKind::kKwLet:
+        return ParseLet();
+      case TokenKind::kIdentifier: {
+        Token t = stream_.Advance();
+        if (stream_.Check(TokenKind::kLParen)) {
+          return ParseCallArgs(t.text, loc);
+        }
+        return WithLoc(MakeVar(t.text), loc);
+      }
+      default: {
+        // Paper-style prefix operator call: >=(a, b), *(10, x), not(p).
+        const char* op = OperatorName(token.kind);
+        if (op != nullptr && stream_.Peek(1).kind == TokenKind::kLParen) {
+          stream_.Advance();
+          return ParseCallArgs(op, loc);
+        }
+        sink_.Error(loc, common::StrCat("expected expression, found ",
+                                        DescribeToken(token)));
+        return nullptr;
+      }
+    }
+  }
+
+  ExprPtr ParseCallArgs(const std::string& name, common::SourceLocation loc) {
+    if (!stream_.Expect(TokenKind::kLParen, "'('", sink_)) return nullptr;
+    std::vector<ExprPtr> args;
+    if (!stream_.Check(TokenKind::kRParen)) {
+      while (true) {
+        ExprPtr arg = Parse();
+        if (arg == nullptr) return nullptr;
+        args.push_back(std::move(arg));
+        if (!stream_.Match(TokenKind::kComma)) break;
+      }
+    }
+    if (!stream_.Expect(TokenKind::kRParen, "')'", sink_)) return nullptr;
+    return WithLoc(MakeCall(name, std::move(args)), loc);
+  }
+
+  ExprPtr ParseLet() {
+    common::SourceLocation loc = stream_.location();
+    stream_.Advance();  // 'let'
+    std::vector<LetExpr::Binding> bindings;
+    while (true) {
+      if (!stream_.Check(TokenKind::kIdentifier)) {
+        sink_.Error(stream_.location(), "expected variable name in let");
+        return nullptr;
+      }
+      std::string name = stream_.Advance().text;
+      if (!stream_.Expect(TokenKind::kAssign, "'='", sink_)) return nullptr;
+      ExprPtr init = Parse();
+      if (init == nullptr) return nullptr;
+      bindings.push_back({std::move(name), std::move(init)});
+      if (!stream_.Match(TokenKind::kComma)) break;
+    }
+    if (!stream_.Expect(TokenKind::kKwIn, "'in'", sink_)) return nullptr;
+    ExprPtr body = Parse();
+    if (body == nullptr) return nullptr;
+    if (!stream_.Expect(TokenKind::kKwEnd, "'end'", sink_)) return nullptr;
+    auto let =
+        std::make_unique<LetExpr>(std::move(bindings), std::move(body));
+    let->range.begin = loc;
+    return let;
+  }
+
+  // Note on the paper's prefix syntax: an operator token heads a prefix
+  // call (e.g. ">=(a, b)") only at expression-start position, which is
+  // handled in ParsePrimary. Once a left operand is pending the operator
+  // is always infix, so "a >= (b)" parses conventionally.
+
+  ExprPtr Binary(const char* op, ExprPtr lhs, ExprPtr rhs,
+                 common::SourceLocation loc) {
+    std::vector<ExprPtr> args;
+    args.push_back(std::move(lhs));
+    args.push_back(std::move(rhs));
+    return WithLoc(MakeCall(op, std::move(args)), loc);
+  }
+
+  ExprPtr Unary(const char* op, ExprPtr operand, common::SourceLocation loc) {
+    std::vector<ExprPtr> args;
+    args.push_back(std::move(operand));
+    return WithLoc(MakeCall(op, std::move(args)), loc);
+  }
+
+  static ExprPtr WithLoc(ExprPtr expr, common::SourceLocation loc) {
+    expr->range.begin = loc;
+    return expr;
+  }
+
+  TokenStream& stream_;
+  common::DiagnosticSink& sink_;
+};
+
+}  // namespace
+
+TokenStream::TokenStream(std::string_view source)
+    : tokens_(Lexer::TokenizeAll(source)) {}
+
+const Token& TokenStream::Peek(int ahead) const {
+  size_t index = pos_ + static_cast<size_t>(ahead);
+  if (index >= tokens_.size()) index = tokens_.size() - 1;  // kEnd
+  return tokens_[index];
+}
+
+Token TokenStream::Advance() {
+  Token token = Peek();
+  if (pos_ + 1 < tokens_.size()) ++pos_;
+  return token;
+}
+
+bool TokenStream::Match(TokenKind kind) {
+  if (!Check(kind)) return false;
+  Advance();
+  return true;
+}
+
+bool TokenStream::Expect(TokenKind kind, const char* what,
+                         common::DiagnosticSink& sink) {
+  if (Match(kind)) return true;
+  sink.Error(location(), common::StrCat("expected ", what, ", found ",
+                                        DescribeToken(Peek())));
+  return false;
+}
+
+std::unique_ptr<Expr> ParseExpression(TokenStream& stream,
+                                      common::DiagnosticSink& sink) {
+  return ExprParser(stream, sink).Parse();
+}
+
+common::Result<std::unique_ptr<Expr>> ParseExpressionString(
+    std::string_view source) {
+  TokenStream stream(source);
+  common::DiagnosticSink sink;
+  std::unique_ptr<Expr> expr = ParseExpression(stream, sink);
+  if (expr == nullptr) return sink.ToStatus();
+  if (!stream.AtEnd()) {
+    return common::ParseError(common::StrCat(
+        "trailing input at ", stream.location().ToString(), ": ",
+        DescribeToken(stream.Peek())));
+  }
+  return expr;
+}
+
+}  // namespace oodbsec::lang

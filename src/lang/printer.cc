@@ -1,0 +1,82 @@
+#include "lang/printer.h"
+
+#include "common/strings.h"
+
+namespace oodbsec::lang {
+
+namespace {
+
+bool IsBinaryOperatorName(const std::string& name) {
+  return name == "+" || name == "-" || name == "*" || name == "/" ||
+         name == "%" || name == "<" || name == ">" || name == "<=" ||
+         name == ">=" || name == "==" || name == "!=" || name == "and" ||
+         name == "or";
+}
+
+bool IsUnaryOperatorName(const std::string& name) { return name == "not"; }
+
+void Print(const Expr& expr, PrintStyle style, std::string& out) {
+  switch (expr.kind()) {
+    case ExprKind::kConstant:
+      out += expr.AsConstant().value().ToString();
+      return;
+    case ExprKind::kVarRef:
+      out += expr.AsVarRef().name();
+      return;
+    case ExprKind::kCall: {
+      const CallExpr& call = expr.AsCall();
+      if (style == PrintStyle::kInfix && call.args().size() == 2 &&
+          IsBinaryOperatorName(call.name())) {
+        out += '(';
+        Print(*call.args()[0], style, out);
+        out += ' ';
+        out += call.name();
+        out += ' ';
+        Print(*call.args()[1], style, out);
+        out += ')';
+        return;
+      }
+      if (style == PrintStyle::kInfix && call.args().size() == 1 &&
+          IsUnaryOperatorName(call.name())) {
+        out += '(';
+        out += call.name();
+        out += ' ';
+        Print(*call.args()[0], style, out);
+        out += ')';
+        return;
+      }
+      out += call.name();
+      out += '(';
+      for (size_t i = 0; i < call.args().size(); ++i) {
+        if (i > 0) out += ", ";
+        Print(*call.args()[i], style, out);
+      }
+      out += ')';
+      return;
+    }
+    case ExprKind::kLet: {
+      const LetExpr& let = expr.AsLet();
+      out += "let ";
+      for (size_t i = 0; i < let.bindings().size(); ++i) {
+        if (i > 0) out += ", ";
+        out += let.bindings()[i].name;
+        out += " = ";
+        Print(*let.bindings()[i].init, style, out);
+      }
+      out += " in ";
+      Print(let.body(), style, out);
+      out += " end";
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+std::string PrintExpr(const Expr& expr, PrintStyle style) {
+  std::string out;
+  Print(expr, style, out);
+  return out;
+}
+
+}  // namespace oodbsec::lang

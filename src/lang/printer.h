@@ -1,0 +1,22 @@
+// Rendering expressions back to source text.
+#ifndef OODBSEC_LANG_PRINTER_H_
+#define OODBSEC_LANG_PRINTER_H_
+
+#include <string>
+
+#include "lang/ast.h"
+
+namespace oodbsec::lang {
+
+// Which surface syntax to emit.
+enum class PrintStyle {
+  kPrefix,  // the paper's style: >=(r_budget(b), *(10, r_salary(b)))
+  kInfix,   // fully parenthesized infix: (r_budget(b) >= (10 * r_salary(b)))
+};
+
+// Renders `expr`. Output re-parses to an equivalent AST.
+std::string PrintExpr(const Expr& expr, PrintStyle style = PrintStyle::kInfix);
+
+}  // namespace oodbsec::lang
+
+#endif  // OODBSEC_LANG_PRINTER_H_

@@ -1,0 +1,74 @@
+// Tokens shared by the function-definition language, the query language,
+// the requirement syntax, and the workspace file format.
+#ifndef OODBSEC_LANG_TOKEN_H_
+#define OODBSEC_LANG_TOKEN_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/source_location.h"
+
+namespace oodbsec::lang {
+
+enum class TokenKind {
+  kEnd,          // end of input
+  kError,        // lexer error; text holds the message
+  kIdentifier,
+  kIntLiteral,   // int_value holds the value
+  kStringLiteral,  // text holds the decoded contents
+  // Keywords.
+  kKwLet,
+  kKwIn,
+  kKwEnd,
+  kKwNull,
+  kKwTrue,
+  kKwFalse,
+  kKwAnd,
+  kKwOr,
+  kKwNot,
+  kKwClass,
+  kKwFunction,
+  kKwUser,
+  kKwCan,
+  kKwRequire,
+  kKwSelect,
+  kKwFrom,
+  kKwWhere,
+  kKwObject,
+  kKwConstraint,
+  // Punctuation and operators.
+  kLParen,
+  kRParen,
+  kLBrace,
+  kRBrace,
+  kComma,
+  kColon,
+  kSemicolon,
+  kAssign,    // =
+  kPlus,
+  kMinus,
+  kStar,
+  kSlash,
+  kPercent,
+  kLess,
+  kGreater,
+  kLessEq,
+  kGreaterEq,
+  kEqEq,
+  kNotEq,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;       // identifier name, string contents, or raw lexeme
+  int64_t int_value = 0;  // for kIntLiteral
+  common::SourceLocation location;
+};
+
+// Human-readable token description for diagnostics, e.g. "identifier
+// 'foo'" or "'>='".
+std::string DescribeToken(const Token& token);
+
+}  // namespace oodbsec::lang
+
+#endif  // OODBSEC_LANG_TOKEN_H_

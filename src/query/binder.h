@@ -1,0 +1,19 @@
+// Binding and type checking for queries.
+#ifndef OODBSEC_QUERY_BINDER_H_
+#define OODBSEC_QUERY_BINDER_H_
+
+#include "common/status.h"
+#include "query/query.h"
+#include "schema/schema.h"
+
+namespace oodbsec::query {
+
+// Resolves from-sources (class extent vs. set expression), type checks
+// all items and the where condition, and marks the query bound. From
+// variables scope left to right; nested subqueries see outer variables.
+// Nested subqueries must have exactly one item (their value is a set).
+common::Status BindQuery(SelectQuery& query, const schema::Schema& schema);
+
+}  // namespace oodbsec::query
+
+#endif  // OODBSEC_QUERY_BINDER_H_

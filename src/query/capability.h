@@ -1,0 +1,27 @@
+// Capability enforcement for queries (paper §2): a user may invoke only
+// the access functions and special functions on their capability list.
+// Basic functions (comparisons, arithmetic) are not access controlled.
+#ifndef OODBSEC_QUERY_CAPABILITY_H_
+#define OODBSEC_QUERY_CAPABILITY_H_
+
+#include <set>
+#include <string>
+
+#include "common/status.h"
+#include "query/query.h"
+#include "schema/user.h"
+
+namespace oodbsec::query {
+
+// Collects the names of all access/special functions a bound query
+// invokes (anywhere: items, from-sources, where, nested queries).
+std::set<std::string> CollectInvokedFunctions(const SelectQuery& query);
+
+// PermissionDenied if the bound query invokes any function not granted
+// to `user`.
+common::Status CheckQueryCapabilities(const SelectQuery& query,
+                                      const schema::User& user);
+
+}  // namespace oodbsec::query
+
+#endif  // OODBSEC_QUERY_CAPABILITY_H_

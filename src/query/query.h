@@ -1,0 +1,58 @@
+// The SQL-like query language (paper §2):
+//
+//   select item, … from A1 in C1, …, An in Cn where condition
+//
+// From-sources are class names (extents) or set-valued expressions over
+// earlier from-variables (e.g. `child(p)`). Items are expressions —
+// including side-effecting w_<att> calls, evaluated left to right — or
+// nested select queries, which yield set values and must have exactly
+// one item.
+//
+// A query must be bound (query/binder.h) before evaluation; binding
+// resolves from-sources, type checks items and the condition, and
+// annotates every expression.
+#ifndef OODBSEC_QUERY_QUERY_H_
+#define OODBSEC_QUERY_QUERY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lang/ast.h"
+
+namespace oodbsec::query {
+
+class SelectQuery;
+
+// One from-clause binding `var in source`.
+struct FromBinding {
+  std::string var;
+  // The unbound source expression. After binding, either `class_name` is
+  // set (the source was a class extent) or `set_expr` remains and is type
+  // checked to a set type.
+  std::unique_ptr<lang::Expr> set_expr;
+  std::string class_name;
+  const types::Type* element_type = nullptr;  // the type of `var`
+};
+
+// One select item: exactly one of `expr` / `subquery` is set.
+struct SelectItem {
+  std::unique_ptr<lang::Expr> expr;
+  std::unique_ptr<SelectQuery> subquery;
+};
+
+class SelectQuery {
+ public:
+  std::vector<SelectItem> items;
+  std::vector<FromBinding> bindings;
+  std::unique_ptr<lang::Expr> where;  // may be null
+
+  bool bound = false;  // set by BindQuery
+
+  // Re-renders the query as source text.
+  std::string ToString() const;
+};
+
+}  // namespace oodbsec::query
+
+#endif  // OODBSEC_QUERY_QUERY_H_

@@ -1,0 +1,114 @@
+#include "query/query_evaluator.h"
+
+#include "common/strings.h"
+#include "query/capability.h"
+
+namespace oodbsec::query {
+
+using common::Result;
+using common::Status;
+using types::Value;
+
+std::string QueryResult::ToString() const {
+  std::string out;
+  for (const std::vector<Value>& row : rows) {
+    std::vector<std::string> cells;
+    cells.reserve(row.size());
+    for (const Value& v : row) cells.push_back(v.ToString());
+    out += "(";
+    out += common::Join(cells, ", ");
+    out += ")\n";
+  }
+  return out;
+}
+
+Result<QueryResult> QueryEvaluator::Run(const SelectQuery& query) {
+  if (!query.bound) {
+    return common::FailedPreconditionError("query is not bound");
+  }
+  if (user_ != nullptr) {
+    OODBSEC_RETURN_IF_ERROR(CheckQueryCapabilities(query, *user_));
+  }
+  exec::Environment env;
+  return RunWithEnv(query, env);
+}
+
+Result<QueryResult> QueryEvaluator::RunWithEnv(const SelectQuery& query,
+                                               exec::Environment& env) {
+  QueryResult result;
+  OODBSEC_RETURN_IF_ERROR(EvalBindings(query, env, 0, result));
+  return result;
+}
+
+Status QueryEvaluator::EvalBindings(const SelectQuery& query,
+                                    exec::Environment& env,
+                                    size_t binding_index,
+                                    QueryResult& result) {
+  if (binding_index == query.bindings.size()) {
+    return EvalRow(query, env, result);
+  }
+  const FromBinding& binding = query.bindings[binding_index];
+
+  if (!binding.class_name.empty()) {
+    // Snapshot the extent: queries do not create objects, so iteration
+    // over a copy matches iteration over the live extent; the copy keeps
+    // the loop safe should that ever change.
+    std::vector<types::Oid> extent = db_.Extent(binding.class_name);
+    for (types::Oid oid : extent) {
+      env.Push(binding.var, Value::Object(oid));
+      Status status = EvalBindings(query, env, binding_index + 1, result);
+      env.Pop();
+      OODBSEC_RETURN_IF_ERROR(status);
+    }
+    return Status::Ok();
+  }
+
+  exec::Evaluator evaluator(db_);
+  OODBSEC_ASSIGN_OR_RETURN(Value set_value,
+                           evaluator.Eval(*binding.set_expr, env));
+  if (set_value.is_null()) return Status::Ok();  // empty source
+  if (!set_value.is_set()) {
+    return common::TypeError(
+        common::StrCat("from-source of '", binding.var,
+                       "' evaluated to non-set ", set_value.ToString()));
+  }
+  for (const Value& element : set_value.set_value()) {
+    env.Push(binding.var, element);
+    Status status = EvalBindings(query, env, binding_index + 1, result);
+    env.Pop();
+    OODBSEC_RETURN_IF_ERROR(status);
+  }
+  return Status::Ok();
+}
+
+Status QueryEvaluator::EvalRow(const SelectQuery& query,
+                               exec::Environment& env, QueryResult& result) {
+  exec::Evaluator evaluator(db_);
+
+  if (query.where != nullptr) {
+    OODBSEC_ASSIGN_OR_RETURN(Value cond, evaluator.Eval(*query.where, env));
+    if (!cond.is_bool() || !cond.bool_value()) return Status::Ok();
+  }
+
+  std::vector<Value> row;
+  row.reserve(query.items.size());
+  for (const SelectItem& item : query.items) {
+    if (item.subquery != nullptr) {
+      OODBSEC_ASSIGN_OR_RETURN(QueryResult sub,
+                               RunWithEnv(*item.subquery, env));
+      types::ValueSet elements;
+      elements.reserve(sub.rows.size());
+      for (std::vector<Value>& sub_row : sub.rows) {
+        elements.push_back(std::move(sub_row[0]));
+      }
+      row.push_back(Value::Set(std::move(elements)));
+    } else {
+      OODBSEC_ASSIGN_OR_RETURN(Value value, evaluator.Eval(*item.expr, env));
+      row.push_back(std::move(value));
+    }
+  }
+  result.rows.push_back(std::move(row));
+  return Status::Ok();
+}
+
+}  // namespace oodbsec::query

@@ -1,0 +1,53 @@
+// Query execution: nested-loop evaluation over class extents and set
+// sources, where-filtering, and left-to-right item evaluation (so
+// side-effecting items such as w_budget(b, 1) interleave exactly as in
+// the paper's probing query, §3.1).
+#ifndef OODBSEC_QUERY_QUERY_EVALUATOR_H_
+#define OODBSEC_QUERY_QUERY_EVALUATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "exec/evaluator.h"
+#include "query/query.h"
+#include "schema/user.h"
+#include "store/database.h"
+#include "types/value.h"
+
+namespace oodbsec::query {
+
+struct QueryResult {
+  // One row per surviving from-clause assignment; one value per item.
+  std::vector<std::vector<types::Value>> rows;
+
+  std::string ToString() const;
+};
+
+class QueryEvaluator {
+ public:
+  // `user` restricts which functions the query may invoke; nullptr runs
+  // with no restriction (administrator).
+  QueryEvaluator(store::Database& db, const schema::User* user)
+      : db_(db), user_(user) {}
+
+  // Runs a bound query. Fails with PermissionDenied before touching the
+  // database if the capability check fails.
+  common::Result<QueryResult> Run(const SelectQuery& query);
+
+ private:
+  common::Result<QueryResult> RunWithEnv(const SelectQuery& query,
+                                         exec::Environment& env);
+  common::Status EvalBindings(const SelectQuery& query,
+                              exec::Environment& env, size_t binding_index,
+                              QueryResult& result);
+  common::Status EvalRow(const SelectQuery& query, exec::Environment& env,
+                         QueryResult& result);
+
+  store::Database& db_;
+  const schema::User* user_;
+};
+
+}  // namespace oodbsec::query
+
+#endif  // OODBSEC_QUERY_QUERY_EVALUATOR_H_

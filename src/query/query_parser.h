@@ -1,0 +1,27 @@
+// Parser for the query language. Reuses the shared TokenStream/expression
+// parser from src/lang.
+#ifndef OODBSEC_QUERY_QUERY_PARSER_H_
+#define OODBSEC_QUERY_QUERY_PARSER_H_
+
+#include <memory>
+#include <string_view>
+
+#include "common/diagnostics.h"
+#include "common/result.h"
+#include "lang/parser.h"
+#include "query/query.h"
+
+namespace oodbsec::query {
+
+// Parses one select query from `stream`; nullptr on error (reported into
+// `sink`).
+std::unique_ptr<SelectQuery> ParseQuery(lang::TokenStream& stream,
+                                        common::DiagnosticSink& sink);
+
+// Parses `source` as a complete query.
+common::Result<std::unique_ptr<SelectQuery>> ParseQueryString(
+    std::string_view source);
+
+}  // namespace oodbsec::query
+
+#endif  // OODBSEC_QUERY_QUERY_PARSER_H_

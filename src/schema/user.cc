@@ -1,0 +1,43 @@
+#include "schema/user.h"
+
+#include "common/strings.h"
+
+namespace oodbsec::schema {
+
+common::Status UserRegistry::AddUser(std::string name) {
+  auto [it, inserted] = users_.emplace(name, User(name));
+  if (!inserted) {
+    return common::AlreadyExistsError(
+        common::StrCat("duplicate user '", name, "'"));
+  }
+  return common::Status::Ok();
+}
+
+common::Status UserRegistry::Grant(std::string_view user,
+                                   std::string function_name) {
+  auto it = users_.find(user);
+  if (it == users_.end()) {
+    return common::NotFoundError(common::StrCat("unknown user '", user, "'"));
+  }
+  if (!schema_.ResolveCallable(function_name).ok()) {
+    return common::NotFoundError(common::StrCat(
+        "cannot grant '", function_name, "': no such access function or "
+        "special function"));
+  }
+  it->second.Grant(std::move(function_name));
+  return common::Status::Ok();
+}
+
+const User* UserRegistry::Find(std::string_view name) const {
+  auto it = users_.find(name);
+  return it == users_.end() ? nullptr : &it->second;
+}
+
+std::vector<const User*> UserRegistry::users() const {
+  std::vector<const User*> out;
+  out.reserve(users_.size());
+  for (const auto& [_, user] : users_) out.push_back(&user);
+  return out;
+}
+
+}  // namespace oodbsec::schema

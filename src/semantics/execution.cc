@@ -1,0 +1,129 @@
+#include "semantics/execution.h"
+
+#include <map>
+
+#include "common/strings.h"
+
+namespace oodbsec::semantics {
+
+using common::Result;
+using types::Value;
+using unfold::Node;
+using unfold::NodeKind;
+
+namespace {
+
+class TreeEvaluator {
+ public:
+  TreeEvaluator(store::Database& db, ExecutionInstance& out)
+      : db_(db), out_(out) {}
+
+  std::map<int, Value>& env() { return env_; }
+
+  Result<Value> Eval(const Node* node) {
+    Value result;
+    switch (node->kind) {
+      case NodeKind::kConstant:
+        result = node->constant;
+        break;
+      case NodeKind::kVarRef: {
+        auto it = env_.find(node->binder_id);
+        if (it == env_.end()) {
+          return common::InternalError(
+              common::StrCat("unbound binder for ", node->var_name));
+        }
+        result = it->second;
+        break;
+      }
+      case NodeKind::kBasicCall: {
+        types::ValueSet args;
+        args.reserve(node->children.size());
+        for (const Node* child : node->children) {
+          OODBSEC_ASSIGN_OR_RETURN(Value v, Eval(child));
+          args.push_back(std::move(v));
+        }
+        result = node->basic->Eval(args);
+        break;
+      }
+      case NodeKind::kReadAttr: {
+        OODBSEC_ASSIGN_OR_RETURN(Value object, Eval(node->object_child()));
+        if (!object.is_object()) {
+          return common::FailedPreconditionError(
+              common::StrCat("read of r_", node->attribute, " on ",
+                             object.ToString()));
+        }
+        OODBSEC_ASSIGN_OR_RETURN(
+            result, db_.ReadAttribute(object.oid(), node->attribute));
+        break;
+      }
+      case NodeKind::kWriteAttr: {
+        OODBSEC_ASSIGN_OR_RETURN(Value object, Eval(node->object_child()));
+        OODBSEC_ASSIGN_OR_RETURN(Value value, Eval(node->value_child()));
+        if (!object.is_object()) {
+          return common::FailedPreconditionError(
+              common::StrCat("write of w_", node->attribute, " on ",
+                             object.ToString()));
+        }
+        OODBSEC_RETURN_IF_ERROR(
+            db_.WriteAttribute(object.oid(), node->attribute, value));
+        result = Value::Null();
+        break;
+      }
+      case NodeKind::kLet: {
+        for (size_t i = 0; i + 1 < node->children.size(); ++i) {
+          OODBSEC_ASSIGN_OR_RETURN(Value v, Eval(node->children[i]));
+          env_[node->binder_ids[i]] = std::move(v);
+        }
+        OODBSEC_ASSIGN_OR_RETURN(result, Eval(node->body()));
+        break;
+      }
+    }
+    out_.values[static_cast<size_t>(node->id)] = result;
+    return result;
+  }
+
+ private:
+  store::Database& db_;
+  ExecutionInstance& out_;
+  std::map<int, Value> env_;
+};
+
+}  // namespace
+
+Result<ExecutionInstance> Execute(const unfold::UnfoldedSet& sequence,
+                                  store::Database& db,
+                                  const std::vector<types::ValueSet>& root_args) {
+  if (root_args.size() != sequence.roots().size()) {
+    return common::InvalidArgumentError(common::StrCat(
+        "expected arguments for ", sequence.roots().size(), " root(s), got ",
+        root_args.size()));
+  }
+  ExecutionInstance instance;
+  instance.values.assign(static_cast<size_t>(sequence.node_count()) + 1,
+                         Value::Null());
+  for (size_t i = 0; i < sequence.roots().size(); ++i) {
+    const unfold::Root& root = sequence.roots()[i];
+    if (root_args[i].size() != root.arg_binder_ids.size()) {
+      return common::InvalidArgumentError(common::StrCat(
+          "root ", i, " ('", root.function_name, "') expects ",
+          root.arg_binder_ids.size(), " argument(s), got ",
+          root_args[i].size()));
+    }
+    TreeEvaluator evaluator(db, instance);
+    for (size_t a = 0; a < root.arg_binder_ids.size(); ++a) {
+      evaluator.env()[root.arg_binder_ids[a]] = root_args[i][a];
+      // Argument-variable occurrences record the supplied value even if
+      // the body never evaluates them.
+      for (const Node* occurrence :
+           sequence.binder(root.arg_binder_ids[a]).occurrences) {
+        instance.values[static_cast<size_t>(occurrence->id)] =
+            root_args[i][a];
+      }
+    }
+    OODBSEC_ASSIGN_OR_RETURN(Value result, evaluator.Eval(root.body));
+    instance.root_results.push_back(std::move(result));
+  }
+  return instance;
+}
+
+}  // namespace oodbsec::semantics

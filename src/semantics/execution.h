@@ -1,0 +1,37 @@
+// Execution instances (paper §3.3).
+//
+// An execution instance E = (D, f1(v…) = r1, …, fn(v…) = rn) is one run
+// of a function sequence L against an initial database state D. The
+// unfolded, numbered sequence (unfold::UnfoldedSet with duplicate roots
+// allowed) is evaluated root by root — writes mutate the database, so
+// later roots observe earlier effects — and the value [ᵏe]E of every
+// numbered occurrence is recorded.
+#ifndef OODBSEC_SEMANTICS_EXECUTION_H_
+#define OODBSEC_SEMANTICS_EXECUTION_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "store/database.h"
+#include "types/value.h"
+#include "unfold/unfolded.h"
+
+namespace oodbsec::semantics {
+
+struct ExecutionInstance {
+  // values[id] = [ᵏe]E for occurrence id (1-based; index 0 unused).
+  std::vector<types::Value> values;
+  // One result per root, in order.
+  std::vector<types::Value> root_results;
+};
+
+// Runs `sequence` against `db` (mutating it), with `root_args[i]` the
+// argument values of root i. Fails on runtime errors (e.g. an attribute
+// read on null).
+common::Result<ExecutionInstance> Execute(
+    const unfold::UnfoldedSet& sequence, store::Database& db,
+    const std::vector<types::ValueSet>& root_args);
+
+}  // namespace oodbsec::semantics
+
+#endif  // OODBSEC_SEMANTICS_EXECUTION_H_

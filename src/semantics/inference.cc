@@ -1,0 +1,317 @@
+#include "semantics/inference.h"
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+#include "common/strings.h"
+
+namespace oodbsec::semantics {
+
+using common::Result;
+using types::Value;
+using types::ValueSet;
+using unfold::Node;
+using unfold::NodeKind;
+
+namespace {
+
+// Plain union-find over occurrence ids.
+class UnionFind {
+ public:
+  explicit UnionFind(int n) : parent_(n + 1) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  int Find(int x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  bool Merge(int a, int b) {
+    a = Find(a);
+    b = Find(b);
+    if (a == b) return false;
+    parent_[a] = b;
+    return true;
+  }
+
+ private:
+  std::vector<int> parent_;
+};
+
+ValueSet Intersect(const ValueSet& a, const ValueSet& b) {
+  std::set<Value> in_b(b.begin(), b.end());
+  ValueSet out;
+  for (const Value& v : a) {
+    if (in_b.count(v) > 0) out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<SemanticInference>> SemanticInference::Build(
+    const unfold::UnfoldedSet& sequence, const ExecutionInstance& execution,
+    const types::DomainMap& domains) {
+  std::unique_ptr<SemanticInference> inference(new SemanticInference());
+  int n = sequence.node_count();
+
+  // --- Table 1 equality axioms -> union-find classes ---
+  UnionFind uf(n);
+  for (const unfold::Binder& binder : sequence.binders()) {
+    for (size_t i = 1; i < binder.occurrences.size(); ++i) {
+      uf.Merge(binder.occurrences[0]->id, binder.occurrences[i]->id);
+    }
+    if (binder.bound_expr != nullptr && !binder.occurrences.empty()) {
+      uf.Merge(binder.occurrences[0]->id, binder.bound_expr->id);
+    }
+  }
+  for (int i = 1; i <= n; ++i) {
+    const Node* node = sequence.node(i);
+    if (node->is_let()) uf.Merge(node->body()->id, node->id);
+  }
+  // Axiom 2's user-knowledge case: the user knows the arguments they
+  // supplied, so root-argument occurrences carrying equal values are
+  // recognizably equal (the paper's "passed values through the same
+  // from-clause variable" covers the object-typed case).
+  {
+    std::vector<const Node*> root_arg_occurrences;
+    for (const unfold::Binder& binder : sequence.binders()) {
+      if (!binder.is_root_arg || binder.occurrences.empty()) continue;
+      root_arg_occurrences.push_back(binder.occurrences[0]);
+    }
+    for (size_t i = 0; i < root_arg_occurrences.size(); ++i) {
+      for (size_t j = i + 1; j < root_arg_occurrences.size(); ++j) {
+        int a = root_arg_occurrences[i]->id;
+        int b = root_arg_occurrences[j]->id;
+        if (root_arg_occurrences[i]->type == root_arg_occurrences[j]->type &&
+            execution.values[static_cast<size_t>(a)] ==
+                execution.values[static_cast<size_t>(b)]) {
+          uf.Merge(a, b);
+        }
+      }
+    }
+  }
+
+  // Rule 4 (reads/writes) with Table 1's ordering conditions, iterated
+  // because object equality may itself be derived: two reads of an
+  // attribute on an equal object are equal when no write to that
+  // attribute lies between them (in evaluation order); a written value
+  // equals later reads up to the next write. Intervening writes are
+  // blocked conservatively regardless of their target object — the
+  // conservative direction under-approximates user inference, which is
+  // the safe direction for the soundness experiment.
+  auto write_between = [&sequence](const std::string& attribute, int lo,
+                                   int hi) {
+    for (const Node* write : sequence.writes(attribute)) {
+      if (write->id > lo && write->id < hi) return true;
+    }
+    return false;
+  };
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const std::string& attribute : sequence.touched_attributes()) {
+      const auto& reads = sequence.reads(attribute);
+      const auto& writes = sequence.writes(attribute);
+      for (size_t i = 0; i < reads.size(); ++i) {
+        for (size_t j = 0; j < reads.size(); ++j) {
+          int lo = reads[i]->id;
+          int hi = reads[j]->id;
+          if (lo >= hi) continue;
+          if (uf.Find(reads[i]->object_child()->id) ==
+                  uf.Find(reads[j]->object_child()->id) &&
+              !write_between(attribute, lo, hi)) {
+            changed |= uf.Merge(reads[i]->id, reads[j]->id);
+          }
+        }
+      }
+      for (const Node* write : writes) {
+        for (const Node* read : reads) {
+          if (write->id < read->id &&
+              uf.Find(write->object_child()->id) ==
+                  uf.Find(read->object_child()->id) &&
+              !write_between(attribute, write->id, read->id)) {
+            changed |= uf.Merge(write->value_child()->id, read->id);
+          }
+        }
+      }
+    }
+  }
+
+  // Class indexing.
+  inference->class_of_.assign(static_cast<size_t>(n) + 1, -1);
+  std::map<int, int> class_index;
+  for (int i = 1; i <= n; ++i) {
+    int rep = uf.Find(i);
+    auto [it, inserted] =
+        class_index.emplace(rep, static_cast<int>(class_index.size()));
+    inference->class_of_[static_cast<size_t>(i)] = it->second;
+  }
+  size_t class_count = class_index.size();
+  inference->domains_.resize(class_count);
+  inference->candidates_.resize(class_count);
+
+  // Domains per class (null-typed classes use the singleton {null}).
+  for (int i = 1; i <= n; ++i) {
+    int cls = inference->ClassOf(i);
+    if (!inference->domains_[static_cast<size_t>(cls)].empty()) continue;
+    const types::Type* type = sequence.node(i)->type;
+    if (type->kind() == types::TypeKind::kNull) {
+      inference->domains_[static_cast<size_t>(cls)] = {Value::Null()};
+      continue;
+    }
+    const types::Domain* domain = domains.Find(type);
+    if (domain == nullptr) {
+      return common::NotFoundError(common::StrCat(
+          "no domain for type ", type->ToString(), " (occurrence ",
+          sequence.ShortLabel(i), ")"));
+    }
+    inference->domains_[static_cast<size_t>(cls)] = domain->values();
+  }
+  inference->candidates_ = inference->domains_;
+
+  // --- Axiom 1 singletons ---
+  auto restrict_to = [&](int id, const Value& v) {
+    ValueSet& cand =
+        inference->candidates_[static_cast<size_t>(inference->ClassOf(id))];
+    cand = Intersect(cand, {v});
+  };
+  for (int i = 1; i <= n; ++i) {
+    const Node* node = sequence.node(i);
+    if (node->kind == NodeKind::kConstant) {
+      restrict_to(i, node->constant);
+    }
+  }
+  for (const unfold::Binder& binder : sequence.binders()) {
+    if (!binder.is_root_arg) continue;
+    for (const Node* occurrence : binder.occurrences) {
+      restrict_to(occurrence->id,
+                  execution.values[static_cast<size_t>(occurrence->id)]);
+    }
+  }
+  for (const unfold::Root& root : sequence.roots()) {
+    restrict_to(root.body->id,
+                execution.values[static_cast<size_t>(root.body->id)]);
+  }
+
+  // --- Basic-call constraints (axiom 1's function relations) ---
+  for (int i = 1; i <= n; ++i) {
+    const Node* node = sequence.node(i);
+    if (node->kind != NodeKind::kBasicCall) continue;
+    Constraint constraint;
+    constraint.fn = node->basic;
+    for (const Node* child : node->children) {
+      constraint.vars.push_back(inference->ClassOf(child->id));
+    }
+    constraint.vars.push_back(inference->ClassOf(node->id));
+    inference->constraints_.push_back(std::move(constraint));
+  }
+
+  inference->Solve();
+  return inference;
+}
+
+void SemanticInference::Solve() {
+  projections_.assign(candidates_.size(), {});
+
+  // Variables that participate in no constraint keep their candidate
+  // sets as projections; only constrained variables are enumerated.
+  std::vector<bool> constrained(candidates_.size(), false);
+  for (const Constraint& constraint : constraints_) {
+    for (int var : constraint.vars) {
+      constrained[static_cast<size_t>(var)] = true;
+    }
+  }
+  std::vector<int> order;
+  for (size_t i = 0; i < candidates_.size(); ++i) {
+    if (constrained[i]) {
+      order.push_back(static_cast<int>(i));
+    } else {
+      projections_[i] = candidates_[i];
+    }
+  }
+  // Most-constrained-first ordering keeps the search small.
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    return candidates_[static_cast<size_t>(a)].size() <
+           candidates_[static_cast<size_t>(b)].size();
+  });
+
+  std::vector<int> choice(candidates_.size(), -1);
+  Enumerate(0, choice, order);
+}
+
+bool SemanticInference::Consistent(const Constraint& constraint,
+                                   const std::vector<int>& choice,
+                                   const std::vector<int>&) const {
+  types::ValueSet args;
+  args.reserve(constraint.vars.size() - 1);
+  for (size_t i = 0; i + 1 < constraint.vars.size(); ++i) {
+    int var = constraint.vars[i];
+    int pick = choice[static_cast<size_t>(var)];
+    if (pick < 0) return true;  // not yet assigned
+    args.push_back(candidates_[static_cast<size_t>(var)]
+                              [static_cast<size_t>(pick)]);
+  }
+  int result_var = constraint.vars.back();
+  int result_pick = choice[static_cast<size_t>(result_var)];
+  if (result_pick < 0) return true;
+  return constraint.fn->Eval(args) ==
+         candidates_[static_cast<size_t>(result_var)]
+                    [static_cast<size_t>(result_pick)];
+}
+
+void SemanticInference::Enumerate(size_t index, std::vector<int>& choice,
+                                  const std::vector<int>& order) {
+  if (index == order.size()) {
+    for (int var : order) {
+      ValueSet& projection = projections_[static_cast<size_t>(var)];
+      const Value& v = candidates_[static_cast<size_t>(var)]
+                                  [static_cast<size_t>(
+                                      choice[static_cast<size_t>(var)])];
+      if (std::find(projection.begin(), projection.end(), v) ==
+          projection.end()) {
+        projection.push_back(v);
+      }
+    }
+    return;
+  }
+  int var = order[index];
+  const ValueSet& cand = candidates_[static_cast<size_t>(var)];
+  for (size_t pick = 0; pick < cand.size(); ++pick) {
+    choice[static_cast<size_t>(var)] = static_cast<int>(pick);
+    bool ok = true;
+    for (const Constraint& constraint : constraints_) {
+      bool involves = false;
+      bool complete = true;
+      for (int v : constraint.vars) {
+        if (v == var) involves = true;
+        if (choice[static_cast<size_t>(v)] < 0) complete = false;
+      }
+      if (involves && complete && !Consistent(constraint, choice, order)) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) Enumerate(index + 1, choice, order);
+  }
+  choice[static_cast<size_t>(var)] = -1;
+}
+
+const ValueSet& SemanticInference::InferredSet(int id) const {
+  return projections_[static_cast<size_t>(ClassOf(id))];
+}
+
+bool SemanticInference::InfersTotal(int id) const {
+  return InferredSet(id).size() == 1;
+}
+
+bool SemanticInference::InfersPartial(int id) const {
+  size_t cls = static_cast<size_t>(ClassOf(id));
+  return !projections_[cls].empty() &&
+         projections_[cls].size() < domains_[cls].size();
+}
+
+}  // namespace oodbsec::semantics

@@ -1,0 +1,77 @@
+// The semantic inference system I(E) (paper §3.3, Table 1).
+//
+// I(E) formalizes what a user can deduce from observing one execution:
+// starting from singleton knowledge about constants, the arguments they
+// supplied, and the results they observed, plus the extensional
+// relations of the basic functions and the equalities of Table 1's
+// axioms, the user closes under join and projection.
+//
+// Over finite domains, the deductive closure of Table 1 computes exactly
+// the per-occurrence projections of the constraint system
+//
+//   variables    = equality classes of occurrences,
+//   domains      = finite domains of their types,
+//   constraints  = singletons (axiom 1) + one row-membership constraint
+//                  per basic call (the graph of fb),
+//
+// so this implementation realizes I(E) as an exact CSP projection
+// solver: InferredSet(e) is the set S in the strongest derivable
+// [e ∈ S]. Class-typed occurrences draw from the database's extents;
+// set-typed occurrences are out of scope (the oracle never queries
+// them).
+#ifndef OODBSEC_SEMANTICS_INFERENCE_H_
+#define OODBSEC_SEMANTICS_INFERENCE_H_
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "semantics/execution.h"
+#include "types/domain.h"
+#include "unfold/unfolded.h"
+
+namespace oodbsec::semantics {
+
+class SemanticInference {
+ public:
+  // `domains` must cover every type occurring in the sequence (basic
+  // types and the class types of object-valued occurrences).
+  static common::Result<std::unique_ptr<SemanticInference>> Build(
+      const unfold::UnfoldedSet& sequence, const ExecutionInstance& execution,
+      const types::DomainMap& domains);
+
+  // The strongest derivable candidate set for occurrence `id`.
+  const types::ValueSet& InferredSet(int id) const;
+
+  // [e ∈ {v}]: the user pins the exact value.
+  bool InfersTotal(int id) const;
+  // [e ∈ S] with S a proper subset of the domain.
+  bool InfersPartial(int id) const;
+
+ private:
+  SemanticInference() = default;
+
+  struct Constraint {
+    const exec::BasicFunction* fn;
+    std::vector<int> vars;  // class indices: one per argument + result
+  };
+
+  int ClassOf(int id) const { return class_of_[static_cast<size_t>(id)]; }
+  void Solve();
+  void Enumerate(size_t index, std::vector<int>& choice,
+                 const std::vector<int>& order);
+  bool Consistent(const Constraint& constraint,
+                  const std::vector<int>& partial,
+                  const std::vector<int>& var_position) const;
+
+  std::vector<int> class_of_;               // occurrence id -> class index
+  std::vector<types::ValueSet> domains_;    // per class
+  std::vector<types::ValueSet> candidates_; // per class, after singletons
+  std::vector<Constraint> constraints_;
+  std::vector<types::ValueSet> projections_;  // per class, the answer
+};
+
+}  // namespace oodbsec::semantics
+
+#endif  // OODBSEC_SEMANTICS_INFERENCE_H_

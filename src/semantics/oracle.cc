@@ -1,0 +1,213 @@
+#include "semantics/oracle.h"
+
+#include <functional>
+#include <set>
+
+#include "common/strings.h"
+#include "semantics/execution.h"
+
+namespace oodbsec::semantics {
+
+using common::Result;
+using types::Value;
+using types::ValueSet;
+
+Oracle::Oracle(const schema::Schema& schema,
+               std::vector<std::string> capability_list,
+               std::vector<store::Database> initial_databases,
+               types::DomainMap base_domains, OracleOptions options)
+    : schema_(schema),
+      capability_list_(std::move(capability_list)),
+      initial_databases_(std::move(initial_databases)),
+      base_domains_(std::move(base_domains)),
+      options_(options) {}
+
+Target Oracle::TargetFor(const unfold::UnfoldedSet& set, int id) {
+  Target target;
+  int base = 0;
+  for (const unfold::Root& root : set.roots()) {
+    int end = root.body->id;
+    if (id > base && id <= end) {
+      target.function = root.function_name;
+      target.local_id = id - base;
+      return target;
+    }
+    base = end;
+  }
+  return target;
+}
+
+types::DomainMap Oracle::DomainsFor(const store::Database& db) const {
+  types::DomainMap domains = base_domains_;
+  const types::TypePool& pool = schema_.pool();
+  domains.Set(pool.Null(), types::Domain::NullOnly(pool.Null()));
+  for (const auto& cls : schema_.classes()) {
+    domains.Set(cls->type(),
+                types::Domain::Objects(cls->type(), db.Extent(cls->name())));
+  }
+  return domains;
+}
+
+bool Oracle::ForEachSequence(
+    const Target& target,
+    const std::function<bool(const unfold::UnfoldedSet&,
+                             const std::vector<int>&)>& body) const {
+  for (int length = 1; length <= options_.max_sequence_length; ++length) {
+    std::vector<size_t> picks(static_cast<size_t>(length), 0);
+    while (true) {
+      std::vector<std::string> names;
+      bool contains_target = false;
+      for (size_t pick : picks) {
+        names.push_back(capability_list_[pick]);
+        if (names.back() == target.function) contains_target = true;
+      }
+      if (contains_target) {
+        auto set = unfold::UnfoldedSet::Build(schema_, names);
+        if (set.ok()) {
+          std::vector<int> target_ids;
+          int base = 0;
+          for (const unfold::Root& root : set.value()->roots()) {
+            int end = root.body->id;
+            if (root.function_name == target.function &&
+                base + target.local_id <= end) {
+              target_ids.push_back(base + target.local_id);
+            }
+            base = end;
+          }
+          if (!target_ids.empty() && body(*set.value(), target_ids)) {
+            return true;
+          }
+        }
+      }
+      // Next tuple.
+      size_t i = 0;
+      while (i < picks.size() && ++picks[i] == capability_list_.size()) {
+        picks[i] = 0;
+        ++i;
+      }
+      if (i == picks.size()) break;
+    }
+  }
+  return false;
+}
+
+Result<bool> Oracle::Can(core::Capability capability,
+                         const Target& target) const {
+  if (target.function.empty() || target.local_id <= 0) {
+    return common::InvalidArgumentError("bad oracle target");
+  }
+  bool is_alterability = core::IsAlterability(capability);
+  bool total = capability == core::Capability::kTotalAlterability ||
+               capability == core::Capability::kTotalInferability;
+
+  // Decides the capability for one (sequence, initial database) pair.
+  auto achievable_from = [&](const unfold::UnfoldedSet& set,
+                             const std::vector<int>& target_ids,
+                             const store::Database& initial) {
+    {
+      types::DomainMap domains = DomainsFor(initial);
+      // Injection domains: what the user can pass as arguments, and the
+      // coverage reference for total alterability.
+      types::DomainMap injection = domains;
+      if (options_.argument_domains.has_value()) {
+        injection = *options_.argument_domains;
+        const types::TypePool& pool = schema_.pool();
+        injection.Set(pool.Null(), types::Domain::NullOnly(pool.Null()));
+        for (const auto& cls : schema_.classes()) {
+          injection.Set(cls->type(),
+                        types::Domain::Objects(cls->type(),
+                                               initial.Extent(cls->name())));
+        }
+      }
+
+      // Argument domains, flattened across roots.
+      std::vector<const types::Domain*> arg_domains;
+      std::vector<size_t> args_per_root;
+      bool missing_domain = false;
+      for (const unfold::Root& root : set.roots()) {
+        args_per_root.push_back(root.callable.param_types.size());
+        for (const types::Type* type : root.callable.param_types) {
+          const types::Domain* domain = injection.Find(type);
+          if (domain == nullptr) missing_domain = true;
+          arg_domains.push_back(domain);
+        }
+      }
+      if (missing_domain) return false;
+
+      // Reached values per target id (for ta/pa).
+      std::map<int, std::set<Value>> reached;
+
+      for (types::ProductIterator it(arg_domains); it.has_value();
+           it.Next()) {
+        // Slice the flat assignment back into per-root argument lists.
+        std::vector<ValueSet> root_args;
+        size_t cursor = 0;
+        for (size_t count : args_per_root) {
+          root_args.emplace_back(it.assignment().begin() + cursor,
+                                 it.assignment().begin() + cursor + count);
+          cursor += count;
+        }
+        store::Database db = initial.Clone();
+        auto execution = Execute(set, db, root_args);
+        if (!execution.ok()) continue;  // invalid execution (e.g. null read)
+
+        if (is_alterability) {
+          for (int id : target_ids) {
+            reached[id].insert(
+                execution->values[static_cast<size_t>(id)]);
+          }
+        } else {
+          auto inference =
+              SemanticInference::Build(set, *execution, domains);
+          if (!inference.ok()) continue;
+          for (int id : target_ids) {
+            if (total ? inference.value()->InfersTotal(id)
+                      : inference.value()->InfersPartial(id)) {
+              return true;
+            }
+          }
+        }
+      }
+
+      if (is_alterability) {
+        for (int id : target_ids) {
+          const types::Domain* domain = injection.Find(set.node(id)->type);
+          size_t domain_size =
+              domain != nullptr
+                  ? domain->size()
+                  : (set.node(id)->type->kind() == types::TypeKind::kNull
+                         ? 1
+                         : 0);
+          if (total) {
+            if (domain_size > 0 && reached[id].size() == domain_size) {
+              return true;
+            }
+          } else if (reached[id].size() >= 2) {
+            return true;
+          }
+        }
+      }
+    }
+    return false;
+  };
+
+  bool achieved = ForEachSequence(target, [&](const unfold::UnfoldedSet& set,
+                                              const std::vector<int>&
+                                                  target_ids) {
+    if (options_.universal_database) {
+      // ∀D: this sequence must succeed from every candidate state.
+      for (const store::Database& initial : initial_databases_) {
+        if (!achievable_from(set, target_ids, initial)) return false;
+      }
+      return !initial_databases_.empty();
+    }
+    // ∃D: one witnessing state suffices.
+    for (const store::Database& initial : initial_databases_) {
+      if (achievable_from(set, target_ids, initial)) return true;
+    }
+    return false;
+  });
+  return achieved;
+}
+
+}  // namespace oodbsec::semantics

@@ -1,0 +1,108 @@
+// The small-scope brute-force oracle for the paper's semantic
+// definitions (Definitions 2–5, §3.3).
+//
+// Can(D, L, c, ᵏe) quantifies over all function sequences L available to
+// the user and all executions; that is undecidable in general, so the
+// oracle decides it *within a bound*: sequences over the capability list
+// up to a maximum length, argument values from finite domains, database
+// states from a supplied candidate list. Any capability the oracle
+// confirms is genuinely achievable (every witness is real); the oracle
+// may miss capabilities that need longer sequences or larger domains.
+//
+// This directional guarantee is what the soundness experiment (S1)
+// needs: whenever the oracle says "achievable", the static analyzer
+// F(F) must have derived the corresponding term (paper Theorem 1).
+//
+//   * ta / pa (Definitions 2–3): enumerate executions, collect the
+//     values the target occurrence reaches; total = the whole domain,
+//     partial = at least two values.
+//   * ti / pi (Definitions 4–5): for some execution, I(E) (the exact
+//     projection solver in inference.h) pins the target to a singleton /
+//     a proper subset.
+//
+// Targets are named portably across sequences as (function, local
+// occurrence id), where local ids number the occurrences of one
+// function's own unfolding starting at 1.
+#ifndef OODBSEC_SEMANTICS_ORACLE_H_
+#define OODBSEC_SEMANTICS_ORACLE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/capability.h"
+#include "schema/schema.h"
+#include "semantics/inference.h"
+#include "store/database.h"
+#include "types/domain.h"
+
+namespace oodbsec::semantics {
+
+struct OracleOptions {
+  // Maximum function-sequence length (paper sequences are unbounded).
+  int max_sequence_length = 2;
+  // Domains used (a) to enumerate the argument values the user injects
+  // and (b) as the coverage reference for total alterability. When
+  // unset, the inference domains are used for both. Separating them
+  // keeps the execution enumeration small while the inference domains
+  // stay closed under the workload's arithmetic (an inference domain
+  // that cannot hold a reachable value would make I(E) over-infer).
+  std::optional<types::DomainMap> argument_domains;
+  // The paper's §3.3 definitional variant: "Another considerable way of
+  // the definitions is to use ∀D instead of ∃D". When true, a
+  // capability counts as achievable only if some sequence achieves it
+  // from EVERY candidate initial database (the user need not get lucky
+  // with the state); the default existential reading accepts a single
+  // witnessing state.
+  bool universal_database = false;
+};
+
+// A subexpression occurrence identified relative to one function's own
+// unfolding (root at local ids 1..k).
+struct Target {
+  std::string function;
+  int local_id = 0;
+};
+
+class Oracle {
+ public:
+  // `capability_list` are the functions the user may invoke;
+  // `initial_databases` the candidate initial states (Definition 1
+  // quantifies the state existentially); `base_domains` must cover the
+  // basic types (class-type domains are derived from each database's
+  // extents).
+  Oracle(const schema::Schema& schema,
+         std::vector<std::string> capability_list,
+         std::vector<store::Database> initial_databases,
+         types::DomainMap base_domains, OracleOptions options = {});
+
+  // Decides Can(·) within the bound.
+  common::Result<bool> Can(core::Capability capability,
+                           const Target& target) const;
+
+  // Maps occurrence `id` of a single-function unfolding (or any
+  // unfolded set) to a portable target.
+  static Target TargetFor(const unfold::UnfoldedSet& set, int id);
+
+ private:
+  // Enumerates sequences (with repetition) over the capability list that
+  // contain target.function, invoking `body` with each unfolded set and
+  // the target's occurrence ids in it. Stops early when `body` returns
+  // true.
+  bool ForEachSequence(
+      const Target& target,
+      const std::function<bool(const unfold::UnfoldedSet&,
+                               const std::vector<int>&)>& body) const;
+
+  types::DomainMap DomainsFor(const store::Database& db) const;
+
+  const schema::Schema& schema_;
+  std::vector<std::string> capability_list_;
+  std::vector<store::Database> initial_databases_;
+  types::DomainMap base_domains_;
+  OracleOptions options_;
+};
+
+}  // namespace oodbsec::semantics
+
+#endif  // OODBSEC_SEMANTICS_ORACLE_H_

@@ -1,0 +1,135 @@
+#include "store/database.h"
+
+#include "common/strings.h"
+#include "lang/type_checker.h"
+
+namespace oodbsec::store {
+
+using common::Result;
+using common::Status;
+using types::Oid;
+using types::Value;
+
+Database::Database(const schema::Schema& schema) : schema_(&schema) {}
+
+Value Database::ZeroValue(const types::Type* type) {
+  switch (type->kind()) {
+    case types::TypeKind::kInt:
+      return Value::Int(0);
+    case types::TypeKind::kBool:
+      return Value::Bool(false);
+    case types::TypeKind::kString:
+      return Value::String("");
+    case types::TypeKind::kNull:
+    case types::TypeKind::kClass:
+      return Value::Null();
+    case types::TypeKind::kSet:
+      return Value::Set({});
+  }
+  return Value::Null();
+}
+
+Result<Oid> Database::CreateObject(std::string_view class_name) {
+  const schema::ClassDef* cls = schema_->FindClass(class_name);
+  if (cls == nullptr) {
+    return common::NotFoundError(
+        common::StrCat("unknown class '", class_name, "'"));
+  }
+  Oid oid(next_oid_++);
+  ObjectRecord record;
+  record.cls = cls;
+  record.attributes.reserve(cls->attributes().size());
+  for (const schema::AttributeDef& attr : cls->attributes()) {
+    record.attributes.push_back(ZeroValue(attr.type));
+  }
+  objects_.emplace(oid.raw(), std::move(record));
+  extents_[cls->name()].push_back(oid);
+  return oid;
+}
+
+const std::vector<Oid>& Database::Extent(std::string_view class_name) const {
+  static const std::vector<Oid>& empty = *new std::vector<Oid>();
+  auto it = extents_.find(class_name);
+  return it == extents_.end() ? empty : it->second;
+}
+
+const Database::ObjectRecord* Database::FindObject(Oid oid) const {
+  auto it = objects_.find(oid.raw());
+  return it == objects_.end() ? nullptr : &it->second;
+}
+
+const schema::ClassDef* Database::ClassOf(Oid oid) const {
+  const ObjectRecord* record = FindObject(oid);
+  return record == nullptr ? nullptr : record->cls;
+}
+
+Result<Value> Database::ReadAttribute(Oid oid,
+                                      std::string_view attribute) const {
+  const ObjectRecord* record = FindObject(oid);
+  if (record == nullptr) {
+    return common::NotFoundError("read of unknown object");
+  }
+  int index = record->cls->AttributeIndex(attribute);
+  if (index < 0) {
+    return common::NotFoundError(
+        common::StrCat("class '", record->cls->name(),
+                       "' has no attribute '", attribute, "'"));
+  }
+  return record->attributes[static_cast<size_t>(index)];
+}
+
+Status Database::WriteAttribute(Oid oid, std::string_view attribute,
+                                Value value) {
+  auto it = objects_.find(oid.raw());
+  if (it == objects_.end()) {
+    return common::NotFoundError("write to unknown object");
+  }
+  ObjectRecord& record = it->second;
+  int index = record.cls->AttributeIndex(attribute);
+  if (index < 0) {
+    return common::NotFoundError(
+        common::StrCat("class '", record.cls->name(), "' has no attribute '",
+                       attribute, "'"));
+  }
+  const types::Type* declared =
+      record.cls->attributes()[static_cast<size_t>(index)].type;
+  // Dynamic type check: the stored value must fit the declared type.
+  bool ok = false;
+  switch (declared->kind()) {
+    case types::TypeKind::kInt:
+      ok = value.is_int();
+      break;
+    case types::TypeKind::kBool:
+      ok = value.is_bool();
+      break;
+    case types::TypeKind::kString:
+      ok = value.is_string();
+      break;
+    case types::TypeKind::kNull:
+      ok = value.is_null();
+      break;
+    case types::TypeKind::kClass:
+      ok = value.is_object() || value.is_null();
+      break;
+    case types::TypeKind::kSet:
+      ok = value.is_set() || value.is_null();
+      break;
+  }
+  if (!ok) {
+    return common::TypeError(common::StrCat(
+        "value ", value.ToString(), " does not fit attribute '", attribute,
+        "' of type ", declared->ToString()));
+  }
+  record.attributes[static_cast<size_t>(index)] = std::move(value);
+  return Status::Ok();
+}
+
+Database Database::Clone() const {
+  Database copy(*schema_);
+  copy.objects_ = objects_;
+  copy.extents_ = extents_;
+  copy.next_oid_ = next_oid_;
+  return copy;
+}
+
+}  // namespace oodbsec::store

@@ -1,0 +1,81 @@
+// The mutable object store: a database state in the sense of the paper
+// (§2): per-class extents of mutable objects with typed attribute slots.
+//
+// Objects are created with zero-values for their attributes (0, false,
+// "", null for class types, {} for set types). Reads and writes are type
+// checked against the schema. Clone() produces an independent snapshot,
+// which the semantic oracle uses to enumerate initial database states.
+#ifndef OODBSEC_STORE_DATABASE_H_
+#define OODBSEC_STORE_DATABASE_H_
+
+#include <cstdint>
+#include <map>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "schema/schema.h"
+#include "types/value.h"
+
+namespace oodbsec::store {
+
+class Database {
+ public:
+  explicit Database(const schema::Schema& schema);
+
+  // Copyable only through Clone() to make snapshotting explicit.
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+  Database(Database&&) = default;
+  Database& operator=(Database&&) = default;
+
+  const schema::Schema& schema() const { return *schema_; }
+
+  // Creates an instance of `class_name` with zero-valued attributes and
+  // appends it to the class extent.
+  common::Result<types::Oid> CreateObject(std::string_view class_name);
+
+  // The extent of `class_name` in creation order; empty for unknown
+  // classes.
+  const std::vector<types::Oid>& Extent(std::string_view class_name) const;
+
+  // The class of `oid`, or nullptr for unknown oids.
+  const schema::ClassDef* ClassOf(types::Oid oid) const;
+
+  // Reads attribute `attribute` of `oid`.
+  common::Result<types::Value> ReadAttribute(types::Oid oid,
+                                             std::string_view attribute) const;
+
+  // Writes attribute `attribute` of `oid`; the value must be assignable
+  // to the attribute's declared type.
+  common::Status WriteAttribute(types::Oid oid, std::string_view attribute,
+                                types::Value value);
+
+  // Deep snapshot sharing the same schema.
+  Database Clone() const;
+
+  // Total number of live objects.
+  size_t object_count() const { return objects_.size(); }
+
+  // The zero value of `type`: 0, false, "", null, or {}.
+  static types::Value ZeroValue(const types::Type* type);
+
+ private:
+  struct ObjectRecord {
+    const schema::ClassDef* cls;
+    std::vector<types::Value> attributes;
+  };
+
+  const ObjectRecord* FindObject(types::Oid oid) const;
+
+  const schema::Schema* schema_;
+  std::unordered_map<uint64_t, ObjectRecord> objects_;
+  std::map<std::string, std::vector<types::Oid>, std::less<>> extents_;
+  uint64_t next_oid_ = 1;
+};
+
+}  // namespace oodbsec::store
+
+#endif  // OODBSEC_STORE_DATABASE_H_

@@ -1,0 +1,64 @@
+// The workspace file format: one text file declaring a schema, access
+// functions, users with capability lists, security requirements, and
+// seed objects — everything the examples and benchmark harnesses need.
+//
+//   class Broker {
+//     name: string;
+//     salary: int;
+//     budget: int;
+//   }
+//
+//   function checkBudget(broker: Broker): bool =
+//     r_budget(broker) >= 10 * r_salary(broker);
+//
+//   user clerk can checkBudget, w_budget, r_name;
+//
+//   require (clerk, r_salary(x) : ti);
+//
+//   object Broker { name = "John", salary = 50, budget = 400 }
+//
+// Object initializers take literal values only (ints, strings, bools,
+// null); class- and set-typed attributes keep their zero values.
+#ifndef OODBSEC_TEXT_WORKSPACE_H_
+#define OODBSEC_TEXT_WORKSPACE_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "core/analyzer.h"
+#include "core/requirement.h"
+#include "schema/schema.h"
+#include "schema/user.h"
+#include "store/database.h"
+
+namespace oodbsec::text {
+
+struct Workspace {
+  std::unique_ptr<schema::Schema> schema;
+  std::unique_ptr<schema::UserRegistry> users;
+  std::vector<core::Requirement> requirements;
+  std::unique_ptr<store::Database> database;  // seeded with the objects
+};
+
+// Parses and validates a workspace from source text.
+common::Result<Workspace> LoadWorkspace(std::string_view source);
+
+// Reads `path` and parses it.
+common::Result<Workspace> LoadWorkspaceFile(const std::string& path);
+
+// Runs A(R) for every requirement in the workspace; reports are in
+// declaration order.
+common::Result<std::vector<core::AnalysisReport>> CheckAllRequirements(
+    const Workspace& workspace, core::ClosureOptions options = {});
+
+// Renders the workspace back to the text format (classes, functions,
+// constraints, users, requirements, objects). LoadWorkspace of the
+// output reproduces an equivalent workspace.
+std::string FormatWorkspace(const Workspace& workspace);
+
+}  // namespace oodbsec::text
+
+#endif  // OODBSEC_TEXT_WORKSPACE_H_

@@ -1,0 +1,93 @@
+#include "types/domain.h"
+
+#include <algorithm>
+
+namespace oodbsec::types {
+
+Domain::Domain(const Type* type, ValueSet values)
+    : type_(type), values_(std::move(values)) {
+  std::sort(values_.begin(), values_.end(),
+            [](const Value& a, const Value& b) { return a < b; });
+  values_.erase(std::unique(values_.begin(), values_.end()), values_.end());
+}
+
+Domain Domain::IntRange(const Type* int_type, int64_t low, int64_t high) {
+  ValueSet values;
+  for (int64_t v = low; v <= high; ++v) values.push_back(Value::Int(v));
+  return Domain(int_type, std::move(values));
+}
+
+Domain Domain::Bools(const Type* bool_type) {
+  return Domain(bool_type, {Value::Bool(false), Value::Bool(true)});
+}
+
+Domain Domain::Strings(const Type* string_type,
+                       std::vector<std::string> values) {
+  ValueSet set;
+  set.reserve(values.size());
+  for (std::string& s : values) set.push_back(Value::String(std::move(s)));
+  return Domain(string_type, std::move(set));
+}
+
+Domain Domain::NullOnly(const Type* null_type) {
+  return Domain(null_type, {Value::Null()});
+}
+
+Domain Domain::Objects(const Type* class_type, std::vector<Oid> oids) {
+  ValueSet set;
+  set.reserve(oids.size());
+  for (Oid oid : oids) set.push_back(Value::Object(oid));
+  return Domain(class_type, std::move(set));
+}
+
+bool Domain::Contains(const Value& v) const {
+  return std::binary_search(
+      values_.begin(), values_.end(), v,
+      [](const Value& a, const Value& b) { return a < b; });
+}
+
+void DomainMap::Set(const Type* type, Domain domain) {
+  domains_[type] = std::move(domain);
+}
+
+const Domain* DomainMap::Find(const Type* type) const {
+  auto it = domains_.find(type);
+  return it == domains_.end() ? nullptr : &it->second;
+}
+
+ProductIterator::ProductIterator(std::vector<const Domain*> domains)
+    : domains_(std::move(domains)),
+      indices_(domains_.size(), 0),
+      has_value_(true) {
+  assignment_.reserve(domains_.size());
+  for (const Domain* domain : domains_) {
+    if (domain == nullptr || domain->empty()) {
+      has_value_ = false;
+      return;
+    }
+    assignment_.push_back(domain->values()[0]);
+  }
+}
+
+void ProductIterator::Next() {
+  if (!has_value_) return;
+  for (size_t i = domains_.size(); i-- > 0;) {
+    if (++indices_[i] < domains_[i]->size()) {
+      assignment_[i] = domains_[i]->values()[indices_[i]];
+      return;
+    }
+    indices_[i] = 0;
+    assignment_[i] = domains_[i]->values()[0];
+  }
+  has_value_ = false;  // wrapped around
+}
+
+uint64_t ProductIterator::TotalCount() const {
+  uint64_t total = 1;
+  for (const Domain* domain : domains_) {
+    total *= domain == nullptr ? 0 : domain->size();
+  }
+  return total;
+}
+
+}  // namespace oodbsec::types

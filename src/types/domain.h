@@ -1,0 +1,93 @@
+// Finite value domains.
+//
+// The paper's semantic definitions (Dom(ᵏe) in §3.3) and its metarules for
+// basic functions (§4.1) quantify over the domain of an expression's type.
+// Real int/string domains are unbounded, so two uses need *finite*
+// domains:
+//   1. the metarule engine (src/basicfun) checks the quantified metarule
+//      conditions over small sample domains;
+//   2. the brute-force semantic oracle (src/semantics) enumerates
+//      databases, arguments and executions over small-scope domains.
+//
+// A DomainMap assigns a finite Domain to each Type.
+#ifndef OODBSEC_TYPES_DOMAIN_H_
+#define OODBSEC_TYPES_DOMAIN_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "types/type.h"
+#include "types/value.h"
+
+namespace oodbsec::types {
+
+// A finite, duplicate-free, ordered list of values of one type.
+class Domain {
+ public:
+  Domain() = default;
+  Domain(const Type* type, ValueSet values);
+
+  // Integers low..high inclusive.
+  static Domain IntRange(const Type* int_type, int64_t low, int64_t high);
+  // {false, true}.
+  static Domain Bools(const Type* bool_type);
+  // The given string literals.
+  static Domain Strings(const Type* string_type,
+                        std::vector<std::string> values);
+  // {null}.
+  static Domain NullOnly(const Type* null_type);
+  // The given object identifiers (an extent).
+  static Domain Objects(const Type* class_type, std::vector<Oid> oids);
+
+  const Type* type() const { return type_; }
+  const ValueSet& values() const { return values_; }
+  size_t size() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+  bool Contains(const Value& v) const;
+
+ private:
+  const Type* type_ = nullptr;
+  ValueSet values_;
+};
+
+// Maps types to finite domains. Lookup of an unmapped type fails softly
+// (returns nullptr) so callers can decide whether that is an error.
+class DomainMap {
+ public:
+  void Set(const Type* type, Domain domain);
+  const Domain* Find(const Type* type) const;
+
+ private:
+  std::map<const Type*, Domain> domains_;
+};
+
+// Iterates over the cartesian product of a list of domains, yielding one
+// assignment (vector of values, one per domain) at a time.
+//
+//   ProductIterator it(domains);
+//   while (it.has_value()) { use(it.assignment()); it.Next(); }
+//
+// An empty domain list yields exactly one empty assignment; any empty
+// domain yields none.
+class ProductIterator {
+ public:
+  explicit ProductIterator(std::vector<const Domain*> domains);
+
+  bool has_value() const { return has_value_; }
+  const ValueSet& assignment() const { return assignment_; }
+  void Next();
+
+  // Total number of assignments (product of sizes).
+  uint64_t TotalCount() const;
+
+ private:
+  std::vector<const Domain*> domains_;
+  std::vector<size_t> indices_;
+  ValueSet assignment_;
+  bool has_value_;
+};
+
+}  // namespace oodbsec::types
+
+#endif  // OODBSEC_TYPES_DOMAIN_H_

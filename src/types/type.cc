@@ -1,0 +1,73 @@
+#include "types/type.h"
+
+#include "common/strings.h"
+
+namespace oodbsec::types {
+
+std::string Type::ToString() const {
+  switch (kind_) {
+    case TypeKind::kInt:
+      return "int";
+    case TypeKind::kBool:
+      return "bool";
+    case TypeKind::kString:
+      return "string";
+    case TypeKind::kNull:
+      return "null";
+    case TypeKind::kClass:
+      return class_name_;
+    case TypeKind::kSet:
+      return common::StrCat("{", element_->ToString(), "}");
+  }
+  return "<bad-type>";
+}
+
+TypePool::TypePool() {
+  auto make = [this](TypeKind kind) {
+    owned_.push_back(
+        std::unique_ptr<Type>(new Type(kind, std::string(), nullptr)));
+    return owned_.back().get();
+  };
+  int_ = make(TypeKind::kInt);
+  bool_ = make(TypeKind::kBool);
+  string_ = make(TypeKind::kString);
+  null_ = make(TypeKind::kNull);
+}
+
+const Type* TypePool::Class(std::string_view name) {
+  auto it = classes_.find(name);
+  if (it != classes_.end()) return it->second;
+  owned_.push_back(std::unique_ptr<Type>(
+      new Type(TypeKind::kClass, std::string(name), nullptr)));
+  const Type* type = owned_.back().get();
+  classes_.emplace(std::string(name), type);
+  return type;
+}
+
+const Type* TypePool::Set(const Type* element) {
+  auto it = sets_.find(element);
+  if (it != sets_.end()) return it->second;
+  owned_.push_back(
+      std::unique_ptr<Type>(new Type(TypeKind::kSet, std::string(), element)));
+  const Type* type = owned_.back().get();
+  sets_.emplace(element, type);
+  return type;
+}
+
+const Type* TypePool::Parse(std::string_view text) {
+  text = common::StripWhitespace(text);
+  if (text.empty()) return nullptr;
+  if (text.front() == '{') {
+    if (text.back() != '}') return nullptr;
+    const Type* element = Parse(text.substr(1, text.size() - 2));
+    if (element == nullptr) return nullptr;
+    return Set(element);
+  }
+  if (text == "int") return Int();
+  if (text == "bool") return Bool();
+  if (text == "string") return String();
+  if (text == "null") return Null();
+  return Class(text);
+}
+
+}  // namespace oodbsec::types

@@ -1,0 +1,94 @@
+// The type system of the paper's data model (SIGMOD'96 §2):
+//
+//   t ::= b | c_name | {t}
+//
+// where b ranges over basic types (int, bool, string), c_name over class
+// names, and {t} is a set type. We additionally model `null`, the return
+// type of write operations w_att, and treat it as a basic type with the
+// single value null.
+//
+// Types are interned in a TypePool: equal types are the same pointer, so
+// type equality is pointer equality everywhere else in the library.
+#ifndef OODBSEC_TYPES_TYPE_H_
+#define OODBSEC_TYPES_TYPE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace oodbsec::types {
+
+enum class TypeKind {
+  kInt,
+  kBool,
+  kString,
+  kNull,    // unit type; the value of w_att(...) expressions
+  kClass,   // instances of a named class
+  kSet,     // {t}
+};
+
+// An immutable, pool-interned type. Compare with pointer equality.
+class Type {
+ public:
+  TypeKind kind() const { return kind_; }
+  bool is_basic() const {
+    return kind_ == TypeKind::kInt || kind_ == TypeKind::kBool ||
+           kind_ == TypeKind::kString || kind_ == TypeKind::kNull;
+  }
+  bool is_class() const { return kind_ == TypeKind::kClass; }
+  bool is_set() const { return kind_ == TypeKind::kSet; }
+
+  // Class name; empty unless is_class().
+  const std::string& class_name() const { return class_name_; }
+
+  // Element type; nullptr unless is_set().
+  const Type* element() const { return element_; }
+
+  // "int", "bool", "string", "null", the class name, or "{t}".
+  std::string ToString() const;
+
+ private:
+  friend class TypePool;
+  Type(TypeKind kind, std::string class_name, const Type* element)
+      : kind_(kind), class_name_(std::move(class_name)), element_(element) {}
+
+  TypeKind kind_;
+  std::string class_name_;
+  const Type* element_;
+};
+
+// Owns and interns types. A TypePool must outlive all Type pointers it
+// hands out; the usual arrangement is one pool per Schema.
+class TypePool {
+ public:
+  TypePool();
+  TypePool(const TypePool&) = delete;
+  TypePool& operator=(const TypePool&) = delete;
+
+  const Type* Int() const { return int_; }
+  const Type* Bool() const { return bool_; }
+  const Type* String() const { return string_; }
+  const Type* Null() const { return null_; }
+  const Type* Class(std::string_view name);
+  const Type* Set(const Type* element);
+
+  // Parses "int", "bool", "string", "null", "{<type>}", or a class name.
+  // Unknown identifiers are interned as class types; the schema builder
+  // validates that every class type names a declared class.
+  const Type* Parse(std::string_view text);
+
+ private:
+  std::vector<std::unique_ptr<Type>> owned_;
+  const Type* int_;
+  const Type* bool_;
+  const Type* string_;
+  const Type* null_;
+  std::map<std::string, const Type*, std::less<>> classes_;
+  std::map<const Type*, const Type*> sets_;
+};
+
+}  // namespace oodbsec::types
+
+#endif  // OODBSEC_TYPES_TYPE_H_

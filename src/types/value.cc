@@ -1,0 +1,68 @@
+#include "types/value.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "common/strings.h"
+
+namespace oodbsec::types {
+
+Value Value::Set(ValueSet elements) {
+  std::sort(elements.begin(), elements.end(),
+            [](const Value& a, const Value& b) { return a < b; });
+  elements.erase(std::unique(elements.begin(), elements.end()),
+                 elements.end());
+  return Value(Rep(std::make_shared<const ValueSet>(std::move(elements))));
+}
+
+bool operator==(const Value& a, const Value& b) {
+  if (a.rep_.index() != b.rep_.index()) return false;
+  if (a.is_set()) return a.set_value() == b.set_value();
+  return a.rep_ == b.rep_;
+}
+
+bool operator<(const Value& a, const Value& b) {
+  if (a.rep_.index() != b.rep_.index()) {
+    return a.rep_.index() < b.rep_.index();
+  }
+  if (a.is_null()) return false;
+  if (a.is_int()) return a.int_value() < b.int_value();
+  if (a.is_bool()) return a.bool_value() < b.bool_value();
+  if (a.is_string()) return a.string_value() < b.string_value();
+  if (a.is_object()) return a.oid() < b.oid();
+  const ValueSet& sa = a.set_value();
+  const ValueSet& sb = b.set_value();
+  return std::lexicographical_compare(
+      sa.begin(), sa.end(), sb.begin(), sb.end(),
+      [](const Value& x, const Value& y) { return x < y; });
+}
+
+std::string Value::ToString() const {
+  if (is_null()) return "null";
+  if (is_int()) return std::to_string(int_value());
+  if (is_bool()) return bool_value() ? "true" : "false";
+  if (is_string()) return common::QuoteString(string_value());
+  if (is_object()) return "(a object)";
+  std::vector<std::string> parts;
+  for (const Value& element : set_value()) {
+    parts.push_back(element.ToString());
+  }
+  return common::StrCat("{", common::Join(parts, ", "), "}");
+}
+
+size_t Value::Hash() const {
+  auto mix = [](size_t seed, size_t piece) {
+    return seed ^ (piece + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+  };
+  size_t seed = rep_.index();
+  if (is_int()) return mix(seed, std::hash<int64_t>()(int_value()));
+  if (is_bool()) return mix(seed, std::hash<bool>()(bool_value()));
+  if (is_string()) return mix(seed, std::hash<std::string>()(string_value()));
+  if (is_object()) return mix(seed, std::hash<uint64_t>()(oid().raw()));
+  if (is_set()) {
+    for (const Value& element : set_value()) seed = mix(seed, element.Hash());
+  }
+  return seed;
+}
+
+}  // namespace oodbsec::types

@@ -1,0 +1,95 @@
+// Runtime values of the data model: null, integers, booleans, strings,
+// object identifiers, and sets of values.
+//
+// Following the paper (§3.2, "we assume object identifiers do not have
+// any printable form"), OIDs are opaque: they support equality (needed to
+// recognize "the same object" in queries) but their rendering is the
+// non-informative "(a <Class> object)" used by the paper.
+#ifndef OODBSEC_TYPES_VALUE_H_
+#define OODBSEC_TYPES_VALUE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace oodbsec::types {
+
+// Opaque object identifier. 0 is reserved as "invalid".
+class Oid {
+ public:
+  Oid() : raw_(0) {}
+  explicit Oid(uint64_t raw) : raw_(raw) {}
+
+  bool valid() const { return raw_ != 0; }
+  uint64_t raw() const { return raw_; }
+
+  friend bool operator==(Oid, Oid) = default;
+  friend auto operator<=>(Oid, Oid) = default;
+
+ private:
+  uint64_t raw_;
+};
+
+class Value;
+using ValueSet = std::vector<Value>;  // order preserved; duplicates removed
+
+// A dynamically typed value. Cheap to copy for scalars; sets share their
+// representation.
+class Value {
+ public:
+  // The null value.
+  Value() : rep_(std::monostate{}) {}
+
+  static Value Null() { return Value(); }
+  static Value Int(int64_t v) { return Value(Rep(v)); }
+  static Value Bool(bool v) { return Value(Rep(v)); }
+  static Value String(std::string v) { return Value(Rep(std::move(v))); }
+  static Value Object(Oid oid) { return Value(Rep(oid)); }
+  static Value Set(ValueSet elements);
+
+  bool is_null() const { return std::holds_alternative<std::monostate>(rep_); }
+  bool is_int() const { return std::holds_alternative<int64_t>(rep_); }
+  bool is_bool() const { return std::holds_alternative<bool>(rep_); }
+  bool is_string() const { return std::holds_alternative<std::string>(rep_); }
+  bool is_object() const { return std::holds_alternative<Oid>(rep_); }
+  bool is_set() const {
+    return std::holds_alternative<std::shared_ptr<const ValueSet>>(rep_);
+  }
+
+  int64_t int_value() const { return std::get<int64_t>(rep_); }
+  bool bool_value() const { return std::get<bool>(rep_); }
+  const std::string& string_value() const { return std::get<std::string>(rep_); }
+  Oid oid() const { return std::get<Oid>(rep_); }
+  const ValueSet& set_value() const {
+    return *std::get<std::shared_ptr<const ValueSet>>(rep_);
+  }
+
+  // Deep structural equality; OIDs compare by identity.
+  friend bool operator==(const Value& a, const Value& b);
+  // Total order across all values (by alternative index, then content);
+  // used for canonical set representations and map keys.
+  friend bool operator<(const Value& a, const Value& b);
+
+  // Printable form: null, 42, true, "text", (a object), {v1, v2}.
+  std::string ToString() const;
+
+  // Stable hash for unordered containers.
+  size_t Hash() const;
+
+ private:
+  using Rep = std::variant<std::monostate, int64_t, bool, std::string, Oid,
+                           std::shared_ptr<const ValueSet>>;
+  explicit Value(Rep rep) : rep_(std::move(rep)) {}
+
+  Rep rep_;
+};
+
+struct ValueHash {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+}  // namespace oodbsec::types
+
+#endif  // OODBSEC_TYPES_VALUE_H_

@@ -1,0 +1,426 @@
+#include "unfold/unfolded.h"
+
+#include "common/strings.h"
+#include "lang/ast.h"
+
+namespace oodbsec::unfold {
+
+using common::Result;
+using common::Status;
+
+namespace {
+
+// Lexical scope used during unfolding: variable name -> binder id.
+struct Scope {
+  const Scope* parent = nullptr;
+  std::vector<std::pair<std::string, int>> entries;
+
+  int Find(const std::string& name) const {
+    for (auto it = entries.rbegin(); it != entries.rend(); ++it) {
+      if (it->first == name) return it->second;
+    }
+    return parent == nullptr ? -1 : parent->Find(name);
+  }
+};
+
+}  // namespace
+
+class Builder {
+ public:
+  Builder(UnfoldedSet& set, const schema::Schema& schema)
+      : set_(set), schema_(schema) {}
+
+  Status BuildRoots(const std::vector<std::string>& root_names) {
+    for (const std::string& name : root_names) {
+      schema::Callable callable = schema_.ResolveCallable(name);
+      if (!callable.ok()) {
+        return common::NotFoundError(
+            common::StrCat("cannot unfold '", name,
+                           "': no such access function or special function"));
+      }
+      Root root;
+      root.function_name = name;
+      root.callable = callable;
+      int root_index = static_cast<int>(set_.roots_.size());
+
+      Scope scope;
+      switch (callable.kind) {
+        case schema::Callable::Kind::kAccess: {
+          const schema::FunctionDecl& fn = *callable.access;
+          for (size_t i = 0; i < fn.params().size(); ++i) {
+            int binder = NewRootArgBinder(fn.params()[i].name,
+                                          fn.params()[i].type, root_index,
+                                          static_cast<int>(i));
+            root.arg_binder_ids.push_back(binder);
+            scope.entries.emplace_back(fn.params()[i].name, binder);
+          }
+          OODBSEC_ASSIGN_OR_RETURN(root.body, Unfold(fn.body(), scope));
+          break;
+        }
+        case schema::Callable::Kind::kReadAttr: {
+          int binder = NewRootArgBinder("x", callable.param_types[0],
+                                        root_index, 0);
+          root.arg_binder_ids.push_back(binder);
+          Node* var = NewNode(NodeKind::kVarRef, callable.param_types[0]);
+          BindOccurrence(var, binder, "x");
+          Number(var);
+          Node* read = NewNode(NodeKind::kReadAttr, callable.return_type);
+          read->attribute = callable.attribute->name;
+          read->attr_class = callable.cls;
+          Attach(read, {var});
+          Number(read);
+          set_.reads_[read->attribute].push_back(read);
+          root.body = read;
+          break;
+        }
+        case schema::Callable::Kind::kWriteAttr: {
+          int obj_binder = NewRootArgBinder("o", callable.param_types[0],
+                                            root_index, 0);
+          int val_binder = NewRootArgBinder("v", callable.param_types[1],
+                                            root_index, 1);
+          root.arg_binder_ids = {obj_binder, val_binder};
+          Node* obj = NewNode(NodeKind::kVarRef, callable.param_types[0]);
+          BindOccurrence(obj, obj_binder, "o");
+          Number(obj);
+          Node* val = NewNode(NodeKind::kVarRef, callable.param_types[1]);
+          BindOccurrence(val, val_binder, "v");
+          Number(val);
+          Node* write = NewNode(NodeKind::kWriteAttr, callable.return_type);
+          write->attribute = callable.attribute->name;
+          write->attr_class = callable.cls;
+          Attach(write, {obj, val});
+          Number(write);
+          set_.writes_[write->attribute].push_back(write);
+          root.body = write;
+          break;
+        }
+        case schema::Callable::Kind::kNone:
+          return common::InternalError("unreachable");
+      }
+      set_.roots_.push_back(std::move(root));
+    }
+    return Status::Ok();
+  }
+
+ private:
+  Node* NewNode(NodeKind kind, const types::Type* type) {
+    set_.arena_.push_back(std::make_unique<Node>());
+    Node* node = set_.arena_.back().get();
+    node->kind = kind;
+    node->type = type;
+    return node;
+  }
+
+  // Assigns the next evaluation-order number. Called for every node
+  // *after* its children (and for leaves on creation), which yields the
+  // paper's ordering.
+  void Number(Node* node) {
+    set_.nodes_by_id_.push_back(node);
+    node->id = static_cast<int>(set_.nodes_by_id_.size());
+  }
+
+  void Attach(Node* parent, std::vector<Node*> children) {
+    for (size_t i = 0; i < children.size(); ++i) {
+      children[i]->parent = parent;
+      children[i]->child_index = static_cast<int>(i);
+    }
+    parent->children = std::move(children);
+  }
+
+  int NewRootArgBinder(const std::string& name, const types::Type* type,
+                       int root_index, int arg_index) {
+    Binder binder;
+    binder.id = static_cast<int>(set_.binders_.size());
+    binder.name = name;
+    binder.type = type;
+    binder.is_root_arg = true;
+    binder.root_index = root_index;
+    binder.arg_index = arg_index;
+    set_.binders_.push_back(std::move(binder));
+    return set_.binders_.back().id;
+  }
+
+  int NewLetBinder(const std::string& name, const types::Type* type,
+                   const Node* bound_expr) {
+    Binder binder;
+    binder.id = static_cast<int>(set_.binders_.size());
+    binder.name = name;
+    binder.type = type;
+    binder.bound_expr = bound_expr;
+    set_.binders_.push_back(std::move(binder));
+    return set_.binders_.back().id;
+  }
+
+  void BindOccurrence(Node* node, int binder_id, std::string name) {
+    node->binder_id = binder_id;
+    node->var_name = std::move(name);
+    set_.binders_[binder_id].occurrences.push_back(node);
+  }
+
+  Result<Node*> Unfold(const lang::Expr& expr, const Scope& scope) {
+    switch (expr.kind()) {
+      case lang::ExprKind::kConstant: {
+        Node* node = NewNode(NodeKind::kConstant, expr.type());
+        node->constant = expr.AsConstant().value();
+        Number(node);
+        return node;
+      }
+
+      case lang::ExprKind::kVarRef: {
+        const lang::VarRefExpr& var = expr.AsVarRef();
+        int binder_id = scope.Find(var.name());
+        if (binder_id < 0) {
+          return common::InternalError(common::StrCat(
+              "unbound variable '", var.name(), "' during unfolding"));
+        }
+        Node* node = NewNode(NodeKind::kVarRef, expr.type());
+        BindOccurrence(node, binder_id, var.name());
+        Number(node);
+        return node;
+      }
+
+      case lang::ExprKind::kCall: {
+        const lang::CallExpr& call = expr.AsCall();
+        std::vector<Node*> args;
+        args.reserve(call.args().size());
+        for (const auto& arg : call.args()) {
+          OODBSEC_ASSIGN_OR_RETURN(Node* node, Unfold(*arg, scope));
+          args.push_back(node);
+        }
+        switch (call.target()) {
+          case lang::CallTarget::kBasic: {
+            Node* node = NewNode(NodeKind::kBasicCall, expr.type());
+            node->basic = call.basic();
+            Attach(node, std::move(args));
+            Number(node);
+            return node;
+          }
+          case lang::CallTarget::kReadAttr: {
+            Node* node = NewNode(NodeKind::kReadAttr, expr.type());
+            node->attribute = call.attribute();
+            node->attr_class =
+                schema_.FindClassByAttribute(call.attribute());
+            Attach(node, std::move(args));
+            Number(node);
+            set_.reads_[node->attribute].push_back(node);
+            return node;
+          }
+          case lang::CallTarget::kWriteAttr: {
+            Node* node = NewNode(NodeKind::kWriteAttr, expr.type());
+            node->attribute = call.attribute();
+            node->attr_class =
+                schema_.FindClassByAttribute(call.attribute());
+            Attach(node, std::move(args));
+            Number(node);
+            set_.writes_[node->attribute].push_back(node);
+            return node;
+          }
+          case lang::CallTarget::kAccess: {
+            // Replace f(e1,…,en) with let(f) x1=e1,… in body end.
+            const schema::FunctionDecl* fn =
+                schema_.FindFunction(call.name());
+            if (fn == nullptr) {
+              return common::InternalError(
+                  common::StrCat("missing function '", call.name(), "'"));
+            }
+            Node* let = NewNode(NodeKind::kLet, expr.type());
+            let->origin_function = fn->name();
+            Scope inner;  // function bodies see only their own parameters
+            std::vector<Node*> children = std::move(args);
+            for (size_t i = 0; i < children.size(); ++i) {
+              int binder = NewLetBinder(fn->params()[i].name,
+                                        fn->params()[i].type, children[i]);
+              let->binder_ids.push_back(binder);
+              let->binder_names.push_back(fn->params()[i].name);
+              inner.entries.emplace_back(fn->params()[i].name, binder);
+            }
+            OODBSEC_ASSIGN_OR_RETURN(Node* body, Unfold(fn->body(), inner));
+            children.push_back(body);
+            Attach(let, std::move(children));
+            Number(let);
+            // Binder back-references for let binders.
+            for (size_t i = 0; i < let->binder_ids.size(); ++i) {
+              set_.binders_[let->binder_ids[i]].let_node = let;
+              set_.binders_[let->binder_ids[i]].let_pos = static_cast<int>(i);
+            }
+            return let;
+          }
+          case lang::CallTarget::kUnresolved:
+            return common::InternalError(common::StrCat(
+                "unresolved call '", call.name(), "' during unfolding"));
+        }
+        return common::InternalError("unreachable");
+      }
+
+      case lang::ExprKind::kLet: {
+        // Source-level let: same node shape, empty origin_function.
+        const lang::LetExpr& source_let = expr.AsLet();
+        Node* let = NewNode(NodeKind::kLet, expr.type());
+        Scope inner;
+        inner.parent = &scope;
+        std::vector<Node*> children;
+        for (const lang::LetExpr::Binding& binding : source_let.bindings()) {
+          OODBSEC_ASSIGN_OR_RETURN(Node* init, Unfold(*binding.init, inner));
+          int binder = NewLetBinder(binding.name, init->type, init);
+          let->binder_ids.push_back(binder);
+          let->binder_names.push_back(binding.name);
+          inner.entries.emplace_back(binding.name, binder);
+          children.push_back(init);
+        }
+        OODBSEC_ASSIGN_OR_RETURN(Node* body,
+                                 Unfold(source_let.body(), inner));
+        children.push_back(body);
+        Attach(let, std::move(children));
+        Number(let);
+        for (size_t i = 0; i < let->binder_ids.size(); ++i) {
+          set_.binders_[let->binder_ids[i]].let_node = let;
+          set_.binders_[let->binder_ids[i]].let_pos = static_cast<int>(i);
+        }
+        return let;
+      }
+    }
+    return common::InternalError("unknown expression kind");
+  }
+
+  UnfoldedSet& set_;
+  const schema::Schema& schema_;
+};
+
+Result<std::unique_ptr<UnfoldedSet>> UnfoldedSet::Build(
+    const schema::Schema& schema, const std::vector<std::string>& root_names) {
+  std::unique_ptr<UnfoldedSet> set(new UnfoldedSet());
+  set->schema_ = &schema;
+  Builder builder(*set, schema);
+  OODBSEC_RETURN_IF_ERROR(builder.BuildRoots(root_names));
+  return set;
+}
+
+const std::vector<const Node*>& UnfoldedSet::reads(
+    const std::string& attribute) const {
+  static const std::vector<const Node*>& empty =
+      *new std::vector<const Node*>();
+  auto it = reads_.find(attribute);
+  return it == reads_.end() ? empty : it->second;
+}
+
+const std::vector<const Node*>& UnfoldedSet::writes(
+    const std::string& attribute) const {
+  static const std::vector<const Node*>& empty =
+      *new std::vector<const Node*>();
+  auto it = writes_.find(attribute);
+  return it == writes_.end() ? empty : it->second;
+}
+
+std::vector<std::string> UnfoldedSet::touched_attributes() const {
+  std::vector<std::string> out;
+  for (const auto& [attribute, _] : reads_) out.push_back(attribute);
+  for (const auto& [attribute, _] : writes_) {
+    if (reads_.find(attribute) == reads_.end()) out.push_back(attribute);
+  }
+  return out;
+}
+
+bool UnfoldedSet::IsRootArgVar(const Node* node) const {
+  return node->kind == NodeKind::kVarRef &&
+         binders_[node->binder_id].is_root_arg;
+}
+
+bool UnfoldedSet::IsRootBody(const Node* node) const {
+  if (node->parent != nullptr) return false;
+  for (const Root& root : roots_) {
+    if (root.body == node) return true;
+  }
+  return false;
+}
+
+namespace {
+
+void RenderNode(const Node* node, bool with_ids, std::string& out) {
+  if (with_ids) {
+    out += std::to_string(node->id);
+    out += ':';
+  }
+  switch (node->kind) {
+    case NodeKind::kConstant:
+      out += node->constant.ToString();
+      return;
+    case NodeKind::kVarRef:
+      out += node->var_name;
+      return;
+    case NodeKind::kBasicCall: {
+      out += node->basic->name();
+      out += '(';
+      for (size_t i = 0; i < node->children.size(); ++i) {
+        if (i > 0) out += ", ";
+        RenderNode(node->children[i], with_ids, out);
+      }
+      out += ')';
+      return;
+    }
+    case NodeKind::kReadAttr:
+    case NodeKind::kWriteAttr: {
+      out += node->kind == NodeKind::kReadAttr ? "r_" : "w_";
+      out += node->attribute;
+      out += '(';
+      for (size_t i = 0; i < node->children.size(); ++i) {
+        if (i > 0) out += ", ";
+        RenderNode(node->children[i], with_ids, out);
+      }
+      out += ')';
+      return;
+    }
+    case NodeKind::kLet: {
+      out += "let";
+      if (!node->origin_function.empty()) {
+        out += '(';
+        out += node->origin_function;
+        out += ')';
+      }
+      out += ' ';
+      for (size_t i = 0; i + 1 < node->children.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += node->binder_names[i];
+        out += " = ";
+        RenderNode(node->children[i], with_ids, out);
+      }
+      out += " in ";
+      RenderNode(node->children.back(), with_ids, out);
+      out += " end";
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+std::string UnfoldedSet::NodeLabel(const Node* node) const {
+  std::string out;
+  RenderNode(node, /*with_ids=*/true, out);
+  return out;
+}
+
+std::string UnfoldedSet::ShortLabel(const Node* node) const {
+  std::string out;
+  out += std::to_string(node->id);
+  out += ':';
+  switch (node->kind) {
+    case NodeKind::kConstant:
+      out += node->constant.ToString();
+      break;
+    case NodeKind::kVarRef:
+      out += node->var_name;
+      break;
+    case NodeKind::kBasicCall:
+    case NodeKind::kReadAttr:
+    case NodeKind::kWriteAttr:
+    case NodeKind::kLet: {
+      std::string full;
+      RenderNode(node, /*with_ids=*/false, full);
+      out += full;
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace oodbsec::unfold

@@ -1,0 +1,198 @@
+// Tests for the attack simulator and the workspace text format.
+#include <gtest/gtest.h>
+
+#include "attack/attacks.h"
+#include "text/workspace.h"
+
+namespace oodbsec {
+namespace {
+
+using types::Oid;
+using types::Value;
+
+constexpr const char* kBrokerWorkspace = R"(
+# The paper's running example (SIGMOD'96, section 3.1).
+class Broker {
+  name: string;
+  salary: int;
+  budget: int;
+  profit: int;
+}
+
+function checkBudget(broker: Broker): bool =
+  r_budget(broker) >= 10 * r_salary(broker);
+
+function calcSalary(budget: int, profit: int): int =
+  budget / 10 + profit / 2;
+
+function updateSalary(broker: Broker): null =
+  w_salary(broker, calcSalary(r_budget(broker), r_profit(broker)));
+
+user clerk can checkBudget, w_budget, r_name;
+user updater can updateSalary, w_budget, w_profit, r_name;
+
+require (clerk, r_salary(x) : ti);
+require (updater, w_salary(a, v : ta));
+
+object Broker { name = "John", salary = 57, budget = 400, profit = 30 }
+object Broker { name = "Mary", salary = 83, budget = 900, profit = 10 }
+)";
+
+TEST(WorkspaceTest, LoadsBrokerWorkspace) {
+  auto workspace = text::LoadWorkspace(kBrokerWorkspace);
+  ASSERT_TRUE(workspace.ok()) << workspace.status();
+  EXPECT_NE(workspace->schema->FindClass("Broker"), nullptr);
+  EXPECT_NE(workspace->schema->FindFunction("checkBudget"), nullptr);
+  EXPECT_NE(workspace->users->Find("clerk"), nullptr);
+  EXPECT_EQ(workspace->requirements.size(), 2u);
+  EXPECT_EQ(workspace->database->Extent("Broker").size(), 2u);
+
+  Oid john = workspace->database->Extent("Broker")[0];
+  EXPECT_EQ(workspace->database->ReadAttribute(john, "salary").value(),
+            Value::Int(57));
+  EXPECT_EQ(workspace->database->ReadAttribute(john, "name").value(),
+            Value::String("John"));
+}
+
+TEST(WorkspaceTest, CheckAllRequirementsFlagsBothFlaws) {
+  auto workspace = text::LoadWorkspace(kBrokerWorkspace);
+  ASSERT_TRUE(workspace.ok()) << workspace.status();
+  auto reports = text::CheckAllRequirements(*workspace);
+  ASSERT_TRUE(reports.ok()) << reports.status();
+  ASSERT_EQ(reports->size(), 2u);
+  EXPECT_FALSE((*reports)[0].satisfied);  // clerk infers salary
+  EXPECT_FALSE((*reports)[1].satisfied);  // updater controls salary
+}
+
+TEST(WorkspaceTest, RejectsBadInput) {
+  EXPECT_FALSE(text::LoadWorkspace("class {").ok());
+  EXPECT_FALSE(text::LoadWorkspace("nonsense").ok());
+  EXPECT_FALSE(text::LoadWorkspace("user u can nothing;").ok());
+  EXPECT_FALSE(
+      text::LoadWorkspace("require (ghost, f(x) : ti);").ok());
+  EXPECT_FALSE(text::LoadWorkspace("object Missing { a = 1 }").ok());
+  EXPECT_FALSE(text::LoadWorkspace(
+                   "class C { a: int; }\nobject C { a = \"str\" }")
+                   .ok());
+  // Function bodies must type check.
+  EXPECT_FALSE(text::LoadWorkspace(
+                   "function f(x: int): bool = x + 1;")
+                   .ok());
+}
+
+TEST(WorkspaceTest, LoadWorkspaceFileMissing) {
+  EXPECT_FALSE(text::LoadWorkspaceFile("/nonexistent/path.odb").ok());
+}
+
+// X1: the paper's probing attack extracts the exact salary using only
+// the clerk's capability list, in ~log2(range) queries.
+TEST(AttackTest, BinarySearchExtractsSalary) {
+  auto workspace = text::LoadWorkspace(kBrokerWorkspace);
+  ASSERT_TRUE(workspace.ok()) << workspace.status();
+  const schema::User* clerk = workspace->users->Find("clerk");
+  ASSERT_NE(clerk, nullptr);
+
+  attack::BinarySearchConfig config;
+  config.class_name = "Broker";
+  config.select_attr = "name";
+  config.select_value = Value::String("John");
+  config.write_fn = "w_budget";
+  config.compare_fn = "checkBudget";
+  config.factor = 10;  // checkBudget tests budget >= 10 * salary
+  config.lo = 0;
+  config.hi = 10 * 1000;
+
+  auto transcript =
+      attack::ExtractHiddenValue(*workspace->database, *clerk, config);
+  ASSERT_TRUE(transcript.ok()) << transcript.status();
+  EXPECT_EQ(transcript->inferred, Value::Int(57));  // John's exact salary
+  // Binary search over 10'000 values: ~14 halving probes + 2 endpoints.
+  EXPECT_LE(transcript->probes, 18);
+  EXPECT_GE(transcript->probes, 10);
+  EXPECT_FALSE(transcript->queries.empty());
+}
+
+TEST(AttackTest, ExtractionTargetsTheSelectedVictim) {
+  auto workspace = text::LoadWorkspace(kBrokerWorkspace);
+  ASSERT_TRUE(workspace.ok());
+  const schema::User* clerk = workspace->users->Find("clerk");
+
+  attack::BinarySearchConfig config;
+  config.class_name = "Broker";
+  config.select_attr = "name";
+  config.select_value = Value::String("Mary");
+  config.write_fn = "w_budget";
+  config.compare_fn = "checkBudget";
+  config.factor = 10;
+  config.hi = 10 * 1000;
+
+  auto transcript =
+      attack::ExtractHiddenValue(*workspace->database, *clerk, config);
+  ASSERT_TRUE(transcript.ok()) << transcript.status();
+  EXPECT_EQ(transcript->inferred, Value::Int(83));
+}
+
+TEST(AttackTest, DeniedWithoutCapabilities) {
+  auto workspace = text::LoadWorkspace(kBrokerWorkspace);
+  ASSERT_TRUE(workspace.ok());
+  // The updater lacks checkBudget; the probing query must be refused.
+  const schema::User* updater = workspace->users->Find("updater");
+  attack::BinarySearchConfig config;
+  config.class_name = "Broker";
+  config.write_fn = "w_budget";
+  config.compare_fn = "checkBudget";
+  config.hi = 100;
+  auto transcript =
+      attack::ExtractHiddenValue(*workspace->database, *updater, config);
+  EXPECT_FALSE(transcript.ok());
+  EXPECT_EQ(transcript.status().code(),
+            common::StatusCode::kPermissionDenied);
+}
+
+TEST(AttackTest, OutOfRangeReported) {
+  auto workspace = text::LoadWorkspace(kBrokerWorkspace);
+  ASSERT_TRUE(workspace.ok());
+  const schema::User* clerk = workspace->users->Find("clerk");
+  attack::BinarySearchConfig config;
+  config.class_name = "Broker";
+  config.select_attr = "name";
+  config.select_value = Value::String("John");
+  config.write_fn = "w_budget";
+  config.compare_fn = "checkBudget";
+  config.factor = 10;
+  config.hi = 100;  // salary 57 needs probes up to 570
+  auto transcript =
+      attack::ExtractHiddenValue(*workspace->database, *clerk, config);
+  EXPECT_FALSE(transcript.ok());
+  EXPECT_EQ(transcript.status().code(), common::StatusCode::kOutOfRange);
+}
+
+// X2: the forging attack writes a chosen salary through the audited
+// updateSalary path by controlling its inputs.
+TEST(AttackTest, ForgeWritesChosenSalary) {
+  auto workspace = text::LoadWorkspace(kBrokerWorkspace);
+  ASSERT_TRUE(workspace.ok());
+  const schema::User* updater = workspace->users->Find("updater");
+  ASSERT_NE(updater, nullptr);
+
+  // Target salary 999: calcSalary(budget, profit) = budget/10 + profit/2,
+  // so profit = 0 and budget = 9990 yields exactly 999.
+  attack::ForgeConfig config;
+  config.class_name = "Broker";
+  config.select_attr = "name";
+  config.select_value = Value::String("John");
+  config.setup_writes = {{"w_profit", Value::Int(0)},
+                         {"w_budget", Value::Int(9990)}};
+  config.trigger_fn = "updateSalary";
+
+  auto transcript =
+      attack::ForgeWrittenValue(*workspace->database, *updater, config);
+  ASSERT_TRUE(transcript.ok()) << transcript.status();
+
+  Oid john = workspace->database->Extent("Broker")[0];
+  EXPECT_EQ(workspace->database->ReadAttribute(john, "salary").value(),
+            Value::Int(999));
+}
+
+}  // namespace
+}  // namespace oodbsec

@@ -1,0 +1,190 @@
+// Metarule engine tests (paper §4.1): the shipped rule catalog of
+// core/basic_rules.cc is machine-checked against the quantified metarule
+// conditions, evaluated extensionally over sample domains.
+#include <gtest/gtest.h>
+
+#include "basicfun/metarules.h"
+#include "core/basic_rules.h"
+
+namespace oodbsec::basicfun {
+namespace {
+
+class CatalogFixture : public ::testing::Test {
+ protected:
+  CatalogFixture()
+      : catalog_(exec::BasicFunctionCatalog::MakeDefault(pool_)),
+        domains_(DefaultSampleDomains(pool_)) {}
+
+  const exec::BasicFunction* Fn(const char* name,
+                                std::vector<const types::Type*> params) {
+    const exec::BasicFunction* fn = catalog_->Find(name, params);
+    EXPECT_NE(fn, nullptr) << name;
+    return fn;
+  }
+
+  types::TypePool pool_;
+  std::unique_ptr<exec::BasicFunctionCatalog> catalog_;
+  types::DomainMap domains_;
+};
+
+// T2/M1 experiment backbone: every shipped rule for every catalog
+// function passes its metarule condition over the sample domains.
+TEST_F(CatalogFixture, EveryShippedRuleValidates) {
+  for (const auto& fn : catalog_->functions()) {
+    auto engine = MetaruleEngine::Create(*fn, domains_);
+    ASSERT_TRUE(engine.ok()) << engine.status();
+    for (const core::BasicRule& rule : core::RulesFor(*fn)) {
+      auto verdict = engine.value()->ValidateRule(rule);
+      ASSERT_TRUE(verdict.ok())
+          << fn->SignatureToString() << ": " << verdict.status();
+      EXPECT_TRUE(verdict.value())
+          << fn->SignatureToString() << " rule failed its metarule check: "
+          << rule.ToString();
+    }
+  }
+}
+
+TEST_F(CatalogFixture, EveryCatalogFunctionHasRules) {
+  for (const auto& fn : catalog_->functions()) {
+    EXPECT_FALSE(core::RulesFor(*fn).empty())
+        << "no shipped rules for " << fn->SignatureToString();
+  }
+}
+
+TEST_F(CatalogFixture, SweepConditions) {
+  auto engine = [&](const char* name,
+                    std::vector<const types::Type*> params) {
+    return std::move(MetaruleEngine::Create(*Fn(name, params), domains_))
+        .value();
+  };
+  auto ints = std::vector<const types::Type*>{pool_.Int(), pool_.Int()};
+
+  // + sweeps through either argument; abs cannot reach negatives.
+  core::BasicRule sweep0 = {"t", {core::Ta(0)}, core::Ta(core::kResultPos)};
+  EXPECT_TRUE(engine("+", ints)->ValidateRule(sweep0).value());
+  EXPECT_TRUE(engine("*", ints)->ValidateRule(sweep0).value());  // e2 may be 1
+  EXPECT_FALSE(
+      engine("abs", {pool_.Int()})->ValidateRule(sweep0).value());
+  // % never covers all of int either.
+  EXPECT_FALSE(engine("%", ints)->ValidateRule(sweep0).value());
+}
+
+TEST_F(CatalogFixture, AbsorbConditions) {
+  auto ints = std::vector<const types::Type*>{pool_.Int(), pool_.Int()};
+  core::BasicRule absorb = {"t", {core::Ti(0)}, core::Ti(core::kResultPos)};
+  auto star = std::move(MetaruleEngine::Create(*Fn("*", ints), domains_))
+                  .value();
+  auto plus = std::move(MetaruleEngine::Create(*Fn("+", ints), domains_))
+                  .value();
+  // * has the absorbing 0; + has no absorbing element.
+  EXPECT_TRUE(star->ValidateRule(absorb).value());
+  EXPECT_FALSE(plus->ValidateRule(absorb).value());
+}
+
+TEST_F(CatalogFixture, ProbeConditions) {
+  auto ints = std::vector<const types::Type*>{pool_.Int(), pool_.Int()};
+  core::BasicRule probe = {"t",
+                           {core::Ti(0), core::Pa(0),
+                            core::Ti(core::kResultPos)},
+                           core::Ti(1)};
+  auto ge = std::move(MetaruleEngine::Create(*Fn(">=", ints), domains_))
+                .value();
+  EXPECT_TRUE(ge->ValidateRule(probe).value());
+  // +'s probe also holds (it is invertible, which is stronger).
+  auto plus = std::move(MetaruleEngine::Create(*Fn("+", ints), domains_))
+                  .value();
+  EXPECT_TRUE(plus->ValidateRule(probe).value());
+}
+
+TEST_F(CatalogFixture, InvertibilityConditions) {
+  auto ints = std::vector<const types::Type*>{pool_.Int(), pool_.Int()};
+  core::BasicRule invert = {
+      "t", {core::Ti(core::kResultPos), core::Ti(0)}, core::Ti(1)};
+  auto plus = std::move(MetaruleEngine::Create(*Fn("+", ints), domains_))
+                  .value();
+  EXPECT_TRUE(plus->ValidateRule(invert).value());
+  // Unary backward inference: neg is injective, abs is not.
+  core::BasicRule backward = {"t", {core::Ti(core::kResultPos)},
+                              core::Ti(0)};
+  auto neg = std::move(
+                 MetaruleEngine::Create(*Fn("neg", {pool_.Int()}), domains_))
+                 .value();
+  auto abs = std::move(
+                 MetaruleEngine::Create(*Fn("abs", {pool_.Int()}), domains_))
+                 .value();
+  EXPECT_TRUE(neg->ValidateRule(backward).value());
+  EXPECT_FALSE(abs->ValidateRule(backward).value());
+}
+
+TEST_F(CatalogFixture, ImageCondition) {
+  // abs's image is a proper subset of int; neg's is not.
+  core::BasicRule image = {"t", {}, core::Pi(core::kResultPos)};
+  auto abs = std::move(
+                 MetaruleEngine::Create(*Fn("abs", {pool_.Int()}), domains_))
+                 .value();
+  auto neg = std::move(
+                 MetaruleEngine::Create(*Fn("neg", {pool_.Int()}), domains_))
+                 .value();
+  EXPECT_TRUE(abs->ValidateRule(image).value());
+  EXPECT_FALSE(neg->ValidateRule(image).value());
+}
+
+TEST_F(CatalogFixture, SynthesisFindsKeyRules) {
+  auto ints = std::vector<const types::Type*>{pool_.Int(), pool_.Int()};
+  auto contains = [](const std::vector<core::BasicRule>& rules,
+                     const char* fragment) {
+    for (const core::BasicRule& rule : rules) {
+      if (rule.label.find(fragment) != std::string::npos) return true;
+    }
+    return false;
+  };
+  auto ge = std::move(MetaruleEngine::Create(*Fn(">=", ints), domains_))
+                .value();
+  auto ge_rules = ge->Synthesize();
+  EXPECT_TRUE(contains(ge_rules, "MT-probe"));
+  EXPECT_TRUE(contains(ge_rules, "MT-flip"));
+  EXPECT_TRUE(contains(ge_rules, "MT-pairs"));
+
+  auto star = std::move(MetaruleEngine::Create(*Fn("*", ints), domains_))
+                  .value();
+  auto star_rules = star->Synthesize();
+  EXPECT_TRUE(contains(star_rules, "MT-absorb"));
+  EXPECT_TRUE(contains(star_rules, "MT-sweep"));
+  EXPECT_TRUE(contains(star_rules, "MT-corner"));
+}
+
+TEST_F(CatalogFixture, SynthesizedRulesValidate) {
+  // Everything the synthesizer emits passes its own condition (the
+  // synthesizer and validator agree).
+  for (const auto& fn : catalog_->functions()) {
+    auto engine = MetaruleEngine::Create(*fn, domains_);
+    ASSERT_TRUE(engine.ok());
+    for (const core::BasicRule& rule : engine.value()->Synthesize()) {
+      auto verdict = engine.value()->ValidateRule(rule);
+      ASSERT_TRUE(verdict.ok())
+          << fn->SignatureToString() << ": " << verdict.status() << "\n"
+          << rule.ToString();
+      EXPECT_TRUE(verdict.value()) << rule.ToString();
+    }
+  }
+}
+
+TEST_F(CatalogFixture, MissingDomainFails) {
+  types::DomainMap empty;
+  auto ints = std::vector<const types::Type*>{pool_.Int(), pool_.Int()};
+  EXPECT_FALSE(MetaruleEngine::Create(*Fn("+", ints), empty).ok());
+}
+
+TEST_F(CatalogFixture, UnknownShapeIsReported) {
+  auto ints = std::vector<const types::Type*>{pool_.Int(), pool_.Int()};
+  auto plus = std::move(MetaruleEngine::Create(*Fn("+", ints), domains_))
+                  .value();
+  // ta premise on the result is not a template.
+  core::BasicRule weird = {"t", {core::Ta(core::kResultPos)}, core::Ta(0)};
+  auto verdict = plus->ValidateRule(weird);
+  EXPECT_FALSE(verdict.ok());
+  EXPECT_EQ(verdict.status().code(), common::StatusCode::kUnimplemented);
+}
+
+}  // namespace
+}  // namespace oodbsec::basicfun

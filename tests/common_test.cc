@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include "common/diagnostics.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "common/strings.h"
+
+namespace oodbsec::common {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "ok");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = InvalidArgumentError("bad arg");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad arg");
+  EXPECT_EQ(s.ToString(), "invalid_argument: bad arg");
+}
+
+TEST(StatusTest, FactoriesProduceMatchingCodes) {
+  EXPECT_EQ(NotFoundError("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(AlreadyExistsError("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(FailedPreconditionError("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(PermissionDeniedError("x").code(), StatusCode::kPermissionDenied);
+  EXPECT_EQ(TypeError("x").code(), StatusCode::kTypeError);
+  EXPECT_EQ(ParseError("x").code(), StatusCode::kParseError);
+  EXPECT_EQ(OutOfRangeError("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(UnimplementedError("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(InternalError("x").code(), StatusCode::kInternal);
+}
+
+TEST(StatusTest, WithContextPrependsMessage) {
+  Status s = NotFoundError("no such class").WithContext("loading schema");
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "loading schema: no such class");
+  EXPECT_TRUE(Status::Ok().WithContext("ctx").ok());
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = NotFoundError("gone");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return InvalidArgumentError("odd");
+  return x / 2;
+}
+
+Result<int> Quarter(int x) {
+  OODBSEC_ASSIGN_OR_RETURN(int half, Half(x));
+  return Half(half);
+}
+
+TEST(ResultTest, AssignOrReturnPropagatesErrors) {
+  EXPECT_EQ(Quarter(8).value(), 2);
+  EXPECT_FALSE(Quarter(6).ok());
+  EXPECT_FALSE(Quarter(5).ok());
+}
+
+Status FailIfNegative(int x) {
+  if (x < 0) return OutOfRangeError("negative");
+  return Status::Ok();
+}
+
+Status CheckBoth(int a, int b) {
+  OODBSEC_RETURN_IF_ERROR(FailIfNegative(a));
+  OODBSEC_RETURN_IF_ERROR(FailIfNegative(b));
+  return Status::Ok();
+}
+
+TEST(ResultTest, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(CheckBoth(1, 2).ok());
+  EXPECT_FALSE(CheckBoth(-1, 2).ok());
+  EXPECT_FALSE(CheckBoth(1, -2).ok());
+}
+
+TEST(StringsTest, StrCat) {
+  EXPECT_EQ(StrCat("a", 1, true, '!'), "a1true!");
+  EXPECT_EQ(StrCat(), "");
+  EXPECT_EQ(StrCat(std::string("x"), std::string_view("y")), "xy");
+}
+
+TEST(StringsTest, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ", "), "");
+  EXPECT_EQ(Join({"solo"}, ", "), "solo");
+}
+
+TEST(StringsTest, Split) {
+  EXPECT_EQ(Split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(StringsTest, StripWhitespace) {
+  EXPECT_EQ(StripWhitespace("  x \t\n"), "x");
+  EXPECT_EQ(StripWhitespace(""), "");
+  EXPECT_EQ(StripWhitespace(" \t "), "");
+  EXPECT_EQ(StripWhitespace("a b"), "a b");
+}
+
+TEST(StringsTest, QuoteString) {
+  EXPECT_EQ(QuoteString("plain"), "\"plain\"");
+  EXPECT_EQ(QuoteString("a\"b\\c\nd\te"), "\"a\\\"b\\\\c\\nd\\te\"");
+}
+
+TEST(DiagnosticsTest, CollectsAndFormats) {
+  DiagnosticSink sink;
+  EXPECT_FALSE(sink.has_errors());
+  sink.Error({3, 7}, "unexpected token");
+  sink.Warning({4, 1}, "shadowed variable");
+  EXPECT_TRUE(sink.has_errors());
+  EXPECT_EQ(sink.error_count(), 1);
+  EXPECT_EQ(sink.ToString(),
+            "3:7: error: unexpected token\n4:1: warning: shadowed variable");
+  Status status = sink.ToStatus();
+  EXPECT_EQ(status.code(), StatusCode::kParseError);
+}
+
+TEST(DiagnosticsTest, CleanSinkIsOkStatus) {
+  DiagnosticSink sink;
+  sink.Note({1, 1}, "informational");
+  EXPECT_TRUE(sink.ToStatus().ok());
+}
+
+}  // namespace
+}  // namespace oodbsec::common

@@ -1,0 +1,160 @@
+// Tests for the dynamic session guard (the paper's §5 future-work
+// alternative): static-vs-dynamic trade-off, denial at exactly the
+// flaw-completing query, session accumulation, and memoization.
+#include <gtest/gtest.h>
+
+#include "dynamic/session_guard.h"
+#include "query/binder.h"
+#include "query/query_parser.h"
+#include "text/workspace.h"
+
+namespace oodbsec::dynamic {
+namespace {
+
+using types::Value;
+
+constexpr const char* kWorkspace = R"(
+class Broker { name: string; salary: int; budget: int; }
+function checkBudget(broker: Broker): bool =
+  r_budget(broker) >= 10 * r_salary(broker);
+user clerk can checkBudget, w_budget, r_name;
+require (clerk, r_salary(x) : ti);
+object Broker { name = "John", salary = 57, budget = 400 }
+)";
+
+struct Fixture {
+  text::Workspace workspace;
+  std::unique_ptr<SessionGuard> guard;
+
+  Fixture() {
+    auto loaded = text::LoadWorkspace(kWorkspace);
+    EXPECT_TRUE(loaded.ok()) << loaded.status();
+    workspace = std::move(loaded).value();
+    guard = std::make_unique<SessionGuard>(
+        *workspace.schema, *workspace.users, workspace.requirements);
+  }
+
+  std::unique_ptr<query::SelectQuery> Query(const std::string& text) {
+    auto parsed = query::ParseQueryString(text);
+    EXPECT_TRUE(parsed.ok()) << parsed.status();
+    EXPECT_TRUE(query::BindQuery(*parsed.value(), *workspace.schema).ok());
+    return std::move(parsed).value();
+  }
+
+  const schema::User& Clerk() { return *workspace.users->Find("clerk"); }
+};
+
+TEST(SessionGuardTest, StaticAnalysisWouldRejectTheGrantOutright) {
+  // Baseline: A(R) over the full capability list flags the requirement,
+  // so a purely static deployment cannot serve this clerk at all.
+  Fixture f;
+  auto report = core::CheckRequirement(*f.workspace.schema,
+                                       *f.workspace.users,
+                                       f.workspace.requirements[0]);
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->satisfied);
+}
+
+TEST(SessionGuardTest, BenignQueriesPass) {
+  Fixture f;
+  // checkBudget alone cannot complete the flaw.
+  auto q = f.Query("select checkBudget(b) from b in Broker");
+  auto result = f.guard->Run(*f.workspace.database, f.Clerk(), *q);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->rows.size(), 1u);
+  EXPECT_EQ(f.guard->SessionFunctions("clerk"),
+            (std::set<std::string>{"checkBudget"}));
+}
+
+TEST(SessionGuardTest, FlawCompletingQueryIsDenied) {
+  Fixture f;
+  // First query: benign.
+  auto q1 = f.Query("select checkBudget(b) from b in Broker");
+  ASSERT_TRUE(f.guard->Run(*f.workspace.database, f.Clerk(), *q1).ok());
+  // Second query introduces w_budget: together with the session's
+  // checkBudget this completes the probing flaw — denied BEFORE any
+  // write happens.
+  auto q2 = f.Query("select w_budget(b, 100) from b in Broker");
+  auto result = f.guard->Run(*f.workspace.database, f.Clerk(), *q2);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), common::StatusCode::kPermissionDenied);
+  // The denied query left no trace: budget unchanged, session unchanged.
+  types::Oid john = f.workspace.database->Extent("Broker")[0];
+  EXPECT_EQ(f.workspace.database->ReadAttribute(john, "budget").value(),
+            Value::Int(400));
+  EXPECT_EQ(f.guard->SessionFunctions("clerk"),
+            (std::set<std::string>{"checkBudget"}));
+}
+
+TEST(SessionGuardTest, SingleMixedQueryIsDeniedUpfront) {
+  Fixture f;
+  // The paper's probing query in one shot: denied on first contact.
+  auto q = f.Query(
+      "select w_budget(b, 1), checkBudget(b) from b in Broker "
+      "where r_name(b) == \"John\"");
+  auto decision = f.guard->Decide(f.Clerk(), *q);
+  ASSERT_TRUE(decision.ok()) << decision.status();
+  EXPECT_FALSE(decision->allowed);
+  EXPECT_NE(decision->violated_requirement.find("r_salary"),
+            std::string::npos);
+  EXPECT_FALSE(decision->derivation.empty());
+}
+
+TEST(SessionGuardTest, OrderDoesNotMatter) {
+  // Writing first, then testing, is caught at the test query.
+  Fixture f;
+  auto q1 = f.Query("select w_budget(b, 100) from b in Broker");
+  ASSERT_TRUE(f.guard->Run(*f.workspace.database, f.Clerk(), *q1).ok());
+  auto q2 = f.Query("select checkBudget(b) from b in Broker");
+  auto result = f.guard->Run(*f.workspace.database, f.Clerk(), *q2);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(SessionGuardTest, OtherUsersRequirementsDoNotInterfere) {
+  Fixture f;
+  ASSERT_TRUE(f.workspace.users->AddUser("admin").ok());
+  ASSERT_TRUE(f.workspace.users->Grant("admin", "checkBudget").ok());
+  ASSERT_TRUE(f.workspace.users->Grant("admin", "w_budget").ok());
+  // No requirement names admin: everything passes for them.
+  auto q = f.Query(
+      "select w_budget(b, 1), checkBudget(b) from b in Broker");
+  auto result = f.guard->Run(*f.workspace.database,
+                             *f.workspace.users->Find("admin"), *q);
+  ASSERT_TRUE(result.ok()) << result.status();
+}
+
+TEST(SessionGuardTest, DecisionsAreMemoized) {
+  Fixture f;
+  auto q = f.Query("select checkBudget(b) from b in Broker");
+  ASSERT_TRUE(f.guard->Decide(f.Clerk(), *q).ok());
+  int after_first = f.guard->closure_evaluations();
+  ASSERT_TRUE(f.guard->Decide(f.Clerk(), *q).ok());
+  EXPECT_EQ(f.guard->closure_evaluations(), after_first);
+}
+
+TEST(SessionGuardTest, UnboundQueryRejected) {
+  Fixture f;
+  auto parsed =
+      query::ParseQueryString("select checkBudget(b) from b in Broker");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_FALSE(f.guard->Decide(f.Clerk(), *parsed.value()).ok());
+}
+
+TEST(SessionGuardTest, DynamicBeatsStaticOnBenignSessions) {
+  // The headline comparison: a benign session (repeated audits) runs to
+  // completion under the guard even though the static verdict on the
+  // grant set is "reject".
+  Fixture f;
+  for (int day = 0; day < 5; ++day) {
+    auto q = f.Query("select r_name(b), checkBudget(b) from b in Broker");
+    auto result = f.guard->Run(*f.workspace.database, f.Clerk(), *q);
+    ASSERT_TRUE(result.ok()) << result.status();
+  }
+  // ...and the moment the session turns adversarial, the door shuts.
+  auto probe = f.Query(
+      "select w_budget(b, 512), checkBudget(b) from b in Broker");
+  EXPECT_FALSE(f.guard->Run(*f.workspace.database, f.Clerk(), *probe).ok());
+}
+
+}  // namespace
+}  // namespace oodbsec::dynamic

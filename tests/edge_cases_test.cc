@@ -1,0 +1,311 @@
+// Edge cases and failure-injection across modules: boundary inputs the
+// main suites don't reach.
+#include <gtest/gtest.h>
+
+#include "core/analyzer.h"
+#include "core/closure.h"
+#include "exec/evaluator.h"
+#include "query/binder.h"
+#include "query/query_evaluator.h"
+#include "query/query_parser.h"
+#include "schema/user.h"
+#include "semantics/execution.h"
+#include "text/workspace.h"
+#include "unfold/unfolded.h"
+
+namespace oodbsec {
+namespace {
+
+using types::Value;
+
+// --- Empty and degenerate analysis inputs ---
+
+TEST(EdgeCases, EmptyCapabilityListIsAlwaysSafe) {
+  schema::SchemaBuilder builder;
+  builder.AddClass("C", {{"a", "int"}});
+  auto schema = std::move(builder).Build();
+  ASSERT_TRUE(schema.ok());
+  schema::UserRegistry users(*schema.value());
+  ASSERT_TRUE(users.AddUser("nobody").ok());
+  auto req = core::ParseRequirementString("(nobody, r_a(x) : pi)");
+  ASSERT_TRUE(req.ok());
+  auto report = core::CheckRequirement(*schema.value(), users, req.value());
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_TRUE(report->satisfied);
+  EXPECT_EQ(report->node_count, 0);
+}
+
+TEST(EdgeCases, ZeroArgumentFunction) {
+  schema::SchemaBuilder builder;
+  builder.AddFunction("answer", {}, "int", "41 + 1");
+  auto schema = std::move(builder).Build();
+  ASSERT_TRUE(schema.ok()) << schema.status();
+
+  store::Database db(*schema.value());
+  exec::Evaluator evaluator(db);
+  EXPECT_EQ(evaluator.CallByName("answer", {}).value(), Value::Int(42));
+
+  auto set = unfold::UnfoldedSet::Build(*schema.value(), {"answer"});
+  ASSERT_TRUE(set.ok());
+  core::Closure closure(*set.value());
+  // The whole body is a constant expression: observed and derivable.
+  EXPECT_TRUE(closure.HasTi(set.value()->roots()[0].body->id));
+  EXPECT_FALSE(closure.HasPa(set.value()->roots()[0].body->id));
+}
+
+TEST(EdgeCases, UnusedParameterIsHarmless) {
+  schema::SchemaBuilder builder;
+  builder.AddClass("C", {{"a", "int"}});
+  builder.AddFunction("ignore", {{"o", "C"}, {"x", "int"}}, "int", "7");
+  auto schema = std::move(builder).Build();
+  ASSERT_TRUE(schema.ok()) << schema.status();
+  schema::UserRegistry users(*schema.value());
+  ASSERT_TRUE(users.AddUser("u").ok());
+  ASSERT_TRUE(users.Grant("u", "ignore").ok());
+  // Requirements on the unused argument hold trivially at the root site
+  // (the user supplies it), so this is flagged...
+  auto req = core::ParseRequirementString("(u, ignore(o, x : ta) : ti)");
+  ASSERT_TRUE(req.ok());
+  auto report = core::CheckRequirement(*schema.value(), users, req.value());
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_FALSE(report->satisfied);
+}
+
+TEST(EdgeCases, RequirementOnWriteResultIsSatisfiable) {
+  // w_a returns null; requiring non-inference of a null result is
+  // odd but legal — and violated, since null is trivially known.
+  schema::SchemaBuilder builder;
+  builder.AddClass("C", {{"a", "int"}});
+  auto schema = std::move(builder).Build();
+  ASSERT_TRUE(schema.ok());
+  schema::UserRegistry users(*schema.value());
+  ASSERT_TRUE(users.AddUser("u").ok());
+  ASSERT_TRUE(users.Grant("u", "w_a").ok());
+  auto req = core::ParseRequirementString("(u, w_a(o, v) : ti)");
+  ASSERT_TRUE(req.ok());
+  auto report = core::CheckRequirement(*schema.value(), users, req.value());
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_FALSE(report->satisfied);
+}
+
+// --- Language / evaluator boundaries ---
+
+TEST(EdgeCases, DeeplyNestedExpressionsParseAndEvaluate) {
+  std::string body = "x";
+  for (int i = 0; i < 200; ++i) body = "(" + body + " + 1)";
+  schema::SchemaBuilder builder;
+  builder.AddFunction("deep", {{"x", "int"}}, "int", body);
+  auto schema = std::move(builder).Build();
+  ASSERT_TRUE(schema.ok()) << schema.status();
+  store::Database db(*schema.value());
+  exec::Evaluator evaluator(db);
+  EXPECT_EQ(evaluator.CallByName("deep", {Value::Int(0)}).value(),
+            Value::Int(200));
+}
+
+TEST(EdgeCases, ShadowingInNestedLets) {
+  schema::SchemaBuilder builder;
+  builder.AddFunction("shadow", {{"x", "int"}}, "int",
+                      "let x = x + 1 in let x = x * 2 in x end end");
+  auto schema = std::move(builder).Build();
+  ASSERT_TRUE(schema.ok()) << schema.status();
+  store::Database db(*schema.value());
+  exec::Evaluator evaluator(db);
+  // (3+1)*2 = 8.
+  EXPECT_EQ(evaluator.CallByName("shadow", {Value::Int(3)}).value(),
+            Value::Int(8));
+}
+
+TEST(EdgeCases, SequentialLetBindingsSeeEarlierOnes) {
+  schema::SchemaBuilder builder;
+  builder.AddFunction("seq", {{"x", "int"}}, "int",
+                      "let a = x + 1, b = a * 2, c = b - a in c end");
+  auto schema = std::move(builder).Build();
+  ASSERT_TRUE(schema.ok()) << schema.status();
+  store::Database db(*schema.value());
+  exec::Evaluator evaluator(db);
+  // a=4, b=8, c=4.
+  EXPECT_EQ(evaluator.CallByName("seq", {Value::Int(3)}).value(),
+            Value::Int(4));
+}
+
+TEST(EdgeCases, IntegerOverflowWrapsSilently) {
+  // Documented behavior: int64 arithmetic, no checks (the analysis
+  // layer treats domains abstractly anyway).
+  schema::SchemaBuilder builder;
+  builder.AddFunction("big", {{"x", "int"}}, "int", "x * x");
+  auto schema = std::move(builder).Build();
+  ASSERT_TRUE(schema.ok());
+  store::Database db(*schema.value());
+  exec::Evaluator evaluator(db);
+  EXPECT_TRUE(evaluator.CallByName("big", {Value::Int(1LL << 40)}).ok());
+}
+
+// --- Query engine boundaries ---
+
+struct QueryWorld {
+  std::unique_ptr<schema::Schema> schema;
+  std::unique_ptr<store::Database> db;
+
+  QueryWorld() {
+    schema::SchemaBuilder builder;
+    builder.AddClass("P", {{"n", "int"}, {"kids", "{P}"}});
+    auto result = std::move(builder).Build();
+    EXPECT_TRUE(result.ok());
+    schema = std::move(result).value();
+    db = std::make_unique<store::Database>(*schema);
+  }
+
+  query::QueryResult Run(const std::string& text) {
+    auto parsed = query::ParseQueryString(text);
+    EXPECT_TRUE(parsed.ok()) << parsed.status();
+    EXPECT_TRUE(query::BindQuery(*parsed.value(), *schema).ok());
+    query::QueryEvaluator evaluator(*db, nullptr);
+    auto result = evaluator.Run(*parsed.value());
+    EXPECT_TRUE(result.ok()) << result.status();
+    return std::move(result).value();
+  }
+};
+
+TEST(EdgeCases, CrossProductOfBindings) {
+  QueryWorld world;
+  for (int i = 0; i < 3; ++i) {
+    types::Oid oid = world.db->CreateObject("P").value();
+    ASSERT_TRUE(world.db->WriteAttribute(oid, "n", Value::Int(i)).ok());
+  }
+  auto result = world.Run("select r_n(a) + r_n(b) from a in P, b in P");
+  EXPECT_EQ(result.rows.size(), 9u);
+}
+
+TEST(EdgeCases, EmptySetSourceYieldsNoRows) {
+  QueryWorld world;
+  world.db->CreateObject("P").value();
+  // kids defaults to {} — the inner binding finds nothing.
+  auto result = world.Run("select r_n(k) from p in P, k in r_kids(p)");
+  EXPECT_TRUE(result.rows.empty());
+}
+
+TEST(EdgeCases, NullSetSourceYieldsNoRows) {
+  QueryWorld world;
+  types::Oid oid = world.db->CreateObject("P").value();
+  ASSERT_TRUE(world.db->WriteAttribute(oid, "kids", Value::Null()).ok());
+  auto result = world.Run("select r_n(k) from p in P, k in r_kids(p)");
+  EXPECT_TRUE(result.rows.empty());
+}
+
+TEST(EdgeCases, NestedSubqueryOverEmptySet) {
+  QueryWorld world;
+  world.db->CreateObject("P").value();
+  auto result =
+      world.Run("select (select r_n(k) from k in r_kids(p)) from p in P");
+  ASSERT_EQ(result.rows.size(), 1u);
+  EXPECT_EQ(result.rows[0][0], Value::Set({}));
+}
+
+TEST(EdgeCases, WhereClauseRuntimeErrorPropagates) {
+  QueryWorld world;
+  types::Oid a = world.db->CreateObject("P").value();
+  (void)a;
+  // r_n on a null object inside where: the evaluator must surface it.
+  schema::SchemaBuilder builder;
+  builder.AddClass("P", {{"n", "int"}, {"kids", "{P}"}, {"peer", "P"}});
+  auto schema = std::move(builder).Build();
+  ASSERT_TRUE(schema.ok());
+  store::Database db(*schema.value());
+  db.CreateObject("P").value();  // peer stays null
+  auto parsed = query::ParseQueryString(
+      "select 1 from p in P where r_n(r_peer(p)) >= 0");
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_TRUE(query::BindQuery(*parsed.value(), *schema.value()).ok());
+  query::QueryEvaluator evaluator(db, nullptr);
+  auto result = evaluator.Run(*parsed.value());
+  EXPECT_FALSE(result.ok());
+}
+
+// --- Unfolding boundaries ---
+
+TEST(EdgeCases, DiamondCallGraphUnfoldsBothPaths) {
+  // f calls g and h, both call leaf: the unfolding duplicates leaf.
+  schema::SchemaBuilder builder;
+  builder.AddClass("C", {{"a", "int"}});
+  builder.AddFunction("leaf", {{"o", "C"}}, "int", "r_a(o)");
+  builder.AddFunction("g", {{"o", "C"}}, "int", "leaf(o) + 1");
+  builder.AddFunction("h", {{"o", "C"}}, "int", "leaf(o) * 2");
+  builder.AddFunction("f", {{"o", "C"}}, "int", "g(o) + h(o)");
+  auto schema = std::move(builder).Build();
+  ASSERT_TRUE(schema.ok()) << schema.status();
+  auto set = unfold::UnfoldedSet::Build(*schema.value(), {"f"});
+  ASSERT_TRUE(set.ok());
+  EXPECT_EQ(set.value()->reads("a").size(), 2u);
+}
+
+TEST(EdgeCases, ExecutionOfDuplicatedReadsIsConsistent) {
+  schema::SchemaBuilder builder;
+  builder.AddClass("C", {{"a", "int"}});
+  builder.AddFunction("twice", {{"o", "C"}}, "int", "r_a(o) + r_a(o)");
+  auto schema = std::move(builder).Build();
+  ASSERT_TRUE(schema.ok());
+  store::Database db(*schema.value());
+  types::Oid oid = db.CreateObject("C").value();
+  ASSERT_TRUE(db.WriteAttribute(oid, "a", Value::Int(21)).ok());
+  auto set = unfold::UnfoldedSet::Build(*schema.value(), {"twice"});
+  ASSERT_TRUE(set.ok());
+  auto execution =
+      semantics::Execute(*set.value(), db, {{Value::Object(oid)}});
+  ASSERT_TRUE(execution.ok());
+  EXPECT_EQ(execution->root_results[0], Value::Int(42));
+}
+
+// --- Text format boundaries ---
+
+TEST(EdgeCases, WorkspaceWithOnlyComments) {
+  auto workspace = text::LoadWorkspace("# nothing\n// here either\n");
+  ASSERT_TRUE(workspace.ok()) << workspace.status();
+  EXPECT_TRUE(workspace->schema->classes().empty());
+}
+
+TEST(EdgeCases, WorkspaceObjectWithNoFields) {
+  auto workspace = text::LoadWorkspace(R"(
+class C { a: int; }
+object C { }
+)");
+  ASSERT_TRUE(workspace.ok()) << workspace.status();
+  ASSERT_EQ(workspace->database->Extent("C").size(), 1u);
+  types::Oid oid = workspace->database->Extent("C")[0];
+  EXPECT_EQ(workspace->database->ReadAttribute(oid, "a").value(),
+            Value::Int(0));
+}
+
+TEST(EdgeCases, WorkspaceNegativeObjectField) {
+  auto workspace = text::LoadWorkspace(R"(
+class C { a: int; }
+object C { a = -5 }
+)");
+  ASSERT_TRUE(workspace.ok()) << workspace.status();
+  types::Oid oid = workspace->database->Extent("C")[0];
+  EXPECT_EQ(workspace->database->ReadAttribute(oid, "a").value(),
+            Value::Int(-5));
+}
+
+TEST(EdgeCases, RequirementWithCapsOnEverything) {
+  schema::SchemaBuilder builder;
+  builder.AddClass("C", {{"a", "int"}});
+  builder.AddFunction("get", {{"o", "C"}}, "int", "r_a(o)");
+  auto schema = std::move(builder).Build();
+  ASSERT_TRUE(schema.ok());
+  schema::UserRegistry users(*schema.value());
+  ASSERT_TRUE(users.AddUser("u").ok());
+  ASSERT_TRUE(users.Grant("u", "get").ok());
+  // All four caps on the argument and both inferabilities on the result:
+  // the root site satisfies argument caps trivially and the body is
+  // observed, so this must be flagged.
+  auto req = core::ParseRequirementString(
+      "(u, get(o : ti : pi : ta : pa) : ti : pi)");
+  ASSERT_TRUE(req.ok());
+  auto report = core::CheckRequirement(*schema.value(), users, req.value());
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_FALSE(report->satisfied);
+}
+
+}  // namespace
+}  // namespace oodbsec

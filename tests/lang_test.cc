@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include "common/diagnostics.h"
+#include "lang/ast.h"
+#include "lang/lexer.h"
+#include "lang/parser.h"
+#include "lang/printer.h"
+
+namespace oodbsec::lang {
+namespace {
+
+std::vector<TokenKind> KindsOf(std::string_view source) {
+  std::vector<TokenKind> kinds;
+  for (const Token& token : Lexer::TokenizeAll(source)) {
+    kinds.push_back(token.kind);
+  }
+  return kinds;
+}
+
+TEST(LexerTest, EmptyInput) {
+  EXPECT_EQ(KindsOf(""), (std::vector<TokenKind>{TokenKind::kEnd}));
+  EXPECT_EQ(KindsOf("   \n\t "), (std::vector<TokenKind>{TokenKind::kEnd}));
+}
+
+TEST(LexerTest, IdentifiersAndKeywords) {
+  EXPECT_EQ(KindsOf("foo let letx _x x9"),
+            (std::vector<TokenKind>{TokenKind::kIdentifier, TokenKind::kKwLet,
+                                    TokenKind::kIdentifier,
+                                    TokenKind::kIdentifier,
+                                    TokenKind::kIdentifier, TokenKind::kEnd}));
+}
+
+TEST(LexerTest, IntLiterals) {
+  auto tokens = Lexer::TokenizeAll("0 42 12345");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[0].int_value, 0);
+  EXPECT_EQ(tokens[1].int_value, 42);
+  EXPECT_EQ(tokens[2].int_value, 12345);
+}
+
+TEST(LexerTest, StringLiteralsWithEscapes) {
+  auto tokens = Lexer::TokenizeAll(R"("hi" "a\"b" "x\\y" "n\nl")");
+  ASSERT_EQ(tokens.size(), 5u);
+  EXPECT_EQ(tokens[0].text, "hi");
+  EXPECT_EQ(tokens[1].text, "a\"b");
+  EXPECT_EQ(tokens[2].text, "x\\y");
+  EXPECT_EQ(tokens[3].text, "n\nl");
+}
+
+TEST(LexerTest, UnterminatedStringIsError) {
+  auto tokens = Lexer::TokenizeAll("\"oops");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kError);
+}
+
+TEST(LexerTest, OperatorsAndPunctuation) {
+  EXPECT_EQ(
+      KindsOf("( ) { } , : ; = == != < <= > >= + - * / %"),
+      (std::vector<TokenKind>{
+          TokenKind::kLParen, TokenKind::kRParen, TokenKind::kLBrace,
+          TokenKind::kRBrace, TokenKind::kComma, TokenKind::kColon,
+          TokenKind::kSemicolon, TokenKind::kAssign, TokenKind::kEqEq,
+          TokenKind::kNotEq, TokenKind::kLess, TokenKind::kLessEq,
+          TokenKind::kGreater, TokenKind::kGreaterEq, TokenKind::kPlus,
+          TokenKind::kMinus, TokenKind::kStar, TokenKind::kSlash,
+          TokenKind::kPercent, TokenKind::kEnd}));
+}
+
+TEST(LexerTest, CommentsAreSkipped) {
+  EXPECT_EQ(KindsOf("a # comment\n b // another\n c"),
+            (std::vector<TokenKind>{TokenKind::kIdentifier,
+                                    TokenKind::kIdentifier,
+                                    TokenKind::kIdentifier, TokenKind::kEnd}));
+}
+
+TEST(LexerTest, TracksLineAndColumn) {
+  auto tokens = Lexer::TokenizeAll("a\n  bb");
+  EXPECT_EQ(tokens[0].location.line, 1);
+  EXPECT_EQ(tokens[0].location.column, 1);
+  EXPECT_EQ(tokens[1].location.line, 2);
+  EXPECT_EQ(tokens[1].location.column, 3);
+}
+
+std::string Reparse(std::string_view source,
+                    PrintStyle style = PrintStyle::kInfix) {
+  auto result = ParseExpressionString(source);
+  if (!result.ok()) return "<error: " + result.status().ToString() + ">";
+  return PrintExpr(*result.value(), style);
+}
+
+TEST(ParserTest, Literals) {
+  EXPECT_EQ(Reparse("42"), "42");
+  EXPECT_EQ(Reparse("true"), "true");
+  EXPECT_EQ(Reparse("false"), "false");
+  EXPECT_EQ(Reparse("null"), "null");
+  EXPECT_EQ(Reparse("\"hi\""), "\"hi\"");
+  EXPECT_EQ(Reparse("-7"), "-7");
+}
+
+TEST(ParserTest, InfixPrecedence) {
+  EXPECT_EQ(Reparse("1 + 2 * 3"), "(1 + (2 * 3))");
+  EXPECT_EQ(Reparse("1 * 2 + 3"), "((1 * 2) + 3)");
+  EXPECT_EQ(Reparse("(1 + 2) * 3"), "((1 + 2) * 3)");
+  EXPECT_EQ(Reparse("1 - 2 - 3"), "((1 - 2) - 3)");
+  EXPECT_EQ(Reparse("a >= b + 1"), "(a >= (b + 1))");
+  EXPECT_EQ(Reparse("p and q or r"), "((p and q) or r)");
+  EXPECT_EQ(Reparse("not p and q"), "((not p) and q)");
+  EXPECT_EQ(Reparse("a == b and c != d"), "((a == b) and (c != d))");
+}
+
+TEST(ParserTest, PaperPrefixSyntax) {
+  // The paper's own examples parse in their original form.
+  EXPECT_EQ(Reparse(">=(r_budget(broker), *(10, r_salary(broker)))"),
+            "(r_budget(broker) >= (10 * r_salary(broker)))");
+  EXPECT_EQ(Reparse("+(x, r_age(o))"), "(x + r_age(o))");
+  EXPECT_EQ(Reparse("not(p)"), "(not p)");
+}
+
+TEST(ParserTest, PrefixPrintStyleMatchesPaper) {
+  EXPECT_EQ(Reparse("r_budget(b) >= 10 * r_salary(b)", PrintStyle::kPrefix),
+            ">=(r_budget(b), *(10, r_salary(b)))");
+}
+
+TEST(ParserTest, Calls) {
+  EXPECT_EQ(Reparse("f()"), "f()");
+  EXPECT_EQ(Reparse("f(1, g(x), \"s\")"), "f(1, g(x), \"s\")");
+  EXPECT_EQ(Reparse("w_salary(broker, calcSalary(r_budget(broker)))"),
+            "w_salary(broker, calcSalary(r_budget(broker)))");
+}
+
+TEST(ParserTest, Let) {
+  EXPECT_EQ(Reparse("let x = 1 in x + 2 end"), "let x = 1 in (x + 2) end");
+  EXPECT_EQ(Reparse("let x = 1, y = x in y end"), "let x = 1, y = x in y end");
+  EXPECT_EQ(Reparse("let x = let y = 2 in y end in x end"),
+            "let x = let y = 2 in y end in x end");
+}
+
+TEST(ParserTest, UnaryMinus) {
+  EXPECT_EQ(Reparse("-x"), "neg(x)");
+  EXPECT_EQ(Reparse("1 - -2"), "(1 - -2)");
+  EXPECT_EQ(Reparse("-x * 3"), "(neg(x) * 3)");
+}
+
+TEST(ParserTest, ChainedComparisonIsError) {
+  auto result = ParseExpressionString("a < b < c");
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(ParserTest, ReportsErrors) {
+  EXPECT_FALSE(ParseExpressionString("").ok());
+  EXPECT_FALSE(ParseExpressionString("1 +").ok());
+  EXPECT_FALSE(ParseExpressionString("f(1,").ok());
+  EXPECT_FALSE(ParseExpressionString("(1").ok());
+  EXPECT_FALSE(ParseExpressionString("let x 1 in x end").ok());
+  EXPECT_FALSE(ParseExpressionString("let x = 1 in x").ok());
+  EXPECT_FALSE(ParseExpressionString("1 2").ok());  // trailing input
+}
+
+TEST(AstTest, CloneIsDeepAndPreservesResolution) {
+  auto parsed = ParseExpressionString("let x = 1 in f(x) + 2 end");
+  ASSERT_TRUE(parsed.ok());
+  std::unique_ptr<Expr> original = std::move(parsed).value();
+  std::unique_ptr<Expr> clone = original->Clone();
+  EXPECT_EQ(PrintExpr(*original), PrintExpr(*clone));
+  // Mutating the clone must not affect the original.
+  clone->AsLet().mutable_body().AsCall().set_target(CallTarget::kBasic);
+  EXPECT_EQ(original->AsLet().body().AsCall().target(),
+            CallTarget::kUnresolved);
+}
+
+TEST(AstTest, MakersProduceExpectedKinds) {
+  EXPECT_EQ(MakeInt(1)->kind(), ExprKind::kConstant);
+  EXPECT_EQ(MakeVar("v")->kind(), ExprKind::kVarRef);
+  std::vector<std::unique_ptr<Expr>> args;
+  args.push_back(MakeInt(1));
+  EXPECT_EQ(MakeCall("f", std::move(args))->kind(), ExprKind::kCall);
+}
+
+}  // namespace
+}  // namespace oodbsec::lang

@@ -1,0 +1,281 @@
+// Tests for the semantic side: execution instances, the I(E) inference
+// system (paper Table 1), and the small-scope oracle (Definitions 2-5).
+#include <gtest/gtest.h>
+
+#include "semantics/execution.h"
+#include "semantics/inference.h"
+#include "semantics/oracle.h"
+
+namespace oodbsec::semantics {
+namespace {
+
+using core::Capability;
+using types::Oid;
+using types::Value;
+
+std::unique_ptr<schema::Schema> BrokerSchema() {
+  schema::SchemaBuilder builder;
+  builder.AddClass("Broker", {{"salary", "int"}, {"budget", "int"}});
+  builder.AddFunction("checkBudget", {{"broker", "Broker"}}, "bool",
+                      "r_budget(broker) >= 2 * r_salary(broker)");
+  builder.AddFunction("bumpSalary", {{"broker", "Broker"}, {"d", "int"}},
+                      "null", "w_salary(broker, r_salary(broker) + d)");
+  auto result = std::move(builder).Build();
+  EXPECT_TRUE(result.ok()) << result.status();
+  return std::move(result).value();
+}
+
+store::Database OneBrokerDb(const schema::Schema& schema, int64_t salary,
+                            int64_t budget) {
+  store::Database db(schema);
+  Oid oid = db.CreateObject("Broker").value();
+  EXPECT_TRUE(db.WriteAttribute(oid, "salary", Value::Int(salary)).ok());
+  EXPECT_TRUE(db.WriteAttribute(oid, "budget", Value::Int(budget)).ok());
+  return db;
+}
+
+types::DomainMap SmallDomains(const schema::Schema& schema) {
+  types::DomainMap domains;
+  domains.Set(schema.pool().Int(),
+              types::Domain::IntRange(schema.pool().Int(), 0, 3));
+  domains.Set(schema.pool().Bool(),
+              types::Domain::Bools(schema.pool().Bool()));
+  return domains;
+}
+
+// Domains for direct I(E) tests: basic types plus the database's
+// extents (the oracle derives these itself).
+types::DomainMap FullDomains(const schema::Schema& schema,
+                             const store::Database& db) {
+  types::DomainMap domains = SmallDomains(schema);
+  for (const auto& cls : schema.classes()) {
+    domains.Set(cls->type(),
+                types::Domain::Objects(cls->type(), db.Extent(cls->name())));
+  }
+  return domains;
+}
+
+// --- Execute ---
+
+TEST(ExecutionTest, RecordsValuesInPaperNumbering) {
+  auto schema = BrokerSchema();
+  store::Database db = OneBrokerDb(*schema, 1, 3);
+  Oid broker = db.Extent("Broker")[0];
+
+  auto set = unfold::UnfoldedSet::Build(*schema, {"checkBudget"});
+  ASSERT_TRUE(set.ok());
+  // 1:broker 2:r_budget 3:2 4:broker 5:r_salary 6:* 7:>=
+  auto execution = Execute(*set.value(), db, {{Value::Object(broker)}});
+  ASSERT_TRUE(execution.ok()) << execution.status();
+  EXPECT_EQ(execution->values[2], Value::Int(3));
+  EXPECT_EQ(execution->values[3], Value::Int(2));
+  EXPECT_EQ(execution->values[5], Value::Int(1));
+  EXPECT_EQ(execution->values[6], Value::Int(2));
+  EXPECT_EQ(execution->values[7], Value::Bool(true));
+  EXPECT_EQ(execution->root_results[0], Value::Bool(true));
+}
+
+TEST(ExecutionTest, SequencesSeeEarlierWrites) {
+  auto schema = BrokerSchema();
+  store::Database db = OneBrokerDb(*schema, 1, 0);
+  Oid broker = db.Extent("Broker")[0];
+
+  auto set = unfold::UnfoldedSet::Build(
+      *schema, {"w_budget", "checkBudget", "w_budget", "checkBudget"});
+  ASSERT_TRUE(set.ok());
+  auto execution = Execute(
+      *set.value(), db,
+      {{Value::Object(broker), Value::Int(5)},
+       {Value::Object(broker)},
+       {Value::Object(broker), Value::Int(1)},
+       {Value::Object(broker)}});
+  ASSERT_TRUE(execution.ok()) << execution.status();
+  // salary=1: budget 5 >= 2 -> true; budget 1 >= 2 -> false.
+  EXPECT_EQ(execution->root_results[1], Value::Bool(true));
+  EXPECT_EQ(execution->root_results[3], Value::Bool(false));
+  EXPECT_EQ(db.ReadAttribute(broker, "budget").value(), Value::Int(1));
+}
+
+TEST(ExecutionTest, NullReadFails) {
+  auto schema = BrokerSchema();
+  store::Database db(*schema);
+  auto set = unfold::UnfoldedSet::Build(*schema, {"checkBudget"});
+  ASSERT_TRUE(set.ok());
+  auto execution = Execute(*set.value(), db, {{Value::Null()}});
+  EXPECT_FALSE(execution.ok());
+}
+
+TEST(ExecutionTest, WrongArityRejected) {
+  auto schema = BrokerSchema();
+  store::Database db = OneBrokerDb(*schema, 1, 1);
+  auto set = unfold::UnfoldedSet::Build(*schema, {"checkBudget"});
+  ASSERT_TRUE(set.ok());
+  EXPECT_FALSE(Execute(*set.value(), db, {}).ok());
+  EXPECT_FALSE(Execute(*set.value(), db, {{}}).ok());
+}
+
+// --- I(E) ---
+
+TEST(InferenceTest, ObservedResultAndArgumentsAreKnown) {
+  auto schema = BrokerSchema();
+  store::Database db = OneBrokerDb(*schema, 1, 3);
+  Oid broker = db.Extent("Broker")[0];
+  auto set = unfold::UnfoldedSet::Build(*schema, {"checkBudget"});
+  ASSERT_TRUE(set.ok());
+  auto execution = Execute(*set.value(), db, {{Value::Object(broker)}});
+  ASSERT_TRUE(execution.ok());
+
+  auto inference = SemanticInference::Build(*set.value(), *execution,
+                                            FullDomains(*schema, db));
+  ASSERT_TRUE(inference.ok()) << inference.status();
+  // The user knows the constant, their argument, and the outcome...
+  EXPECT_TRUE(inference.value()->InfersTotal(3));  // constant 2
+  EXPECT_TRUE(inference.value()->InfersTotal(1));  // their broker argument
+  EXPECT_TRUE(inference.value()->InfersTotal(7));  // observed result
+  // ...but neither budget nor salary exactly.
+  EXPECT_FALSE(inference.value()->InfersTotal(2));
+  EXPECT_FALSE(inference.value()->InfersTotal(5));
+  // The true outcome does prune the (budget, salary) space: with domain
+  // 0..3, budget >= 2*salary rules salary=3 out entirely (max budget 3).
+  EXPECT_TRUE(inference.value()->InfersPartial(5));
+}
+
+TEST(InferenceTest, WrittenValueEqualsLaterRead) {
+  auto schema = BrokerSchema();
+  store::Database db = OneBrokerDb(*schema, 1, 0);
+  Oid broker = db.Extent("Broker")[0];
+  auto set =
+      unfold::UnfoldedSet::Build(*schema, {"w_budget", "checkBudget"});
+  ASSERT_TRUE(set.ok());
+  auto execution =
+      Execute(*set.value(), db,
+              {{Value::Object(broker), Value::Int(3)},
+               {Value::Object(broker)}});
+  ASSERT_TRUE(execution.ok());
+  auto inference = SemanticInference::Build(*set.value(), *execution,
+                                            FullDomains(*schema, db));
+  ASSERT_TRUE(inference.ok()) << inference.status();
+  // The budget read (local occurrence 5 after w_budget's 1..3:
+  // 4:broker 5:r_budget ...) equals the written value v=3, which the
+  // user supplied -> total inferability.
+  EXPECT_TRUE(inference.value()->InfersTotal(5));
+}
+
+// --- Oracle ---
+
+class OracleFixture : public ::testing::Test {
+ protected:
+  OracleFixture() : schema_(BrokerSchema()) {}
+
+  Oracle MakeOracle(std::vector<std::string> capabilities,
+                    int max_len = 2) {
+    std::vector<store::Database> dbs;
+    dbs.push_back(OneBrokerDb(*schema_, 1, 0));
+    OracleOptions options;
+    options.max_sequence_length = max_len;
+    return Oracle(*schema_, std::move(capabilities), std::move(dbs),
+                  SmallDomains(*schema_), options);
+  }
+
+  // Local ids within checkBudget's unfolding:
+  //   1:broker 2:r_budget 3:2 4:broker 5:r_salary 6:* 7:>=
+  std::unique_ptr<schema::Schema> schema_;
+};
+
+TEST_F(OracleFixture, TargetForMapsAcrossRoots) {
+  auto set =
+      unfold::UnfoldedSet::Build(*schema_, {"w_budget", "checkBudget"});
+  ASSERT_TRUE(set.ok());
+  Target t = Oracle::TargetFor(*set.value(), 5);  // second root, local 2
+  EXPECT_EQ(t.function, "checkBudget");
+  EXPECT_EQ(t.local_id, 2);
+  Target t2 = Oracle::TargetFor(*set.value(), 2);
+  EXPECT_EQ(t2.function, "w_budget");
+  EXPECT_EQ(t2.local_id, 2);
+}
+
+TEST_F(OracleFixture, WriteGrantsTotalAlterabilityOnRead) {
+  Oracle oracle = MakeOracle({"checkBudget", "w_budget"});
+  // Target: the budget read inside checkBudget (local 2).
+  auto can = oracle.Can(Capability::kTotalAlterability,
+                        {"checkBudget", 2});
+  ASSERT_TRUE(can.ok()) << can.status();
+  EXPECT_TRUE(can.value());
+}
+
+TEST_F(OracleFixture, NoWriteNoAlterabilityOnRead) {
+  Oracle oracle = MakeOracle({"checkBudget"});
+  // One broker, fixed budget: the read can only ever produce one value.
+  auto can = oracle.Can(Capability::kPartialAlterability,
+                        {"checkBudget", 2});
+  ASSERT_TRUE(can.ok()) << can.status();
+  EXPECT_FALSE(can.value());
+}
+
+TEST_F(OracleFixture, ObservedComparisonIsInferable) {
+  Oracle oracle = MakeOracle({"checkBudget"}, 1);
+  auto can = oracle.Can(Capability::kTotalInferability, {"checkBudget", 7});
+  ASSERT_TRUE(can.ok()) << can.status();
+  EXPECT_TRUE(can.value());
+}
+
+TEST_F(OracleFixture, WriteMakesBudgetReadInferable) {
+  Oracle oracle = MakeOracle({"checkBudget", "w_budget"});
+  auto can = oracle.Can(Capability::kTotalInferability, {"checkBudget", 2});
+  ASSERT_TRUE(can.ok()) << can.status();
+  EXPECT_TRUE(can.value());
+}
+
+TEST_F(OracleFixture, SalaryNotTotallyInferableWithShortSequences) {
+  // With budget writes and comparisons the salary *can* eventually be
+  // pinned down, but length-2 sequences only bracket it: one probe
+  // yields one inequality, which over domain 0..3 cannot be a singleton
+  // when salary=1 and probes are budgets 0..3.
+  Oracle oracle = MakeOracle({"checkBudget", "w_budget"});
+  auto partial =
+      oracle.Can(Capability::kPartialInferability, {"checkBudget", 5});
+  ASSERT_TRUE(partial.ok()) << partial.status();
+  EXPECT_TRUE(partial.value());
+}
+
+TEST_F(OracleFixture, UniversalDatabaseVariant) {
+  // The paper's forall-D reading (§3.3): with two candidate databases —
+  // one whose broker has budget already over the threshold, one not —
+  // a capability must be achievable from BOTH to count.
+  std::vector<store::Database> dbs;
+  dbs.push_back(OneBrokerDb(*schema_, 1, 0));
+  dbs.push_back(OneBrokerDb(*schema_, 1, 3));
+  OracleOptions options;
+  options.max_sequence_length = 2;
+  options.universal_database = true;
+  Oracle universal(*schema_, {"checkBudget", "w_budget"}, std::move(dbs),
+                   SmallDomains(*schema_), options);
+  // The write-then-read inference works from any initial state: the
+  // user overwrites whatever was there.
+  auto robust =
+      universal.Can(Capability::kTotalInferability, {"checkBudget", 2});
+  ASSERT_TRUE(robust.ok()) << robust.status();
+  EXPECT_TRUE(robust.value());
+
+  // A state-dependent capability is rejected under forall-D but accepted
+  // under exists-D: without any writes, the budget read's value depends
+  // wholly on the initial state, so partial alterability (two reachable
+  // values) holds in NO single-object database — but comparing across
+  // the variants, inference still must agree. Use pa with two DBs where
+  // only... each db alone gives a single reachable value, so pa fails
+  // under both readings; instead contrast ti on the comparison result,
+  // which holds everywhere (observation) — and pi on the salary read,
+  // which needs the initial budget to be informative:
+  auto everywhere =
+      universal.Can(Capability::kTotalInferability, {"checkBudget", 7});
+  ASSERT_TRUE(everywhere.ok());
+  EXPECT_TRUE(everywhere.value());
+}
+
+TEST_F(OracleFixture, BadTargetRejected) {
+  Oracle oracle = MakeOracle({"checkBudget"});
+  EXPECT_FALSE(oracle.Can(Capability::kTotalInferability, {"", 0}).ok());
+}
+
+}  // namespace
+}  // namespace oodbsec::semantics

@@ -1,0 +1,254 @@
+#include <gtest/gtest.h>
+
+#include "exec/basic_functions.h"
+#include "exec/evaluator.h"
+#include "schema/schema.h"
+#include "store/database.h"
+
+namespace oodbsec {
+namespace {
+
+using types::Oid;
+using types::Value;
+
+std::unique_ptr<schema::Schema> BrokerSchema() {
+  schema::SchemaBuilder builder;
+  builder.AddClass("Broker", {{"name", "string"},
+                              {"salary", "int"},
+                              {"budget", "int"},
+                              {"profit", "int"}});
+  builder.AddFunction("checkBudget", {{"broker", "Broker"}}, "bool",
+                      "r_budget(broker) >= 10 * r_salary(broker)");
+  builder.AddFunction("calcSalary", {{"budget", "int"}, {"profit", "int"}},
+                      "int", "budget / 10 + profit / 2");
+  builder.AddFunction(
+      "updateSalary", {{"broker", "Broker"}}, "null",
+      "w_salary(broker, calcSalary(r_budget(broker), r_profit(broker)))");
+  auto result = std::move(builder).Build();
+  EXPECT_TRUE(result.ok()) << result.status();
+  return std::move(result).value();
+}
+
+TEST(BasicFunctionsTest, IntArithmetic) {
+  types::TypePool pool;
+  auto catalog = exec::BasicFunctionCatalog::MakeDefault(pool);
+  auto eval2 = [&](const char* name, int64_t a, int64_t b) {
+    const exec::BasicFunction* fn =
+        catalog->Find(name, {pool.Int(), pool.Int()});
+    EXPECT_NE(fn, nullptr) << name;
+    return fn->Eval({Value::Int(a), Value::Int(b)});
+  };
+  EXPECT_EQ(eval2("+", 2, 3), Value::Int(5));
+  EXPECT_EQ(eval2("-", 2, 3), Value::Int(-1));
+  EXPECT_EQ(eval2("*", 4, 3), Value::Int(12));
+  EXPECT_EQ(eval2("/", 7, 2), Value::Int(3));
+  EXPECT_EQ(eval2("%", 7, 2), Value::Int(1));
+  EXPECT_EQ(eval2("min", 7, 2), Value::Int(2));
+  EXPECT_EQ(eval2("max", 7, 2), Value::Int(7));
+  // Totalized division (see basic_functions.h).
+  EXPECT_EQ(eval2("/", 7, 0), Value::Int(0));
+  EXPECT_EQ(eval2("%", 7, 0), Value::Int(0));
+}
+
+TEST(BasicFunctionsTest, Comparisons) {
+  types::TypePool pool;
+  auto catalog = exec::BasicFunctionCatalog::MakeDefault(pool);
+  const exec::BasicFunction* ge = catalog->Find(">=", {pool.Int(), pool.Int()});
+  ASSERT_NE(ge, nullptr);
+  EXPECT_EQ(ge->Eval({Value::Int(3), Value::Int(3)}), Value::Bool(true));
+  EXPECT_EQ(ge->Eval({Value::Int(2), Value::Int(3)}), Value::Bool(false));
+  EXPECT_EQ(ge->SignatureToString(), ">=(int, int) : bool");
+}
+
+TEST(BasicFunctionsTest, OverloadResolution) {
+  types::TypePool pool;
+  auto catalog = exec::BasicFunctionCatalog::MakeDefault(pool);
+  const exec::BasicFunction* int_eq =
+      catalog->Find("==", {pool.Int(), pool.Int()});
+  const exec::BasicFunction* str_eq =
+      catalog->Find("==", {pool.String(), pool.String()});
+  const exec::BasicFunction* bool_eq =
+      catalog->Find("==", {pool.Bool(), pool.Bool()});
+  ASSERT_NE(int_eq, nullptr);
+  ASSERT_NE(str_eq, nullptr);
+  ASSERT_NE(bool_eq, nullptr);
+  EXPECT_NE(int_eq, str_eq);
+  EXPECT_EQ(str_eq->Eval({Value::String("a"), Value::String("a")}),
+            Value::Bool(true));
+  EXPECT_EQ(catalog->Find("==", {pool.Int(), pool.Bool()}), nullptr);
+  EXPECT_TRUE(catalog->HasName("concat"));
+  EXPECT_FALSE(catalog->HasName("xor"));
+}
+
+TEST(BasicFunctionsTest, StringAndBoolOps) {
+  types::TypePool pool;
+  auto catalog = exec::BasicFunctionCatalog::MakeDefault(pool);
+  EXPECT_EQ(catalog->Find("concat", {pool.String(), pool.String()})
+                ->Eval({Value::String("ab"), Value::String("cd")}),
+            Value::String("abcd"));
+  EXPECT_EQ(catalog->Find("and", {pool.Bool(), pool.Bool()})
+                ->Eval({Value::Bool(true), Value::Bool(false)}),
+            Value::Bool(false));
+  EXPECT_EQ(catalog->Find("not", {pool.Bool()})->Eval({Value::Bool(false)}),
+            Value::Bool(true));
+  EXPECT_EQ(catalog->Find("neg", {pool.Int()})->Eval({Value::Int(4)}),
+            Value::Int(-4));
+  EXPECT_EQ(catalog->Find("abs", {pool.Int()})->Eval({Value::Int(-4)}),
+            Value::Int(4));
+}
+
+TEST(DatabaseTest, CreateAndDefaults) {
+  auto schema = BrokerSchema();
+  store::Database db(*schema);
+  auto oid = db.CreateObject("Broker");
+  ASSERT_TRUE(oid.ok());
+  EXPECT_TRUE(oid.value().valid());
+  EXPECT_EQ(db.object_count(), 1u);
+  EXPECT_EQ(db.ReadAttribute(*oid, "salary").value(), Value::Int(0));
+  EXPECT_EQ(db.ReadAttribute(*oid, "name").value(), Value::String(""));
+  EXPECT_FALSE(db.CreateObject("Nothing").ok());
+}
+
+TEST(DatabaseTest, ExtentTracksCreationOrder) {
+  auto schema = BrokerSchema();
+  store::Database db(*schema);
+  Oid a = db.CreateObject("Broker").value();
+  Oid b = db.CreateObject("Broker").value();
+  const auto& extent = db.Extent("Broker");
+  ASSERT_EQ(extent.size(), 2u);
+  EXPECT_EQ(extent[0], a);
+  EXPECT_EQ(extent[1], b);
+  EXPECT_TRUE(db.Extent("Unknown").empty());
+  EXPECT_EQ(db.ClassOf(a)->name(), "Broker");
+  EXPECT_EQ(db.ClassOf(Oid(999)), nullptr);
+}
+
+TEST(DatabaseTest, WriteAndReadBack) {
+  auto schema = BrokerSchema();
+  store::Database db(*schema);
+  Oid oid = db.CreateObject("Broker").value();
+  ASSERT_TRUE(db.WriteAttribute(oid, "salary", Value::Int(50)).ok());
+  EXPECT_EQ(db.ReadAttribute(oid, "salary").value(), Value::Int(50));
+  // Type mismatch rejected.
+  EXPECT_FALSE(db.WriteAttribute(oid, "salary", Value::Bool(true)).ok());
+  // Unknown attribute / object rejected.
+  EXPECT_FALSE(db.WriteAttribute(oid, "ghost", Value::Int(1)).ok());
+  EXPECT_FALSE(db.WriteAttribute(Oid(999), "salary", Value::Int(1)).ok());
+  EXPECT_FALSE(db.ReadAttribute(Oid(999), "salary").ok());
+}
+
+TEST(DatabaseTest, CloneIsIndependent) {
+  auto schema = BrokerSchema();
+  store::Database db(*schema);
+  Oid oid = db.CreateObject("Broker").value();
+  ASSERT_TRUE(db.WriteAttribute(oid, "salary", Value::Int(10)).ok());
+  store::Database snapshot = db.Clone();
+  ASSERT_TRUE(db.WriteAttribute(oid, "salary", Value::Int(99)).ok());
+  EXPECT_EQ(snapshot.ReadAttribute(oid, "salary").value(), Value::Int(10));
+  EXPECT_EQ(db.ReadAttribute(oid, "salary").value(), Value::Int(99));
+}
+
+TEST(EvaluatorTest, CheckBudgetEvaluates) {
+  auto schema = BrokerSchema();
+  store::Database db(*schema);
+  Oid oid = db.CreateObject("Broker").value();
+  ASSERT_TRUE(db.WriteAttribute(oid, "salary", Value::Int(50)).ok());
+  ASSERT_TRUE(db.WriteAttribute(oid, "budget", Value::Int(400)).ok());
+
+  exec::Evaluator evaluator(db);
+  const schema::FunctionDecl* check = schema->FindFunction("checkBudget");
+  auto result = evaluator.CallFunction(*check, {Value::Object(oid)});
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result.value(), Value::Bool(false));  // 400 < 10*50
+
+  ASSERT_TRUE(db.WriteAttribute(oid, "budget", Value::Int(600)).ok());
+  EXPECT_EQ(evaluator.CallFunction(*check, {Value::Object(oid)}).value(),
+            Value::Bool(true));  // 600 >= 500
+}
+
+TEST(EvaluatorTest, UpdateSalaryWritesThroughCalcSalary) {
+  auto schema = BrokerSchema();
+  store::Database db(*schema);
+  Oid oid = db.CreateObject("Broker").value();
+  ASSERT_TRUE(db.WriteAttribute(oid, "budget", Value::Int(200)).ok());
+  ASSERT_TRUE(db.WriteAttribute(oid, "profit", Value::Int(30)).ok());
+
+  exec::Evaluator evaluator(db);
+  auto result = evaluator.CallByName("updateSalary", {Value::Object(oid)});
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result.value(), Value::Null());
+  // calcSalary(200, 30) = 200/10 + 30/2 = 35.
+  EXPECT_EQ(db.ReadAttribute(oid, "salary").value(), Value::Int(35));
+}
+
+TEST(EvaluatorTest, CallByNameSpecials) {
+  auto schema = BrokerSchema();
+  store::Database db(*schema);
+  Oid oid = db.CreateObject("Broker").value();
+  exec::Evaluator evaluator(db);
+  ASSERT_TRUE(
+      evaluator.CallByName("w_budget", {Value::Object(oid), Value::Int(7)})
+          .ok());
+  EXPECT_EQ(evaluator.CallByName("r_budget", {Value::Object(oid)}).value(),
+            Value::Int(7));
+  EXPECT_FALSE(evaluator.CallByName("r_budget", {Value::Int(3)}).ok());
+  EXPECT_FALSE(evaluator.CallByName("nope", {}).ok());
+}
+
+TEST(EvaluatorTest, ReadOnNullObjectFails) {
+  auto schema = BrokerSchema();
+  store::Database db(*schema);
+  exec::Evaluator evaluator(db);
+  const schema::FunctionDecl* check = schema->FindFunction("checkBudget");
+  auto result = evaluator.CallFunction(*check, {Value::Null()});
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), common::StatusCode::kFailedPrecondition);
+}
+
+TEST(EvaluatorTest, WrongArityFails) {
+  auto schema = BrokerSchema();
+  store::Database db(*schema);
+  exec::Evaluator evaluator(db);
+  const schema::FunctionDecl* check = schema->FindFunction("checkBudget");
+  EXPECT_FALSE(evaluator.CallFunction(*check, {}).ok());
+}
+
+TEST(EvaluatorTest, TraceHookSeesEvaluationOrder) {
+  auto schema = BrokerSchema();
+  store::Database db(*schema);
+  Oid oid = db.CreateObject("Broker").value();
+  ASSERT_TRUE(db.WriteAttribute(oid, "salary", Value::Int(5)).ok());
+  ASSERT_TRUE(db.WriteAttribute(oid, "budget", Value::Int(60)).ok());
+
+  exec::Evaluator evaluator(db);
+  std::vector<Value> observed;
+  evaluator.set_trace_hook(
+      [&](const lang::Expr&, const Value& v) { observed.push_back(v); });
+  const schema::FunctionDecl* check = schema->FindFunction("checkBudget");
+  ASSERT_TRUE(evaluator.CallFunction(*check, {Value::Object(oid)}).ok());
+
+  // Evaluation order (paper numbering): broker, r_budget, 10, broker,
+  // r_salary, *, >=.
+  ASSERT_EQ(observed.size(), 7u);
+  EXPECT_EQ(observed[0], Value::Object(oid));
+  EXPECT_EQ(observed[1], Value::Int(60));
+  EXPECT_EQ(observed[2], Value::Int(10));
+  EXPECT_EQ(observed[3], Value::Object(oid));
+  EXPECT_EQ(observed[4], Value::Int(5));
+  EXPECT_EQ(observed[5], Value::Int(50));
+  EXPECT_EQ(observed[6], Value::Bool(true));
+}
+
+TEST(EnvironmentTest, InnermostBindingWins) {
+  exec::Environment env;
+  env.Push("x", Value::Int(1));
+  env.Push("x", Value::Int(2));
+  ASSERT_NE(env.Find("x"), nullptr);
+  EXPECT_EQ(*env.Find("x"), Value::Int(2));
+  env.Pop();
+  EXPECT_EQ(*env.Find("x"), Value::Int(1));
+  EXPECT_EQ(env.Find("y"), nullptr);
+}
+
+}  // namespace
+}  // namespace oodbsec

@@ -1,0 +1,194 @@
+#include <gtest/gtest.h>
+
+#include "types/domain.h"
+#include "types/type.h"
+#include "types/value.h"
+
+namespace oodbsec::types {
+namespace {
+
+TEST(TypeTest, BasicTypesAreInterned) {
+  TypePool pool;
+  EXPECT_EQ(pool.Int(), pool.Int());
+  EXPECT_EQ(pool.Bool(), pool.Bool());
+  EXPECT_EQ(pool.String(), pool.String());
+  EXPECT_EQ(pool.Null(), pool.Null());
+  EXPECT_NE(pool.Int(), pool.Bool());
+}
+
+TEST(TypeTest, ClassTypesInternByName) {
+  TypePool pool;
+  const Type* broker = pool.Class("Broker");
+  EXPECT_EQ(broker, pool.Class("Broker"));
+  EXPECT_NE(broker, pool.Class("Person"));
+  EXPECT_TRUE(broker->is_class());
+  EXPECT_EQ(broker->class_name(), "Broker");
+}
+
+TEST(TypeTest, SetTypesInternByElement) {
+  TypePool pool;
+  const Type* ints = pool.Set(pool.Int());
+  EXPECT_EQ(ints, pool.Set(pool.Int()));
+  EXPECT_NE(ints, pool.Set(pool.Bool()));
+  EXPECT_TRUE(ints->is_set());
+  EXPECT_EQ(ints->element(), pool.Int());
+}
+
+TEST(TypeTest, ToString) {
+  TypePool pool;
+  EXPECT_EQ(pool.Int()->ToString(), "int");
+  EXPECT_EQ(pool.Class("Person")->ToString(), "Person");
+  EXPECT_EQ(pool.Set(pool.Class("Person"))->ToString(), "{Person}");
+  EXPECT_EQ(pool.Set(pool.Set(pool.Int()))->ToString(), "{{int}}");
+}
+
+TEST(TypeTest, ParseRoundTrips) {
+  TypePool pool;
+  EXPECT_EQ(pool.Parse("int"), pool.Int());
+  EXPECT_EQ(pool.Parse("bool"), pool.Bool());
+  EXPECT_EQ(pool.Parse("string"), pool.String());
+  EXPECT_EQ(pool.Parse("null"), pool.Null());
+  EXPECT_EQ(pool.Parse("Broker"), pool.Class("Broker"));
+  EXPECT_EQ(pool.Parse("{Broker}"), pool.Set(pool.Class("Broker")));
+  EXPECT_EQ(pool.Parse(" { int } "), pool.Set(pool.Int()));
+  EXPECT_EQ(pool.Parse(""), nullptr);
+  EXPECT_EQ(pool.Parse("{int"), nullptr);
+}
+
+TEST(TypeTest, BasicPredicate) {
+  TypePool pool;
+  EXPECT_TRUE(pool.Int()->is_basic());
+  EXPECT_TRUE(pool.Null()->is_basic());
+  EXPECT_FALSE(pool.Class("C")->is_basic());
+  EXPECT_FALSE(pool.Set(pool.Int())->is_basic());
+}
+
+TEST(ValueTest, NullDefault) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v, Value::Null());
+  EXPECT_EQ(v.ToString(), "null");
+}
+
+TEST(ValueTest, Scalars) {
+  EXPECT_EQ(Value::Int(7).int_value(), 7);
+  EXPECT_EQ(Value::Bool(true).bool_value(), true);
+  EXPECT_EQ(Value::String("hi").string_value(), "hi");
+  EXPECT_EQ(Value::Int(7).ToString(), "7");
+  EXPECT_EQ(Value::Bool(false).ToString(), "false");
+  EXPECT_EQ(Value::String("hi").ToString(), "\"hi\"");
+}
+
+TEST(ValueTest, EqualityIsTypeAware) {
+  EXPECT_NE(Value::Int(0), Value::Bool(false));
+  EXPECT_NE(Value::Int(1), Value::String("1"));
+  EXPECT_EQ(Value::Int(3), Value::Int(3));
+  EXPECT_NE(Value::Int(3), Value::Int(4));
+}
+
+TEST(ValueTest, ObjectsCompareByIdentity) {
+  Value a = Value::Object(Oid(1));
+  Value b = Value::Object(Oid(2));
+  EXPECT_EQ(a, Value::Object(Oid(1)));
+  EXPECT_NE(a, b);
+  // Opaque printable form, per the paper's chosen OID variant.
+  EXPECT_EQ(a.ToString(), "(a object)");
+}
+
+TEST(ValueTest, SetsAreCanonicalized) {
+  Value s1 = Value::Set({Value::Int(2), Value::Int(1), Value::Int(2)});
+  Value s2 = Value::Set({Value::Int(1), Value::Int(2)});
+  EXPECT_EQ(s1, s2);
+  EXPECT_EQ(s1.set_value().size(), 2u);
+  EXPECT_EQ(s1.ToString(), "{1, 2}");
+}
+
+TEST(ValueTest, OrderingIsTotal) {
+  std::vector<Value> values = {
+      Value::Null(),         Value::Int(-1),         Value::Int(5),
+      Value::Bool(false),    Value::Bool(true),      Value::String("a"),
+      Value::Object(Oid(1)), Value::Set({Value::Int(1)}),
+  };
+  for (const Value& a : values) {
+    EXPECT_FALSE(a < a);
+    for (const Value& b : values) {
+      if (a == b) continue;
+      EXPECT_NE(a < b, b < a) << a.ToString() << " vs " << b.ToString();
+    }
+  }
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  EXPECT_EQ(Value::Int(3).Hash(), Value::Int(3).Hash());
+  EXPECT_EQ(Value::Set({Value::Int(1), Value::Int(2)}).Hash(),
+            Value::Set({Value::Int(2), Value::Int(1)}).Hash());
+}
+
+TEST(DomainTest, IntRange) {
+  TypePool pool;
+  Domain d = Domain::IntRange(pool.Int(), -2, 2);
+  EXPECT_EQ(d.size(), 5u);
+  EXPECT_TRUE(d.Contains(Value::Int(0)));
+  EXPECT_TRUE(d.Contains(Value::Int(-2)));
+  EXPECT_FALSE(d.Contains(Value::Int(3)));
+  EXPECT_FALSE(d.Contains(Value::Bool(true)));
+}
+
+TEST(DomainTest, BoolsAndStringsAndNull) {
+  TypePool pool;
+  EXPECT_EQ(Domain::Bools(pool.Bool()).size(), 2u);
+  Domain strings = Domain::Strings(pool.String(), {"a", "b", "a"});
+  EXPECT_EQ(strings.size(), 2u);
+  EXPECT_EQ(Domain::NullOnly(pool.Null()).size(), 1u);
+}
+
+TEST(DomainTest, Objects) {
+  TypePool pool;
+  Domain d = Domain::Objects(pool.Class("C"), {Oid(1), Oid(2)});
+  EXPECT_EQ(d.size(), 2u);
+  EXPECT_TRUE(d.Contains(Value::Object(Oid(2))));
+}
+
+TEST(DomainMapTest, SetAndFind) {
+  TypePool pool;
+  DomainMap map;
+  EXPECT_EQ(map.Find(pool.Int()), nullptr);
+  map.Set(pool.Int(), Domain::IntRange(pool.Int(), 0, 3));
+  ASSERT_NE(map.Find(pool.Int()), nullptr);
+  EXPECT_EQ(map.Find(pool.Int())->size(), 4u);
+}
+
+TEST(ProductIteratorTest, EnumeratesFullProduct) {
+  TypePool pool;
+  Domain ints = Domain::IntRange(pool.Int(), 0, 1);
+  Domain bools = Domain::Bools(pool.Bool());
+  ProductIterator it({&ints, &bools});
+  EXPECT_EQ(it.TotalCount(), 4u);
+  int count = 0;
+  while (it.has_value()) {
+    EXPECT_EQ(it.assignment().size(), 2u);
+    ++count;
+    it.Next();
+  }
+  EXPECT_EQ(count, 4);
+}
+
+TEST(ProductIteratorTest, EmptyDomainListYieldsOneAssignment) {
+  ProductIterator it({});
+  EXPECT_TRUE(it.has_value());
+  EXPECT_TRUE(it.assignment().empty());
+  it.Next();
+  EXPECT_FALSE(it.has_value());
+}
+
+TEST(ProductIteratorTest, EmptyDomainYieldsNone) {
+  TypePool pool;
+  Domain empty(pool.Int(), {});
+  Domain bools = Domain::Bools(pool.Bool());
+  ProductIterator it({&bools, &empty});
+  EXPECT_FALSE(it.has_value());
+  EXPECT_EQ(it.TotalCount(), 0u);
+}
+
+}  // namespace
+}  // namespace oodbsec::types

@@ -1,0 +1,190 @@
+#include <gtest/gtest.h>
+
+#include "unfold/unfolded.h"
+
+namespace oodbsec::unfold {
+namespace {
+
+std::unique_ptr<schema::Schema> BrokerSchema() {
+  schema::SchemaBuilder builder;
+  builder.AddClass("Broker", {{"name", "string"},
+                              {"salary", "int"},
+                              {"budget", "int"},
+                              {"profit", "int"}});
+  builder.AddFunction("checkBudget", {{"broker", "Broker"}}, "bool",
+                      ">=(r_budget(broker), *(10, r_salary(broker)))");
+  builder.AddFunction("calcSalary", {{"budget", "int"}, {"profit", "int"}},
+                      "int", "budget / 10 + profit / 2");
+  builder.AddFunction(
+      "updateSalary", {{"broker", "Broker"}}, "null",
+      "w_salary(broker, calcSalary(r_budget(broker), r_profit(broker)))");
+  auto result = std::move(builder).Build();
+  EXPECT_TRUE(result.ok()) << result.status();
+  return std::move(result).value();
+}
+
+// The paper's §4.2 numbering for F = {checkBudget(broker), w_budget(o,v)}:
+//   checkBudget: 7>=(2r_budget(1broker), 6*(3:10, 5r_salary(4broker)))
+//   w_budget:    10:w_budget(8:o, 9:v)
+TEST(UnfoldTest, PaperNumberingForCheckBudgetAndWriteBudget) {
+  auto schema = BrokerSchema();
+  auto result = UnfoldedSet::Build(*schema, {"checkBudget", "w_budget"});
+  ASSERT_TRUE(result.ok()) << result.status();
+  const UnfoldedSet& set = *result.value();
+
+  ASSERT_EQ(set.roots().size(), 2u);
+  EXPECT_EQ(set.node_count(), 10);
+
+  EXPECT_EQ(set.node(1)->kind, NodeKind::kVarRef);
+  EXPECT_EQ(set.node(1)->var_name, "broker");
+  EXPECT_EQ(set.node(2)->kind, NodeKind::kReadAttr);
+  EXPECT_EQ(set.node(2)->attribute, "budget");
+  EXPECT_EQ(set.node(3)->kind, NodeKind::kConstant);
+  EXPECT_EQ(set.node(3)->constant, types::Value::Int(10));
+  EXPECT_EQ(set.node(4)->var_name, "broker");
+  EXPECT_EQ(set.node(5)->attribute, "salary");
+  EXPECT_EQ(set.node(6)->kind, NodeKind::kBasicCall);
+  EXPECT_EQ(set.node(6)->basic->name(), "*");
+  EXPECT_EQ(set.node(7)->basic->name(), ">=");
+
+  EXPECT_EQ(set.node(8)->var_name, "o");
+  EXPECT_EQ(set.node(9)->var_name, "v");
+  EXPECT_EQ(set.node(10)->kind, NodeKind::kWriteAttr);
+  EXPECT_EQ(set.node(10)->attribute, "budget");
+
+  // Both occurrences of `broker` share one binder.
+  EXPECT_EQ(set.node(1)->binder_id, set.node(4)->binder_id);
+  const Binder& broker = set.binder(set.node(1)->binder_id);
+  EXPECT_TRUE(broker.is_root_arg);
+  EXPECT_EQ(broker.occurrences.size(), 2u);
+
+  // Role predicates.
+  EXPECT_TRUE(set.IsRootArgVar(set.node(1)));
+  EXPECT_TRUE(set.IsRootArgVar(set.node(8)));
+  EXPECT_FALSE(set.IsRootArgVar(set.node(2)));
+  EXPECT_TRUE(set.IsRootBody(set.node(7)));
+  EXPECT_TRUE(set.IsRootBody(set.node(10)));
+  EXPECT_FALSE(set.IsRootBody(set.node(6)));
+
+  // Cross-reference tables.
+  EXPECT_EQ(set.reads("budget").size(), 1u);
+  EXPECT_EQ(set.writes("budget").size(), 1u);
+  EXPECT_EQ(set.reads("salary").size(), 1u);
+  EXPECT_TRUE(set.writes("salary").empty());
+
+  EXPECT_EQ(set.NodeLabel(7),
+            "7:>=(2:r_budget(1:broker), 6:*(3:10, 5:r_salary(4:broker)))");
+  EXPECT_EQ(set.ShortLabel(5), "5:r_salary(broker)");
+}
+
+// The paper's §3.3 example: f(x) = +(g(x), 1), g(y) = r_age(y) unfolds to
+//   6+(4let(g) y = 1x in 3r_age(2y) end, 5:1).
+TEST(UnfoldTest, LetUnfoldingMatchesPaperExample) {
+  schema::SchemaBuilder builder;
+  builder.AddClass("Person", {{"age", "int"}});
+  builder.AddFunction("g", {{"y", "Person"}}, "int", "r_age(y)");
+  builder.AddFunction("f", {{"x", "Person"}}, "int", "+(g(x), 1)");
+  auto schema_result = std::move(builder).Build();
+  ASSERT_TRUE(schema_result.ok());
+  auto& schema = *schema_result.value();
+
+  auto result = UnfoldedSet::Build(schema, {"f"});
+  ASSERT_TRUE(result.ok()) << result.status();
+  const UnfoldedSet& set = *result.value();
+
+  EXPECT_EQ(set.node_count(), 6);
+  EXPECT_EQ(set.node(1)->var_name, "x");
+  EXPECT_EQ(set.node(2)->var_name, "y");
+  EXPECT_EQ(set.node(3)->kind, NodeKind::kReadAttr);
+  EXPECT_EQ(set.node(4)->kind, NodeKind::kLet);
+  EXPECT_EQ(set.node(4)->origin_function, "g");
+  EXPECT_EQ(set.node(5)->constant, types::Value::Int(1));
+  EXPECT_EQ(set.node(6)->basic->name(), "+");
+
+  // The let binder for y is bound to occurrence 1 (the unfolded x).
+  const Binder& y = set.binder(set.node(2)->binder_id);
+  EXPECT_FALSE(y.is_root_arg);
+  ASSERT_NE(y.bound_expr, nullptr);
+  EXPECT_EQ(y.bound_expr->id, 1);
+  EXPECT_EQ(y.let_node, set.node(4));
+
+  // Body/child accessors.
+  EXPECT_EQ(set.node(4)->body()->id, 3);
+  EXPECT_EQ(set.node(3)->object_child()->id, 2);
+}
+
+TEST(UnfoldTest, SequencesAllowDuplicates) {
+  auto schema = BrokerSchema();
+  auto result = UnfoldedSet::Build(*schema, {"checkBudget", "checkBudget"});
+  ASSERT_TRUE(result.ok());
+  const UnfoldedSet& set = *result.value();
+  EXPECT_EQ(set.roots().size(), 2u);
+  EXPECT_EQ(set.node_count(), 14);
+  // Each copy has its own binder.
+  EXPECT_NE(set.node(1)->binder_id, set.node(8)->binder_id);
+  EXPECT_EQ(set.reads("budget").size(), 2u);
+}
+
+TEST(UnfoldTest, NestedUnfoldingNumbersAcrossLevels) {
+  auto schema = BrokerSchema();
+  auto result = UnfoldedSet::Build(*schema, {"updateSalary"});
+  ASSERT_TRUE(result.ok()) << result.status();
+  const UnfoldedSet& set = *result.value();
+
+  // updateSalary(broker) = w_salary(broker, let(calcSalary) budget =
+  // r_budget(broker), profit = r_profit(broker) in budget/10 + profit/2
+  // end). Evaluation order: 1:broker, 2:broker, 3:r_budget, 4:broker,
+  // 5:r_profit, 6:budget, 7:10, 8:/, 9:profit, 10:2, 11:/, 12:+, 13:let,
+  // 14:w_salary.
+  EXPECT_EQ(set.node_count(), 14);
+  EXPECT_EQ(set.node(3)->attribute, "budget");
+  EXPECT_EQ(set.node(5)->attribute, "profit");
+  EXPECT_EQ(set.node(13)->kind, NodeKind::kLet);
+  EXPECT_EQ(set.node(13)->origin_function, "calcSalary");
+  EXPECT_EQ(set.node(14)->kind, NodeKind::kWriteAttr);
+  EXPECT_EQ(set.node(14)->value_child()->id, 13);
+  EXPECT_EQ(set.node(14)->object_child()->id, 1);
+
+  // The let binders bind to the read results.
+  const Node* let = set.node(13);
+  ASSERT_EQ(let->binder_ids.size(), 2u);
+  EXPECT_EQ(set.binder(let->binder_ids[0]).bound_expr->id, 3);
+  EXPECT_EQ(set.binder(let->binder_ids[1]).bound_expr->id, 5);
+}
+
+TEST(UnfoldTest, SourceLevelLet) {
+  schema::SchemaBuilder builder;
+  builder.AddClass("P", {{"age", "int"}});
+  builder.AddFunction("f", {{"o", "P"}}, "int",
+                      "let a = r_age(o), b = a * 2 in a + b end");
+  auto schema_result = std::move(builder).Build();
+  ASSERT_TRUE(schema_result.ok());
+
+  auto result = UnfoldedSet::Build(*schema_result.value(), {"f"});
+  ASSERT_TRUE(result.ok()) << result.status();
+  const UnfoldedSet& set = *result.value();
+  // 1:o, 2:r_age, 3:a, 4:2, 5:*, 6:a, 7:b, 8:+, 9:let
+  EXPECT_EQ(set.node_count(), 9);
+  EXPECT_EQ(set.node(9)->kind, NodeKind::kLet);
+  EXPECT_TRUE(set.node(9)->origin_function.empty());
+  // Occurrences 3 and 6 are the same binder (a).
+  EXPECT_EQ(set.node(3)->binder_id, set.node(6)->binder_id);
+  EXPECT_EQ(set.binder(set.node(3)->binder_id).occurrences.size(), 2u);
+}
+
+TEST(UnfoldTest, UnknownRootFails) {
+  auto schema = BrokerSchema();
+  EXPECT_FALSE(UnfoldedSet::Build(*schema, {"nothing"}).ok());
+  EXPECT_FALSE(UnfoldedSet::Build(*schema, {"r_ghost"}).ok());
+}
+
+TEST(UnfoldTest, TouchedAttributes) {
+  auto schema = BrokerSchema();
+  auto result = UnfoldedSet::Build(*schema, {"updateSalary"});
+  ASSERT_TRUE(result.ok());
+  auto touched = result.value()->touched_attributes();
+  EXPECT_EQ(touched, (std::vector<std::string>{"budget", "profit", "salary"}));
+}
+
+}  // namespace
+}  // namespace oodbsec::unfold

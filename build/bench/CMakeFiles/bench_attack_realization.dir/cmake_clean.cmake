@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_attack_realization.dir/bench_attack_realization.cc.o"
+  "CMakeFiles/bench_attack_realization.dir/bench_attack_realization.cc.o.d"
+  "bench_attack_realization"
+  "bench_attack_realization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_attack_realization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_closure_scaling.dir/bench_closure_scaling.cc.o"
+  "CMakeFiles/bench_closure_scaling.dir/bench_closure_scaling.cc.o.d"
+  "bench_closure_scaling"
+  "bench_closure_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_closure_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

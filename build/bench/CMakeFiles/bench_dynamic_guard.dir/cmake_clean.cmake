@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dynamic_guard.dir/bench_dynamic_guard.cc.o"
+  "CMakeFiles/bench_dynamic_guard.dir/bench_dynamic_guard.cc.o.d"
+  "bench_dynamic_guard"
+  "bench_dynamic_guard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dynamic_guard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_derivation.dir/bench_fig1_derivation.cc.o"
+  "CMakeFiles/bench_fig1_derivation.dir/bench_fig1_derivation.cc.o.d"
+  "bench_fig1_derivation"
+  "bench_fig1_derivation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_derivation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

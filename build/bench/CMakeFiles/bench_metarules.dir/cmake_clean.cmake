@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_metarules.dir/bench_metarules.cc.o"
+  "CMakeFiles/bench_metarules.dir/bench_metarules.cc.o.d"
+  "bench_metarules"
+  "bench_metarules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_metarules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

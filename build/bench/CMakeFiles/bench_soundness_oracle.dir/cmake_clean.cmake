@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_soundness_oracle.dir/bench_soundness_oracle.cc.o"
+  "CMakeFiles/bench_soundness_oracle.dir/bench_soundness_oracle.cc.o.d"
+  "bench_soundness_oracle"
+  "bench_soundness_oracle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_soundness_oracle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_static_closure.dir/bench_static_closure.cc.o"
+  "CMakeFiles/bench_static_closure.dir/bench_static_closure.cc.o.d"
+  "bench_static_closure"
+  "bench_static_closure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_static_closure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

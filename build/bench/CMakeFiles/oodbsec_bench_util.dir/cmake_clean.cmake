@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oodbsec_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/oodbsec_bench_util.dir/bench_util.cc.o.d"
+  "liboodbsec_bench_util.a"
+  "liboodbsec_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oodbsec_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oodbsec_shell.dir/oodbsec_shell.cpp.o"
+  "CMakeFiles/oodbsec_shell.dir/oodbsec_shell.cpp.o.d"
+  "oodbsec_shell"
+  "oodbsec_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oodbsec_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

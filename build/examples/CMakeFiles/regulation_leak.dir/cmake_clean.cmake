@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/regulation_leak.dir/regulation_leak.cpp.o"
+  "CMakeFiles/regulation_leak.dir/regulation_leak.cpp.o.d"
+  "regulation_leak"
+  "regulation_leak.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/regulation_leak.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

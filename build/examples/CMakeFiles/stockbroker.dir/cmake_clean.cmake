@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stockbroker.dir/stockbroker.cpp.o"
+  "CMakeFiles/stockbroker.dir/stockbroker.cpp.o.d"
+  "stockbroker"
+  "stockbroker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stockbroker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,51 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/attack/attacks.cc" "src/CMakeFiles/oodbsec.dir/attack/attacks.cc.o" "gcc" "src/CMakeFiles/oodbsec.dir/attack/attacks.cc.o.d"
+  "/root/repo/src/basicfun/metarules.cc" "src/CMakeFiles/oodbsec.dir/basicfun/metarules.cc.o" "gcc" "src/CMakeFiles/oodbsec.dir/basicfun/metarules.cc.o.d"
+  "/root/repo/src/common/diagnostics.cc" "src/CMakeFiles/oodbsec.dir/common/diagnostics.cc.o" "gcc" "src/CMakeFiles/oodbsec.dir/common/diagnostics.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/oodbsec.dir/common/status.cc.o" "gcc" "src/CMakeFiles/oodbsec.dir/common/status.cc.o.d"
+  "/root/repo/src/common/strings.cc" "src/CMakeFiles/oodbsec.dir/common/strings.cc.o" "gcc" "src/CMakeFiles/oodbsec.dir/common/strings.cc.o.d"
+  "/root/repo/src/core/analyzer.cc" "src/CMakeFiles/oodbsec.dir/core/analyzer.cc.o" "gcc" "src/CMakeFiles/oodbsec.dir/core/analyzer.cc.o.d"
+  "/root/repo/src/core/basic_rules.cc" "src/CMakeFiles/oodbsec.dir/core/basic_rules.cc.o" "gcc" "src/CMakeFiles/oodbsec.dir/core/basic_rules.cc.o.d"
+  "/root/repo/src/core/capability.cc" "src/CMakeFiles/oodbsec.dir/core/capability.cc.o" "gcc" "src/CMakeFiles/oodbsec.dir/core/capability.cc.o.d"
+  "/root/repo/src/core/closure.cc" "src/CMakeFiles/oodbsec.dir/core/closure.cc.o" "gcc" "src/CMakeFiles/oodbsec.dir/core/closure.cc.o.d"
+  "/root/repo/src/core/requirement.cc" "src/CMakeFiles/oodbsec.dir/core/requirement.cc.o" "gcc" "src/CMakeFiles/oodbsec.dir/core/requirement.cc.o.d"
+  "/root/repo/src/dynamic/session_guard.cc" "src/CMakeFiles/oodbsec.dir/dynamic/session_guard.cc.o" "gcc" "src/CMakeFiles/oodbsec.dir/dynamic/session_guard.cc.o.d"
+  "/root/repo/src/exec/basic_functions.cc" "src/CMakeFiles/oodbsec.dir/exec/basic_functions.cc.o" "gcc" "src/CMakeFiles/oodbsec.dir/exec/basic_functions.cc.o.d"
+  "/root/repo/src/exec/evaluator.cc" "src/CMakeFiles/oodbsec.dir/exec/evaluator.cc.o" "gcc" "src/CMakeFiles/oodbsec.dir/exec/evaluator.cc.o.d"
+  "/root/repo/src/lang/ast.cc" "src/CMakeFiles/oodbsec.dir/lang/ast.cc.o" "gcc" "src/CMakeFiles/oodbsec.dir/lang/ast.cc.o.d"
+  "/root/repo/src/lang/lexer.cc" "src/CMakeFiles/oodbsec.dir/lang/lexer.cc.o" "gcc" "src/CMakeFiles/oodbsec.dir/lang/lexer.cc.o.d"
+  "/root/repo/src/lang/parser.cc" "src/CMakeFiles/oodbsec.dir/lang/parser.cc.o" "gcc" "src/CMakeFiles/oodbsec.dir/lang/parser.cc.o.d"
+  "/root/repo/src/lang/printer.cc" "src/CMakeFiles/oodbsec.dir/lang/printer.cc.o" "gcc" "src/CMakeFiles/oodbsec.dir/lang/printer.cc.o.d"
+  "/root/repo/src/lang/type_checker.cc" "src/CMakeFiles/oodbsec.dir/lang/type_checker.cc.o" "gcc" "src/CMakeFiles/oodbsec.dir/lang/type_checker.cc.o.d"
+  "/root/repo/src/query/binder.cc" "src/CMakeFiles/oodbsec.dir/query/binder.cc.o" "gcc" "src/CMakeFiles/oodbsec.dir/query/binder.cc.o.d"
+  "/root/repo/src/query/capability.cc" "src/CMakeFiles/oodbsec.dir/query/capability.cc.o" "gcc" "src/CMakeFiles/oodbsec.dir/query/capability.cc.o.d"
+  "/root/repo/src/query/query_evaluator.cc" "src/CMakeFiles/oodbsec.dir/query/query_evaluator.cc.o" "gcc" "src/CMakeFiles/oodbsec.dir/query/query_evaluator.cc.o.d"
+  "/root/repo/src/query/query_parser.cc" "src/CMakeFiles/oodbsec.dir/query/query_parser.cc.o" "gcc" "src/CMakeFiles/oodbsec.dir/query/query_parser.cc.o.d"
+  "/root/repo/src/schema/schema.cc" "src/CMakeFiles/oodbsec.dir/schema/schema.cc.o" "gcc" "src/CMakeFiles/oodbsec.dir/schema/schema.cc.o.d"
+  "/root/repo/src/schema/user.cc" "src/CMakeFiles/oodbsec.dir/schema/user.cc.o" "gcc" "src/CMakeFiles/oodbsec.dir/schema/user.cc.o.d"
+  "/root/repo/src/semantics/execution.cc" "src/CMakeFiles/oodbsec.dir/semantics/execution.cc.o" "gcc" "src/CMakeFiles/oodbsec.dir/semantics/execution.cc.o.d"
+  "/root/repo/src/semantics/inference.cc" "src/CMakeFiles/oodbsec.dir/semantics/inference.cc.o" "gcc" "src/CMakeFiles/oodbsec.dir/semantics/inference.cc.o.d"
+  "/root/repo/src/semantics/oracle.cc" "src/CMakeFiles/oodbsec.dir/semantics/oracle.cc.o" "gcc" "src/CMakeFiles/oodbsec.dir/semantics/oracle.cc.o.d"
+  "/root/repo/src/store/database.cc" "src/CMakeFiles/oodbsec.dir/store/database.cc.o" "gcc" "src/CMakeFiles/oodbsec.dir/store/database.cc.o.d"
+  "/root/repo/src/text/workspace.cc" "src/CMakeFiles/oodbsec.dir/text/workspace.cc.o" "gcc" "src/CMakeFiles/oodbsec.dir/text/workspace.cc.o.d"
+  "/root/repo/src/types/domain.cc" "src/CMakeFiles/oodbsec.dir/types/domain.cc.o" "gcc" "src/CMakeFiles/oodbsec.dir/types/domain.cc.o.d"
+  "/root/repo/src/types/type.cc" "src/CMakeFiles/oodbsec.dir/types/type.cc.o" "gcc" "src/CMakeFiles/oodbsec.dir/types/type.cc.o.d"
+  "/root/repo/src/types/value.cc" "src/CMakeFiles/oodbsec.dir/types/value.cc.o" "gcc" "src/CMakeFiles/oodbsec.dir/types/value.cc.o.d"
+  "/root/repo/src/unfold/unfolded.cc" "src/CMakeFiles/oodbsec.dir/unfold/unfolded.cc.o" "gcc" "src/CMakeFiles/oodbsec.dir/unfold/unfolded.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attack_text_test.dir/attack_text_test.cc.o"
+  "CMakeFiles/attack_text_test.dir/attack_text_test.cc.o.d"
+  "attack_text_test"
+  "attack_text_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attack_text_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/basicfun_test.dir/basicfun_test.cc.o"
+  "CMakeFiles/basicfun_test.dir/basicfun_test.cc.o.d"
+  "basicfun_test"
+  "basicfun_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/basicfun_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

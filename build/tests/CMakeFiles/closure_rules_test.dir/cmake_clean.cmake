@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/closure_rules_test.dir/closure_rules_test.cc.o"
+  "CMakeFiles/closure_rules_test.dir/closure_rules_test.cc.o.d"
+  "closure_rules_test"
+  "closure_rules_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/closure_rules_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

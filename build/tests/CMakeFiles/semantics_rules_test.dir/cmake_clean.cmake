@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semantics_rules_test.dir/semantics_rules_test.cc.o"
+  "CMakeFiles/semantics_rules_test.dir/semantics_rules_test.cc.o.d"
+  "semantics_rules_test"
+  "semantics_rules_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semantics_rules_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/store_exec_test.dir/store_exec_test.cc.o"
+  "CMakeFiles/store_exec_test.dir/store_exec_test.cc.o.d"
+  "store_exec_test"
+  "store_exec_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/store_exec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

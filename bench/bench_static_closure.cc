@@ -29,7 +29,7 @@ void PrintReport() {
   // verbatim.
   std::map<std::string, int> firings;
   for (const core::DerivationStep& step : closure.steps()) {
-    ++firings[step.rule];
+    ++firings[std::string(step.rule)];
   }
   std::printf("%-58s %s\n", "axiom / rule", "facts");
   for (const auto& [rule, count] : firings) {
@@ -51,6 +51,60 @@ void BM_CombinedBrokerClosure(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CombinedBrokerClosure)->Unit(benchmark::kMillisecond);
+
+// Scaled workload: `scale` broker "departments" on one shared class —
+// each department has its own salary/budget/profit attributes and its
+// own checkBudget/calcSalary/updateSalary family, all granted together
+// with the matching write capabilities. Because every function takes
+// the shared Broker argument type, the departments interact through the
+// same-type argument equality axiom, which is what a production
+// capability list looks like: many functions over one schema, all
+// touching the same object universe.
+void BM_ScaledBrokerClosure(benchmark::State& state) {
+  int scale = static_cast<int>(state.range(0));
+  schema::SchemaBuilder builder;
+  std::vector<schema::SchemaBuilder::AttributeSpec> attributes;
+  attributes.push_back({"name", "string"});
+  for (int i = 0; i < scale; ++i) {
+    attributes.push_back({common::StrCat("salary", i), "int"});
+    attributes.push_back({common::StrCat("budget", i), "int"});
+    attributes.push_back({common::StrCat("profit", i), "int"});
+  }
+  builder.AddClass("Broker", std::move(attributes));
+  std::vector<std::string> roots = {"r_name"};
+  for (int i = 0; i < scale; ++i) {
+    builder.AddFunction(
+        common::StrCat("checkBudget", i), {{"broker", "Broker"}}, "bool",
+        common::StrCat("r_budget", i, "(broker) >= 10 * r_salary", i,
+                       "(broker)"));
+    builder.AddFunction(common::StrCat("calcSalary", i),
+                        {{"budget", "int"}, {"profit", "int"}}, "int",
+                        "budget / 10 + profit / 2");
+    builder.AddFunction(
+        common::StrCat("updateSalary", i), {{"broker", "Broker"}}, "null",
+        common::StrCat("w_salary", i, "(broker, calcSalary", i, "(r_budget",
+                       i, "(broker), r_profit", i, "(broker)))"));
+    roots.push_back(common::StrCat("checkBudget", i));
+    roots.push_back(common::StrCat("updateSalary", i));
+    roots.push_back(common::StrCat("w_budget", i));
+    roots.push_back(common::StrCat("w_profit", i));
+  }
+  auto built = std::move(builder).Build();
+  if (!built.ok()) std::abort();
+  auto set = unfold::UnfoldedSet::Build(*built.value(), roots);
+  if (!set.ok()) std::abort();
+  size_t facts = 0;
+  for (auto _ : state) {
+    core::Closure closure(*set.value());
+    facts = closure.fact_count();
+    benchmark::DoNotOptimize(facts);
+  }
+  state.counters["occurrences"] =
+      static_cast<double>(set.value()->node_count());
+  state.counters["facts"] = static_cast<double>(facts);
+}
+BENCHMARK(BM_ScaledBrokerClosure)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16)
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# JSON reporter wrapper: runs benchmark binaries under google-benchmark's
+# JSON writer, producing BENCH_<suite>.json (suite = binary name without
+# the bench_ prefix). Console output (including the experiment report
+# preambles some binaries print) stays on stdout; the JSON file carries
+# only the machine-readable results.
+#
+#   bench/run_bench_json.sh                       # every bench_* binary
+#   bench/run_bench_json.sh bench_static_closure  # just the named ones
+#
+# Environment:
+#   BUILD_DIR   build tree holding bench/ binaries      (default: build)
+#   OUT_DIR     where the BENCH_*.json files land       (default: repo root)
+#   BENCH_ARGS  extra benchmark flags, e.g. --benchmark_min_time=0.01
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build}"
+OUT_DIR="${OUT_DIR:-.}"
+
+if [ "$#" -gt 0 ]; then
+  binaries=("$@")
+else
+  binaries=()
+  for bin in "$BUILD_DIR"/bench/bench_*; do
+    [ -x "$bin" ] && [ ! -d "$bin" ] && binaries+=("$(basename "$bin")")
+  done
+fi
+
+for name in "${binaries[@]}"; do
+  bin="$BUILD_DIR/bench/$name"
+  if [ ! -x "$bin" ]; then
+    echo "error: $bin not found or not executable (build first?)" >&2
+    exit 1
+  fi
+  out="$OUT_DIR/BENCH_${name#bench_}.json"
+  echo "== $name -> $out"
+  # shellcheck disable=SC2086  # BENCH_ARGS is intentionally word-split
+  "$bin" --benchmark_out="$out" --benchmark_out_format=json ${BENCH_ARGS:-}
+done

@@ -11,6 +11,7 @@
 //   users                      list users and capability lists
 //   requirements               list security requirements
 //   analyze                    run A(R) on every requirement
+//   batch [threads]            same, through the caching batch service
 //   explain <n>                derivation for requirement n's first flaw
 //   query <user> <select ...>  run a query as <user>
 //   guard <user> <select ...>  run it under the dynamic session guard
@@ -26,6 +27,7 @@
 #include "dynamic/session_guard.h"
 #include "query/binder.h"
 #include "query/query_parser.h"
+#include "service/analysis_service.h"
 #include "text/workspace.h"
 
 namespace {
@@ -58,6 +60,10 @@ class Shell {
       std::printf("%s", text::FormatWorkspace(workspace_).c_str());
     } else if (command == "analyze") {
       Analyze();
+    } else if (command == "batch") {
+      int threads = 0;
+      in >> threads;
+      Batch(threads > 0 ? threads : 4);
     } else if (command == "explain") {
       size_t index = 0;
       in >> index;
@@ -79,6 +85,9 @@ class Shell {
     std::printf(
         "  schema | users | requirements   inspect the workspace\n"
         "  analyze                         run A(R) on every requirement\n"
+        "  batch [threads]                 same, through the batch service\n"
+        "                                  (shared-closure cache, default 4"
+        " threads)\n"
         "  dump                            re-render the workspace file\n"
         "  explain <n>                     derivation for requirement n\n"
         "  query <user> <select ...>       run a query as <user>\n"
@@ -128,6 +137,31 @@ class Shell {
       std::printf("[%zu] %s", i, last_reports_[i].ToString().c_str());
     }
     std::printf("(use 'explain <n>' for a derivation)\n");
+  }
+
+  // Like Analyze(), but through AnalysisService: users sharing a
+  // capability signature share one closure, and the distinct closures
+  // and the per-requirement checks run on a worker pool.
+  void Batch(int threads) {
+    service::ServiceOptions options;
+    options.threads = threads;
+    service::AnalysisService svc(*workspace_.schema, *workspace_.users,
+                                 options);
+    auto reports = svc.CheckBatch(workspace_.requirements);
+    if (!reports.ok()) {
+      std::printf("error: %s\n", reports.status().ToString().c_str());
+      return;
+    }
+    last_reports_ = std::move(reports).value();
+    for (size_t i = 0; i < last_reports_.size(); ++i) {
+      std::printf("[%zu] %s", i, last_reports_[i].ToString().c_str());
+    }
+    const service::ServiceStats& stats = svc.stats();
+    std::printf(
+        "(%d thread(s): %zu check(s), %zu closure(s) built, "
+        "%zu cache hit(s))\n",
+        svc.thread_count(), stats.checks, stats.closures_built,
+        stats.cache_hits);
   }
 
   void Explain(size_t index) {

@@ -19,9 +19,8 @@ std::string AnalysisReport::ToString() const {
   return out;
 }
 
-common::Result<std::unique_ptr<UserAnalysis>> UserAnalysis::Build(
-    const schema::Schema& schema, const schema::User& user,
-    ClosureOptions options) {
+std::vector<std::string> AnalysisRoots(const schema::Schema& schema,
+                                       const schema::User& user) {
   std::vector<std::string> roots(user.capabilities().begin(),
                                  user.capabilities().end());
   // Integrity constraints (paper §1.1) are known-true to every user:
@@ -32,8 +31,15 @@ common::Result<std::unique_ptr<UserAnalysis>> UserAnalysis::Build(
       roots.push_back(constraint->name());
     }
   }
-  OODBSEC_ASSIGN_OR_RETURN(std::unique_ptr<unfold::UnfoldedSet> set,
-                           unfold::UnfoldedSet::Build(schema, roots));
+  return roots;
+}
+
+common::Result<std::unique_ptr<UserAnalysis>> UserAnalysis::Build(
+    const schema::Schema& schema, const schema::User& user,
+    ClosureOptions options) {
+  OODBSEC_ASSIGN_OR_RETURN(
+      std::unique_ptr<unfold::UnfoldedSet> set,
+      unfold::UnfoldedSet::Build(schema, AnalysisRoots(schema, user)));
   std::unique_ptr<UserAnalysis> analysis(new UserAnalysis());
   analysis->user_name_ = user.name();
   analysis->closure_ = std::make_unique<Closure>(*set, options);
@@ -77,8 +83,14 @@ common::Result<AnalysisReport> UserAnalysis::Check(
         "requirement names user '", requirement.user,
         "' but this analysis is for '", user_name_, "'"));
   }
+  return CheckAgainstClosure(*set_, *closure_, requirement);
+}
+
+common::Result<AnalysisReport> CheckAgainstClosure(
+    const unfold::UnfoldedSet& set, const Closure& closure,
+    const Requirement& requirement) {
   schema::Callable callable =
-      set_->schema().ResolveCallable(requirement.function);
+      set.schema().ResolveCallable(requirement.function);
   if (!callable.ok()) {
     return common::NotFoundError(common::StrCat(
         "requirement names unknown function '", requirement.function, "'"));
@@ -93,8 +105,8 @@ common::Result<AnalysisReport> UserAnalysis::Check(
 
   AnalysisReport report;
   report.requirement = requirement;
-  report.node_count = set_->node_count();
-  report.fact_count = closure_->fact_count();
+  report.node_count = set.node_count();
+  report.fact_count = closure.fact_count();
 
   // Enumerate invocation sites: (argument ids, result id, description).
   struct Site {
@@ -107,8 +119,8 @@ common::Result<AnalysisReport> UserAnalysis::Check(
   std::vector<Site> sites;
 
   if (callable.kind == schema::Callable::Kind::kAccess) {
-    for (int i = 1; i <= set_->node_count(); ++i) {
-      const Node* node = set_->node(i);
+    for (int i = 1; i <= set.node_count(); ++i) {
+      const Node* node = set.node(i);
       if (node->is_let() &&
           node->origin_function == requirement.function) {
         Site site;
@@ -118,11 +130,11 @@ common::Result<AnalysisReport> UserAnalysis::Check(
         site.result_id = node->id;
         site.site_id = node->id;
         site.description = common::StrCat("indirect invocation ",
-                                          set_->ShortLabel(node));
+                                          set.ShortLabel(node));
         sites.push_back(std::move(site));
       }
     }
-    for (const unfold::Root& root : set_->roots()) {
+    for (const unfold::Root& root : set.roots()) {
       if (root.function_name != requirement.function) continue;
       Site site;
       // Root arguments are supplied directly by the user: every
@@ -141,8 +153,8 @@ common::Result<AnalysisReport> UserAnalysis::Check(
     const std::string& attribute = callable.attribute->name;
     const auto& occurrences =
         callable.kind == schema::Callable::Kind::kReadAttr
-            ? set_->reads(attribute)
-            : set_->writes(attribute);
+            ? set.reads(attribute)
+            : set.writes(attribute);
     for (const Node* node : occurrences) {
       Site site;
       for (const Node* child : node->children) {
@@ -151,7 +163,7 @@ common::Result<AnalysisReport> UserAnalysis::Check(
       site.result_id = node->id;
       site.site_id = node->id;
       site.description =
-          common::StrCat("operation ", set_->ShortLabel(node));
+          common::StrCat("operation ", set.ShortLabel(node));
       sites.push_back(std::move(site));
     }
   }
@@ -162,7 +174,7 @@ common::Result<AnalysisReport> UserAnalysis::Check(
     for (size_t i = 0; i < requirement.arg_caps.size() && all_hold; ++i) {
       for (Capability cap : requirement.arg_caps[i]) {
         if (site.arg_ids[i] == 0) continue;  // root argument: trivial
-        if (!CapabilityHolds(*closure_, cap, site.arg_ids[i], supporting)) {
+        if (!CapabilityHolds(closure, cap, site.arg_ids[i], supporting)) {
           all_hold = false;
           break;
         }
@@ -170,7 +182,7 @@ common::Result<AnalysisReport> UserAnalysis::Check(
     }
     for (Capability cap : requirement.return_caps) {
       if (!all_hold) break;
-      if (!CapabilityHolds(*closure_, cap, site.result_id, supporting)) {
+      if (!CapabilityHolds(closure, cap, site.result_id, supporting)) {
         all_hold = false;
       }
     }
@@ -181,7 +193,7 @@ common::Result<AnalysisReport> UserAnalysis::Check(
     flaw.is_root_site = site.is_root;
     flaw.description = site.description;
     flaw.supporting_facts = supporting;
-    flaw.derivation = closure_->ExplainFacts(supporting);
+    flaw.derivation = closure.ExplainFacts(supporting);
     report.flaws.push_back(std::move(flaw));
   }
 

@@ -50,6 +50,24 @@ struct AnalysisReport {
   std::string ToString() const;
 };
 
+// The roots whose unfolded program a user's closure runs over: the
+// capability list (already sorted — capability sets are std::set) plus
+// every integrity constraint not granted outright (paper §1.1).
+// Deterministic: two users with permuted-equal grant sets produce equal
+// root lists, which is what the service layer's capability-signature
+// cache keys on.
+std::vector<std::string> AnalysisRoots(const schema::Schema& schema,
+                                       const schema::User& user);
+
+// Checks `requirement` against an already-computed closure, without
+// validating the requirement's user name: the site enumeration and
+// capability tests of A(R), shared by UserAnalysis::Check and the
+// service layer (which serves many same-signature users from one
+// closure). Read-only on `set`/`closure`; safe to call concurrently.
+common::Result<AnalysisReport> CheckAgainstClosure(
+    const unfold::UnfoldedSet& set, const Closure& closure,
+    const Requirement& requirement);
+
 // The per-user analysis context: the unfolded capability-list program
 // and its closure, reusable across many requirement checks.
 class UserAnalysis {

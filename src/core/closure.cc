@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <map>
 
 #include "common/strings.h"
 
@@ -12,10 +13,27 @@ using unfold::NodeKind;
 
 namespace {
 
-// Maximum distinct (num, dir) origins kept per class. Every rule guard
-// excludes at most one origin and the pi-join needs two, so four keeps
-// the system complete while bounding the state (see closure.h).
-constexpr size_t kOriginCap = 4;
+// Sorted-unique insert/erase for the small per-rep key lists that
+// replace std::set in the hot tables.
+void InsertSortedUnique(std::vector<std::pair<int, int>>& keys,
+                        std::pair<int, int> key) {
+  auto it = std::lower_bound(keys.begin(), keys.end(), key);
+  if (it == keys.end() || *it != key) keys.insert(it, key);
+}
+
+void EraseSorted(std::vector<std::pair<int, int>>& keys,
+                 std::pair<int, int> key) {
+  auto it = std::lower_bound(keys.begin(), keys.end(), key);
+  if (it != keys.end() && *it == key) keys.erase(it);
+}
+
+void InsertSortedUniqueById(std::vector<const Node*>& nodes,
+                            const Node* node) {
+  auto it = std::lower_bound(
+      nodes.begin(), nodes.end(), node,
+      [](const Node* a, const Node* b) { return a->id < b->id; });
+  if (it == nodes.end() || *it != node) nodes.insert(it, node);
+}
 
 }  // namespace
 
@@ -28,9 +46,20 @@ Closure::Closure(const unfold::UnfoldedSet& set, ClosureOptions options)
   int n = set.node_count();
   uf_parent_.resize(n + 1);
   uf_rank_.assign(n + 1, 0);
+  members_.resize(n + 1);
   eq_edges_.resize(n + 1);
   ta_.assign(n + 1, kNoFact);
   pa_.assign(n + 1, kNoFact);
+  ti_.resize(n + 1);
+  pi_.resize(n + 1);
+  pistar_touching_.resize(n + 1);
+  touching_calls_.resize(n + 1);
+  obj_reads_.resize(n + 1);
+  obj_writes_.resize(n + 1);
+  binder_of_bound_expr_.assign(n + 1, -1);
+  bfs_prev_node_.resize(n + 1);
+  bfs_prev_edge_.resize(n + 1);
+  bfs_seen_epoch_.assign(n + 1, 0);
   for (int i = 1; i <= n; ++i) {
     uf_parent_[i] = i;
     members_[i] = {i};
@@ -39,16 +68,16 @@ Closure::Closure(const unfold::UnfoldedSet& set, ClosureOptions options)
   for (int i = 1; i <= n; ++i) {
     const Node* node = set.node(i);
     if (node->kind == NodeKind::kBasicCall) {
-      touching_calls_[Find(node->id)].insert(node);
+      InsertSortedUniqueById(touching_calls_[node->id], node);
       for (const Node* child : node->children) {
-        touching_calls_[Find(child->id)].insert(node);
+        InsertSortedUniqueById(touching_calls_[child->id], node);
       }
     }
     if (node->kind == NodeKind::kReadAttr) {
-      obj_reads_[Find(node->object_child()->id)].push_back(node);
+      obj_reads_[node->object_child()->id].push_back(node);
     }
     if (node->kind == NodeKind::kWriteAttr) {
-      obj_writes_[Find(node->object_child()->id)].push_back(node);
+      obj_writes_[node->object_child()->id].push_back(node);
     }
   }
   for (const unfold::Binder& binder : set.binders()) {
@@ -64,7 +93,7 @@ Closure::Closure(const unfold::UnfoldedSet& set, ClosureOptions options)
 // ---------------------------------------------------------------------
 // Union-find with proof forest.
 
-int Closure::Find(int id) const {
+int Closure::Find(int id) {
   int root = id;
   while (uf_parent_[root] != root) root = uf_parent_[root];
   while (uf_parent_[id] != root) {
@@ -75,102 +104,104 @@ int Closure::Find(int id) const {
   return root;
 }
 
-void Closure::ExplainEquality(int id1, int id2,
-                              std::vector<FactId>& out) const {
+void Closure::ExplainEquality(int id1, int id2, std::vector<FactId>& out) {
   if (id1 == id2) return;
-  // BFS through the proof forest (paths are unique).
-  std::vector<int> prev_node(eq_edges_.size(), 0);
-  std::vector<FactId> prev_edge(eq_edges_.size(), kNoFact);
-  std::vector<int> queue = {id1};
-  prev_node[id1] = id1;
-  for (size_t head = 0; head < queue.size(); ++head) {
-    int current = queue[head];
+  // BFS through the proof forest (paths are unique). The scratch state
+  // is epoch-stamped: no per-call clearing or allocation.
+  ++bfs_epoch_;
+  bfs_queue_.clear();
+  bfs_queue_.push_back(id1);
+  bfs_seen_epoch_[id1] = bfs_epoch_;
+  bfs_prev_node_[id1] = id1;
+  for (size_t head = 0; head < bfs_queue_.size(); ++head) {
+    int current = bfs_queue_[head];
     if (current == id2) break;
     for (const auto& [next, edge] : eq_edges_[current]) {
-      if (prev_node[next] != 0) continue;
-      prev_node[next] = current;
-      prev_edge[next] = edge;
-      queue.push_back(next);
+      if (bfs_seen_epoch_[next] == bfs_epoch_) continue;
+      bfs_seen_epoch_[next] = bfs_epoch_;
+      bfs_prev_node_[next] = current;
+      bfs_prev_edge_[next] = edge;
+      bfs_queue_.push_back(next);
     }
   }
-  assert(prev_node[id2] != 0 && "equality explanation requested for "
-                                "non-equal occurrences");
-  for (int at = id2; at != id1; at = prev_node[at]) {
-    out.push_back(prev_edge[at]);
+  assert(bfs_seen_epoch_[id2] == bfs_epoch_ &&
+         "equality explanation requested for non-equal occurrences");
+  for (int at = id2; at != id1; at = bfs_prev_node_[at]) {
+    out.push_back(bfs_prev_edge_[at]);
   }
 }
 
 // ---------------------------------------------------------------------
 // Fact derivation.
 
-FactId Closure::Log(Fact fact, std::string rule,
-                    std::vector<FactId> premises) {
+FactId Closure::Log(Fact fact, std::string_view rule, Premises premises) {
   FactId id = static_cast<FactId>(steps_.size());
-  steps_.push_back({fact, std::move(rule), std::move(premises)});
+  DerivationStep step;
+  step.fact = fact;
+  step.rule = rule;
+  step.premise_offset = static_cast<uint32_t>(premise_arena_.size());
+  step.premise_count = static_cast<uint32_t>(premises.size());
+  premise_arena_.insert(premise_arena_.end(), premises.begin(),
+                        premises.end());
+  steps_.push_back(step);
   worklist_.push_back(id);
   return id;
 }
 
-FactId Closure::AddTa(int id, std::string rule, std::vector<FactId> premises) {
+FactId Closure::AddTa(int id, std::string_view rule, Premises premises) {
   if (ta_[id] != kNoFact) return ta_[id];
-  FactId fact = Log({Fact::Kind::kTa, id, 0, {}}, std::move(rule),
-                    std::move(premises));
+  FactId fact = Log({Fact::Kind::kTa, id, 0, {}}, rule, premises);
   ta_[id] = fact;
   return fact;
 }
 
-FactId Closure::AddPa(int id, std::string rule, std::vector<FactId> premises) {
+FactId Closure::AddPa(int id, std::string_view rule, Premises premises) {
   if (pa_[id] != kNoFact) return pa_[id];
-  FactId fact = Log({Fact::Kind::kPa, id, 0, {}}, std::move(rule),
-                    std::move(premises));
+  FactId fact = Log({Fact::Kind::kPa, id, 0, {}}, rule, premises);
   pa_[id] = fact;
   return fact;
 }
 
-FactId Closure::AddTi(int id, Origin origin, std::string rule,
-                      std::vector<FactId> premises) {
-  auto& origins = ti_[Find(id)];
-  auto it = origins.find(origin);
-  if (it != origins.end()) return it->second;
-  if (origins.size() >= kOriginCap) return kNoFact;
-  FactId fact = Log({Fact::Kind::kTi, id, 0, origin}, std::move(rule),
-                    std::move(premises));
-  origins.emplace(origin, fact);
+FactId Closure::AddTi(int id, Origin origin, std::string_view rule,
+                      Premises premises) {
+  OriginSet& origins = ti_[Find(id)];
+  FactId existing = origins.Lookup(origin);
+  if (existing != kNoFact) return existing;
+  if (origins.full()) return kNoFact;
+  FactId fact = Log({Fact::Kind::kTi, id, 0, origin}, rule, premises);
+  origins.Insert(origin, fact);
   return fact;
 }
 
-FactId Closure::AddPi(int id, Origin origin, std::string rule,
-                      std::vector<FactId> premises) {
-  auto& origins = pi_[Find(id)];
-  auto it = origins.find(origin);
-  if (it != origins.end()) return it->second;
-  if (origins.size() >= kOriginCap) return kNoFact;
-  FactId fact = Log({Fact::Kind::kPi, id, 0, origin}, std::move(rule),
-                    std::move(premises));
-  origins.emplace(origin, fact);
+FactId Closure::AddPi(int id, Origin origin, std::string_view rule,
+                      Premises premises) {
+  OriginSet& origins = pi_[Find(id)];
+  FactId existing = origins.Lookup(origin);
+  if (existing != kNoFact) return existing;
+  if (origins.full()) return kNoFact;
+  FactId fact = Log({Fact::Kind::kPi, id, 0, origin}, rule, premises);
+  origins.Insert(origin, fact);
   return fact;
 }
 
-FactId Closure::AddPiStar(int id1, int id2, Origin origin, std::string rule,
-                          std::vector<FactId> premises) {
+FactId Closure::AddPiStar(int id1, int id2, Origin origin,
+                          std::string_view rule, Premises premises) {
   std::pair<int, int> key = {Find(id1), Find(id2)};
-  auto& origins = pistar_[key];
-  auto it = origins.find(origin);
-  if (it != origins.end()) return it->second;
-  if (origins.size() >= kOriginCap) return kNoFact;
-  FactId fact = Log({Fact::Kind::kPiStar, id1, id2, origin}, std::move(rule),
-                    std::move(premises));
-  origins.emplace(origin, fact);
-  pistar_touching_[key.first].insert(key);
-  pistar_touching_[key.second].insert(key);
+  OriginSet& origins = pistar_[PairKey(key.first, key.second)];
+  FactId existing = origins.Lookup(origin);
+  if (existing != kNoFact) return existing;
+  if (origins.full()) return kNoFact;
+  FactId fact = Log({Fact::Kind::kPiStar, id1, id2, origin}, rule, premises);
+  origins.Insert(origin, fact);
+  InsertSortedUnique(pistar_touching_[key.first], key);
+  InsertSortedUnique(pistar_touching_[key.second], key);
   return fact;
 }
 
-FactId Closure::AddEq(int id1, int id2, std::string rule,
-                      std::vector<FactId> premises) {
+FactId Closure::AddEq(int id1, int id2, std::string_view rule,
+                      Premises premises) {
   if (Find(id1) == Find(id2)) return kNoFact;  // already known
-  return Log({Fact::Kind::kEq, id1, id2, {}}, std::move(rule),
-             std::move(premises));
+  return Log({Fact::Kind::kEq, id1, id2, {}}, rule, premises);
 }
 
 // ---------------------------------------------------------------------
@@ -252,6 +283,12 @@ void Closure::Run() {
     worklist_.pop_front();
     Process(fact_id);
   }
+  // Fully compress the union-find: afterwards every parent link points
+  // at its root, Rep() is a single read, and the structure is safe for
+  // concurrent readers (no mutation behind const).
+  for (int i = 1; i < static_cast<int>(uf_parent_.size()); ++i) {
+    uf_parent_[i] = Find(i);
+  }
 }
 
 void Closure::Process(FactId fact_id) {
@@ -317,10 +354,9 @@ void Closure::FireLetAndWriteRulesForAlterability(int id, bool total,
 
   // Let rules: a bound expression's alterability reaches every
   // occurrence of the variable; a body's reaches the let value.
-  auto binder_it = binder_of_bound_expr_.find(id);
-  if (binder_it != binder_of_bound_expr_.end()) {
-    for (const Node* occurrence :
-         set_->binder(binder_it->second).occurrences) {
+  int binder_id = binder_of_bound_expr_[id];
+  if (binder_id >= 0) {
+    for (const Node* occurrence : set_->binder(binder_id).occurrences) {
       if (total) {
         AddTa(occurrence->id, "let: bound expression to variable",
               {fact_id});
@@ -441,64 +477,68 @@ void Closure::ProcessEqMerge(const Fact& fact, FactId fact_id) {
   if (uf_rank_[root] == uf_rank_[absorbed]) ++uf_rank_[root];
   uf_parent_[absorbed] = root;
 
-  // Merge per-class tables.
+  // Merge per-class tables (append, preserving per-side order).
   auto merge_members = [&](auto& table) {
-    auto it = table.find(absorbed);
-    if (it == table.end()) return;
+    auto& source = table[absorbed];
+    if (source.empty()) return;
     auto& target = table[root];
-    target.insert(target.end(), it->second.begin(), it->second.end());
-    table.erase(it);
+    target.insert(target.end(), source.begin(), source.end());
+    source.clear();
+    source.shrink_to_fit();
   };
   merge_members(members_);
   merge_members(obj_reads_);
   merge_members(obj_writes_);
   {
-    auto it = touching_calls_.find(absorbed);
-    if (it != touching_calls_.end()) {
-      touching_calls_[root].insert(it->second.begin(), it->second.end());
-      touching_calls_.erase(it);
+    // touching_calls_ keeps set semantics: sorted-by-id merge, unique.
+    auto& source = touching_calls_[absorbed];
+    if (!source.empty()) {
+      auto& target = touching_calls_[root];
+      for (const Node* call : source) {
+        InsertSortedUniqueById(target, call);
+      }
+      source.clear();
+      source.shrink_to_fit();
     }
   }
 
   // Merge inferability origin sets ("=: inferability propagation" is
   // materialized by class-level storage).
-  auto merge_origins = [&](std::map<int, std::map<Origin, FactId>>& table) {
-    auto it = table.find(absorbed);
-    if (it == table.end()) return;
-    auto& target = table[root];
-    for (const auto& [origin, fid] : it->second) {
-      if (target.size() >= kOriginCap) break;
-      target.emplace(origin, fid);
+  auto merge_origins = [&](std::vector<OriginSet>& table) {
+    OriginSet& source = table[absorbed];
+    if (source.empty()) return;
+    OriginSet& target = table[root];
+    for (const OriginSet::Entry& entry : source.entries()) {
+      if (target.full()) break;
+      target.Insert(entry.origin, entry.fact);
     }
-    table.erase(it);
+    source.Clear();
   };
   merge_origins(ti_);
   merge_origins(pi_);
 
   // Re-key pi* pairs that touch the absorbed class.
   {
-    auto touching_it = pistar_touching_.find(absorbed);
-    if (touching_it != pistar_touching_.end()) {
-      std::set<std::pair<int, int>> keys = std::move(touching_it->second);
-      pistar_touching_.erase(touching_it);
-      for (const std::pair<int, int>& key : keys) {
-        auto pair_it = pistar_.find(key);
-        if (pair_it == pistar_.end()) continue;
-        std::map<Origin, FactId> origins = std::move(pair_it->second);
-        pistar_.erase(pair_it);
-        pistar_touching_[key.first].erase(key);
-        pistar_touching_[key.second].erase(key);
-        std::pair<int, int> new_key = {
-            key.first == absorbed ? root : key.first,
-            key.second == absorbed ? root : key.second};
-        auto& target = pistar_[new_key];
-        for (const auto& [origin, fid] : origins) {
-          if (target.size() >= kOriginCap) break;
-          target.emplace(origin, fid);
-        }
-        pistar_touching_[new_key.first].insert(new_key);
-        pistar_touching_[new_key.second].insert(new_key);
+    std::vector<std::pair<int, int>> keys =
+        std::move(pistar_touching_[absorbed]);
+    pistar_touching_[absorbed].clear();
+    for (const std::pair<int, int>& key : keys) {
+      auto pair_it = pistar_.find(PairKey(key.first, key.second));
+      if (pair_it == pistar_.end()) continue;
+      OriginSet origins = pair_it->second;
+      pistar_.erase(pair_it);
+      EraseSorted(pistar_touching_[key.first], key);
+      EraseSorted(pistar_touching_[key.second], key);
+      std::pair<int, int> new_key = {
+          key.first == absorbed ? root : key.first,
+          key.second == absorbed ? root : key.second};
+      OriginSet& target = pistar_[PairKey(new_key.first, new_key.second)];
+      for (const OriginSet::Entry& entry : origins.entries()) {
+        if (target.full()) break;
+        target.Insert(entry.origin, entry.fact);
       }
+      InsertSortedUnique(pistar_touching_[new_key.first], new_key);
+      InsertSortedUnique(pistar_touching_[new_key.second], new_key);
     }
   }
 
@@ -508,12 +548,11 @@ void Closure::ProcessEqMerge(const Fact& fact, FactId fact_id) {
   // The merged class may have gained inferability origins (pi-join) and
   // new rule opportunities.
   if (options_.pi_join_to_ti) {
-    auto pi_it = pi_.find(root);
-    if (pi_it != pi_.end() && pi_it->second.size() >= 2) {
-      auto first = pi_it->second.begin();
-      auto second = std::next(first);
-      AddTi(fact.a, first->first, "join of partial inferabilities",
-            {first->second, second->second});
+    const OriginSet& joined = pi_[root];
+    if (joined.size() >= 2) {
+      std::span<const OriginSet::Entry> entries = joined.entries();
+      AddTi(fact.a, entries[0].origin, "join of partial inferabilities",
+            {entries[0].fact, entries[1].fact});
     }
   }
   if (options_.basic_function_rules) ReevalCallsTouching(root);
@@ -529,17 +568,17 @@ void Closure::ProcessTi(const Fact& fact, FactId fact_id) {
 
 void Closure::ProcessPi(const Fact& fact, FactId fact_id) {
   if (options_.pi_join_to_ti) {
-    const auto& origins = pi_[Find(fact.a)];
+    const OriginSet& origins = pi_[Find(fact.a)];
     if (origins.size() >= 2) {
       // pi[e,n1,d1], pi[e,n2,d2] -> ti[e,n1,d1] for (n1,d1) != (n2,d2):
       // two differently-obtained candidate sets may intersect to a
       // single value (pessimistic assumption 2 of §4.1).
-      for (const auto& [origin, other_fact] : origins) {
-        if (origin == fact.origin) continue;
+      for (const OriginSet::Entry& entry : origins.entries()) {
+        if (entry.origin == fact.origin) continue;
         AddTi(fact.a, fact.origin, "join of partial inferabilities",
-              {fact_id, other_fact});
-        AddTi(fact.a, origin, "join of partial inferabilities",
-              {other_fact, fact_id});
+              {fact_id, entry.fact});
+        AddTi(fact.a, entry.origin, "join of partial inferabilities",
+              {entry.fact, fact_id});
         break;
       }
     }
@@ -554,26 +593,26 @@ void Closure::ProcessPiStar(const Fact& fact, FactId fact_id) {
   // Join: pi*[(ea,eb)], pi*[(eb,ec)] -> pi*[(ea,ec)].
   int ra = Find(fact.a);
   int rb = Find(fact.b);
-  std::set<std::pair<int, int>> keys = pistar_touching_[rb];
+  std::vector<std::pair<int, int>> keys = pistar_touching_[rb];  // copy
   for (const std::pair<int, int>& key : keys) {
     if (key.first != rb) continue;
-    auto it = pistar_.find(key);
+    auto it = pistar_.find(PairKey(key.first, key.second));
     if (it == pistar_.end() || it->second.empty()) continue;
     int rc = key.second;
     if (rc == ra) continue;
     // Conclusion keeps the first pair's provenance (paper Table 2).
     AddPiStar(fact.a, members_[rc].front(), fact.origin, "pi*: join",
-              {fact_id, it->second.begin()->second});
+              {fact_id, it->second.entries()[0].fact});
   }
-  std::set<std::pair<int, int>> left_keys = pistar_touching_[ra];
+  std::vector<std::pair<int, int>> left_keys = pistar_touching_[ra];
   for (const std::pair<int, int>& key : left_keys) {
     if (key.second != ra) continue;
-    auto it = pistar_.find(key);
+    auto it = pistar_.find(PairKey(key.first, key.second));
     if (it == pistar_.end() || it->second.empty()) continue;
     int rc = key.first;
     if (rc == rb) continue;
-    AddPiStar(members_[rc].front(), fact.b, it->second.begin()->first,
-              "pi*: join", {it->second.begin()->second, fact_id});
+    AddPiStar(members_[rc].front(), fact.b, it->second.entries()[0].origin,
+              "pi*: join", {it->second.entries()[0].fact, fact_id});
   }
 
   if (options_.basic_function_rules) {
@@ -585,13 +624,12 @@ void Closure::ProcessPiStar(const Fact& fact, FactId fact_id) {
 // ---------------------------------------------------------------------
 // Basic-function rules (§4.1).
 
-bool Closure::PickOrigin(const std::map<Origin, FactId>& origins,
-                         const Origin* excluded, Origin& origin_out,
-                         FactId& fact_out) {
-  for (const auto& [origin, fact] : origins) {
-    if (excluded != nullptr && origin == *excluded) continue;
-    origin_out = origin;
-    fact_out = fact;
+bool Closure::PickOrigin(const OriginSet& origins, const Origin* excluded,
+                         Origin& origin_out, FactId& fact_out) {
+  for (const OriginSet::Entry& entry : origins.entries()) {
+    if (excluded != nullptr && entry.origin == *excluded) continue;
+    origin_out = entry.origin;
+    fact_out = entry.fact;
     return true;
   }
   return false;
@@ -611,7 +649,8 @@ void Closure::ReevalBasicCall(const Node* call) {
   Origin result_guard = {call->id, '+'};
 
   for (const BasicRule& rule : rules) {
-    std::vector<FactId> premises;
+    std::vector<FactId>& premises = scratch_premises_;
+    premises.clear();
     bool ok = true;
     for (const RuleAtom& atom : rule.premises) {
       int id = id_at(atom.pos);
@@ -628,13 +667,11 @@ void Closure::ReevalBasicCall(const Node* call) {
         case RuleAtom::Pred::kPi: {
           const Origin* excluded =
               atom.pos == kResultPos ? &result_guard : &arg_guard;
-          auto table_it = (atom.pred == RuleAtom::Pred::kTi ? ti_ : pi_)
-                              .find(Find(id));
+          const OriginSet& origins =
+              (atom.pred == RuleAtom::Pred::kTi ? ti_ : pi_)[Find(id)];
           Origin origin;
           FactId fact;
-          if (table_it == (atom.pred == RuleAtom::Pred::kTi ? ti_ : pi_)
-                              .end() ||
-              !PickOrigin(table_it->second, excluded, origin, fact)) {
+          if (!PickOrigin(origins, excluded, origin, fact)) {
             ok = false;
           } else {
             premises.push_back(fact);
@@ -650,7 +687,7 @@ void Closure::ReevalBasicCall(const Node* call) {
               atom.pos == kResultPos || atom.pos2 == kResultPos;
           const Origin* excluded =
               involves_result ? &result_guard : &arg_guard;
-          auto it = pistar_.find({Find(id), Find(id_at(atom.pos2))});
+          auto it = pistar_.find(PairKey(Find(id), Find(id_at(atom.pos2))));
           Origin origin;
           FactId fact;
           if (it == pistar_.end() ||
@@ -703,42 +740,32 @@ void Closure::ReevalBasicCall(const Node* call) {
 }
 
 void Closure::ReevalCallsTouching(int rep) {
-  auto it = touching_calls_.find(rep);
-  if (it == touching_calls_.end()) return;
   // Copy: merges triggered by derived equalities may mutate the table.
-  std::vector<const Node*> calls(it->second.begin(), it->second.end());
+  std::vector<const Node*> calls = touching_calls_[rep];
   for (const Node* call : calls) ReevalBasicCall(call);
 }
 
 // ---------------------------------------------------------------------
 // Queries and rendering.
 
-bool Closure::HasTi(int id) const {
-  auto it = ti_.find(Find(id));
-  return it != ti_.end() && !it->second.empty();
-}
+bool Closure::HasTi(int id) const { return !ti_[Rep(id)].empty(); }
 
 bool Closure::HasPi(int id) const {
-  if (HasTi(id)) return true;
-  auto it = pi_.find(Find(id));
-  return it != pi_.end() && !it->second.empty();
+  return HasTi(id) || !pi_[Rep(id)].empty();
 }
 
 bool Closure::AreEqual(int id1, int id2) const {
-  return Find(id1) == Find(id2);
+  return Rep(id1) == Rep(id2);
 }
 
 FactId Closure::TiFact(int id) const {
-  auto it = ti_.find(Find(id));
-  if (it == ti_.end() || it->second.empty()) return kNoFact;
-  return it->second.begin()->second;
+  const OriginSet& origins = ti_[Rep(id)];
+  return origins.empty() ? kNoFact : origins.entries()[0].fact;
 }
 
 FactId Closure::PiFact(int id) const {
-  auto it = pi_.find(Find(id));
-  if (it != pi_.end() && !it->second.empty()) {
-    return it->second.begin()->second;
-  }
+  const OriginSet& origins = pi_[Rep(id)];
+  if (!origins.empty()) return origins.entries()[0].fact;
   return TiFact(id);
 }
 
@@ -772,19 +799,21 @@ std::string Closure::ExplainFact(FactId fact) const {
 std::string Closure::ExplainFacts(const std::vector<FactId>& facts) const {
   // Collect the supporting sub-derivation, then print in derivation
   // order (premises always precede conclusions because FactIds grow).
-  std::set<FactId> needed;
+  // Purely local state: safe for concurrent callers.
+  std::vector<bool> needed(steps_.size(), false);
   std::vector<FactId> stack(facts.begin(), facts.end());
   while (!stack.empty()) {
     FactId current = stack.back();
     stack.pop_back();
-    if (current == kNoFact || needed.count(current) > 0) continue;
-    needed.insert(current);
-    for (FactId premise : steps_[current].premises) {
+    if (current == kNoFact || needed[current]) continue;
+    needed[current] = true;
+    for (FactId premise : premises(current)) {
       stack.push_back(premise);
     }
   }
   std::string out;
-  for (FactId id : needed) {  // std::set iterates in increasing order
+  for (FactId id = 0; id < static_cast<FactId>(steps_.size()); ++id) {
+    if (!needed[id]) continue;
     const DerivationStep& step = steps_[id];
     out += FactToString(step.fact);
     out += "   (";

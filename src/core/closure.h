@@ -32,13 +32,32 @@
 //    since every guard excludes at most one origin and the join rule
 //    needs two, keeping 4 distinct origins preserves completeness while
 //    bounding the closure size.
+//  * The hot tables are dense: per-occurrence state lives in flat
+//    vectors indexed by occurrence id, origin sets are small inline
+//    sorted arrays (OriginSet), and derivation premises are stored in
+//    one shared arena instead of one heap vector per step. The closure
+//    over a production-sized capability list is dominated by dedup
+//    lookups (millions of Add* calls for tens of thousands of accepted
+//    facts), so the miss path allocates nothing.
+//
+// Thread-safety contract: construction is single-threaded and does all
+// the mutation; Run() ends with a full path-compression pass over the
+// union-find, after which a Closure is deeply immutable. Every const
+// member function (the Has*/TaFact*/AreEqual queries, ExplainFact*,
+// FactToString) is a pure read and safe to call from many threads
+// concurrently — this is what lets the service layer share one Closure
+// among parallel requirement checks.
 #ifndef OODBSEC_CORE_CLOSURE_H_
 #define OODBSEC_CORE_CLOSURE_H_
 
+#include <array>
+#include <cstdint>
 #include <deque>
-#include <map>
-#include <set>
+#include <initializer_list>
+#include <span>
 #include <string>
+#include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "core/basic_rules.h"
@@ -57,6 +76,11 @@ struct Origin {
 using FactId = int;
 inline constexpr FactId kNoFact = -1;
 
+// Maximum distinct (num, dir) origins kept per class. Every rule guard
+// excludes at most one origin and the pi-join needs two, so four keeps
+// the system complete while bounding the state (see the header comment).
+inline constexpr size_t kOriginCap = 4;
+
 struct Fact {
   enum class Kind { kTa, kPa, kTi, kPi, kPiStar, kEq };
 
@@ -66,11 +90,64 @@ struct Fact {
   Origin origin;   // kTi / kPi / kPiStar
 };
 
+// A small Origin -> FactId map with at most kOriginCap entries, kept
+// sorted by Origin — the dense replacement for std::map in the ti/pi/pi*
+// tables, with identical iteration order.
+class OriginSet {
+ public:
+  struct Entry {
+    Origin origin;
+    FactId fact = kNoFact;
+  };
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  bool full() const { return size_ >= kOriginCap; }
+
+  // kNoFact when absent.
+  FactId Lookup(Origin origin) const {
+    for (size_t i = 0; i < size_; ++i) {
+      if (entries_[i].origin == origin) return entries_[i].fact;
+    }
+    return kNoFact;
+  }
+
+  // Sorted insert-if-absent; no-op when the origin is present or the set
+  // is full (mirrors the capped std::map::emplace it replaces).
+  void Insert(Origin origin, FactId fact) {
+    size_t at = 0;
+    while (at < size_ && entries_[at].origin < origin) ++at;
+    if (at < size_ && entries_[at].origin == origin) return;
+    if (full()) return;
+    for (size_t i = size_; i > at; --i) entries_[i] = entries_[i - 1];
+    entries_[at] = {origin, fact};
+    ++size_;
+  }
+
+  void Clear() { size_ = 0; }
+
+  // Entries in increasing Origin order.
+  std::span<const Entry> entries() const { return {entries_.data(), size_}; }
+
+ private:
+  std::array<Entry, kOriginCap> entries_;
+  uint8_t size_ = 0;
+};
+
+// Derivation log entry. Premises live in the closure's shared arena;
+// resolve them with Closure::premises(fact_id). `rule` references either
+// a string literal or a BasicRule label (both have static storage).
 struct DerivationStep {
   Fact fact;
-  std::string rule;              // e.g. "axiom: constant", ">=: probe …"
-  std::vector<FactId> premises;  // earlier steps
+  std::string_view rule;       // e.g. "axiom: constant", ">=: probe …"
+  uint32_t premise_offset = 0;
+  uint32_t premise_count = 0;
 };
+
+// Premise lists are passed as borrowed spans; the initializer-list
+// overloads on the Add* functions let call sites pass brace lists
+// without allocating (std::span can't bind one until C++26).
+using Premises = std::span<const FactId>;
 
 // Ablation switches for experiment A1 (see DESIGN.md §7). All on by
 // default; each "off" weakens the analyzer and must lose a documented
@@ -109,7 +186,8 @@ class Closure {
   const unfold::UnfoldedSet& set() const { return *set_; }
 
   // Capability queries by occurrence id. pi/pa include ti/ta (the
-  // implication rules are materialized).
+  // implication rules are materialized). All queries are safe for
+  // concurrent readers (see the thread-safety contract above).
   bool HasTa(int id) const { return ta_[id] != kNoFact; }
   bool HasPa(int id) const { return pa_[id] != kNoFact; }
   bool HasTi(int id) const;
@@ -124,6 +202,11 @@ class Closure {
 
   size_t fact_count() const { return steps_.size(); }
   const std::vector<DerivationStep>& steps() const { return steps_; }
+  // The premise FactIds of one derivation step.
+  std::span<const FactId> premises(FactId fact) const {
+    const DerivationStep& step = steps_[fact];
+    return {premise_arena_.data() + step.premise_offset, step.premise_count};
+  }
 
   // Renders one fact, e.g. "ti[5:r_salary(broker), 6, -]".
   std::string FactToString(const Fact& fact) const;
@@ -134,22 +217,59 @@ class Closure {
 
  private:
   // --- union-find with proof forest ---
-  int Find(int id) const;
+  // Mutating find with path compression; construction only.
+  int Find(int id);
+  // Post-construction representative lookup: Run() ends with a full
+  // compression pass, so every parent link points at the root and this
+  // is a single read — safe for concurrent readers (no path-compression
+  // writes behind const, unlike the classic mutable-parent find).
+  int Rep(int id) const { return uf_parent_[id]; }
   // Appends the base =-fact ids proving id1 == id2 to `out`.
-  void ExplainEquality(int id1, int id2, std::vector<FactId>& out) const;
+  void ExplainEquality(int id1, int id2, std::vector<FactId>& out);
 
   // --- fact derivation (dedup + log + worklist) ---
-  FactId AddTa(int id, std::string rule, std::vector<FactId> premises);
-  FactId AddPa(int id, std::string rule, std::vector<FactId> premises);
-  FactId AddTi(int id, Origin origin, std::string rule,
-               std::vector<FactId> premises);
-  FactId AddPi(int id, Origin origin, std::string rule,
-               std::vector<FactId> premises);
-  FactId AddPiStar(int id1, int id2, Origin origin, std::string rule,
-                   std::vector<FactId> premises);
-  FactId AddEq(int id1, int id2, std::string rule,
-               std::vector<FactId> premises);
-  FactId Log(Fact fact, std::string rule, std::vector<FactId> premises);
+  // The rule string must have static (or closure-outliving) storage.
+  FactId AddTa(int id, std::string_view rule, Premises premises);
+  FactId AddPa(int id, std::string_view rule, Premises premises);
+  FactId AddTi(int id, Origin origin, std::string_view rule,
+               Premises premises);
+  FactId AddPi(int id, Origin origin, std::string_view rule,
+               Premises premises);
+  FactId AddPiStar(int id1, int id2, Origin origin, std::string_view rule,
+                   Premises premises);
+  FactId AddEq(int id1, int id2, std::string_view rule, Premises premises);
+  FactId Log(Fact fact, std::string_view rule, Premises premises);
+
+  // Brace-list forwarders (a braced argument prefers an initializer_list
+  // parameter, whose backing array lives for the whole call).
+  FactId AddTa(int id, std::string_view rule,
+               std::initializer_list<FactId> premises) {
+    return AddTa(id, rule, Premises{premises.begin(), premises.size()});
+  }
+  FactId AddPa(int id, std::string_view rule,
+               std::initializer_list<FactId> premises) {
+    return AddPa(id, rule, Premises{premises.begin(), premises.size()});
+  }
+  FactId AddTi(int id, Origin origin, std::string_view rule,
+               std::initializer_list<FactId> premises) {
+    return AddTi(id, origin, rule,
+                 Premises{premises.begin(), premises.size()});
+  }
+  FactId AddPi(int id, Origin origin, std::string_view rule,
+               std::initializer_list<FactId> premises) {
+    return AddPi(id, origin, rule,
+                 Premises{premises.begin(), premises.size()});
+  }
+  FactId AddPiStar(int id1, int id2, Origin origin, std::string_view rule,
+                   std::initializer_list<FactId> premises) {
+    return AddPiStar(id1, id2, origin, rule,
+                     Premises{premises.begin(), premises.size()});
+  }
+  FactId AddEq(int id1, int id2, std::string_view rule,
+               std::initializer_list<FactId> premises) {
+    return AddEq(id1, id2, rule,
+                 Premises{premises.begin(), premises.size()});
+  }
 
   // --- rule application ---
   void Seed();
@@ -170,38 +290,62 @@ class Closure {
 
   // Picks an origin of `origins` different from `excluded` (or any if
   // `excluded` is null); returns false if none.
-  static bool PickOrigin(const std::map<Origin, FactId>& origins,
-                         const Origin* excluded, Origin& origin_out,
-                         FactId& fact_out);
+  static bool PickOrigin(const OriginSet& origins, const Origin* excluded,
+                         Origin& origin_out, FactId& fact_out);
+
+  static uint64_t PairKey(int a, int b) {
+    return (static_cast<uint64_t>(static_cast<uint32_t>(a)) << 32) |
+           static_cast<uint32_t>(b);
+  }
 
   const unfold::UnfoldedSet* set_;
   ClosureOptions options_;
 
-  // Union-find over occurrence ids (1-based).
-  mutable std::vector<int> uf_parent_;
+  // Union-find over occurrence ids (1-based). No `mutable` escape hatch:
+  // path compression happens only during construction, and Run() leaves
+  // every parent pointing directly at its root (see Rep()).
+  std::vector<int> uf_parent_;
   std::vector<int> uf_rank_;
-  std::map<int, std::vector<int>> members_;
+  // Class members, indexed by representative id; absorbed slots are
+  // drained on merge.
+  std::vector<std::vector<int>> members_;
   // Proof forest: accepted merge edges only.
   std::vector<std::vector<std::pair<int, FactId>>> eq_edges_;
 
   std::vector<FactId> ta_;
   std::vector<FactId> pa_;
-  // Keyed by class representative.
-  std::map<int, std::map<Origin, FactId>> ti_;
-  std::map<int, std::map<Origin, FactId>> pi_;
-  std::map<std::pair<int, int>, std::map<Origin, FactId>> pistar_;
-  std::map<int, std::set<std::pair<int, int>>> pistar_touching_;
+  // Indexed by class representative id.
+  std::vector<OriginSet> ti_;
+  std::vector<OriginSet> pi_;
+  // pi* pairs keyed by (rep, rep); pistar_touching_[rep] lists the keys
+  // involving rep, sorted (the dense replacement for std::set — the
+  // sorted order preserves the original rule-firing order).
+  std::unordered_map<uint64_t, OriginSet> pistar_;
+  std::vector<std::vector<std::pair<int, int>>> pistar_touching_;
 
-  // Class rep -> basic calls with an argument or themselves in the class.
-  std::map<int, std::set<const unfold::Node*>> touching_calls_;
-  // Class rep -> reads/writes whose *object* child is in the class.
-  std::map<int, std::vector<const unfold::Node*>> obj_reads_;
-  std::map<int, std::vector<const unfold::Node*>> obj_writes_;
-  // Bound-expression node id -> binder id (for the let rules).
-  std::map<int, int> binder_of_bound_expr_;
+  // Rep id -> basic calls with an argument or themselves in the class,
+  // sorted by occurrence id, unique.
+  std::vector<std::vector<const unfold::Node*>> touching_calls_;
+  // Rep id -> reads/writes whose *object* child is in the class.
+  std::vector<std::vector<const unfold::Node*>> obj_reads_;
+  std::vector<std::vector<const unfold::Node*>> obj_writes_;
+  // Bound-expression node id -> binder id, -1 when none (let rules).
+  std::vector<int> binder_of_bound_expr_;
 
   std::vector<DerivationStep> steps_;
+  std::vector<FactId> premise_arena_;
   std::deque<FactId> worklist_;
+
+  // Scratch buffers (construction only): rule premises under evaluation
+  // and the equality-explanation BFS state, reused across millions of
+  // rule attempts instead of reallocated per call.
+  std::vector<FactId> scratch_premises_;
+  std::vector<int> bfs_prev_node_;
+  std::vector<FactId> bfs_prev_edge_;
+  std::vector<int> bfs_queue_;
+  // Visitation is epoch-stamped so the BFS state never needs clearing.
+  std::vector<uint32_t> bfs_seen_epoch_;
+  uint32_t bfs_epoch_ = 0;
 };
 
 }  // namespace oodbsec::core

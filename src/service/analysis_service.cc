@@ -1,0 +1,140 @@
+#include "service/analysis_service.h"
+
+#include <optional>
+#include <utility>
+
+#include "common/strings.h"
+#include "service/capability_signature.h"
+
+namespace oodbsec::service {
+
+AnalysisService::AnalysisService(const schema::Schema& schema,
+                                 const schema::UserRegistry& users,
+                                 ServiceOptions options)
+    : schema_(schema),
+      users_(users),
+      options_(options),
+      pool_(options.threads) {}
+
+common::Result<std::unique_ptr<AnalysisService::Entry>>
+AnalysisService::BuildEntry(const std::vector<std::string>& roots) const {
+  OODBSEC_ASSIGN_OR_RETURN(std::unique_ptr<unfold::UnfoldedSet> set,
+                           unfold::UnfoldedSet::Build(schema_, roots));
+  auto entry = std::make_unique<Entry>();
+  entry->closure = std::make_unique<core::Closure>(*set, options_.closure);
+  entry->set = std::move(set);
+  return entry;
+}
+
+common::Result<core::AnalysisReport> AnalysisService::Check(
+    const core::Requirement& requirement) {
+  const schema::User* user = users_.Find(requirement.user);
+  if (user == nullptr) {
+    return common::NotFoundError(
+        common::StrCat("unknown user '", requirement.user, "'"));
+  }
+  ++stats_.checks;
+  std::vector<std::string> roots = core::AnalysisRoots(schema_, *user);
+  std::string signature = SignatureFromRoots(roots, options_.closure);
+  auto it = cache_.find(signature);
+  if (it == cache_.end()) {
+    ++stats_.closures_built;
+    OODBSEC_ASSIGN_OR_RETURN(std::unique_ptr<Entry> entry, BuildEntry(roots));
+    it = cache_.emplace(std::move(signature), std::move(entry)).first;
+  } else {
+    ++stats_.cache_hits;
+  }
+  return core::CheckAgainstClosure(*it->second->set, *it->second->closure,
+                                   requirement);
+}
+
+common::Result<std::vector<core::AnalysisReport>> AnalysisService::CheckBatch(
+    const std::vector<core::Requirement>& requirements) {
+  const size_t n = requirements.size();
+
+  // Phase 1 (sequential): resolve users, derive signatures, and plan one
+  // build per distinct uncached signature. Unknown users are recorded,
+  // not returned yet — the error surfaced at the end must belong to the
+  // *earliest* failing requirement, which may instead fail later at
+  // build or check time.
+  struct Planned {
+    const schema::User* user = nullptr;  // nullptr: unknown user
+    std::string signature;
+  };
+  struct Build {
+    std::string signature;
+    std::vector<std::string> roots;
+    common::Result<std::unique_ptr<Entry>> result =
+        common::InternalError("closure not built");
+  };
+  std::vector<Planned> planned(n);
+  std::vector<Build> builds;
+  std::unordered_map<std::string, size_t> build_index;
+  for (size_t i = 0; i < n; ++i) {
+    ++stats_.checks;
+    const schema::User* user = users_.Find(requirements[i].user);
+    if (user == nullptr) continue;
+    planned[i].user = user;
+    std::vector<std::string> roots = core::AnalysisRoots(schema_, *user);
+    planned[i].signature = SignatureFromRoots(roots, options_.closure);
+    if (cache_.contains(planned[i].signature) ||
+        build_index.contains(planned[i].signature)) {
+      ++stats_.cache_hits;
+      continue;
+    }
+    ++stats_.closures_built;
+    build_index.emplace(planned[i].signature, builds.size());
+    builds.push_back(Build{planned[i].signature, std::move(roots)});
+  }
+
+  // Phase 2 (parallel): compute the distinct closures. Workers write to
+  // disjoint pre-allocated slots; Wait() orders those writes before the
+  // sequential phase below reads them.
+  for (Build& build : builds) {
+    pool_.Submit([this, &build] { build.result = BuildEntry(build.roots); });
+  }
+  pool_.Wait();
+
+  // Phase 3 (sequential): publish successful builds. Failures stay out
+  // of the cache so a later batch retries them.
+  for (Build& build : builds) {
+    if (build.result.ok()) {
+      cache_.emplace(build.signature, std::move(build.result).value());
+    }
+  }
+
+  // Phase 4 (parallel): every requirement with a closure is checked
+  // concurrently. Entries are immutable and Closure's const queries are
+  // pure reads, so many checks may share one closure.
+  std::vector<std::optional<common::Result<core::AnalysisReport>>> outcomes(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (planned[i].user == nullptr) continue;
+    auto it = cache_.find(planned[i].signature);
+    if (it == cache_.end()) continue;  // its build failed
+    const Entry* entry = it->second.get();
+    pool_.Submit([&outcomes, &requirements, entry, i] {
+      outcomes[i].emplace(core::CheckAgainstClosure(
+          *entry->set, *entry->closure, requirements[i]));
+    });
+  }
+  pool_.Wait();
+
+  // Phase 5 (sequential): assemble in input order; the first failure in
+  // input order wins, exactly as a sequential loop would report it.
+  std::vector<core::AnalysisReport> reports;
+  reports.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (planned[i].user == nullptr) {
+      return common::NotFoundError(
+          common::StrCat("unknown user '", requirements[i].user, "'"));
+    }
+    if (!outcomes[i].has_value()) {
+      return builds[build_index.at(planned[i].signature)].result.status();
+    }
+    if (!outcomes[i]->ok()) return outcomes[i]->status();
+    reports.push_back(std::move(*outcomes[i]).value());
+  }
+  return reports;
+}
+
+}  // namespace oodbsec::service

@@ -1,0 +1,111 @@
+// AnalysisService: batch security analysis over a user population.
+//
+// The paper's Algorithm A(R) is per-user: unfold the capability list,
+// compute the F(F) closure, enumerate invocation sites. A production
+// deployment asks a different question — "check these hundred
+// requirements across this organisation, nightly" — and the dominant
+// structure of such a population is roles: most users carry one of a
+// handful of grant bundles, so most of the per-user work is identical.
+// The service exploits that twice:
+//
+//   * Capability-signature cache. Closures are keyed by the canonical
+//     signature of (root list, ClosureOptions) — see
+//     capability_signature.h — so every user of a role shares one
+//     unfold + one fixpoint. The cache persists across batches.
+//   * Work-stealing parallelism. Distinct signatures' closures build
+//     concurrently; then every requirement check runs concurrently
+//     against the (immutable, read-safe) shared closures.
+//
+// Determinism contract: CheckBatch returns reports in input order and
+// each report is byte-identical to what sequential
+// core::CheckRequirement produces for that requirement, regardless of
+// thread count or cache state. On failure the error returned is the one
+// the *earliest failing requirement in input order* would have produced
+// sequentially.
+//
+// Thread-safety: the service parallelises internally but is itself a
+// single-caller object — do not invoke Check/CheckBatch from two
+// threads at once.
+#ifndef OODBSEC_SERVICE_ANALYSIS_SERVICE_H_
+#define OODBSEC_SERVICE_ANALYSIS_SERVICE_H_
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "core/analyzer.h"
+#include "core/closure.h"
+#include "core/requirement.h"
+#include "schema/schema.h"
+#include "schema/user.h"
+#include "service/thread_pool.h"
+
+namespace oodbsec::service {
+
+struct ServiceOptions {
+  // Worker threads for closure builds and requirement checks.
+  int threads = 1;
+  // Fixpoint semantics; part of every cache key.
+  core::ClosureOptions closure;
+};
+
+struct ServiceStats {
+  size_t closures_built = 0;  // cache misses: fixpoints actually computed
+  size_t cache_hits = 0;      // requirements served by a pre-existing closure
+  size_t checks = 0;          // requirements checked (successfully or not)
+
+  double HitRate() const {
+    size_t total = closures_built + cache_hits;
+    return total == 0 ? 0.0 : static_cast<double>(cache_hits) / total;
+  }
+};
+
+class AnalysisService {
+ public:
+  // `schema` and `users` must outlive the service.
+  AnalysisService(const schema::Schema& schema,
+                  const schema::UserRegistry& users,
+                  ServiceOptions options = {});
+
+  // Checks one requirement, reusing (and populating) the closure cache.
+  common::Result<core::AnalysisReport> Check(
+      const core::Requirement& requirement);
+
+  // Checks every requirement. Closure builds for distinct uncached
+  // signatures run in parallel, then all per-requirement checks run in
+  // parallel. See the determinism contract above.
+  common::Result<std::vector<core::AnalysisReport>> CheckBatch(
+      const std::vector<core::Requirement>& requirements);
+
+  const ServiceStats& stats() const { return stats_; }
+  size_t cache_size() const { return cache_.size(); }
+  int thread_count() const { return pool_.thread_count(); }
+
+ private:
+  // One cached analysis: the unfolded program and its closed fixpoint.
+  // Immutable once built; shared read-only across worker threads.
+  struct Entry {
+    std::unique_ptr<unfold::UnfoldedSet> set;
+    std::unique_ptr<core::Closure> closure;
+  };
+
+  // Builds (set, closure) for `roots`; never touches the cache.
+  common::Result<std::unique_ptr<Entry>> BuildEntry(
+      const std::vector<std::string>& roots) const;
+
+  const schema::Schema& schema_;
+  const schema::UserRegistry& users_;
+  ServiceOptions options_;
+  ThreadPool pool_;
+  // signature -> analysis; entries are never evicted or replaced, so
+  // raw Entry pointers handed to workers stay valid.
+  std::unordered_map<std::string, std::unique_ptr<Entry>> cache_;
+  ServiceStats stats_;
+};
+
+}  // namespace oodbsec::service
+
+#endif  // OODBSEC_SERVICE_ANALYSIS_SERVICE_H_

@@ -1,0 +1,36 @@
+#include "service/capability_signature.h"
+
+#include <vector>
+
+#include "core/analyzer.h"
+
+namespace oodbsec::service {
+
+std::string SignatureFromRoots(std::span<const std::string> roots,
+                               const core::ClosureOptions& options) {
+  std::string signature;
+  size_t total = 8;
+  for (const std::string& root : roots) total += root.size() + 1;
+  signature.reserve(total);
+  // Every semantic knob of the fixpoint is part of the key: the same
+  // capability set under weakened options is a different closure.
+  signature.push_back(options.same_type_argument_equality ? '1' : '0');
+  signature.push_back(options.pi_join_to_ti ? '1' : '0');
+  signature.push_back(options.basic_function_rules ? '1' : '0');
+  signature.push_back(options.write_read_equality ? '1' : '0');
+  signature.push_back(options.read_object_total_alterability ? '1' : '0');
+  for (const std::string& root : roots) {
+    signature.push_back('|');
+    signature.append(root);
+  }
+  return signature;
+}
+
+std::string CapabilitySignature(const schema::Schema& schema,
+                                const schema::User& user,
+                                const core::ClosureOptions& options) {
+  std::vector<std::string> roots = core::AnalysisRoots(schema, user);
+  return SignatureFromRoots(roots, options);
+}
+
+}  // namespace oodbsec::service

@@ -1,0 +1,46 @@
+// Capability signatures: the cache key of the analysis service.
+//
+// A user's closure is determined entirely by (a) the list of roots the
+// unfolder runs over and (b) the ClosureOptions the fixpoint runs
+// under. Two users whose grants differ only in insertion order — the
+// common case in a role-shaped population, where thousands of users
+// carry one of a handful of grant bundles — therefore share a closure,
+// and the service detects this by hashing neither the user name nor the
+// grant order but the canonical root list:
+//
+//   * User::capabilities() is a std::set<std::string>, so the grant
+//     portion of AnalysisRoots() is already sorted;
+//   * the integrity-constraint portion is appended in schema declaration
+//     order, identical for every user of one schema.
+//
+// The signature is the options bits followed by the '|'-joined roots
+// (root names are schema identifiers and cannot contain '|'). It is a
+// readable string rather than a digest: collisions are impossible by
+// construction and the keys double as debugging output.
+#ifndef OODBSEC_SERVICE_CAPABILITY_SIGNATURE_H_
+#define OODBSEC_SERVICE_CAPABILITY_SIGNATURE_H_
+
+#include <span>
+#include <string>
+
+#include "core/closure.h"
+#include "schema/schema.h"
+#include "schema/user.h"
+
+namespace oodbsec::service {
+
+// The canonical cache key for `user`'s closure under `options`.
+// Deterministic in the *set* of grants: permuting the order in which
+// capabilities were granted yields the same signature.
+std::string CapabilitySignature(const schema::Schema& schema,
+                                const schema::User& user,
+                                const core::ClosureOptions& options);
+
+// Lower-level form over an explicit root list (as produced by
+// core::AnalysisRoots). Equal root lists + equal options ⇒ equal keys.
+std::string SignatureFromRoots(std::span<const std::string> roots,
+                               const core::ClosureOptions& options);
+
+}  // namespace oodbsec::service
+
+#endif  // OODBSEC_SERVICE_CAPABILITY_SIGNATURE_H_

@@ -1,0 +1,78 @@
+#include "service/thread_pool.h"
+
+#include <utility>
+
+namespace oodbsec::service {
+
+ThreadPool::ThreadPool(int threads) {
+  if (threads < 1) threads = 1;
+  queues_.resize(static_cast<size_t>(threads));
+  workers_.reserve(static_cast<size_t>(threads));
+  for (size_t i = 0; i < static_cast<size_t>(threads); ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queues_[next_queue_].push_back(std::move(task));
+    next_queue_ = (next_queue_ + 1) % queues_.size();
+    ++pending_;
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return pending_ == 0; });
+}
+
+bool ThreadPool::PopTask(size_t index, std::function<void()>& task) {
+  std::deque<std::function<void()>>& own = queues_[index];
+  if (!own.empty()) {
+    task = std::move(own.back());
+    own.pop_back();
+    return true;
+  }
+  for (size_t offset = 1; offset < queues_.size(); ++offset) {
+    std::deque<std::function<void()>>& victim =
+        queues_[(index + offset) % queues_.size()];
+    if (!victim.empty()) {
+      task = std::move(victim.front());
+      victim.pop_front();
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::WorkerLoop(size_t index) {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    std::function<void()> task;
+    if (PopTask(index, task)) {
+      lock.unlock();
+      task();
+      task = nullptr;  // destroy captures outside the lock
+      lock.lock();
+      if (--pending_ == 0) done_cv_.notify_all();
+      continue;
+    }
+    // stop_ is checked only with the queues empty: shutdown still runs
+    // everything that was submitted before the destructor.
+    if (stop_) return;
+    work_cv_.wait(lock);
+  }
+}
+
+}  // namespace oodbsec::service

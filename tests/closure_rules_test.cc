@@ -375,7 +375,7 @@ TEST(Derivations, PremisesAlwaysPrecedeConclusions) {
   auto set = Unfold(*schema, {"cmp", "w_a", "w_b"});
   Closure closure(*set);
   for (size_t i = 0; i < closure.fact_count(); ++i) {
-    for (FactId premise : closure.steps()[i].premises) {
+    for (FactId premise : closure.premises(static_cast<FactId>(i))) {
       EXPECT_LT(premise, static_cast<FactId>(i));
       EXPECT_GE(premise, 0);
     }

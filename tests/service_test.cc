@@ -1,0 +1,267 @@
+// The batch analysis service: capability-signature canonicalisation,
+// closure cache hit/miss accounting, batch-vs-sequential determinism,
+// error ordering, and the work-stealing pool itself.
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/analyzer.h"
+#include "core/requirement.h"
+#include "service/analysis_service.h"
+#include "service/capability_signature.h"
+#include "service/thread_pool.h"
+#include "text/workspace.h"
+
+namespace oodbsec {
+namespace {
+
+// Three users over the stockbroker schema; clerk1 and clerk2 carry the
+// same grants in permuted declaration order (one role, two accounts),
+// updater carries a different bundle.
+constexpr const char* kRoleWorkspace = R"(
+class Broker { name: string; salary: int; budget: int; profit: int; }
+
+function checkBudget(broker: Broker): bool =
+  r_budget(broker) >= 10 * r_salary(broker);
+
+function calcSalary(budget: int, profit: int): int =
+  budget / 10 + profit / 2;
+
+function updateSalary(broker: Broker): null =
+  w_salary(broker, calcSalary(r_budget(broker), r_profit(broker)));
+
+user clerk1 can checkBudget, w_budget, r_name;
+user clerk2 can r_name, w_budget, checkBudget;
+user updater can updateSalary, w_budget, w_profit, r_name;
+
+require (clerk1, r_salary(x) : ti);
+require (clerk2, r_salary(x) : ti);
+require (updater, w_salary(a, v : ta));
+)";
+
+text::Workspace LoadRoleWorkspace() {
+  auto workspace = text::LoadWorkspace(kRoleWorkspace);
+  EXPECT_TRUE(workspace.ok()) << workspace.status();
+  return std::move(workspace).value();
+}
+
+core::Requirement Req(const std::string& source) {
+  auto requirement = core::ParseRequirementString(source);
+  EXPECT_TRUE(requirement.ok()) << requirement.status();
+  return std::move(requirement).value();
+}
+
+TEST(CapabilitySignatureTest, PermutedGrantOrderSharesSignature) {
+  text::Workspace workspace = LoadRoleWorkspace();
+  const schema::User* clerk1 = workspace.users->Find("clerk1");
+  const schema::User* clerk2 = workspace.users->Find("clerk2");
+  const schema::User* updater = workspace.users->Find("updater");
+  ASSERT_NE(clerk1, nullptr);
+  ASSERT_NE(clerk2, nullptr);
+  ASSERT_NE(updater, nullptr);
+
+  core::ClosureOptions options;
+  EXPECT_EQ(service::CapabilitySignature(*workspace.schema, *clerk1, options),
+            service::CapabilitySignature(*workspace.schema, *clerk2, options));
+  EXPECT_NE(service::CapabilitySignature(*workspace.schema, *clerk1, options),
+            service::CapabilitySignature(*workspace.schema, *updater, options));
+}
+
+TEST(CapabilitySignatureTest, ClosureOptionsArePartOfTheKey) {
+  text::Workspace workspace = LoadRoleWorkspace();
+  const schema::User* clerk = workspace.users->Find("clerk1");
+  ASSERT_NE(clerk, nullptr);
+
+  core::ClosureOptions defaults;
+  core::ClosureOptions weakened;
+  weakened.same_type_argument_equality = false;
+  EXPECT_NE(service::CapabilitySignature(*workspace.schema, *clerk, defaults),
+            service::CapabilitySignature(*workspace.schema, *clerk, weakened));
+
+  core::ClosureOptions strengthened;
+  strengthened.read_object_total_alterability = true;
+  EXPECT_NE(
+      service::CapabilitySignature(*workspace.schema, *clerk, defaults),
+      service::CapabilitySignature(*workspace.schema, *clerk, strengthened));
+}
+
+TEST(AnalysisServiceTest, PermutedUsersShareOneClosure) {
+  text::Workspace workspace = LoadRoleWorkspace();
+  service::ServiceOptions options;
+  options.threads = 4;
+  service::AnalysisService svc(*workspace.schema, *workspace.users, options);
+
+  auto reports = svc.CheckBatch(workspace.requirements);
+  ASSERT_TRUE(reports.ok()) << reports.status();
+  ASSERT_EQ(reports->size(), 3u);
+
+  // clerk1/clerk2 share a signature: two closures for three checks.
+  EXPECT_EQ(svc.stats().closures_built, 2u);
+  EXPECT_EQ(svc.stats().cache_hits, 1u);
+  EXPECT_EQ(svc.stats().checks, 3u);
+  EXPECT_EQ(svc.cache_size(), 2u);
+
+  // The same batch again is served entirely from cache.
+  auto again = svc.CheckBatch(workspace.requirements);
+  ASSERT_TRUE(again.ok()) << again.status();
+  EXPECT_EQ(svc.stats().closures_built, 2u);
+  EXPECT_EQ(svc.stats().cache_hits, 4u);
+  EXPECT_EQ(svc.stats().checks, 6u);
+  EXPECT_EQ(svc.cache_size(), 2u);
+}
+
+TEST(AnalysisServiceTest, DifferentClosureOptionsDoNotShareClosures) {
+  text::Workspace workspace = LoadRoleWorkspace();
+
+  service::ServiceOptions defaults;
+  service::AnalysisService svc_default(*workspace.schema, *workspace.users,
+                                       defaults);
+  service::ServiceOptions weakened;
+  weakened.closure.same_type_argument_equality = false;
+  service::AnalysisService svc_weak(*workspace.schema, *workspace.users,
+                                    weakened);
+
+  core::Requirement requirement = Req("(clerk1, r_salary(x) : ti)");
+  auto strict = svc_default.Check(requirement);
+  auto weak = svc_weak.Check(requirement);
+  ASSERT_TRUE(strict.ok()) << strict.status();
+  ASSERT_TRUE(weak.ok()) << weak.status();
+  // Each service built its own closure — the signatures differ, so a
+  // shared cache would also have kept them apart.
+  EXPECT_EQ(svc_default.stats().closures_built, 1u);
+  EXPECT_EQ(svc_weak.stats().closures_built, 1u);
+  // Without same-type argument equality the clerk cannot link the
+  // budget write to checkBudget's argument, so the flaw disappears:
+  // the options reach the fixpoint, not just the cache key.
+  EXPECT_FALSE(strict->satisfied);
+  EXPECT_TRUE(weak->satisfied);
+}
+
+// The determinism contract: a parallel batch over the stockbroker
+// workspace is byte-identical — verdicts, flaw sites, supporting facts,
+// derivation texts — to one-requirement-at-a-time CheckRequirement.
+TEST(AnalysisServiceTest, BatchMatchesSequentialByteForByte) {
+  text::Workspace workspace = LoadRoleWorkspace();
+  service::ServiceOptions options;
+  options.threads = 4;
+  service::AnalysisService svc(*workspace.schema, *workspace.users, options);
+
+  auto batch = svc.CheckBatch(workspace.requirements);
+  ASSERT_TRUE(batch.ok()) << batch.status();
+  ASSERT_EQ(batch->size(), workspace.requirements.size());
+
+  for (size_t i = 0; i < workspace.requirements.size(); ++i) {
+    auto sequential = core::CheckRequirement(
+        *workspace.schema, *workspace.users, workspace.requirements[i]);
+    ASSERT_TRUE(sequential.ok()) << sequential.status();
+    const core::AnalysisReport& a = (*batch)[i];
+    const core::AnalysisReport& b = *sequential;
+    EXPECT_EQ(a.satisfied, b.satisfied) << i;
+    EXPECT_EQ(a.node_count, b.node_count) << i;
+    EXPECT_EQ(a.fact_count, b.fact_count) << i;
+    EXPECT_EQ(a.ToString(), b.ToString()) << i;
+    ASSERT_EQ(a.flaws.size(), b.flaws.size()) << i;
+    for (size_t f = 0; f < a.flaws.size(); ++f) {
+      EXPECT_EQ(a.flaws[f].site_id, b.flaws[f].site_id);
+      EXPECT_EQ(a.flaws[f].description, b.flaws[f].description);
+      EXPECT_EQ(a.flaws[f].supporting_facts, b.flaws[f].supporting_facts);
+      EXPECT_EQ(a.flaws[f].derivation, b.flaws[f].derivation);
+    }
+  }
+}
+
+TEST(AnalysisServiceTest, BatchReportsEarliestFailureInInputOrder) {
+  text::Workspace workspace = LoadRoleWorkspace();
+  service::ServiceOptions options;
+  options.threads = 2;
+  service::AnalysisService svc(*workspace.schema, *workspace.users, options);
+
+  // Failure after success: the batch fails with requirement 1's error.
+  {
+    std::vector<core::Requirement> batch = {
+        Req("(clerk1, r_salary(x) : ti)"), Req("(ghost, r_salary(x) : ti)")};
+    auto reports = svc.CheckBatch(batch);
+    ASSERT_FALSE(reports.ok());
+    EXPECT_NE(reports.status().message().find("unknown user 'ghost'"),
+              std::string::npos)
+        << reports.status();
+  }
+  // Two failures: the earlier one (unknown function, a check-time
+  // error) wins over the later unknown user, exactly as a sequential
+  // loop would encounter them.
+  {
+    std::vector<core::Requirement> batch = {
+        Req("(clerk1, noSuchFunction(x) : ti)"),
+        Req("(ghost, r_salary(x) : ti)")};
+    auto reports = svc.CheckBatch(batch);
+    ASSERT_FALSE(reports.ok());
+    EXPECT_NE(reports.status().message().find("noSuchFunction"),
+              std::string::npos)
+        << reports.status();
+  }
+  // Order flipped: now the unknown user is first and wins.
+  {
+    std::vector<core::Requirement> batch = {
+        Req("(ghost, r_salary(x) : ti)"),
+        Req("(clerk1, noSuchFunction(x) : ti)")};
+    auto reports = svc.CheckBatch(batch);
+    ASSERT_FALSE(reports.ok());
+    EXPECT_NE(reports.status().message().find("unknown user 'ghost'"),
+              std::string::npos)
+        << reports.status();
+  }
+  // An empty batch is trivially fine.
+  auto empty = svc.CheckBatch({});
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->empty());
+}
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  service::ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitCoversNestedSubmissions) {
+  service::ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 10; ++i) {
+    pool.Submit([&pool, &counter] {
+      counter.fetch_add(1);
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 20);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossWaves) {
+  service::ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int wave = 0; wave < 3; ++wave) {
+    for (int i = 0; i < 25; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+    pool.Wait();
+    EXPECT_EQ(counter.load(), 25 * (wave + 1));
+  }
+}
+
+TEST(ThreadPoolTest, SingleThreadStillDrains) {
+  service::ThreadPool pool(1);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 50; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 50);
+}
+
+}  // namespace
+}  // namespace oodbsec

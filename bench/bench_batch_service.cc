@@ -21,7 +21,9 @@
 #include <string>
 #include <vector>
 
+#include "bench_util.h"
 #include "common/strings.h"
+#include "core/analysis_session.h"
 #include "core/analyzer.h"
 #include "core/requirement.h"
 #include "schema/schema.h"
@@ -122,8 +124,9 @@ void BM_BatchColdCache(benchmark::State& state) {
     auto reports = svc.CheckBatch(population.requirements);
     if (!reports.ok()) std::abort();
     benchmark::DoNotOptimize(reports->size());
-    built = static_cast<double>(svc.stats().closures_built);
-    hit_rate = svc.stats().HitRate();
+    service::ServiceStats stats = svc.Stats();
+    built = static_cast<double>(stats.closures_built);
+    hit_rate = stats.RequirementHitRate();
   }
   state.counters["users"] = kRoles * kUsersPerRole;
   state.counters["closures_built"] = built;
@@ -160,6 +163,29 @@ BENCHMARK(BM_BatchWarmCache)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 
+// One instrumented cold batch after the timed loops, dumped as
+// TRACE_batch_service.jsonl when OODBSEC_TRACE_DIR is set: the "batch"
+// span's plan / build / check children give the per-phase breakdown,
+// and the metric lines carry the cache and pool accounting.
+void DumpPhaseTrace() {
+  Population population = MakeRolePopulation(kRoles, kUsersPerRole);
+  core::SessionOptions options;
+  options.threads = 4;
+  options.tracing = true;
+  core::AnalysisSession session(*population.schema, *population.users,
+                                options);
+  service::AnalysisService svc(session);
+  auto reports = svc.CheckBatch(population.requirements);
+  if (!reports.ok()) std::abort();
+  benchmark::DoNotOptimize(reports->size());
+  bench::DumpTraceIfRequested(session.obs(), "batch_service");
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  DumpPhaseTrace();
+  return 0;
+}

@@ -106,11 +106,32 @@ void BM_ScaledBrokerClosure(benchmark::State& state) {
 BENCHMARK(BM_ScaledBrokerClosure)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16)
     ->Unit(benchmark::kMillisecond);
 
+// One instrumented run after the timed loops: unfold + closure over the
+// combined broker list with the tracer armed, dumped as
+// TRACE_static_closure.jsonl when OODBSEC_TRACE_DIR is set. The phase
+// spans (closure.seed, closure.fixpoint and its rounds,
+// closure.compress) give the per-phase breakdown the timed aggregate
+// hides.
+void DumpPhaseTrace() {
+  obs::Observability obs;
+  obs.tracer.set_enabled(true);
+  auto schema = bench::BrokerSchema();
+  auto set = unfold::UnfoldedSet::Build(
+      *schema,
+      {"checkBudget", "updateSalary", "w_budget", "w_profit", "r_name"},
+      &obs);
+  if (!set.ok()) std::abort();
+  core::Closure closure(*set.value(), {}, &obs);
+  benchmark::DoNotOptimize(closure.fact_count());
+  bench::DumpTraceIfRequested(obs, "static_closure");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   PrintReport();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  DumpPhaseTrace();
   return 0;
 }

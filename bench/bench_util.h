@@ -5,18 +5,42 @@
 #define OODBSEC_BENCH_BENCH_UTIL_H_
 
 #include <array>
+#include <cstdlib>
+#include <fstream>
 #include <memory>
 #include <random>
 #include <string>
 #include <vector>
 
 #include "common/strings.h"
+#include "obs/sink.h"
 #include "schema/schema.h"
 #include "core/analyzer.h"
 #include "schema/user.h"
 #include "semantics/oracle.h"
 
 namespace oodbsec::bench {
+
+// Writes a traced run's spans and metrics as JSON lines to
+// $OODBSEC_TRACE_DIR/TRACE_<suite>.jsonl (run_bench_json.sh points the
+// variable at its output directory). No-op when the variable is unset,
+// so plain benchmark invocations stay file-free. The timed loops of a
+// suite must run untraced (obs == nullptr); suites call this on one
+// separate instrumented run after timing finishes.
+inline void DumpTraceIfRequested(const obs::Observability& obs,
+                                 const char* suite) {
+  const char* dir = std::getenv("OODBSEC_TRACE_DIR");
+  if (dir == nullptr || *dir == '\0') return;
+  std::string path = common::StrCat(dir, "/TRACE_", suite, ".jsonl");
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return;
+  }
+  obs::JsonLinesSink sink(out);
+  obs::Emit(obs, sink);
+  std::printf("trace -> %s\n", path.c_str());
+}
 
 inline std::unique_ptr<schema::Schema> BrokerSchema() {
   schema::SchemaBuilder builder;

@@ -8,15 +8,24 @@
 #   bench/run_bench_json.sh                       # every bench_* binary
 #   bench/run_bench_json.sh bench_static_closure  # just the named ones
 #
+# Suites with an instrumented pass (bench_static_closure,
+# bench_batch_service) also drop a TRACE_<suite>.jsonl next to their
+# BENCH_ file: JSON-lines spans with the per-phase time breakdown
+# (unfold / seed / fixpoint rounds / compress; batch plan / build /
+# check) plus every metric counter. The timed loops themselves always
+# run untraced.
+#
 # Environment:
 #   BUILD_DIR   build tree holding bench/ binaries      (default: build)
-#   OUT_DIR     where the BENCH_*.json files land       (default: repo root)
+#   OUT_DIR     where BENCH_*.json / TRACE_*.jsonl land (default: repo root)
 #   BENCH_ARGS  extra benchmark flags, e.g. --benchmark_min_time=0.01
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD_DIR="${BUILD_DIR:-build}"
 OUT_DIR="${OUT_DIR:-.}"
+# Instrumented suites read this to place their phase traces.
+export OODBSEC_TRACE_DIR="$OUT_DIR"
 
 if [ "$#" -gt 0 ]; then
   binaries=("$@")

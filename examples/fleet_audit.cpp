@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/strings.h"
+#include "core/analysis_session.h"
 #include "core/analyzer.h"
 #include "core/requirement.h"
 #include "service/analysis_service.h"
@@ -85,9 +86,10 @@ int main() {
     }
   }
 
-  service::ServiceOptions options;
+  core::SessionOptions options;
   options.threads = 4;
-  service::AnalysisService svc(*workspace.schema, *workspace.users, options);
+  core::AnalysisSession session(*workspace.schema, *workspace.users, options);
+  service::AnalysisService svc(session);
   auto reports = svc.CheckBatch(sheet);
   if (!reports.ok()) {
     std::fprintf(stderr, "%s\n", reports.status().ToString().c_str());
@@ -102,12 +104,12 @@ int main() {
                 first.ToString().c_str());
   }
 
-  const service::ServiceStats& stats = svc.stats();
+  service::ServiceStats stats = svc.Stats();
   std::printf(
-      "\n%zu checks on %d threads: %zu closures built, %zu cache hits "
-      "(%.0f%% hit rate)\n",
+      "\n%zu checks on %d threads: %zu closures built, %zu requirement "
+      "hits (%.0f%% of checks served by a shared closure)\n",
       stats.checks, svc.thread_count(), stats.closures_built,
-      stats.cache_hits, 100.0 * stats.HitRate());
+      stats.requirement_hits, 100.0 * stats.RequirementHitRate());
 
   // Self-check: the batch must agree with the sequential analyzer,
   // report for report.

@@ -13,18 +13,24 @@
 //   analyze                    run A(R) on every requirement
 //   batch [threads]            same, through the caching batch service
 //   explain <n>                derivation for requirement n's first flaw
+//   trace on|off               arm / disarm the session tracer
+//   trace dump [file]          render spans + metrics (file: JSON lines)
 //   query <user> <select ...>  run a query as <user>
 //   guard <user> <select ...>  run it under the dynamic session guard
 //   quit
 #include <unistd.h>
 
 #include <cstdio>
+#include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 
 #include "common/strings.h"
+#include "core/analysis_session.h"
 #include "dynamic/session_guard.h"
+#include "obs/sink.h"
 #include "query/binder.h"
 #include "query/query_parser.h"
 #include "service/analysis_service.h"
@@ -38,6 +44,7 @@ class Shell {
  public:
   explicit Shell(text::Workspace workspace)
       : workspace_(std::move(workspace)),
+        session_(*workspace_.schema, *workspace_.users),
         guard_(*workspace_.schema, *workspace_.users,
                workspace_.requirements) {}
 
@@ -68,6 +75,12 @@ class Shell {
       size_t index = 0;
       in >> index;
       Explain(index);
+    } else if (command == "trace") {
+      std::string subcommand;
+      in >> subcommand;
+      std::string file;
+      in >> file;
+      Trace(subcommand, file);
     } else if (command == "query" || command == "guard") {
       std::string user;
       in >> user;
@@ -90,6 +103,9 @@ class Shell {
         " threads)\n"
         "  dump                            re-render the workspace file\n"
         "  explain <n>                     derivation for requirement n\n"
+        "  trace on|off                    arm / disarm the session tracer\n"
+        "  trace dump [file]               spans + metrics (file: JSON"
+        " lines)\n"
         "  query <user> <select ...>       run a query as <user>\n"
         "  guard <user> <select ...>       ... under the session guard\n"
         "  quit\n");
@@ -127,12 +143,17 @@ class Shell {
   }
 
   void Analyze() {
-    auto reports = text::CheckAllRequirements(workspace_);
-    if (!reports.ok()) {
-      std::printf("error: %s\n", reports.status().ToString().c_str());
-      return;
+    std::vector<core::AnalysisReport> reports;
+    reports.reserve(workspace_.requirements.size());
+    for (const core::Requirement& requirement : workspace_.requirements) {
+      auto report = session_.Check(requirement);
+      if (!report.ok()) {
+        std::printf("error: %s\n", report.status().ToString().c_str());
+        return;
+      }
+      reports.push_back(std::move(report).value());
     }
-    last_reports_ = std::move(reports).value();
+    last_reports_ = std::move(reports);
     for (size_t i = 0; i < last_reports_.size(); ++i) {
       std::printf("[%zu] %s", i, last_reports_[i].ToString().c_str());
     }
@@ -141,13 +162,15 @@ class Shell {
 
   // Like Analyze(), but through AnalysisService: users sharing a
   // capability signature share one closure, and the distinct closures
-  // and the per-requirement checks run on a worker pool.
+  // and the per-requirement checks run on a worker pool. The service
+  // (and so its closure cache) persists across `batch` commands; it is
+  // rebuilt only when the requested thread count changes.
   void Batch(int threads) {
-    service::ServiceOptions options;
-    options.threads = threads;
-    service::AnalysisService svc(*workspace_.schema, *workspace_.users,
-                                 options);
-    auto reports = svc.CheckBatch(workspace_.requirements);
+    if (service_ == nullptr || service_->thread_count() != threads) {
+      service_ =
+          std::make_unique<service::AnalysisService>(session_, threads);
+    }
+    auto reports = service_->CheckBatch(workspace_.requirements);
     if (!reports.ok()) {
       std::printf("error: %s\n", reports.status().ToString().c_str());
       return;
@@ -156,12 +179,40 @@ class Shell {
     for (size_t i = 0; i < last_reports_.size(); ++i) {
       std::printf("[%zu] %s", i, last_reports_[i].ToString().c_str());
     }
-    const service::ServiceStats& stats = svc.stats();
+    service::ServiceStats stats = service_->Stats();
     std::printf(
         "(%d thread(s): %zu check(s), %zu closure(s) built, "
-        "%zu cache hit(s))\n",
-        svc.thread_count(), stats.checks, stats.closures_built,
-        stats.cache_hits);
+        "%zu signature hit(s), %zu requirement hit(s))\n",
+        service_->thread_count(), stats.checks, stats.closures_built,
+        stats.signature_hits, stats.requirement_hits);
+  }
+
+  void Trace(const std::string& subcommand, const std::string& file) {
+    if (subcommand == "on") {
+      session_.tracer().set_enabled(true);
+      std::printf("tracing on (recording restarted)\n");
+    } else if (subcommand == "off") {
+      session_.tracer().set_enabled(false);
+      std::printf("tracing off (%zu span(s) kept; 'trace dump' to view)\n",
+                  session_.tracer().span_count());
+    } else if (subcommand == "dump") {
+      if (file.empty()) {
+        obs::ConsoleTableSink sink(std::cout);
+        obs::Emit(session_.obs(), sink);
+        return;
+      }
+      std::ofstream out(file);
+      if (!out) {
+        std::printf("cannot open '%s'\n", file.c_str());
+        return;
+      }
+      obs::JsonLinesSink sink(out);
+      obs::Emit(session_.obs(), sink);
+      std::printf("wrote %zu span(s) to %s\n",
+                  session_.tracer().span_count(), file.c_str());
+    } else {
+      std::printf("usage: trace on|off|dump [file]\n");
+    }
   }
 
   void Explain(size_t index) {
@@ -213,6 +264,10 @@ class Shell {
   }
 
   text::Workspace workspace_;
+  core::AnalysisSession session_;
+  // Lazily built on the first `batch`, kept so the closure cache (and
+  // the session's metrics, which it feeds) survive across commands.
+  std::unique_ptr<service::AnalysisService> service_;
   dynamic::SessionGuard guard_;
   std::vector<core::AnalysisReport> last_reports_;
 };

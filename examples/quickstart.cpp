@@ -5,7 +5,7 @@
 //   $ ./quickstart
 #include <cstdio>
 
-#include "core/analyzer.h"
+#include "core/analysis_session.h"
 #include "core/requirement.h"
 #include "schema/schema.h"
 #include "schema/user.h"
@@ -44,10 +44,12 @@ int main() {
     return 1;
   }
 
-  // 4. Run algorithm A(R): unfold the teller's capability list, compute
-  // the F(F) closure, and look for a violating invocation site.
-  auto report = core::CheckRequirement(*schema.value(), users,
-                                       requirement.value());
+  // 4. Run algorithm A(R) through an AnalysisSession — the one
+  // construction point for options and observability: unfold the
+  // teller's capability list, compute the F(F) closure, and look for a
+  // violating invocation site.
+  core::AnalysisSession session(*schema.value(), users);
+  auto report = session.Check(requirement.value());
   if (!report.ok()) {
     std::fprintf(stderr, "analysis error: %s\n",
                  report.status().ToString().c_str());

@@ -1,0 +1,38 @@
+#include "core/analysis_session.h"
+
+#include "common/strings.h"
+
+namespace oodbsec::core {
+
+AnalysisSession::AnalysisSession(const schema::Schema& schema,
+                                 const schema::UserRegistry& users,
+                                 SessionOptions options)
+    : schema_(schema),
+      users_(users),
+      options_(options),
+      obs_(std::make_unique<obs::Observability>()) {
+  if (options_.threads < 1) options_.threads = 1;
+  obs_->tracer.set_enabled(options_.tracing);
+}
+
+common::Result<std::unique_ptr<UserAnalysis>> AnalysisSession::BuildUser(
+    const schema::User& user) const {
+  return UserAnalysis::Build(schema_, user, options_.closure, obs_.get());
+}
+
+common::Result<AnalysisReport> AnalysisSession::Check(
+    const Requirement& requirement) {
+  obs::ScopedSpan span(&obs_->tracer, "check-requirement");
+  obs_->metrics.counter("session.checks")->Increment();
+  const schema::User* user = users_.Find(requirement.user);
+  if (user == nullptr) {
+    return common::NotFoundError(
+        common::StrCat("unknown user '", requirement.user, "'"));
+  }
+  OODBSEC_ASSIGN_OR_RETURN(std::unique_ptr<UserAnalysis> analysis,
+                           BuildUser(*user));
+  return CheckAgainstClosure(analysis->set(), analysis->closure(),
+                             requirement, obs_.get());
+}
+
+}  // namespace oodbsec::core

@@ -1,0 +1,92 @@
+// AnalysisSession: the one construction point for an analysis pipeline.
+//
+// Before this façade existed, every layer took its own slice of
+// configuration — free functions took ClosureOptions, UserAnalysis::Build
+// took ClosureOptions again, AnalysisService took a ServiceOptions with
+// a third copy inside — and there was no place to hang cross-cutting
+// state like tracing. The session now owns the full bundle:
+//
+//   (schema, users, SessionOptions{closure, threads}, Tracer, Metrics)
+//
+// and everything downstream borrows from it: core::UserAnalysis and the
+// one-shot Check() here, service::AnalysisService for cached parallel
+// batches, the shell for its `trace` command. The observability bundle
+// lives exactly as long as the session, so spans and counters from
+// every phase of every check accumulate in one place and dump together.
+//
+// Thread-safety: the session itself is a single-caller object (like the
+// service); the Observability it hands out is safe to write from the
+// worker threads the service spawns.
+#ifndef OODBSEC_CORE_ANALYSIS_SESSION_H_
+#define OODBSEC_CORE_ANALYSIS_SESSION_H_
+
+#include <memory>
+
+#include "common/result.h"
+#include "core/analyzer.h"
+#include "core/closure.h"
+#include "core/requirement.h"
+#include "obs/obs.h"
+#include "schema/schema.h"
+#include "schema/user.h"
+
+namespace oodbsec::core {
+
+struct SessionOptions {
+  // Fixpoint semantics; flows into every closure the session builds and
+  // into the service layer's cache keys.
+  ClosureOptions closure;
+  // Worker threads for layers that parallelise (service::AnalysisService
+  // reads this as its pool size). The sequential core ignores it.
+  int threads = 1;
+  // Arms the tracer from construction. Metrics are always collected —
+  // they are counters folded into reports and stats — while span
+  // recording costs clock reads and is opt-in.
+  bool tracing = false;
+};
+
+class AnalysisSession {
+ public:
+  // `schema` and `users` must outlive the session.
+  AnalysisSession(const schema::Schema& schema,
+                  const schema::UserRegistry& users,
+                  SessionOptions options = {});
+
+  AnalysisSession(const AnalysisSession&) = delete;
+  AnalysisSession& operator=(const AnalysisSession&) = delete;
+
+  const schema::Schema& schema() const { return schema_; }
+  const schema::UserRegistry& users() const { return users_; }
+  const SessionOptions& options() const { return options_; }
+  const ClosureOptions& closure_options() const { return options_.closure; }
+
+  // The session's observability bundle. Stable address for the
+  // session's lifetime; pass `&session.obs()` down to layers that take
+  // an Observability*.
+  obs::Observability& obs() { return *obs_; }
+  const obs::Observability& obs() const { return *obs_; }
+  obs::Tracer& tracer() { return obs_->tracer; }
+  obs::MetricsRegistry& metrics() { return obs_->metrics; }
+
+  // Unfolds `user`'s capability list and computes its closure under the
+  // session's options, traced and counted.
+  common::Result<std::unique_ptr<UserAnalysis>> BuildUser(
+      const schema::User& user) const;
+
+  // One-shot sequential A(R): resolve the requirement's user, build the
+  // analysis, check. No caching — the service layer is the cached,
+  // parallel consumer of this session.
+  common::Result<AnalysisReport> Check(const Requirement& requirement);
+
+ private:
+  const schema::Schema& schema_;
+  const schema::UserRegistry& users_;
+  SessionOptions options_;
+  // unique_ptr: handed-out pointers survive a session move-construction
+  // being added later, and keep the header light.
+  std::unique_ptr<obs::Observability> obs_;
+};
+
+}  // namespace oodbsec::core
+
+#endif  // OODBSEC_CORE_ANALYSIS_SESSION_H_

@@ -36,13 +36,13 @@ std::vector<std::string> AnalysisRoots(const schema::Schema& schema,
 
 common::Result<std::unique_ptr<UserAnalysis>> UserAnalysis::Build(
     const schema::Schema& schema, const schema::User& user,
-    ClosureOptions options) {
+    ClosureOptions options, obs::Observability* obs) {
   OODBSEC_ASSIGN_OR_RETURN(
       std::unique_ptr<unfold::UnfoldedSet> set,
-      unfold::UnfoldedSet::Build(schema, AnalysisRoots(schema, user)));
+      unfold::UnfoldedSet::Build(schema, AnalysisRoots(schema, user), obs));
   std::unique_ptr<UserAnalysis> analysis(new UserAnalysis());
   analysis->user_name_ = user.name();
-  analysis->closure_ = std::make_unique<Closure>(*set, options);
+  analysis->closure_ = std::make_unique<Closure>(*set, options, obs);
   analysis->set_ = std::move(set);
   return analysis;
 }
@@ -88,7 +88,10 @@ common::Result<AnalysisReport> UserAnalysis::Check(
 
 common::Result<AnalysisReport> CheckAgainstClosure(
     const unfold::UnfoldedSet& set, const Closure& closure,
-    const Requirement& requirement) {
+    const Requirement& requirement, obs::Observability* obs,
+    obs::SpanId parent) {
+  obs::ScopedSpan check_span(obs != nullptr ? &obs->tracer : nullptr,
+                             "check", parent);
   schema::Callable callable =
       set.schema().ResolveCallable(requirement.function);
   if (!callable.ok()) {
@@ -198,6 +201,12 @@ common::Result<AnalysisReport> CheckAgainstClosure(
   }
 
   report.satisfied = report.flaws.empty();
+  if (obs != nullptr) {
+    obs->metrics.counter("analyzer.checks")->Increment();
+    obs->metrics.counter("analyzer.sites_enumerated")
+        ->Increment(sites.size());
+    obs->metrics.counter("analyzer.flaws")->Increment(report.flaws.size());
+  }
   return report;
 }
 

@@ -64,19 +64,28 @@ std::vector<std::string> AnalysisRoots(const schema::Schema& schema,
 // capability tests of A(R), shared by UserAnalysis::Check and the
 // service layer (which serves many same-signature users from one
 // closure). Read-only on `set`/`closure`; safe to call concurrently.
+// With `obs`, the check runs under a "check" span (parented under
+// `parent` when given — pass the submitting side's span id when the
+// check runs on a pool worker) and site/flaw counts hit the registry.
 common::Result<AnalysisReport> CheckAgainstClosure(
     const unfold::UnfoldedSet& set, const Closure& closure,
-    const Requirement& requirement);
+    const Requirement& requirement, obs::Observability* obs = nullptr,
+    obs::SpanId parent = obs::kNoSpan);
 
 // The per-user analysis context: the unfolded capability-list program
 // and its closure, reusable across many requirement checks.
+//
+// DEPRECATED as an entry point: construct an AnalysisSession
+// (core/analysis_session.h) and call its BuildUser/Check instead —
+// the session is the one place that owns options and observability.
+// Build stays as a thin wrapper so existing callers keep compiling.
 class UserAnalysis {
  public:
   // Unfolds every function on `user`'s capability list and computes the
-  // closure.
+  // closure, both observed through `obs` when given.
   static common::Result<std::unique_ptr<UserAnalysis>> Build(
       const schema::Schema& schema, const schema::User& user,
-      ClosureOptions options = {});
+      ClosureOptions options = {}, obs::Observability* obs = nullptr);
 
   const unfold::UnfoldedSet& set() const { return *set_; }
   const Closure& closure() const { return *closure_; }

@@ -41,8 +41,11 @@ std::string Origin::ToString() const {
   return common::StrCat("(", num, ",", std::string(1, dir), ")");
 }
 
-Closure::Closure(const unfold::UnfoldedSet& set, ClosureOptions options)
-    : set_(&set), options_(options) {
+Closure::Closure(const unfold::UnfoldedSet& set, ClosureOptions options,
+                 obs::Observability* obs)
+    : set_(&set), options_(options), obs_(obs) {
+  obs::ScopedSpan closure_span(
+      obs_ != nullptr ? &obs_->tracer : nullptr, "closure");
   int n = set.node_count();
   uf_parent_.resize(n + 1);
   uf_rank_.assign(n + 1, 0);
@@ -86,14 +89,20 @@ Closure::Closure(const unfold::UnfoldedSet& set, ClosureOptions options)
     }
   }
 
-  Seed();
+  {
+    obs::ScopedSpan seed_span(
+        obs_ != nullptr ? &obs_->tracer : nullptr, "closure.seed");
+    Seed();
+  }
   Run();
+  FlushMetrics();
 }
 
 // ---------------------------------------------------------------------
 // Union-find with proof forest.
 
 int Closure::Find(int id) {
+  ++find_calls_;
   int root = id;
   while (uf_parent_[root] != root) root = uf_parent_[root];
   while (uf_parent_[id] != root) {
@@ -149,6 +158,7 @@ FactId Closure::Log(Fact fact, std::string_view rule, Premises premises) {
 }
 
 FactId Closure::AddTa(int id, std::string_view rule, Premises premises) {
+  ++add_attempts_;
   if (ta_[id] != kNoFact) return ta_[id];
   FactId fact = Log({Fact::Kind::kTa, id, 0, {}}, rule, premises);
   ta_[id] = fact;
@@ -156,6 +166,7 @@ FactId Closure::AddTa(int id, std::string_view rule, Premises premises) {
 }
 
 FactId Closure::AddPa(int id, std::string_view rule, Premises premises) {
+  ++add_attempts_;
   if (pa_[id] != kNoFact) return pa_[id];
   FactId fact = Log({Fact::Kind::kPa, id, 0, {}}, rule, premises);
   pa_[id] = fact;
@@ -164,6 +175,7 @@ FactId Closure::AddPa(int id, std::string_view rule, Premises premises) {
 
 FactId Closure::AddTi(int id, Origin origin, std::string_view rule,
                       Premises premises) {
+  ++add_attempts_;
   OriginSet& origins = ti_[Find(id)];
   FactId existing = origins.Lookup(origin);
   if (existing != kNoFact) return existing;
@@ -175,6 +187,7 @@ FactId Closure::AddTi(int id, Origin origin, std::string_view rule,
 
 FactId Closure::AddPi(int id, Origin origin, std::string_view rule,
                       Premises premises) {
+  ++add_attempts_;
   OriginSet& origins = pi_[Find(id)];
   FactId existing = origins.Lookup(origin);
   if (existing != kNoFact) return existing;
@@ -186,6 +199,7 @@ FactId Closure::AddPi(int id, Origin origin, std::string_view rule,
 
 FactId Closure::AddPiStar(int id1, int id2, Origin origin,
                           std::string_view rule, Premises premises) {
+  ++add_attempts_;
   std::pair<int, int> key = {Find(id1), Find(id2)};
   OriginSet& origins = pistar_[PairKey(key.first, key.second)];
   FactId existing = origins.Lookup(origin);
@@ -200,6 +214,7 @@ FactId Closure::AddPiStar(int id1, int id2, Origin origin,
 
 FactId Closure::AddEq(int id1, int id2, std::string_view rule,
                       Premises premises) {
+  ++add_attempts_;
   if (Find(id1) == Find(id2)) return kNoFact;  // already known
   return Log({Fact::Kind::kEq, id1, id2, {}}, rule, premises);
 }
@@ -278,14 +293,34 @@ void Closure::Seed() {
 }
 
 void Closure::Run() {
-  while (!worklist_.empty()) {
-    FactId fact_id = worklist_.front();
-    worklist_.pop_front();
-    Process(fact_id);
+  obs::Tracer* tracer = obs_ != nullptr ? &obs_->tracer : nullptr;
+  obs::Histogram* round_facts =
+      obs_ != nullptr ? obs_->metrics.histogram("closure.fixpoint.round_facts")
+                      : nullptr;
+  {
+    obs::ScopedSpan fixpoint_span(tracer, "closure.fixpoint");
+    // The worklist drains in generations: one round processes exactly
+    // the facts enqueued before it began (conclusions join the next
+    // round). Rounds exist for observability — processing order is
+    // unchanged, the deque stays FIFO throughout.
+    while (!worklist_.empty()) {
+      ++rounds_;
+      obs::ScopedSpan round_span(tracer, "closure.fixpoint.round");
+      size_t facts_before = steps_.size();
+      for (size_t in_round = worklist_.size(); in_round > 0; --in_round) {
+        FactId fact_id = worklist_.front();
+        worklist_.pop_front();
+        Process(fact_id);
+      }
+      if (round_facts != nullptr) {
+        round_facts->Record(steps_.size() - facts_before);
+      }
+    }
   }
   // Fully compress the union-find: afterwards every parent link points
   // at its root, Rep() is a single read, and the structure is safe for
   // concurrent readers (no mutation behind const).
+  obs::ScopedSpan compress_span(tracer, "closure.compress");
   for (int i = 1; i < static_cast<int>(uf_parent_.size()); ++i) {
     uf_parent_[i] = Find(i);
   }
@@ -425,6 +460,7 @@ void Closure::ProcessEqMerge(const Fact& fact, FactId fact_id) {
   int ra = Find(fact.a);
   int rb = Find(fact.b);
   if (ra == rb) return;  // derived redundantly while queued
+  ++eq_merges_;
 
   // Proof forest edge between the original endpoints.
   eq_edges_[fact.a].emplace_back(fact.b, fact_id);
@@ -636,6 +672,7 @@ bool Closure::PickOrigin(const OriginSet& origins, const Origin* excluded,
 }
 
 void Closure::ReevalBasicCall(const Node* call) {
+  ++basic_reevals_;
   const std::vector<BasicRule>& rules = RulesFor(*call->basic);
   if (rules.empty()) return;
 
@@ -743,6 +780,71 @@ void Closure::ReevalCallsTouching(int rep) {
   // Copy: merges triggered by derived equalities may mutate the table.
   std::vector<const Node*> calls = touching_calls_[rep];
   for (const Node* call : calls) ReevalBasicCall(call);
+}
+
+// ---------------------------------------------------------------------
+// Metrics publication.
+
+namespace {
+
+// Groups a derivation-rule label into its Table-2 family. Labels are
+// stable strings (closure.cc literals or BasicRule labels), so prefix
+// tests are enough.
+std::string_view RuleFamily(std::string_view rule) {
+  if (rule.starts_with("axiom")) return "axiom";        // incl. "axiom for ="
+  if (rule.starts_with("=:")) return "equality";
+  if (rule.starts_with("pi*")) return "pistar";
+  if (rule.starts_with("let:")) return "let";
+  if (rule.starts_with("alterability")) return "read_write";
+  if (rule == "ta => pa" || rule == "ti => pi") return "implication";
+  if (rule == "join of partial inferabilities") return "join";
+  return "basic_function";
+}
+
+std::string_view KindName(Fact::Kind kind) {
+  switch (kind) {
+    case Fact::Kind::kTa: return "ta";
+    case Fact::Kind::kPa: return "pa";
+    case Fact::Kind::kTi: return "ti";
+    case Fact::Kind::kPi: return "pi";
+    case Fact::Kind::kPiStar: return "pistar";
+    case Fact::Kind::kEq: return "eq";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void Closure::FlushMetrics() {
+  if (obs_ == nullptr) return;
+  obs::MetricsRegistry& metrics = obs_->metrics;
+  metrics.counter("closure.builds")->Increment();
+  metrics.counter("closure.facts.total")->Increment(steps_.size());
+  metrics.counter("closure.fixpoint.rounds")->Increment(rounds_);
+  metrics.counter("closure.uf.finds")->Increment(find_calls_);
+  metrics.counter("closure.add.attempts")->Increment(add_attempts_);
+  metrics.counter("closure.basic_call.reevals")->Increment(basic_reevals_);
+  metrics.counter("closure.eq.merges")->Increment(eq_merges_);
+
+  // Per-family and per-kind fact counts come from one pass over the
+  // derivation log — nothing in the hot path pays for them.
+  std::array<uint64_t, 6> by_kind{};
+  std::map<std::string_view, uint64_t> by_family;
+  for (const DerivationStep& step : steps_) {
+    ++by_kind[static_cast<size_t>(step.fact.kind)];
+    ++by_family[RuleFamily(step.rule)];
+  }
+  for (size_t k = 0; k < by_kind.size(); ++k) {
+    if (by_kind[k] == 0) continue;
+    metrics
+        .counter(common::StrCat("closure.facts.kind.",
+                                KindName(static_cast<Fact::Kind>(k))))
+        ->Increment(by_kind[k]);
+  }
+  for (const auto& [family, count] : by_family) {
+    metrics.counter(common::StrCat("closure.facts.family.", family))
+        ->Increment(count);
+  }
 }
 
 // ---------------------------------------------------------------------

@@ -61,6 +61,7 @@
 #include <vector>
 
 #include "core/basic_rules.h"
+#include "obs/obs.h"
 #include "unfold/unfolded.h"
 
 namespace oodbsec::core {
@@ -177,8 +178,13 @@ struct ClosureOptions {
 class Closure {
  public:
   // Computes the full closure over `set`. The set must outlive the
-  // closure.
-  explicit Closure(const unfold::UnfoldedSet& set, ClosureOptions options = {});
+  // closure. `obs` (optional) is used during construction only: the
+  // build runs under a "closure" span with seed / fixpoint-round /
+  // compress children, and fact counts per rule family, union-find
+  // finds, and dedup-lookup counts land in the metrics registry. `obs`
+  // is not part of the closure semantics (cache keys ignore it).
+  explicit Closure(const unfold::UnfoldedSet& set, ClosureOptions options = {},
+                   obs::Observability* obs = nullptr);
 
   Closure(const Closure&) = delete;
   Closure& operator=(const Closure&) = delete;
@@ -274,6 +280,9 @@ class Closure {
   // --- rule application ---
   void Seed();
   void Run();
+  // Publishes the construction-time counters (and a per-rule-family
+  // breakdown of steps_) into obs_->metrics; no-op without obs_.
+  void FlushMetrics();
   void Process(FactId fact_id);
   void ProcessTa(const Fact& fact, FactId fact_id);
   void ProcessPa(const Fact& fact, FactId fact_id);
@@ -300,6 +309,16 @@ class Closure {
 
   const unfold::UnfoldedSet* set_;
   ClosureOptions options_;
+  // Observability (construction only; may be null). The work counters
+  // below are plain members — the fixpoint is single-threaded — bumped
+  // unconditionally (one add each, noise-level cost) and published to
+  // the shared registry once, in FlushMetrics().
+  obs::Observability* obs_ = nullptr;
+  uint64_t find_calls_ = 0;     // union-find lookups during construction
+  uint64_t add_attempts_ = 0;   // Add* calls (dedup lookups), incl. misses
+  uint64_t basic_reevals_ = 0;  // basic-function rule re-evaluations
+  uint64_t eq_merges_ = 0;      // equality merges actually performed
+  uint64_t rounds_ = 0;         // fixpoint worklist generations
 
   // Union-find over occurrence ids (1-based). No `mutable` escape hatch:
   // path compression happens only during construction, and Run() leaves

@@ -1,0 +1,69 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+
+namespace oodbsec::obs {
+
+void Histogram::Record(uint64_t value) {
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  // bucket 0 <- 0; bucket i <- [2^(i-1), 2^i).
+  size_t bucket = value == 0 ? 0 : static_cast<size_t>(std::bit_width(value));
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+}
+
+Counter* MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return it->second.get();
+}
+
+Histogram* MetricsRegistry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return it->second.get();
+}
+
+std::vector<MetricSnapshot> MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<MetricSnapshot> out;
+  out.reserve(counters_.size() + histograms_.size());
+  for (const auto& [name, counter] : counters_) {
+    MetricSnapshot snapshot;
+    snapshot.name = name;
+    snapshot.kind = MetricSnapshot::Kind::kCounter;
+    snapshot.value = counter->value();
+    out.push_back(std::move(snapshot));
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    MetricSnapshot snapshot;
+    snapshot.name = name;
+    snapshot.kind = MetricSnapshot::Kind::kHistogram;
+    snapshot.value = histogram->count();
+    snapshot.sum = histogram->sum();
+    size_t top = Histogram::kBuckets;
+    while (top > 0 && histogram->bucket(top - 1) == 0) --top;
+    snapshot.buckets.reserve(top);
+    for (size_t i = 0; i < top; ++i) {
+      snapshot.buckets.push_back(histogram->bucket(i));
+    }
+    out.push_back(std::move(snapshot));
+  }
+  // Both maps are name-sorted; merge into one name-sorted list.
+  std::sort(out.begin(), out.end(),
+            [](const MetricSnapshot& a, const MetricSnapshot& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+}  // namespace oodbsec::obs

@@ -1,0 +1,117 @@
+// Rule-level metrics: monotonic counters and log2 histograms behind a
+// named registry.
+//
+// Counters answer "how much work of each kind did the pipeline do":
+// facts derived per rule family, occurrences visited, union-find finds,
+// closure-cache hits/misses, pool steal counts. Histograms capture
+// distributions (queue depth at submit time, facts per fixpoint round).
+//
+// Usage pattern: resolve the handle once, increment forever —
+//
+//   obs::Counter* finds = registry.counter("closure.uf.finds");
+//   ... hot loop ...  finds->Increment(n);
+//
+// counter()/histogram() take a lock and may allocate (first use);
+// Increment()/Record() are single relaxed atomic RMWs, safe from any
+// thread. Hot single-threaded code (the closure fixpoint) goes one step
+// cheaper: it accumulates plain uint64_t locals and flushes one
+// Increment(total) at the end, so the fixpoint itself never touches an
+// atomic.
+//
+// Metric name conventions (see DESIGN.md §9): dotted lowercase paths,
+// "<layer>.<what>[.<detail>]". Everything under "pool." is
+// scheduling-dependent (steal counts, queue depths) and therefore
+// nondeterministic; every other layer's metrics are deterministic
+// functions of the analyzed workload — the service test asserts a
+// 1-thread and an 8-thread run of the same batch agree on all of them.
+#ifndef OODBSEC_OBS_METRICS_H_
+#define OODBSEC_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace oodbsec::obs {
+
+// A monotonic counter. Increment-only by design: rates and deltas are a
+// consumer concern (snapshot twice, subtract).
+class Counter {
+ public:
+  void Increment(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+// A log2-bucketed histogram of non-negative samples: bucket 0 counts
+// value 0, bucket i counts values in [2^(i-1), 2^i). 64 buckets cover
+// the full uint64 range, so Record never clips.
+class Histogram {
+ public:
+  static constexpr size_t kBuckets = 64;
+
+  void Record(uint64_t value);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  uint64_t bucket(size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::array<std::atomic<uint64_t>, kBuckets> buckets_{};
+};
+
+// A point-in-time reading of one metric, for sinks and tests.
+struct MetricSnapshot {
+  enum class Kind { kCounter, kHistogram };
+
+  std::string name;
+  Kind kind = Kind::kCounter;
+  uint64_t value = 0;            // counter value, or histogram count
+  uint64_t sum = 0;              // histogram only
+  std::vector<uint64_t> buckets; // histogram only; trailing zeros trimmed
+
+  friend bool operator==(const MetricSnapshot&,
+                         const MetricSnapshot&) = default;
+};
+
+// Name -> metric. Handles returned by counter()/histogram() are stable
+// for the registry's lifetime; metrics are never removed.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Get-or-create. Registering the same name as both a counter and a
+  // histogram is a programming error (the second registration wins a
+  // distinct metric namespace-wise; don't do it).
+  Counter* counter(std::string_view name);
+  Histogram* histogram(std::string_view name);
+
+  // Every metric, sorted by name. Relaxed reads: values written by
+  // other threads are only guaranteed visible after an external
+  // happens-before edge (e.g. ThreadPool::Wait).
+  std::vector<MetricSnapshot> Snapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace oodbsec::obs
+
+#endif  // OODBSEC_OBS_METRICS_H_

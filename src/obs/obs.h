@@ -1,0 +1,28 @@
+// The observability bundle every pipeline layer threads through.
+//
+// An Observability pairs one Tracer (phase spans) with one
+// MetricsRegistry (rule-level counters and histograms). Layers accept
+// an `obs::Observability*` where nullptr means "fully disabled" — the
+// pointer-null check is the entire disabled-mode cost for metrics, and
+// the tracer additionally carries its own enabled flag so metrics can
+// stay on while span recording is off.
+//
+// Ownership: core::AnalysisSession owns the bundle and hands the
+// pointer down (unfold -> closure -> check, service -> pool). Nothing
+// below the session ever owns or reconfigures it.
+#ifndef OODBSEC_OBS_OBS_H_
+#define OODBSEC_OBS_OBS_H_
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace oodbsec::obs {
+
+struct Observability {
+  Tracer tracer;
+  MetricsRegistry metrics;
+};
+
+}  // namespace oodbsec::obs
+
+#endif  // OODBSEC_OBS_OBS_H_

@@ -1,0 +1,125 @@
+#include "obs/sink.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+#include "common/strings.h"
+
+namespace oodbsec::obs {
+
+void Emit(const Observability& obs, TraceSink& sink) {
+  sink.BeginDump();
+  for (const SpanRecord& span : obs.tracer.Snapshot()) {
+    sink.WriteSpan(span);
+  }
+  for (const MetricSnapshot& metric : obs.metrics.Snapshot()) {
+    sink.WriteMetric(metric);
+  }
+  sink.EndDump();
+}
+
+// ---------------------------------------------------------------------
+// ConsoleTableSink
+
+void ConsoleTableSink::BeginDump() {
+  spans_.clear();
+  metrics_.clear();
+}
+
+void ConsoleTableSink::WriteSpan(const SpanRecord& span) {
+  spans_.push_back(span);
+}
+
+void ConsoleTableSink::WriteMetric(const MetricSnapshot& metric) {
+  metrics_.push_back(metric);
+}
+
+void ConsoleTableSink::EndDump() {
+  char line[256];
+  if (!spans_.empty()) {
+    // Total traced time: the sum of root-span durations (roots do not
+    // overlap in practice — they are successive pipeline runs).
+    int64_t total_ns = 0;
+    for (const SpanRecord& span : spans_) {
+      if (span.parent == kNoSpan && span.duration_ns > 0) {
+        total_ns += span.duration_ns;
+      }
+    }
+    // Root duration per span id, for the pct column.
+    std::vector<int64_t> root_ns(spans_.size(), 0);
+    for (const SpanRecord& span : spans_) {
+      root_ns[span.id] = span.parent == kNoSpan
+                             ? std::max<int64_t>(span.duration_ns, 0)
+                             : root_ns[span.parent];
+    }
+    out_ << "span                                                "
+            "start_ms      dur_ms    pct\n";
+    for (const SpanRecord& span : spans_) {
+      std::string name(static_cast<size_t>(span.depth) * 2, ' ');
+      name += span.name;
+      if (name.size() > 48) name.resize(48);
+      int64_t base =
+          span.parent == kNoSpan ? total_ns : root_ns[span.id];
+      double pct = base > 0 && span.duration_ns >= 0
+                       ? 100.0 * static_cast<double>(span.duration_ns) /
+                             static_cast<double>(base)
+                       : 0.0;
+      std::snprintf(line, sizeof line, "%-48s %11.3f %11.3f %5.1f%%\n",
+                    name.c_str(), static_cast<double>(span.start_ns) / 1e6,
+                    static_cast<double>(span.duration_ns) / 1e6, pct);
+      out_ << line;
+    }
+  }
+  if (!metrics_.empty()) {
+    if (!spans_.empty()) out_ << "\n";
+    out_ << "metric                                               "
+            "      value\n";
+    for (const MetricSnapshot& metric : metrics_) {
+      if (metric.kind == MetricSnapshot::Kind::kCounter) {
+        std::snprintf(line, sizeof line, "%-48s %15" PRIu64 "\n",
+                      metric.name.c_str(), metric.value);
+        out_ << line;
+      } else {
+        double mean = metric.value == 0
+                          ? 0.0
+                          : static_cast<double>(metric.sum) /
+                                static_cast<double>(metric.value);
+        std::snprintf(line, sizeof line,
+                      "%-48s count=%" PRIu64 " sum=%" PRIu64 " mean=%.1f\n",
+                      metric.name.c_str(), metric.value, metric.sum, mean);
+        out_ << line;
+      }
+    }
+  }
+  out_.flush();
+}
+
+// ---------------------------------------------------------------------
+// JsonLinesSink
+
+void JsonLinesSink::WriteSpan(const SpanRecord& span) {
+  out_ << "{\"type\":\"span\",\"name\":" << common::QuoteString(span.name)
+       << ",\"id\":" << span.id << ",\"parent\":" << span.parent
+       << ",\"depth\":" << span.depth << ",\"start_ns\":" << span.start_ns
+       << ",\"duration_ns\":" << span.duration_ns << "}\n";
+}
+
+void JsonLinesSink::WriteMetric(const MetricSnapshot& metric) {
+  if (metric.kind == MetricSnapshot::Kind::kCounter) {
+    out_ << "{\"type\":\"counter\",\"name\":"
+         << common::QuoteString(metric.name) << ",\"value\":" << metric.value
+         << "}\n";
+    return;
+  }
+  out_ << "{\"type\":\"histogram\",\"name\":"
+       << common::QuoteString(metric.name) << ",\"count\":" << metric.value
+       << ",\"sum\":" << metric.sum << ",\"buckets\":[";
+  for (size_t i = 0; i < metric.buckets.size(); ++i) {
+    if (i > 0) out_ << ",";
+    out_ << metric.buckets[i];
+  }
+  out_ << "]}\n";
+}
+
+}  // namespace oodbsec::obs

@@ -1,0 +1,75 @@
+// TraceSink: renderers for a finished trace + metrics snapshot.
+//
+// A sink receives the spans in start order followed by the metrics in
+// name order; Emit() drives that protocol from an Observability bundle.
+// Two implementations ship:
+//
+//   * ConsoleTableSink — an indented, human-readable tree with
+//     durations and percent-of-root columns, plus a metrics table.
+//     This is what the shell's `trace dump` prints.
+//   * JsonLinesSink — one JSON object per line ("span", "counter",
+//     "histogram" records), the machine-readable artifact the bench
+//     harness writes next to BENCH_*.json.
+#ifndef OODBSEC_OBS_SINK_H_
+#define OODBSEC_OBS_SINK_H_
+
+#include <ostream>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/obs.h"
+#include "obs/trace.h"
+
+namespace oodbsec::obs {
+
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+
+  virtual void BeginDump() {}
+  virtual void WriteSpan(const SpanRecord& span) = 0;
+  virtual void WriteMetric(const MetricSnapshot& metric) = 0;
+  virtual void EndDump() {}
+};
+
+// Streams the whole bundle through `sink`: BeginDump, every span in
+// start order, every metric in name order, EndDump.
+void Emit(const Observability& obs, TraceSink& sink);
+
+// Human-readable tables on an ostream. Span rows are indented by
+// nesting depth; the pct column is the span's share of its root span's
+// duration (root rows show their share of the whole trace).
+class ConsoleTableSink : public TraceSink {
+ public:
+  explicit ConsoleTableSink(std::ostream& out) : out_(out) {}
+
+  void BeginDump() override;
+  void WriteSpan(const SpanRecord& span) override;
+  void WriteMetric(const MetricSnapshot& metric) override;
+  void EndDump() override;
+
+ private:
+  std::ostream& out_;
+  // Spans buffer until EndDump so root totals are known before
+  // rendering; metrics stream directly.
+  std::vector<SpanRecord> spans_;
+  std::vector<MetricSnapshot> metrics_;
+};
+
+// One JSON object per line; keys in fixed order, so output is
+// byte-deterministic given the records (the golden-file test relies on
+// this). Durations of still-open spans render as -1.
+class JsonLinesSink : public TraceSink {
+ public:
+  explicit JsonLinesSink(std::ostream& out) : out_(out) {}
+
+  void WriteSpan(const SpanRecord& span) override;
+  void WriteMetric(const MetricSnapshot& metric) override;
+
+ private:
+  std::ostream& out_;
+};
+
+}  // namespace oodbsec::obs
+
+#endif  // OODBSEC_OBS_SINK_H_

@@ -1,0 +1,103 @@
+#include "obs/trace.h"
+
+namespace oodbsec::obs {
+
+namespace {
+
+// The calling thread's innermost open span, per tracer. Tracked as a
+// (tracer, span) pair so a span opened against one tracer never becomes
+// the parent of a span on another.
+thread_local Tracer* tl_tracer = nullptr;
+thread_local SpanId tl_current = kNoSpan;
+
+}  // namespace
+
+Tracer::Tracer(bool enabled)
+    : enabled_(enabled), epoch_(std::chrono::steady_clock::now()) {}
+
+void Tracer::set_enabled(bool enabled) {
+  if (enabled) Clear();
+  enabled_.store(enabled, std::memory_order_relaxed);
+}
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  spans_.clear();
+  epoch_ = std::chrono::steady_clock::now();
+}
+
+int64_t Tracer::ElapsedNs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+SpanId Tracer::Begin(std::string_view name, SpanId parent) {
+  if (!enabled()) return kNoSpan;
+  auto now = std::chrono::steady_clock::now();
+  std::lock_guard<std::mutex> lock(mu_);
+  SpanRecord record;
+  record.name.assign(name);
+  record.id = static_cast<SpanId>(spans_.size());
+  record.parent = parent;
+  if (parent != kNoSpan && parent < record.id) {
+    record.depth = spans_[parent].depth + 1;
+  }
+  record.start_ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(now - epoch_)
+          .count();
+  spans_.push_back(std::move(record));
+  return static_cast<SpanId>(spans_.size() - 1);
+}
+
+void Tracer::End(SpanId id) {
+  if (id == kNoSpan) return;
+  auto now = std::chrono::steady_clock::now();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id < 0 || id >= static_cast<SpanId>(spans_.size())) return;
+  SpanRecord& record = spans_[id];
+  record.duration_ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(now - epoch_)
+          .count() -
+      record.start_ns;
+}
+
+std::vector<SpanRecord> Tracer::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_;
+}
+
+size_t Tracer::span_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_.size();
+}
+
+ScopedSpan::ScopedSpan(Tracer* tracer, std::string_view name) {
+  if (tracer == nullptr || !tracer->enabled()) return;
+  Open(tracer, name, tl_tracer == tracer ? tl_current : kNoSpan);
+}
+
+ScopedSpan::ScopedSpan(Tracer* tracer, std::string_view name, SpanId parent) {
+  if (tracer == nullptr || !tracer->enabled()) return;
+  if (parent == kNoSpan && tl_tracer == tracer) parent = tl_current;
+  Open(tracer, name, parent);
+}
+
+void ScopedSpan::Open(Tracer* tracer, std::string_view name, SpanId parent) {
+  tracer_ = tracer;
+  id_ = tracer->Begin(name, parent);
+  prev_tracer_ = tl_tracer;
+  prev_span_ = tl_current;
+  tl_tracer = tracer;
+  tl_current = id_;
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (tracer_ == nullptr) return;
+  tl_tracer = prev_tracer_;
+  tl_current = prev_span_;
+  tracer_->End(id_);
+}
+
+}  // namespace oodbsec::obs

@@ -1,0 +1,120 @@
+// Hierarchical timed spans for pipeline phase tracing.
+//
+// The tracer answers "where does analysis wall time go": parse, unfold,
+// fixpoint (and its worklist rounds), site enumeration — every phase
+// opens a span, spans nest, and a finished trace renders as a tree
+// (sink.h has console-table and JSON-lines renderers).
+//
+// Design constraints, in priority order:
+//
+//   * Near-zero overhead when disabled. A ScopedSpan over a disabled
+//     (or null) tracer is two pointer-sized loads and a predictable
+//     branch — no clock read, no lock, no allocation. Hot paths may
+//     therefore keep their spans unconditionally.
+//   * Thread-friendly. Spans may open and close on any thread; the
+//     record table sits behind one mutex (spans are coarse — phases,
+//     not facts — so contention is nil). Parentage follows a
+//     thread-local current-span stack, so nested scopes on one thread
+//     link up automatically; work handed to a pool passes the parent
+//     SpanId into the task explicitly (ScopedSpan's three-argument
+//     form) and nesting resumes on the worker.
+//   * Explainable after the fact. Records keep (parent, depth, start,
+//     duration), so a sink can reconstruct the tree and account for
+//     self vs. child time without any global registry.
+#ifndef OODBSEC_OBS_TRACE_H_
+#define OODBSEC_OBS_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace oodbsec::obs {
+
+using SpanId = int32_t;
+inline constexpr SpanId kNoSpan = -1;
+
+// One completed (or still-open) span. Times are nanoseconds on the
+// steady clock, relative to the tracer's epoch (construction or the
+// last Clear()/set_enabled(true)).
+struct SpanRecord {
+  std::string name;
+  SpanId id = kNoSpan;
+  SpanId parent = kNoSpan;
+  int depth = 0;            // root spans are depth 0
+  int64_t start_ns = 0;
+  int64_t duration_ns = -1; // -1 while the span is open
+};
+
+class Tracer {
+ public:
+  explicit Tracer(bool enabled = false);
+
+  // Arming the tracer starts a fresh recording (previous spans are
+  // dropped and the epoch resets); disarming keeps what was recorded
+  // so it can still be dumped.
+  void set_enabled(bool enabled);
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  // Drops all recorded spans and resets the epoch.
+  void Clear();
+
+  // Opens a span; returns its id (callers normally use ScopedSpan
+  // instead). No-op returning kNoSpan when disabled.
+  SpanId Begin(std::string_view name, SpanId parent);
+  // Closes an open span; ignores kNoSpan.
+  void End(SpanId id);
+
+  // Copy of every record, in Begin() order (which is start order).
+  std::vector<SpanRecord> Snapshot() const;
+  size_t span_count() const;
+  // Nanoseconds since the epoch, on the same clock the spans use.
+  int64_t ElapsedNs() const;
+
+ private:
+  std::atomic<bool> enabled_;
+  mutable std::mutex mu_;
+  std::chrono::steady_clock::time_point epoch_;
+  std::vector<SpanRecord> spans_;
+};
+
+// RAII span. The default-constructed and disabled-tracer forms are
+// inert. Construction pushes this span onto the calling thread's
+// current-span stack; destruction pops it, so sibling scopes on the
+// same thread chain correctly.
+class ScopedSpan {
+ public:
+  ScopedSpan() = default;
+  // Parent is the calling thread's current span (if it belongs to the
+  // same tracer).
+  ScopedSpan(Tracer* tracer, std::string_view name);
+  // Explicit parent, for work that crossed a thread boundary: the
+  // submitting side captures its span id, the worker passes it here.
+  // kNoSpan falls back to the calling thread's current span, so call
+  // sites that only sometimes run on a worker need no branching.
+  ScopedSpan(Tracer* tracer, std::string_view name, SpanId parent);
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  // The span's id (kNoSpan when inert) — pass this into pool tasks as
+  // their explicit parent.
+  SpanId id() const { return id_; }
+
+ private:
+  void Open(Tracer* tracer, std::string_view name, SpanId parent);
+
+  Tracer* tracer_ = nullptr;
+  SpanId id_ = kNoSpan;
+  // Saved thread-local state, restored on destruction.
+  Tracer* prev_tracer_ = nullptr;
+  SpanId prev_span_ = kNoSpan;
+};
+
+}  // namespace oodbsec::obs
+
+#endif  // OODBSEC_OBS_TRACE_H_

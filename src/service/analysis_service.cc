@@ -1,56 +1,96 @@
 #include "service/analysis_service.h"
 
 #include <optional>
+#include <unordered_set>
 #include <utility>
 
 #include "common/strings.h"
+#include "obs/trace.h"
 #include "service/capability_signature.h"
+#include "unfold/unfolded.h"
 
 namespace oodbsec::service {
+
+AnalysisService::AnalysisService(core::AnalysisSession& session,
+                                 int threads_override)
+    : session_(&session),
+      pool_(threads_override > 0 ? threads_override : session.options().threads,
+            &session.obs()),
+      closures_built_(session.metrics().counter("service.closures_built")),
+      signature_hits_(session.metrics().counter("service.signature_hits")),
+      requirement_hits_(session.metrics().counter("service.requirement_hits")),
+      checks_(session.metrics().counter("service.checks")) {}
 
 AnalysisService::AnalysisService(const schema::Schema& schema,
                                  const schema::UserRegistry& users,
                                  ServiceOptions options)
-    : schema_(schema),
-      users_(users),
-      options_(options),
-      pool_(options.threads) {}
+    : owned_session_(std::make_unique<core::AnalysisSession>(
+          schema, users,
+          core::SessionOptions{.closure = options.closure,
+                               .threads = options.threads})),
+      session_(owned_session_.get()),
+      pool_(session_->options().threads, &session_->obs()),
+      closures_built_(session_->metrics().counter("service.closures_built")),
+      signature_hits_(session_->metrics().counter("service.signature_hits")),
+      requirement_hits_(
+          session_->metrics().counter("service.requirement_hits")),
+      checks_(session_->metrics().counter("service.checks")) {}
 
 common::Result<std::unique_ptr<AnalysisService::Entry>>
-AnalysisService::BuildEntry(const std::vector<std::string>& roots) const {
-  OODBSEC_ASSIGN_OR_RETURN(std::unique_ptr<unfold::UnfoldedSet> set,
-                           unfold::UnfoldedSet::Build(schema_, roots));
+AnalysisService::BuildEntry(const std::vector<std::string>& roots,
+                            obs::SpanId parent) const {
+  obs::Observability* obs = &session_->obs();
+  obs::ScopedSpan span(&obs->tracer, "closure.build", parent);
+  OODBSEC_ASSIGN_OR_RETURN(
+      std::unique_ptr<unfold::UnfoldedSet> set,
+      unfold::UnfoldedSet::Build(session_->schema(), roots, obs));
   auto entry = std::make_unique<Entry>();
-  entry->closure = std::make_unique<core::Closure>(*set, options_.closure);
+  entry->closure = std::make_unique<core::Closure>(
+      *set, session_->closure_options(), obs);
   entry->set = std::move(set);
   return entry;
 }
 
+ServiceStats AnalysisService::Stats() const {
+  ServiceStats stats;
+  stats.closures_built = static_cast<size_t>(closures_built_->value());
+  stats.signature_hits = static_cast<size_t>(signature_hits_->value());
+  stats.requirement_hits = static_cast<size_t>(requirement_hits_->value());
+  stats.checks = static_cast<size_t>(checks_->value());
+  return stats;
+}
+
 common::Result<core::AnalysisReport> AnalysisService::Check(
     const core::Requirement& requirement) {
-  const schema::User* user = users_.Find(requirement.user);
+  obs::ScopedSpan span(&session_->tracer(), "service.check");
+  const schema::User* user = session_->users().Find(requirement.user);
   if (user == nullptr) {
     return common::NotFoundError(
         common::StrCat("unknown user '", requirement.user, "'"));
   }
-  ++stats_.checks;
-  std::vector<std::string> roots = core::AnalysisRoots(schema_, *user);
-  std::string signature = SignatureFromRoots(roots, options_.closure);
+  checks_->Increment();
+  std::vector<std::string> roots =
+      core::AnalysisRoots(session_->schema(), *user);
+  std::string signature =
+      SignatureFromRoots(roots, session_->closure_options());
   auto it = cache_.find(signature);
   if (it == cache_.end()) {
-    ++stats_.closures_built;
+    closures_built_->Increment();
     OODBSEC_ASSIGN_OR_RETURN(std::unique_ptr<Entry> entry, BuildEntry(roots));
     it = cache_.emplace(std::move(signature), std::move(entry)).first;
   } else {
-    ++stats_.cache_hits;
+    signature_hits_->Increment();
+    requirement_hits_->Increment();
   }
   return core::CheckAgainstClosure(*it->second->set, *it->second->closure,
-                                   requirement);
+                                   requirement, &session_->obs());
 }
 
 common::Result<std::vector<core::AnalysisReport>> AnalysisService::CheckBatch(
     const std::vector<core::Requirement>& requirements) {
   const size_t n = requirements.size();
+  obs::Tracer* tracer = &session_->tracer();
+  obs::ScopedSpan batch_span(tracer, "batch");
 
   // Phase 1 (sequential): resolve users, derive signatures, and plan one
   // build per distinct uncached signature. Unknown users are recorded,
@@ -70,30 +110,53 @@ common::Result<std::vector<core::AnalysisReport>> AnalysisService::CheckBatch(
   std::vector<Planned> planned(n);
   std::vector<Build> builds;
   std::unordered_map<std::string, size_t> build_index;
-  for (size_t i = 0; i < n; ++i) {
-    ++stats_.checks;
-    const schema::User* user = users_.Find(requirements[i].user);
-    if (user == nullptr) continue;
-    planned[i].user = user;
-    std::vector<std::string> roots = core::AnalysisRoots(schema_, *user);
-    planned[i].signature = SignatureFromRoots(roots, options_.closure);
-    if (cache_.contains(planned[i].signature) ||
-        build_index.contains(planned[i].signature)) {
-      ++stats_.cache_hits;
-      continue;
+  {
+    obs::ScopedSpan plan_span(tracer, "batch.plan");
+    // A cached signature scores one signature hit per batch no matter
+    // how many requirements resolve to it; each of those requirements
+    // scores its own requirement hit (see ServiceStats).
+    std::unordered_set<std::string> counted_signatures;
+    for (size_t i = 0; i < n; ++i) {
+      checks_->Increment();
+      const schema::User* user = session_->users().Find(requirements[i].user);
+      if (user == nullptr) continue;
+      planned[i].user = user;
+      std::vector<std::string> roots =
+          core::AnalysisRoots(session_->schema(), *user);
+      planned[i].signature =
+          SignatureFromRoots(roots, session_->closure_options());
+      if (cache_.contains(planned[i].signature)) {
+        requirement_hits_->Increment();
+        if (counted_signatures.insert(planned[i].signature).second) {
+          signature_hits_->Increment();
+        }
+        continue;
+      }
+      if (build_index.contains(planned[i].signature)) {
+        // Reuses a closure another requirement in this batch is
+        // building: a requirement-level hit, not a signature-level one.
+        requirement_hits_->Increment();
+        continue;
+      }
+      closures_built_->Increment();
+      build_index.emplace(planned[i].signature, builds.size());
+      builds.push_back(Build{planned[i].signature, std::move(roots)});
     }
-    ++stats_.closures_built;
-    build_index.emplace(planned[i].signature, builds.size());
-    builds.push_back(Build{planned[i].signature, std::move(roots)});
   }
 
   // Phase 2 (parallel): compute the distinct closures. Workers write to
   // disjoint pre-allocated slots; Wait() orders those writes before the
   // sequential phase below reads them.
-  for (Build& build : builds) {
-    pool_.Submit([this, &build] { build.result = BuildEntry(build.roots); });
+  {
+    obs::ScopedSpan build_span(tracer, "batch.build");
+    obs::SpanId build_parent = build_span.id();
+    for (Build& build : builds) {
+      pool_.Submit([this, &build, build_parent] {
+        build.result = BuildEntry(build.roots, build_parent);
+      });
+    }
+    pool_.Wait();
   }
-  pool_.Wait();
 
   // Phase 3 (sequential): publish successful builds. Failures stay out
   // of the cache so a later batch retries them.
@@ -107,17 +170,22 @@ common::Result<std::vector<core::AnalysisReport>> AnalysisService::CheckBatch(
   // concurrently. Entries are immutable and Closure's const queries are
   // pure reads, so many checks may share one closure.
   std::vector<std::optional<common::Result<core::AnalysisReport>>> outcomes(n);
-  for (size_t i = 0; i < n; ++i) {
-    if (planned[i].user == nullptr) continue;
-    auto it = cache_.find(planned[i].signature);
-    if (it == cache_.end()) continue;  // its build failed
-    const Entry* entry = it->second.get();
-    pool_.Submit([&outcomes, &requirements, entry, i] {
-      outcomes[i].emplace(core::CheckAgainstClosure(
-          *entry->set, *entry->closure, requirements[i]));
-    });
+  {
+    obs::ScopedSpan check_span(tracer, "batch.check");
+    obs::SpanId check_parent = check_span.id();
+    obs::Observability* obs = &session_->obs();
+    for (size_t i = 0; i < n; ++i) {
+      if (planned[i].user == nullptr) continue;
+      auto it = cache_.find(planned[i].signature);
+      if (it == cache_.end()) continue;  // its build failed
+      const Entry* entry = it->second.get();
+      pool_.Submit([&outcomes, &requirements, entry, obs, check_parent, i] {
+        outcomes[i].emplace(core::CheckAgainstClosure(
+            *entry->set, *entry->closure, requirements[i], obs, check_parent));
+      });
+    }
+    pool_.Wait();
   }
-  pool_.Wait();
 
   // Phase 5 (sequential): assemble in input order; the first failure in
   // input order wins, exactly as a sequential loop would report it.

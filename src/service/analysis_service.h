@@ -16,16 +16,28 @@
 //     concurrently; then every requirement check runs concurrently
 //     against the (immutable, read-safe) shared closures.
 //
+// The service is a consumer of core::AnalysisSession: the session owns
+// the semantic options and the observability bundle (tracer + metrics);
+// the service adds the cache and the pool. Batches run under a "batch"
+// span with plan / build / check phase children, and the cache
+// accounting lives in the session's metrics registry ("service.*"
+// counters) — ServiceStats is merely a value snapshot of those.
+//
 // Determinism contract: CheckBatch returns reports in input order and
 // each report is byte-identical to what sequential
 // core::CheckRequirement produces for that requirement, regardless of
 // thread count or cache state. On failure the error returned is the one
 // the *earliest failing requirement in input order* would have produced
-// sequentially.
+// sequentially. The same holds for every non-"pool." metric the batch
+// emits: scheduling moves work between threads, never changes it.
 //
-// Thread-safety: the service parallelises internally but is itself a
-// single-caller object — do not invoke Check/CheckBatch from two
-// threads at once.
+// Single-caller contract (the one authoritative statement — other
+// layers reference this paragraph): the service parallelises
+// internally but is itself a single-caller object. Do not invoke
+// Check/CheckBatch from two threads at once, and do not share the
+// underlying AnalysisSession between concurrently-calling services.
+// Stats()/cache_size() return value snapshots precisely so that no
+// reference into service internals outlives a call.
 #ifndef OODBSEC_SERVICE_ANALYSIS_SERVICE_H_
 #define OODBSEC_SERVICE_ANALYSIS_SERVICE_H_
 
@@ -36,6 +48,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "core/analysis_session.h"
 #include "core/analyzer.h"
 #include "core/closure.h"
 #include "core/requirement.h"
@@ -45,6 +58,9 @@
 
 namespace oodbsec::service {
 
+// Configuration for the convenience constructor that builds a private
+// session. Prefer constructing an AnalysisSession yourself and passing
+// it in — that is the one place options and observability live.
 struct ServiceOptions {
   // Worker threads for closure builds and requirement checks.
   int threads = 1;
@@ -52,20 +68,53 @@ struct ServiceOptions {
   core::ClosureOptions closure;
 };
 
+// A value snapshot of the service's cache accounting (reads of the
+// "service.*" counters in the session's metrics registry). Cheap to
+// copy; no reference-returning accessor exists, by design — see the
+// single-caller contract above.
+//
+// Hit accounting is two-level, because "hit rate" means two different
+// things: `signature_hits` counts signature resolutions served by a
+// pre-existing cache entry (one per distinct signature per batch — the
+// build-vs-reuse ratio of fixpoint work), while `requirement_hits`
+// counts requirements that reused a closure they did not themselves
+// trigger building (the per-check amortisation). A warm batch of N
+// same-role requirements scores signature_hits += 1 but
+// requirement_hits += N.
 struct ServiceStats {
-  size_t closures_built = 0;  // cache misses: fixpoints actually computed
-  size_t cache_hits = 0;      // requirements served by a pre-existing closure
-  size_t checks = 0;          // requirements checked (successfully or not)
+  size_t closures_built = 0;    // signature misses: fixpoints computed
+  size_t signature_hits = 0;    // signature resolutions served from cache
+  size_t requirement_hits = 0;  // requirements that reused a closure
+  size_t checks = 0;            // requirements checked (ok or not)
 
-  double HitRate() const {
-    size_t total = closures_built + cache_hits;
-    return total == 0 ? 0.0 : static_cast<double>(cache_hits) / total;
+  // closures reused / closures resolved: how much fixpoint work the
+  // cache saved.
+  double SignatureHitRate() const {
+    size_t total = closures_built + signature_hits;
+    return total == 0 ? 0.0
+                      : static_cast<double>(signature_hits) /
+                            static_cast<double>(total);
+  }
+  // requirements served without a build of their own / all checks.
+  double RequirementHitRate() const {
+    return checks == 0 ? 0.0
+                       : static_cast<double>(requirement_hits) /
+                             static_cast<double>(checks);
   }
 };
 
 class AnalysisService {
  public:
-  // `schema` and `users` must outlive the service.
+  // Canonical form: borrow `session` (must outlive the service; see the
+  // single-caller contract above for sharing rules). The pool size is
+  // session.options().threads unless `threads_override` > 0 — the
+  // override exists for callers like the shell that re-run one session
+  // at different widths.
+  explicit AnalysisService(core::AnalysisSession& session,
+                           int threads_override = 0);
+
+  // Convenience form: builds and owns a private session over `schema`
+  // and `users` (which must outlive the service) from `options`.
   AnalysisService(const schema::Schema& schema,
                   const schema::UserRegistry& users,
                   ServiceOptions options = {});
@@ -80,9 +129,11 @@ class AnalysisService {
   common::Result<std::vector<core::AnalysisReport>> CheckBatch(
       const std::vector<core::Requirement>& requirements);
 
-  const ServiceStats& stats() const { return stats_; }
+  // Value snapshot of the cache accounting; see ServiceStats.
+  ServiceStats Stats() const;
   size_t cache_size() const { return cache_.size(); }
   int thread_count() const { return pool_.thread_count(); }
+  core::AnalysisSession& session() { return *session_; }
 
  private:
   // One cached analysis: the unfolded program and its closed fixpoint.
@@ -93,17 +144,23 @@ class AnalysisService {
   };
 
   // Builds (set, closure) for `roots`; never touches the cache.
+  // `parent` parents the build's spans when it runs on a pool worker.
   common::Result<std::unique_ptr<Entry>> BuildEntry(
-      const std::vector<std::string>& roots) const;
+      const std::vector<std::string>& roots,
+      obs::SpanId parent = obs::kNoSpan) const;
 
-  const schema::Schema& schema_;
-  const schema::UserRegistry& users_;
-  ServiceOptions options_;
+  std::unique_ptr<core::AnalysisSession> owned_session_;
+  core::AnalysisSession* session_;  // owned_session_.get() or borrowed
   ThreadPool pool_;
   // signature -> analysis; entries are never evicted or replaced, so
   // raw Entry pointers handed to workers stay valid.
   std::unordered_map<std::string, std::unique_ptr<Entry>> cache_;
-  ServiceStats stats_;
+
+  // "service.*" counter handles into the session's registry.
+  obs::Counter* closures_built_;
+  obs::Counter* signature_hits_;
+  obs::Counter* requirement_hits_;
+  obs::Counter* checks_;
 };
 
 }  // namespace oodbsec::service

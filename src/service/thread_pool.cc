@@ -2,10 +2,22 @@
 
 #include <utility>
 
+#include "common/strings.h"
+
 namespace oodbsec::service {
 
-ThreadPool::ThreadPool(int threads) {
+ThreadPool::ThreadPool(int threads, obs::Observability* obs) {
   if (threads < 1) threads = 1;
+  if (obs != nullptr) {
+    tasks_counter_ = obs->metrics.counter("pool.tasks");
+    steals_counter_ = obs->metrics.counter("pool.steals");
+    queue_depth_ = obs->metrics.histogram("pool.queue_depth");
+    worker_tasks_.reserve(static_cast<size_t>(threads));
+    for (int i = 0; i < threads; ++i) {
+      worker_tasks_.push_back(
+          obs->metrics.counter(common::StrCat("pool.worker", i, ".tasks")));
+    }
+  }
   queues_.resize(static_cast<size_t>(threads));
   workers_.reserve(static_cast<size_t>(threads));
   for (size_t i = 0; i < static_cast<size_t>(threads); ++i) {
@@ -25,6 +37,7 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::Submit(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(mu_);
+    if (queue_depth_ != nullptr) queue_depth_->Record(pending_);
     queues_[next_queue_].push_back(std::move(task));
     next_queue_ = (next_queue_ + 1) % queues_.size();
     ++pending_;
@@ -50,6 +63,7 @@ bool ThreadPool::PopTask(size_t index, std::function<void()>& task) {
     if (!victim.empty()) {
       task = std::move(victim.front());
       victim.pop_front();
+      if (steals_counter_ != nullptr) steals_counter_->Increment();
       return true;
     }
   }
@@ -62,6 +76,10 @@ void ThreadPool::WorkerLoop(size_t index) {
     std::function<void()> task;
     if (PopTask(index, task)) {
       lock.unlock();
+      if (tasks_counter_ != nullptr) {
+        tasks_counter_->Increment();
+        worker_tasks_[index]->Increment();
+      }
       task();
       task = nullptr;  // destroy captures outside the lock
       lock.lock();

@@ -24,12 +24,19 @@
 #include <thread>
 #include <vector>
 
+#include "obs/obs.h"
+
 namespace oodbsec::service {
 
 class ThreadPool {
  public:
-  // Spawns `threads` workers (clamped to at least 1).
-  explicit ThreadPool(int threads);
+  // Spawns `threads` workers (clamped to at least 1). With `obs`, the
+  // pool reports scheduling metrics: tasks executed per worker
+  // ("pool.worker<i>.tasks"), steal counts ("pool.steals"), and the
+  // queue depth observed at each submit ("pool.queue_depth"). All of
+  // these are scheduling-dependent — the "pool." prefix marks them as
+  // nondeterministic, unlike every other layer's metrics.
+  explicit ThreadPool(int threads, obs::Observability* obs = nullptr);
 
   // Drains nothing: outstanding tasks still run to completion before the
   // workers exit. Call Wait() first if completion must precede other
@@ -62,6 +69,13 @@ class ThreadPool {
   size_t next_queue_ = 0;  // round-robin submission cursor
   size_t pending_ = 0;     // submitted but not yet finished
   bool stop_ = false;
+
+  // Metric handles (null when the pool runs unobserved); resolved once
+  // at construction, incremented with relaxed atomics thereafter.
+  obs::Counter* tasks_counter_ = nullptr;
+  obs::Counter* steals_counter_ = nullptr;
+  obs::Histogram* queue_depth_ = nullptr;
+  std::vector<obs::Counter*> worker_tasks_;
 };
 
 }  // namespace oodbsec::service

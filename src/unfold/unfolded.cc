@@ -287,11 +287,19 @@ class Builder {
 };
 
 Result<std::unique_ptr<UnfoldedSet>> UnfoldedSet::Build(
-    const schema::Schema& schema, const std::vector<std::string>& root_names) {
+    const schema::Schema& schema, const std::vector<std::string>& root_names,
+    obs::Observability* obs) {
+  obs::ScopedSpan span(obs != nullptr ? &obs->tracer : nullptr, "unfold");
   std::unique_ptr<UnfoldedSet> set(new UnfoldedSet());
   set->schema_ = &schema;
   Builder builder(*set, schema);
   OODBSEC_RETURN_IF_ERROR(builder.BuildRoots(root_names));
+  if (obs != nullptr) {
+    obs->metrics.counter("unfold.builds")->Increment();
+    obs->metrics.counter("unfold.roots")->Increment(set->roots_.size());
+    obs->metrics.counter("unfold.occurrences")
+        ->Increment(static_cast<uint64_t>(set->node_count()));
+  }
   return set;
 }
 

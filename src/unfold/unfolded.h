@@ -30,6 +30,7 @@
 
 #include "common/result.h"
 #include "exec/basic_functions.h"
+#include "obs/obs.h"
 #include "schema/schema.h"
 #include "types/type.h"
 #include "types/value.h"
@@ -107,9 +108,12 @@ struct Root {
 class UnfoldedSet {
  public:
   // `root_names` may contain duplicates (function sequences). Every name
-  // must resolve to an access function or special function.
+  // must resolve to an access function or special function. When `obs`
+  // is given, the build runs under an "unfold" span and reports node /
+  // root counts to the metrics registry.
   static common::Result<std::unique_ptr<UnfoldedSet>> Build(
-      const schema::Schema& schema, const std::vector<std::string>& root_names);
+      const schema::Schema& schema, const std::vector<std::string>& root_names,
+      obs::Observability* obs = nullptr);
 
   UnfoldedSet(const UnfoldedSet&) = delete;
   UnfoldedSet& operator=(const UnfoldedSet&) = delete;

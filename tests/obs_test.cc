@@ -1,0 +1,285 @@
+// The observability subsystem: span nesting and lifecycle, the
+// disabled-mode zero-allocation guarantee, counters, histograms,
+// registry snapshots, and both trace sinks (the JSON-lines one against
+// a golden transcript).
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+#include "obs/obs.h"
+#include "obs/sink.h"
+#include "obs/trace.h"
+
+// Global allocation counter for the zero-allocation test. Counting
+// operator new is the only way to observe "this code path allocates"
+// without a heap profiler; everything else in the binary just pays one
+// relaxed increment per allocation.
+static std::atomic<size_t> g_allocations{0};
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* ptr = std::malloc(size)) return ptr;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* ptr = std::malloc(size)) return ptr;
+  throw std::bad_alloc();
+}
+void operator delete(void* ptr) noexcept { std::free(ptr); }
+void operator delete(void* ptr, std::size_t) noexcept { std::free(ptr); }
+void operator delete[](void* ptr) noexcept { std::free(ptr); }
+void operator delete[](void* ptr, std::size_t) noexcept { std::free(ptr); }
+
+namespace oodbsec {
+namespace {
+
+TEST(TracerTest, ScopedSpansNestViaThreadLocalParent) {
+  obs::Tracer tracer(true);
+  {
+    obs::ScopedSpan outer(&tracer, "outer");
+    {
+      obs::ScopedSpan inner(&tracer, "inner");
+      obs::ScopedSpan innermost(&tracer, "innermost");
+    }
+    obs::ScopedSpan sibling(&tracer, "sibling");
+  }
+  std::vector<obs::SpanRecord> spans = tracer.Snapshot();
+  ASSERT_EQ(spans.size(), 4u);
+  EXPECT_EQ(spans[0].name, "outer");
+  EXPECT_EQ(spans[0].parent, obs::kNoSpan);
+  EXPECT_EQ(spans[0].depth, 0);
+  EXPECT_EQ(spans[1].name, "inner");
+  EXPECT_EQ(spans[1].parent, spans[0].id);
+  EXPECT_EQ(spans[1].depth, 1);
+  EXPECT_EQ(spans[2].name, "innermost");
+  EXPECT_EQ(spans[2].parent, spans[1].id);
+  EXPECT_EQ(spans[2].depth, 2);
+  // The sibling opens after innermost closes: its parent is outer
+  // again, proving destruction pops the thread-local stack.
+  EXPECT_EQ(spans[3].name, "sibling");
+  EXPECT_EQ(spans[3].parent, spans[0].id);
+  for (const obs::SpanRecord& span : spans) {
+    EXPECT_GE(span.duration_ns, 0) << span.name << " never closed";
+  }
+  // Children are fully contained in their parents.
+  EXPECT_LE(spans[0].start_ns, spans[1].start_ns);
+  EXPECT_GE(spans[0].start_ns + spans[0].duration_ns,
+            spans[1].start_ns + spans[1].duration_ns);
+}
+
+TEST(TracerTest, ExplicitParentCrossesThreads) {
+  obs::Tracer tracer(true);
+  {
+    obs::ScopedSpan root(&tracer, "submit-side");
+    obs::SpanId parent = root.id();
+    std::thread worker([&tracer, parent] {
+      obs::ScopedSpan task(&tracer, "worker-task", parent);
+      // Thread-local nesting resumes under the explicit parent.
+      obs::ScopedSpan step(&tracer, "worker-step");
+    });
+    worker.join();
+  }
+  std::vector<obs::SpanRecord> spans = tracer.Snapshot();
+  ASSERT_EQ(spans.size(), 3u);
+  EXPECT_EQ(spans[1].name, "worker-task");
+  EXPECT_EQ(spans[1].parent, spans[0].id);
+  EXPECT_EQ(spans[1].depth, 1);
+  EXPECT_EQ(spans[2].name, "worker-step");
+  EXPECT_EQ(spans[2].parent, spans[1].id);
+  EXPECT_EQ(spans[2].depth, 2);
+}
+
+TEST(TracerTest, DisabledAndNullSpansAllocateNothing) {
+  obs::Tracer disabled(false);
+  // Warm up any lazy thread-local machinery outside the measured block.
+  { obs::ScopedSpan warmup(&disabled, "warmup"); }
+
+  size_t before = g_allocations.load(std::memory_order_relaxed);
+  for (int i = 0; i < 1000; ++i) {
+    obs::ScopedSpan null_tracer(nullptr, "a");
+    obs::ScopedSpan disabled_tracer(&disabled, "b");
+    obs::ScopedSpan with_parent(&disabled, "c", obs::kNoSpan);
+    obs::ScopedSpan inert;
+  }
+  size_t after = g_allocations.load(std::memory_order_relaxed);
+  EXPECT_EQ(after, before) << "disabled spans must not touch the heap";
+  EXPECT_EQ(disabled.span_count(), 0u);
+}
+
+TEST(TracerTest, EnableRestartsRecordingDisableKeepsIt) {
+  obs::Tracer tracer(true);
+  { obs::ScopedSpan span(&tracer, "first"); }
+  EXPECT_EQ(tracer.span_count(), 1u);
+
+  tracer.set_enabled(false);
+  { obs::ScopedSpan span(&tracer, "ignored"); }
+  EXPECT_EQ(tracer.span_count(), 1u);  // kept, nothing added
+
+  tracer.set_enabled(true);  // re-arming starts a fresh recording
+  EXPECT_EQ(tracer.span_count(), 0u);
+  { obs::ScopedSpan span(&tracer, "second"); }
+  std::vector<obs::SpanRecord> spans = tracer.Snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].name, "second");
+}
+
+TEST(MetricsTest, CountersAccumulateAcrossThreads) {
+  obs::MetricsRegistry registry;
+  obs::Counter* counter = registry.counter("test.hits");
+  EXPECT_EQ(counter, registry.counter("test.hits"));  // stable handle
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([counter] {
+      for (int i = 0; i < 1000; ++i) counter->Increment();
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  counter->Increment(58);
+  EXPECT_EQ(counter->value(), 4058u);
+}
+
+TEST(MetricsTest, HistogramUsesLogTwoBuckets) {
+  obs::MetricsRegistry registry;
+  obs::Histogram* histogram = registry.histogram("test.depth");
+  histogram->Record(0);  // bucket 0
+  histogram->Record(1);  // bucket 1: [1, 2)
+  histogram->Record(2);  // bucket 2: [2, 4)
+  histogram->Record(3);  // bucket 2
+  histogram->Record(4);  // bucket 3: [4, 8)
+  histogram->Record(1023);  // bucket 10: [512, 1024)
+  EXPECT_EQ(histogram->count(), 6u);
+  EXPECT_EQ(histogram->sum(), 1033u);
+  EXPECT_EQ(histogram->bucket(0), 1u);
+  EXPECT_EQ(histogram->bucket(1), 1u);
+  EXPECT_EQ(histogram->bucket(2), 2u);
+  EXPECT_EQ(histogram->bucket(3), 1u);
+  EXPECT_EQ(histogram->bucket(10), 1u);
+}
+
+TEST(MetricsTest, SnapshotIsSortedAndTrimmed) {
+  obs::MetricsRegistry registry;
+  registry.counter("z.last")->Increment(7);
+  registry.histogram("m.middle")->Record(5);
+  registry.counter("a.first");
+  std::vector<obs::MetricSnapshot> snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.size(), 3u);
+  EXPECT_EQ(snapshot[0].name, "a.first");
+  EXPECT_EQ(snapshot[0].kind, obs::MetricSnapshot::Kind::kCounter);
+  EXPECT_EQ(snapshot[0].value, 0u);
+  EXPECT_EQ(snapshot[1].name, "m.middle");
+  EXPECT_EQ(snapshot[1].kind, obs::MetricSnapshot::Kind::kHistogram);
+  EXPECT_EQ(snapshot[1].value, 1u);
+  EXPECT_EQ(snapshot[1].sum, 5u);
+  // Trailing zero buckets trimmed: value 5 lands in bucket 3.
+  EXPECT_EQ(snapshot[1].buckets.size(), 4u);
+  EXPECT_EQ(snapshot[1].buckets.back(), 1u);
+  EXPECT_EQ(snapshot[2].name, "z.last");
+  EXPECT_EQ(snapshot[2].value, 7u);
+}
+
+// The JSON-lines format is a stable artifact (the bench harness writes
+// it next to BENCH_*.json), so pin it byte for byte on handcrafted
+// records — real tracer output would vary by timing.
+TEST(SinkTest, JsonLinesMatchesGoldenTranscript) {
+  std::ostringstream out;
+  obs::JsonLinesSink sink(out);
+  sink.BeginDump();
+  obs::SpanRecord root;
+  root.name = "batch";
+  root.id = 0;
+  root.parent = obs::kNoSpan;
+  root.depth = 0;
+  root.start_ns = 120;
+  root.duration_ns = 5000;
+  sink.WriteSpan(root);
+  obs::SpanRecord child;
+  child.name = "batch.\"plan\"";  // exercises string escaping
+  child.id = 1;
+  child.parent = 0;
+  child.depth = 1;
+  child.start_ns = 150;
+  child.duration_ns = -1;  // still open
+  sink.WriteSpan(child);
+  obs::MetricSnapshot counter;
+  counter.name = "service.checks";
+  counter.kind = obs::MetricSnapshot::Kind::kCounter;
+  counter.value = 64;
+  sink.WriteMetric(counter);
+  obs::MetricSnapshot histogram;
+  histogram.name = "pool.queue_depth";
+  histogram.kind = obs::MetricSnapshot::Kind::kHistogram;
+  histogram.value = 3;
+  histogram.sum = 9;
+  histogram.buckets = {0, 1, 2};
+  sink.WriteMetric(histogram);
+  sink.EndDump();
+
+  EXPECT_EQ(out.str(),
+            "{\"type\":\"span\",\"name\":\"batch\",\"id\":0,"
+            "\"parent\":-1,\"depth\":0,\"start_ns\":120,"
+            "\"duration_ns\":5000}\n"
+            "{\"type\":\"span\",\"name\":\"batch.\\\"plan\\\"\",\"id\":1,"
+            "\"parent\":0,\"depth\":1,\"start_ns\":150,"
+            "\"duration_ns\":-1}\n"
+            "{\"type\":\"counter\",\"name\":\"service.checks\","
+            "\"value\":64}\n"
+            "{\"type\":\"histogram\",\"name\":\"pool.queue_depth\","
+            "\"count\":3,\"sum\":9,\"buckets\":[0,1,2]}\n");
+}
+
+TEST(SinkTest, EmitStreamsSpansThenMetrics) {
+  obs::Observability obs;
+  obs.tracer.set_enabled(true);
+  {
+    obs::ScopedSpan root(&obs.tracer, "root");
+    obs::ScopedSpan child(&obs.tracer, "child");
+  }
+  obs.metrics.counter("layer.things")->Increment(3);
+
+  std::ostringstream out;
+  obs::JsonLinesSink sink(out);
+  obs::Emit(obs, sink);
+  std::string text = out.str();
+  size_t root_at = text.find("\"name\":\"root\"");
+  size_t child_at = text.find("\"name\":\"child\"");
+  size_t metric_at = text.find("\"name\":\"layer.things\"");
+  EXPECT_NE(root_at, std::string::npos);
+  EXPECT_NE(child_at, std::string::npos);
+  EXPECT_NE(metric_at, std::string::npos);
+  EXPECT_LT(root_at, child_at);    // spans in start order
+  EXPECT_LT(child_at, metric_at);  // then metrics
+}
+
+TEST(SinkTest, ConsoleTableShowsTreeAndPercentages) {
+  obs::Observability obs;
+  obs.tracer.set_enabled(true);
+  {
+    obs::ScopedSpan root(&obs.tracer, "closure");
+    obs::ScopedSpan child(&obs.tracer, "closure.fixpoint");
+  }
+  obs.metrics.counter("closure.facts.total")->Increment(42);
+
+  std::ostringstream out;
+  obs::ConsoleTableSink sink(out);
+  obs::Emit(obs, sink);
+  std::string text = out.str();
+  EXPECT_NE(text.find("closure"), std::string::npos);
+  EXPECT_NE(text.find("closure.fixpoint"), std::string::npos);
+  EXPECT_NE(text.find("closure.facts.total"), std::string::npos);
+  EXPECT_NE(text.find("42"), std::string::npos);
+  EXPECT_NE(text.find('%'), std::string::npos);
+  // The child row is indented under its root.
+  size_t child_line = text.find("  closure.fixpoint");
+  EXPECT_NE(child_line, std::string::npos);
+}
+
+}  // namespace
+}  // namespace oodbsec

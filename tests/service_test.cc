@@ -7,8 +7,10 @@
 
 #include <gtest/gtest.h>
 
+#include "core/analysis_session.h"
 #include "core/analyzer.h"
 #include "core/requirement.h"
+#include "obs/metrics.h"
 #include "service/analysis_service.h"
 #include "service/capability_signature.h"
 #include "service/thread_pool.h"
@@ -98,18 +100,76 @@ TEST(AnalysisServiceTest, PermutedUsersShareOneClosure) {
   ASSERT_EQ(reports->size(), 3u);
 
   // clerk1/clerk2 share a signature: two closures for three checks.
-  EXPECT_EQ(svc.stats().closures_built, 2u);
-  EXPECT_EQ(svc.stats().cache_hits, 1u);
-  EXPECT_EQ(svc.stats().checks, 3u);
+  // Nothing was in the cache when the batch started, so there are no
+  // signature-level hits yet — clerk2 reusing the closure clerk1's
+  // requirement triggered is a requirement-level hit only.
+  service::ServiceStats cold = svc.Stats();
+  EXPECT_EQ(cold.closures_built, 2u);
+  EXPECT_EQ(cold.signature_hits, 0u);
+  EXPECT_EQ(cold.requirement_hits, 1u);
+  EXPECT_EQ(cold.checks, 3u);
   EXPECT_EQ(svc.cache_size(), 2u);
 
-  // The same batch again is served entirely from cache.
+  // The same batch again is served entirely from cache: both distinct
+  // signatures resolve against existing entries (one signature hit
+  // each), and all three requirements reuse.
   auto again = svc.CheckBatch(workspace.requirements);
   ASSERT_TRUE(again.ok()) << again.status();
-  EXPECT_EQ(svc.stats().closures_built, 2u);
-  EXPECT_EQ(svc.stats().cache_hits, 4u);
-  EXPECT_EQ(svc.stats().checks, 6u);
+  service::ServiceStats warm = svc.Stats();
+  EXPECT_EQ(warm.closures_built, 2u);
+  EXPECT_EQ(warm.signature_hits, 2u);
+  EXPECT_EQ(warm.requirement_hits, 4u);
+  EXPECT_EQ(warm.checks, 6u);
   EXPECT_EQ(svc.cache_size(), 2u);
+}
+
+// The old single `HitRate()` divided cache hits by *checks*, silently
+// conflating closure reuse with requirement traffic. The split rates
+// answer the two questions separately — and each stays in [0, 1].
+TEST(AnalysisServiceTest, HitRatesSeparateSignatureAndRequirementReuse) {
+  text::Workspace workspace = LoadRoleWorkspace();
+  service::AnalysisService svc(*workspace.schema, *workspace.users);
+
+  // Fresh service: both rates are defined (0, not NaN).
+  EXPECT_EQ(svc.Stats().SignatureHitRate(), 0.0);
+  EXPECT_EQ(svc.Stats().RequirementHitRate(), 0.0);
+
+  ASSERT_TRUE(svc.CheckBatch(workspace.requirements).ok());
+  service::ServiceStats cold = svc.Stats();
+  // 2 builds, 0 cached-signature resolutions; 1 of 3 requirements
+  // reused a closure.
+  EXPECT_DOUBLE_EQ(cold.SignatureHitRate(), 0.0);
+  EXPECT_DOUBLE_EQ(cold.RequirementHitRate(), 1.0 / 3.0);
+
+  ASSERT_TRUE(svc.CheckBatch(workspace.requirements).ok());
+  service::ServiceStats warm = svc.Stats();
+  // 2 builds vs 2 cached resolutions; 4 of 6 requirements reused.
+  EXPECT_DOUBLE_EQ(warm.SignatureHitRate(), 0.5);
+  EXPECT_DOUBLE_EQ(warm.RequirementHitRate(), 4.0 / 6.0);
+  // The old formula would have reported 2 "hits" over 6 checks for the
+  // signature question and had no answer at all for the requirement
+  // question; both new rates are bounded.
+  EXPECT_LE(warm.SignatureHitRate(), 1.0);
+  EXPECT_LE(warm.RequirementHitRate(), 1.0);
+}
+
+// Single-requirement Check() accounting: the first call builds, later
+// calls score one signature hit and one requirement hit each.
+TEST(AnalysisServiceTest, SingleCheckAccounting) {
+  text::Workspace workspace = LoadRoleWorkspace();
+  service::AnalysisService svc(*workspace.schema, *workspace.users);
+  core::Requirement requirement = Req("(clerk1, r_salary(x) : ti)");
+
+  ASSERT_TRUE(svc.Check(requirement).ok());
+  ASSERT_TRUE(svc.Check(requirement).ok());
+  // clerk2 shares clerk1's signature, so it hits too.
+  ASSERT_TRUE(svc.Check(Req("(clerk2, r_salary(x) : ti)")).ok());
+
+  service::ServiceStats stats = svc.Stats();
+  EXPECT_EQ(stats.closures_built, 1u);
+  EXPECT_EQ(stats.signature_hits, 2u);
+  EXPECT_EQ(stats.requirement_hits, 2u);
+  EXPECT_EQ(stats.checks, 3u);
 }
 
 TEST(AnalysisServiceTest, DifferentClosureOptionsDoNotShareClosures) {
@@ -130,8 +190,8 @@ TEST(AnalysisServiceTest, DifferentClosureOptionsDoNotShareClosures) {
   ASSERT_TRUE(weak.ok()) << weak.status();
   // Each service built its own closure — the signatures differ, so a
   // shared cache would also have kept them apart.
-  EXPECT_EQ(svc_default.stats().closures_built, 1u);
-  EXPECT_EQ(svc_weak.stats().closures_built, 1u);
+  EXPECT_EQ(svc_default.Stats().closures_built, 1u);
+  EXPECT_EQ(svc_weak.Stats().closures_built, 1u);
   // Without same-type argument equality the clerk cannot link the
   // budget write to checkBudget's argument, so the flaw disappears:
   // the options reach the fixpoint, not just the cache key.
@@ -216,6 +276,119 @@ TEST(AnalysisServiceTest, BatchReportsEarliestFailureInInputOrder) {
   auto empty = svc.CheckBatch({});
   ASSERT_TRUE(empty.ok());
   EXPECT_TRUE(empty->empty());
+}
+
+// Every metric outside the "pool." namespace is documented as a
+// deterministic function of the workload: scheduling may move work
+// between threads but never changes what is derived or counted. Run the
+// same two batches through a 1-thread and an 8-thread service and the
+// non-pool snapshots must be identical, entry for entry.
+TEST(AnalysisServiceTest, MetricsIdenticalAcrossThreadCounts) {
+  auto run = [](int threads) {
+    text::Workspace workspace = LoadRoleWorkspace();
+    core::SessionOptions options;
+    options.threads = threads;
+    core::AnalysisSession session(*workspace.schema, *workspace.users,
+                                  options);
+    service::AnalysisService svc(session);
+    EXPECT_TRUE(svc.CheckBatch(workspace.requirements).ok());
+    EXPECT_TRUE(svc.CheckBatch(workspace.requirements).ok());
+    EXPECT_TRUE(svc.Check(Req("(updater, w_salary(a, v : ta))")).ok());
+    std::vector<obs::MetricSnapshot> metrics = session.metrics().Snapshot();
+    std::erase_if(metrics, [](const obs::MetricSnapshot& m) {
+      return m.name.starts_with("pool.");
+    });
+    return metrics;
+  };
+
+  std::vector<obs::MetricSnapshot> one = run(1);
+  std::vector<obs::MetricSnapshot> eight = run(8);
+  ASSERT_EQ(one.size(), eight.size());
+  for (size_t i = 0; i < one.size(); ++i) {
+    EXPECT_EQ(one[i], eight[i]) << one[i].name << " vs " << eight[i].name;
+  }
+  // And the run counted real work: closure facts were derived.
+  bool saw_facts = false;
+  for (const obs::MetricSnapshot& m : one) {
+    if (m.name == "closure.facts.total") saw_facts = m.value > 0;
+  }
+  EXPECT_TRUE(saw_facts);
+}
+
+// The session façade drives the same sequential A(R) as the free
+// function, and its counters see every layer of the pipeline.
+TEST(AnalysisSessionTest, CheckMatchesFreeFunctionAndCounts) {
+  text::Workspace workspace = LoadRoleWorkspace();
+  core::AnalysisSession session(*workspace.schema, *workspace.users);
+
+  for (const core::Requirement& requirement : workspace.requirements) {
+    auto via_session = session.Check(requirement);
+    auto via_free = core::CheckRequirement(*workspace.schema,
+                                           *workspace.users, requirement);
+    ASSERT_TRUE(via_session.ok()) << via_session.status();
+    ASSERT_TRUE(via_free.ok()) << via_free.status();
+    EXPECT_EQ(via_session->ToString(), via_free->ToString());
+  }
+
+  EXPECT_EQ(session.metrics().counter("session.checks")->value(), 3u);
+  // One closure per check (the session layer does not cache), each with
+  // at least one fixpoint round.
+  EXPECT_EQ(session.metrics().counter("closure.builds")->value(), 3u);
+  EXPECT_GE(session.metrics().counter("closure.fixpoint.rounds")->value(),
+            3u);
+  EXPECT_EQ(session.metrics().counter("unfold.builds")->value(), 3u);
+  EXPECT_EQ(session.metrics().counter("analyzer.checks")->value(), 3u);
+
+  auto missing = session.Check(Req("(ghost, r_salary(x) : ti)"));
+  EXPECT_FALSE(missing.ok());
+  EXPECT_NE(missing.status().message().find("unknown user 'ghost'"),
+            std::string::npos);
+}
+
+// Arming the session tracer yields a span tree whose phases nest under
+// the per-requirement root: check-requirement -> unfold / closure, and
+// closure -> seed / fixpoint (-> rounds) / compress.
+TEST(AnalysisSessionTest, TracedCheckProducesNestedPhaseSpans) {
+  text::Workspace workspace = LoadRoleWorkspace();
+  core::SessionOptions options;
+  options.tracing = true;
+  core::AnalysisSession session(*workspace.schema, *workspace.users,
+                                options);
+  ASSERT_TRUE(session.Check(Req("(clerk1, r_salary(x) : ti)")).ok());
+
+  std::vector<obs::SpanRecord> spans = session.tracer().Snapshot();
+  auto find = [&](const std::string& name) -> const obs::SpanRecord* {
+    for (const obs::SpanRecord& span : spans) {
+      if (span.name == name) return &span;
+    }
+    return nullptr;
+  };
+  const obs::SpanRecord* root = find("check-requirement");
+  const obs::SpanRecord* unfold = find("unfold");
+  const obs::SpanRecord* closure = find("closure");
+  const obs::SpanRecord* fixpoint = find("closure.fixpoint");
+  const obs::SpanRecord* round = find("closure.fixpoint.round");
+  const obs::SpanRecord* check = find("check");
+  ASSERT_NE(root, nullptr);
+  ASSERT_NE(unfold, nullptr);
+  ASSERT_NE(closure, nullptr);
+  ASSERT_NE(fixpoint, nullptr);
+  ASSERT_NE(round, nullptr);
+  ASSERT_NE(check, nullptr);
+  EXPECT_EQ(root->parent, obs::kNoSpan);
+  EXPECT_EQ(unfold->parent, root->id);
+  EXPECT_EQ(closure->parent, root->id);
+  EXPECT_EQ(fixpoint->parent, closure->id);
+  EXPECT_EQ(round->parent, fixpoint->id);
+  EXPECT_EQ(check->parent, root->id);
+  // Every span closed, and children start within their parent.
+  for (const obs::SpanRecord& span : spans) {
+    EXPECT_GE(span.duration_ns, 0) << span.name;
+    if (span.parent != obs::kNoSpan) {
+      EXPECT_GE(span.start_ns, spans[size_t(span.parent)].start_ns)
+          << span.name;
+    }
+  }
 }
 
 TEST(ThreadPoolTest, RunsEverySubmittedTask) {

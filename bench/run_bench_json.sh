@@ -15,15 +15,39 @@
 # check) plus every metric counter. The timed loops themselves always
 # run untraced.
 #
+# Committed BENCH_*.json files are measurement artifacts, so the script
+# refuses to run from anything but a Release build tree — a debug or
+# RelWithDebInfo number silently poisons every later regression compare.
+# The default build tree is a dedicated build-release/; configure it with
+#
+#   cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release
+#   cmake --build build-release -j
+#
 # Environment:
-#   BUILD_DIR   build tree holding bench/ binaries      (default: build)
+#   BUILD_DIR   Release build tree with bench/ binaries (default: build-release)
 #   OUT_DIR     where BENCH_*.json / TRACE_*.jsonl land (default: repo root)
 #   BENCH_ARGS  extra benchmark flags, e.g. --benchmark_min_time=0.01
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BUILD_DIR="${BUILD_DIR:-build}"
+BUILD_DIR="${BUILD_DIR:-build-release}"
 OUT_DIR="${OUT_DIR:-.}"
+
+if [ ! -f "$BUILD_DIR/CMakeCache.txt" ]; then
+  echo "error: $BUILD_DIR is not a configured build tree." >&2
+  echo "  cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release" >&2
+  echo "  cmake --build build-release -j" >&2
+  exit 1
+fi
+build_type="$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' "$BUILD_DIR/CMakeCache.txt")"
+if [ "$build_type" != "Release" ]; then
+  echo "error: $BUILD_DIR is a '${build_type:-<unset>}' build;" \
+       "benchmark numbers must come from Release." >&2
+  echo "  cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release" >&2
+  exit 1
+fi
+
+mkdir -p "$OUT_DIR"
 # Instrumented suites read this to place their phase traces.
 export OODBSEC_TRACE_DIR="$OUT_DIR"
 

@@ -20,11 +20,17 @@
 #ifndef OODBSEC_CORE_ANALYSIS_SESSION_H_
 #define OODBSEC_CORE_ANALYSIS_SESSION_H_
 
+#include <map>
 #include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
 
 #include "common/result.h"
+#include "common/status.h"
 #include "core/analyzer.h"
 #include "core/closure.h"
+#include "core/closure_cache.h"
 #include "core/requirement.h"
 #include "obs/obs.h"
 #include "schema/schema.h"
@@ -43,6 +49,10 @@ struct SessionOptions {
   // they are counters folded into reports and stats — while span
   // recording costs clock reads and is opt-in.
   bool tracing = false;
+  // LRU bound for the subset-lattice closure cache behind
+  // RecheckRequirements (and the service layer, which reads this as its
+  // cache bound too).
+  size_t cache_capacity = ClosureCache::kDefaultCapacity;
 };
 
 class AnalysisSession {
@@ -75,8 +85,52 @@ class AnalysisSession {
 
   // One-shot sequential A(R): resolve the requirement's user, build the
   // analysis, check. No caching — the service layer is the cached,
-  // parallel consumer of this session.
+  // parallel consumer of this session. Sees session-local grant/revoke
+  // edits (below).
   common::Result<AnalysisReport> Check(const Requirement& requirement);
+
+  // --- grant/revoke re-audit -----------------------------------------
+  //
+  // Policy changes arrive one grant or revoke at a time, and each one
+  // invalidates every affected user's closure. The session keeps its
+  // own copy-on-write overlay over the (const) registry — the registry
+  // itself is never mutated — plus a subset-lattice closure cache, so a
+  // re-audit after a change costs only the delta:
+  //
+  //   * after AddCapability, the user's old root list is a subset of
+  //     the new one: the cached closure seeds a warm-started build that
+  //     derives just the new function's contribution;
+  //   * after RemoveCapability, the new list warm-starts from the
+  //     largest still-valid cached subset (often a sibling role), and
+  //     falls back to a cold run only when nothing overlaps.
+
+  // The session's view of `name`: the overlay copy when the user has
+  // been edited here, the registry's user otherwise. nullptr if unknown.
+  const schema::User* FindUser(std::string_view name) const;
+
+  // Grants `function` to `user` in the session overlay. Fails if the
+  // user is unknown or the name resolves to nothing in the schema.
+  common::Status AddCapability(std::string_view user, std::string function);
+
+  // Revokes `function` from `user` in the session overlay. Fails if the
+  // user is unknown or does not currently hold the capability.
+  common::Status RemoveCapability(std::string_view user,
+                                  std::string_view function);
+
+  // Re-checks `requirements` against the current (overlay) capability
+  // state, serving closures from the session's subset-lattice cache:
+  // exact hit, else warm-start from the largest cached subset, else
+  // cold build. Reports come back in input order; the first failing
+  // requirement's error wins. Because warm-started closures take
+  // different derivation routes than cold ones, reports' fact_count
+  // and derivation text may differ from a cold Check() — verdicts and
+  // flaw sites do not.
+  common::Result<std::vector<AnalysisReport>> RecheckRequirements(
+      const std::vector<Requirement>& requirements);
+
+  // The cache behind RecheckRequirements (shared with no one else;
+  // the service layer builds its own from the same options).
+  const ClosureCache& recheck_cache() const { return *recheck_cache_; }
 
  private:
   const schema::Schema& schema_;
@@ -85,6 +139,10 @@ class AnalysisSession {
   // unique_ptr: handed-out pointers survive a session move-construction
   // being added later, and keep the header light.
   std::unique_ptr<obs::Observability> obs_;
+  // Copy-on-write user edits (AddCapability/RemoveCapability). Keyed by
+  // user name; absent means "registry state".
+  std::map<std::string, schema::User, std::less<>> overlay_users_;
+  std::unique_ptr<ClosureCache> recheck_cache_;
 };
 
 }  // namespace oodbsec::core

@@ -42,10 +42,10 @@ std::string Origin::ToString() const {
 }
 
 Closure::Closure(const unfold::UnfoldedSet& set, ClosureOptions options,
-                 obs::Observability* obs)
+                 obs::Observability* obs, const Closure* warm_base)
     : set_(&set), options_(options), obs_(obs) {
-  obs::ScopedSpan closure_span(
-      obs_ != nullptr ? &obs_->tracer : nullptr, "closure");
+  obs::Tracer* tracer = obs_ != nullptr ? &obs_->tracer : nullptr;
+  obs::ScopedSpan closure_span(tracer, "closure");
   int n = set.node_count();
   uf_parent_.resize(n + 1);
   uf_rank_.assign(n + 1, 0);
@@ -88,14 +88,169 @@ Closure::Closure(const unfold::UnfoldedSet& set, ClosureOptions options,
       binder_of_bound_expr_[binder.bound_expr->id] = binder.id;
     }
   }
+  BuildPremiseIndex();
+
+  if (warm_base != nullptr) {
+    std::vector<int> old_to_new;
+    if (ComputeWarmMap(*warm_base, old_to_new)) {
+      obs::ScopedSpan replay_span(tracer, "closure.delta.replay");
+      ReplayBase(*warm_base, old_to_new);
+      warm_started_ = true;
+    }
+  }
 
   {
-    obs::ScopedSpan seed_span(
-        obs_ != nullptr ? &obs_->tracer : nullptr, "closure.seed");
+    obs::ScopedSpan seed_span(tracer, "closure.seed");
     Seed();
   }
   Run();
   FlushMetrics();
+}
+
+void Closure::BuildPremiseIndex() {
+  int n = set_->node_count();
+  alter_triggers_.resize(n + 1);
+  infer_triggers_.resize(n + 1);
+  pistar_triggers_.resize(n + 1);
+  if (!options_.basic_function_rules) return;
+  auto insert_ref = [](std::vector<RuleRef>& refs, RuleRef ref) {
+    auto it = std::lower_bound(refs.begin(), refs.end(), ref);
+    if (it == refs.end() || !(*it == ref)) refs.insert(it, ref);
+  };
+  for (int i = 1; i <= n; ++i) {
+    const Node* node = set_->node(i);
+    if (node->kind != NodeKind::kBasicCall) continue;
+    for (const BasicRule& rule : RulesFor(*node->basic)) {
+      RuleRef ref{node, &rule};
+      for (const RuleAtom& atom : rule.premises) {
+        int id = atom.pos == kResultPos ? node->id
+                                        : node->children[atom.pos]->id;
+        switch (atom.pred) {
+          case RuleAtom::Pred::kTa:
+          case RuleAtom::Pred::kPa:
+            insert_ref(alter_triggers_[id], ref);
+            break;
+          case RuleAtom::Pred::kTi:
+          case RuleAtom::Pred::kPi:
+            // One shared table for ti and pi atoms: "ti => pi" and the
+            // pi-join write the sibling table before the triggers run
+            // (see ProcessTi / ProcessPi), so either event can complete
+            // either atom.
+            insert_ref(infer_triggers_[id], ref);
+            break;
+          case RuleAtom::Pred::kPiStar: {
+            insert_ref(pistar_triggers_[id], ref);
+            int id2 = atom.pos2 == kResultPos
+                          ? node->id
+                          : node->children[atom.pos2]->id;
+            insert_ref(pistar_triggers_[id2], ref);
+            break;
+          }
+        }
+      }
+    }
+  }
+}
+
+bool Closure::ComputeWarmMap(const Closure& base,
+                             std::vector<int>& old_to_new) const {
+  if (&base == this || !(base.options_ == options_)) return false;
+  const std::vector<unfold::Root>& old_roots = base.set_->roots();
+  const std::vector<unfold::Root>& new_roots = set_->roots();
+  // Match the k-th duplicate of a name to the k-th duplicate: unfolding
+  // a function is deterministic, so position within the root list never
+  // changes a root's shape (see unfold::Root).
+  std::map<std::string_view, std::vector<size_t>> available;
+  for (size_t j = 0; j < new_roots.size(); ++j) {
+    available[new_roots[j].function_name].push_back(j);
+  }
+  std::map<std::string_view, size_t> next;
+  old_to_new.assign(base.set_->node_count() + 1, 0);
+  for (const unfold::Root& old_root : old_roots) {
+    auto it = available.find(old_root.function_name);
+    if (it == available.end()) return false;
+    size_t& cursor = next[old_root.function_name];
+    if (cursor >= it->second.size()) return false;
+    const unfold::Root& new_root = new_roots[it->second[cursor++]];
+    int old_first = old_root.first_node_id;
+    int old_last = old_root.body->id;
+    int new_first = new_root.first_node_id;
+    if (old_last - old_first != new_root.body->id - new_first) {
+      return false;  // shape mismatch: schemas differ, fall back cold
+    }
+    for (int id = old_first; id <= old_last; ++id) {
+      old_to_new[id] = id - old_first + new_first;
+    }
+  }
+  return true;
+}
+
+void Closure::ReplayBase(const Closure& base,
+                         const std::vector<int>& old_to_new) {
+  replayed_facts_ = base.steps_.size();
+  steps_.reserve(base.steps_.size() + base.steps_.size() / 4);
+  premise_arena_.reserve(base.premise_arena_.size());
+  for (const DerivationStep& bstep : base.steps_) {
+    // Translate the fact into this set's id space. Origin nums are
+    // occurrence ids too (0 marks observation/equality axioms and maps
+    // to itself).
+    Fact fact = bstep.fact;
+    fact.a = old_to_new[fact.a];
+    if (fact.kind == Fact::Kind::kPiStar || fact.kind == Fact::Kind::kEq) {
+      fact.b = old_to_new[fact.b];
+    }
+    fact.origin.num = old_to_new[fact.origin.num];
+    // Append the step verbatim. Every base step becomes exactly one
+    // replayed step, so premise FactIds keep their values and are
+    // copied raw. Rule labels have static storage — nothing borrows
+    // from the base after construction.
+    FactId id = static_cast<FactId>(steps_.size());
+    DerivationStep step;
+    step.fact = fact;
+    step.rule = bstep.rule;
+    step.premise_offset = static_cast<uint32_t>(premise_arena_.size());
+    step.premise_count = bstep.premise_count;
+    const FactId* src = base.premise_arena_.data() + bstep.premise_offset;
+    premise_arena_.insert(premise_arena_.end(), src,
+                          src + bstep.premise_count);
+    steps_.push_back(step);
+    // Apply the table effect. Replayed facts never enter the frontier:
+    // the follow-up Seed() + Run() re-derive only what the added roots
+    // contribute, re-firing rules through the premise index as new
+    // facts interact with the replayed state.
+    switch (fact.kind) {
+      case Fact::Kind::kTa:
+        ta_[fact.a] = id;
+        break;
+      case Fact::Kind::kPa:
+        pa_[fact.a] = id;
+        break;
+      case Fact::Kind::kTi:
+        ti_[Find(fact.a)].Insert(fact.origin, id);
+        break;
+      case Fact::Kind::kPi:
+        pi_[Find(fact.a)].Insert(fact.origin, id);
+        break;
+      case Fact::Kind::kPiStar: {
+        std::pair<int, int> key = {Find(fact.a), Find(fact.b)};
+        pistar_[PairKey(key.first, key.second)].Insert(fact.origin, id);
+        InsertSortedUnique(pistar_touching_[key.first], key);
+        InsertSortedUnique(pistar_touching_[key.second], key);
+        break;
+      }
+      case Fact::Kind::kEq: {
+        int ra = Find(fact.a);
+        int rb = Find(fact.b);
+        if (ra != rb) {
+          ++eq_merges_;
+          eq_edges_[fact.a].emplace_back(fact.b, id);
+          eq_edges_[fact.b].emplace_back(fact.a, id);
+          MergeClasses(ra, rb);
+        }
+        break;
+      }
+    }
+  }
 }
 
 // ---------------------------------------------------------------------
@@ -153,7 +308,7 @@ FactId Closure::Log(Fact fact, std::string_view rule, Premises premises) {
   premise_arena_.insert(premise_arena_.end(), premises.begin(),
                         premises.end());
   steps_.push_back(step);
-  worklist_.push_back(id);
+  next_frontier_.push_back(id);
   return id;
 }
 
@@ -299,19 +454,19 @@ void Closure::Run() {
                       : nullptr;
   {
     obs::ScopedSpan fixpoint_span(tracer, "closure.fixpoint");
-    // The worklist drains in generations: one round processes exactly
-    // the facts enqueued before it began (conclusions join the next
-    // round). Rounds exist for observability — processing order is
-    // unchanged, the deque stays FIFO throughout.
-    while (!worklist_.empty()) {
+    // Semi-naive delta rounds: one round processes exactly the facts
+    // derived before it began (the delta); conclusions land in
+    // next_frontier_ and form the next round. Facts are processed in
+    // FactId order — the same FIFO order as the deque worklist this
+    // replaces — and each processed fact re-fires only the rule
+    // instantiations the premise index lists for it.
+    while (!next_frontier_.empty()) {
       ++rounds_;
       obs::ScopedSpan round_span(tracer, "closure.fixpoint.round");
       size_t facts_before = steps_.size();
-      for (size_t in_round = worklist_.size(); in_round > 0; --in_round) {
-        FactId fact_id = worklist_.front();
-        worklist_.pop_front();
-        Process(fact_id);
-      }
+      frontier_.clear();
+      std::swap(frontier_, next_frontier_);
+      for (FactId fact_id : frontier_) Process(fact_id);
       if (round_facts != nullptr) {
         round_facts->Record(steps_.size() - facts_before);
       }
@@ -413,11 +568,12 @@ void Closure::FireLetAndWriteRulesForAlterability(int id, bool total,
 void Closure::ProcessTa(const Fact& fact, FactId fact_id) {
   AddPa(fact.a, "ta => pa", {fact_id});
   FireLetAndWriteRulesForAlterability(fact.a, /*total=*/true, fact_id);
-  const Node* parent = set_->node(fact.a)->parent;
-  if (parent != nullptr && parent->kind == NodeKind::kBasicCall &&
-      options_.basic_function_rules) {
-    ReevalBasicCall(parent);
-  }
+  // The index lists the (parent-call) rules with a ta or pa premise on
+  // this occurrence; pa is included because the implication above lands
+  // in pa_ before the triggers run, exactly as the whole-call reeval saw
+  // it. Rules without such a premise read state this fact didn't change
+  // and could only re-derive duplicates.
+  if (options_.basic_function_rules) EvalTriggered(alter_triggers_[fact.a]);
 }
 
 void Closure::ProcessPa(const Fact& fact, FactId fact_id) {
@@ -447,10 +603,7 @@ void Closure::ProcessPa(const Fact& fact, FactId fact_id) {
 
   FireLetAndWriteRulesForAlterability(fact.a, /*total=*/false, fact_id);
 
-  if (parent != nullptr && parent->kind == NodeKind::kBasicCall &&
-      options_.basic_function_rules) {
-    ReevalBasicCall(parent);
-  }
+  if (options_.basic_function_rules) EvalTriggered(alter_triggers_[fact.a]);
 }
 
 // ---------------------------------------------------------------------
@@ -506,6 +659,25 @@ void Closure::ProcessEqMerge(const Fact& fact, FactId fact_id) {
     cross(rb, ra);
   }
 
+  int root = MergeClasses(ra, rb);
+
+  // =[e1,e2] -> pi*[(e1,e2), 0, +]: equal expressions form a known pair.
+  AddPiStar(fact.a, fact.b, {0, '+'}, "=: pair of equals", {fact_id});
+
+  // The merged class may have gained inferability origins (pi-join) and
+  // new rule opportunities.
+  if (options_.pi_join_to_ti) {
+    const OriginSet& joined = pi_[root];
+    if (joined.size() >= 2) {
+      std::span<const OriginSet::Entry> entries = joined.entries();
+      AddTi(fact.a, entries[0].origin, "join of partial inferabilities",
+            {entries[0].fact, entries[1].fact});
+    }
+  }
+  if (options_.basic_function_rules) ReevalCallsTouching(root);
+}
+
+int Closure::MergeClasses(int ra, int rb) {
   // Union by rank.
   int root = ra;
   int absorbed = rb;
@@ -537,6 +709,20 @@ void Closure::ProcessEqMerge(const Fact& fact, FactId fact_id) {
       source.shrink_to_fit();
     }
   }
+  // Trigger lists follow their class (same sorted-unique semantics).
+  auto merge_triggers = [&](std::vector<std::vector<RuleRef>>& table) {
+    std::vector<RuleRef>& source = table[absorbed];
+    if (source.empty()) return;
+    std::vector<RuleRef>& target = table[root];
+    for (const RuleRef& ref : source) {
+      auto it = std::lower_bound(target.begin(), target.end(), ref);
+      if (it == target.end() || !(*it == ref)) target.insert(it, ref);
+    }
+    source.clear();
+    source.shrink_to_fit();
+  };
+  merge_triggers(infer_triggers_);
+  merge_triggers(pistar_triggers_);
 
   // Merge inferability origin sets ("=: inferability propagation" is
   // materialized by class-level storage).
@@ -577,21 +763,7 @@ void Closure::ProcessEqMerge(const Fact& fact, FactId fact_id) {
       InsertSortedUnique(pistar_touching_[new_key.second], new_key);
     }
   }
-
-  // =[e1,e2] -> pi*[(e1,e2), 0, +]: equal expressions form a known pair.
-  AddPiStar(fact.a, fact.b, {0, '+'}, "=: pair of equals", {fact_id});
-
-  // The merged class may have gained inferability origins (pi-join) and
-  // new rule opportunities.
-  if (options_.pi_join_to_ti) {
-    const OriginSet& joined = pi_[root];
-    if (joined.size() >= 2) {
-      std::span<const OriginSet::Entry> entries = joined.entries();
-      AddTi(fact.a, entries[0].origin, "join of partial inferabilities",
-            {entries[0].fact, entries[1].fact});
-    }
-  }
-  if (options_.basic_function_rules) ReevalCallsTouching(root);
+  return root;
 }
 
 // ---------------------------------------------------------------------
@@ -599,7 +771,12 @@ void Closure::ProcessEqMerge(const Fact& fact, FactId fact_id) {
 
 void Closure::ProcessTi(const Fact& fact, FactId fact_id) {
   AddPi(fact.a, fact.origin, "ti => pi", {fact_id});
-  if (options_.basic_function_rules) ReevalCallsTouching(Find(fact.a));
+  // infer_triggers_ covers rules with a ti *or* pi premise in the class:
+  // the implication above already sits in pi_ when they run, exactly as
+  // the whole-class reeval saw it.
+  if (options_.basic_function_rules) {
+    EvalTriggered(infer_triggers_[Find(fact.a)]);
+  }
 }
 
 void Closure::ProcessPi(const Fact& fact, FactId fact_id) {
@@ -619,7 +796,9 @@ void Closure::ProcessPi(const Fact& fact, FactId fact_id) {
       }
     }
   }
-  if (options_.basic_function_rules) ReevalCallsTouching(Find(fact.a));
+  if (options_.basic_function_rules) {
+    EvalTriggered(infer_triggers_[Find(fact.a)]);
+  }
 }
 
 void Closure::ProcessPiStar(const Fact& fact, FactId fact_id) {
@@ -652,8 +831,8 @@ void Closure::ProcessPiStar(const Fact& fact, FactId fact_id) {
   }
 
   if (options_.basic_function_rules) {
-    ReevalCallsTouching(ra);
-    if (rb != ra) ReevalCallsTouching(rb);
+    EvalTriggered(pistar_triggers_[ra]);
+    if (rb != ra) EvalTriggered(pistar_triggers_[rb]);
   }
 }
 
@@ -671,11 +850,8 @@ bool Closure::PickOrigin(const OriginSet& origins, const Origin* excluded,
   return false;
 }
 
-void Closure::ReevalBasicCall(const Node* call) {
-  ++basic_reevals_;
-  const std::vector<BasicRule>& rules = RulesFor(*call->basic);
-  if (rules.empty()) return;
-
+void Closure::EvalRule(const Node* call, const BasicRule& rule) {
+  ++rule_evals_;
   auto id_at = [&](int pos) {
     return pos == kResultPos ? call->id : call->children[pos]->id;
   };
@@ -685,7 +861,7 @@ void Closure::ReevalBasicCall(const Node* call) {
   Origin arg_guard = {call->id, '-'};
   Origin result_guard = {call->id, '+'};
 
-  for (const BasicRule& rule : rules) {
+  {
     std::vector<FactId>& premises = scratch_premises_;
     premises.clear();
     bool ok = true;
@@ -738,7 +914,7 @@ void Closure::ReevalBasicCall(const Node* call) {
       }
       if (!ok) break;
     }
-    if (!ok) continue;
+    if (!ok) return;
 
     bool premise_involves_result = false;
     for (const RuleAtom& atom : rule.premises) {
@@ -774,6 +950,18 @@ void Closure::ReevalBasicCall(const Node* call) {
         break;
     }
   }
+}
+
+void Closure::ReevalBasicCall(const Node* call) {
+  ++basic_reevals_;
+  for (const BasicRule& rule : RulesFor(*call->basic)) EvalRule(call, rule);
+}
+
+void Closure::EvalTriggered(const std::vector<RuleRef>& triggers) {
+  // Safe to iterate by reference: rule firing only logs facts (merges
+  // happen at ProcessEqMerge time, never inside Add*), so the trigger
+  // tables cannot move under us.
+  for (const RuleRef& ref : triggers) EvalRule(ref.call, *ref.rule);
 }
 
 void Closure::ReevalCallsTouching(int rep) {
@@ -825,6 +1013,14 @@ void Closure::FlushMetrics() {
   metrics.counter("closure.add.attempts")->Increment(add_attempts_);
   metrics.counter("closure.basic_call.reevals")->Increment(basic_reevals_);
   metrics.counter("closure.eq.merges")->Increment(eq_merges_);
+  metrics.counter("closure.delta.rule_evals")->Increment(rule_evals_);
+  if (warm_started_) {
+    metrics.counter("closure.delta.warm_starts")->Increment();
+    metrics.counter("closure.delta.replayed_facts")
+        ->Increment(replayed_facts_);
+    metrics.counter("closure.delta.new_facts")
+        ->Increment(steps_.size() - replayed_facts_);
+  }
 
   // Per-family and per-kind fact counts come from one pass over the
   // derivation log — nothing in the hot path pays for them.
@@ -869,6 +1065,44 @@ FactId Closure::PiFact(int id) const {
   const OriginSet& origins = pi_[Rep(id)];
   if (!origins.empty()) return origins.entries()[0].fact;
   return TiFact(id);
+}
+
+std::string Closure::FactSetDigest() const {
+  int n = set_->node_count();
+  std::string out;
+  out.reserve(static_cast<size_t>(n) * 4 + 32);
+  // Per-occurrence predicate bits, one hex digit per occurrence.
+  for (int id = 1; id <= n; ++id) {
+    unsigned bits = (HasTa(id) ? 1u : 0u) | (HasPa(id) ? 2u : 0u) |
+                    (HasTi(id) ? 4u : 0u) | (HasPi(id) ? 8u : 0u);
+    out.push_back("0123456789abcdef"[bits]);
+  }
+  out.push_back('|');
+  // Equality partition, canonicalized: each occurrence maps to the
+  // smallest member of its class.
+  std::vector<int> leader(n + 1, 0);
+  for (int id = 1; id <= n; ++id) {
+    int rep = Rep(id);
+    if (leader[rep] == 0) leader[rep] = id;  // ids ascend: first is min
+  }
+  for (int id = 1; id <= n; ++id) {
+    out += common::StrCat(leader[Rep(id)], ",");
+  }
+  out.push_back('|');
+  // pi* pairs as (min member, min member), sorted for determinism.
+  std::vector<std::pair<int, int>> pairs;
+  pairs.reserve(pistar_.size());
+  for (const auto& [key, origins] : pistar_) {
+    if (origins.empty()) continue;
+    pairs.emplace_back(leader[static_cast<int>(key >> 32)],
+                       leader[static_cast<int>(key & 0xffffffffu)]);
+  }
+  std::sort(pairs.begin(), pairs.end());
+  pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
+  for (const auto& [a, b] : pairs) {
+    out += common::StrCat(a, ":", b, ",");
+  }
+  return out;
 }
 
 std::string Closure::FactToString(const Fact& fact) const {

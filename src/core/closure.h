@@ -52,7 +52,6 @@
 
 #include <array>
 #include <cstdint>
-#include <deque>
 #include <initializer_list>
 #include <span>
 #include <string>
@@ -173,6 +172,10 @@ struct ClosureOptions {
   // contrast that updateSalary becomes *totally* controllable only when
   // w_budget is also granted (§3.1).
   bool read_object_total_alterability = false;
+
+  // Warm-start seeding requires identical semantics on both sides.
+  friend bool operator==(const ClosureOptions&, const ClosureOptions&) =
+      default;
 };
 
 class Closure {
@@ -183,13 +186,41 @@ class Closure {
   // compress children, and fact counts per rule family, union-find
   // finds, and dedup-lookup counts land in the metrics registry. `obs`
   // is not part of the closure semantics (cache keys ignore it).
+  //
+  // Warm start: `warm_base` (optional) is a completed closure whose
+  // roots form a sub-multiset of `set`'s, computed under the same
+  // options. Its derivation log is replayed into this closure's tables
+  // (translating occurrence ids through the per-root contiguous-range
+  // invariant documented on unfold::Root), and the fixpoint then derives
+  // only the delta contributed by the additional roots. The base is
+  // read during construction only — it may be evicted or destroyed
+  // afterwards. An incompatible base (different options, a root missing
+  // from `set`, mismatched unfold shapes) is ignored and the build falls
+  // back to a cold run; warm_started() reports which path was taken.
+  // Warm and cold runs over the same set derive the same fact *set*
+  // (compare with FactSetDigest()), but generally different derivation
+  // *logs* — fact_count() and ExplainFact() output depend on the route.
   explicit Closure(const unfold::UnfoldedSet& set, ClosureOptions options = {},
-                   obs::Observability* obs = nullptr);
+                   obs::Observability* obs = nullptr,
+                   const Closure* warm_base = nullptr);
 
   Closure(const Closure&) = delete;
   Closure& operator=(const Closure&) = delete;
 
   const unfold::UnfoldedSet& set() const { return *set_; }
+
+  // True when a warm_base was accepted and replayed.
+  bool warm_started() const { return warm_started_; }
+  // Facts replayed from the base (prefix of steps()); 0 for cold runs.
+  size_t replayed_fact_count() const { return replayed_facts_; }
+
+  // Canonical, order-insensitive summary of the derived fact set:
+  // per-occurrence predicate bits, the equality partition, and the set
+  // of pi* class pairs. Derivation routes, origin provenance, and log
+  // order are deliberately excluded — two closures over the same
+  // unfolded program agree semantically iff their digests are equal.
+  // This is the equivalence the warm-start tests assert.
+  std::string FactSetDigest() const;
 
   // Capability queries by occurrence id. pi/pa include ti/ta (the
   // implication rules are materialized). All queries are safe for
@@ -277,6 +308,38 @@ class Closure {
                  Premises{premises.begin(), premises.size()});
   }
 
+  // --- premise index ---
+  // One candidate rule instantiation: a basic call plus one of its
+  // rules. `rule` points into the static per-function catalog, so refs
+  // from the same call compare in catalog order by address.
+  struct RuleRef {
+    const unfold::Node* call = nullptr;
+    const BasicRule* rule = nullptr;
+
+    friend bool operator==(const RuleRef& x, const RuleRef& y) {
+      return x.call == y.call && x.rule == y.rule;
+    }
+    friend bool operator<(const RuleRef& x, const RuleRef& y) {
+      if (x.call->id != y.call->id) return x.call->id < y.call->id;
+      return x.rule < y.rule;
+    }
+  };
+  // Fills the trigger tables: every premise atom of every rule
+  // instantiation is indexed under the occurrence (alterability) or
+  // class (inferability / pi*) it reads, so a newly derived fact visits
+  // only the rules it can complete.
+  void BuildPremiseIndex();
+
+  // --- warm start ---
+  // Maps every base occurrence id to its id in set_ by matching roots by
+  // function name (k-th duplicate to k-th duplicate) and shifting each
+  // root's contiguous id range. False when the base is incompatible.
+  bool ComputeWarmMap(const Closure& base, std::vector<int>& old_to_new) const;
+  // Replays the base derivation log: every step is appended verbatim
+  // (ids translated) and applied to the tables, but never enqueued —
+  // Seed() + Run() then derive only the delta on top.
+  void ReplayBase(const Closure& base, const std::vector<int>& old_to_new);
+
   // --- rule application ---
   void Seed();
   void Run();
@@ -294,6 +357,13 @@ class Closure {
                                            FactId fact_id);
   void FireWriteValueRules(const unfold::Node* write, FactId eq_or_alter,
                            const unfold::Node* read);
+  // Structural half of an equality merge: union by rank plus the merge
+  // of every per-class table (members, reads/writes, touching calls,
+  // trigger lists, origin sets, pi* re-keying). Shared between
+  // ProcessEqMerge and warm-start replay; returns the surviving root.
+  int MergeClasses(int ra, int rb);
+  void EvalRule(const unfold::Node* call, const BasicRule& rule);
+  void EvalTriggered(const std::vector<RuleRef>& triggers);
   void ReevalBasicCall(const unfold::Node* call);
   void ReevalCallsTouching(int rep);
 
@@ -316,9 +386,13 @@ class Closure {
   obs::Observability* obs_ = nullptr;
   uint64_t find_calls_ = 0;     // union-find lookups during construction
   uint64_t add_attempts_ = 0;   // Add* calls (dedup lookups), incl. misses
-  uint64_t basic_reevals_ = 0;  // basic-function rule re-evaluations
+  uint64_t basic_reevals_ = 0;  // whole-call rule re-evaluations
+  uint64_t rule_evals_ = 0;     // single-rule evaluations (incl. indexed)
   uint64_t eq_merges_ = 0;      // equality merges actually performed
-  uint64_t rounds_ = 0;         // fixpoint worklist generations
+  uint64_t rounds_ = 0;         // fixpoint delta rounds
+
+  bool warm_started_ = false;
+  size_t replayed_facts_ = 0;
 
   // Union-find over occurrence ids (1-based). No `mutable` escape hatch:
   // path compression happens only during construction, and Run() leaves
@@ -345,6 +419,15 @@ class Closure {
   // Rep id -> basic calls with an argument or themselves in the class,
   // sorted by occurrence id, unique.
   std::vector<std::vector<const unfold::Node*>> touching_calls_;
+  // Premise index (see BuildPremiseIndex). alter_triggers_ is keyed by
+  // occurrence id (ta/pa are per-occurrence and never merge);
+  // infer_triggers_ / pistar_triggers_ are keyed by class representative
+  // and merged on union, like touching_calls_. All lists are sorted by
+  // (call id, catalog order), unique — the evaluation order of the full
+  // per-call scan they replace.
+  std::vector<std::vector<RuleRef>> alter_triggers_;
+  std::vector<std::vector<RuleRef>> infer_triggers_;
+  std::vector<std::vector<RuleRef>> pistar_triggers_;
   // Rep id -> reads/writes whose *object* child is in the class.
   std::vector<std::vector<const unfold::Node*>> obj_reads_;
   std::vector<std::vector<const unfold::Node*>> obj_writes_;
@@ -353,7 +436,11 @@ class Closure {
 
   std::vector<DerivationStep> steps_;
   std::vector<FactId> premise_arena_;
-  std::deque<FactId> worklist_;
+  // Semi-naive delta frontiers: Log() appends every accepted fact to
+  // next_frontier_; Run() swaps it into frontier_ and processes one
+  // round. Same FIFO order as the deque worklist this replaces.
+  std::vector<FactId> frontier_;
+  std::vector<FactId> next_frontier_;
 
   // Scratch buffers (construction only): rule premises under evaluation
   // and the equality-explanation BFS state, reused across millions of

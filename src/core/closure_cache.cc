@@ -1,0 +1,142 @@
+#include "core/closure_cache.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/strings.h"
+#include "obs/trace.h"
+
+namespace oodbsec::core {
+
+ClosureCache::ClosureCache(const schema::Schema& schema,
+                           ClosureOptions options, size_t capacity,
+                           obs::Observability* obs)
+    : schema_(schema),
+      options_(options),
+      capacity_(capacity == 0 ? 1 : capacity),
+      obs_(obs) {}
+
+std::string ClosureCache::KeyFor(const std::vector<std::string>& roots) {
+  std::string key;
+  for (const std::string& root : roots) {
+    key += root;
+    key += '|';
+  }
+  return key;
+}
+
+std::shared_ptr<const CachedAnalysis> ClosureCache::FindExact(
+    const std::vector<std::string>& roots) {
+  auto it = entries_.find(KeyFor(roots));
+  if (it == entries_.end()) return nullptr;
+  ++stats_.exact_hits;
+  if (obs_ != nullptr) {
+    obs_->metrics.counter("closure.cache.exact_hits")->Increment();
+  }
+  lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+  return it->second.entry;
+}
+
+std::shared_ptr<const CachedAnalysis> ClosureCache::FindLargestSubset(
+    const std::vector<std::string>& roots) const {
+  std::vector<std::string> sorted(roots);
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  const CachedAnalysis* best = nullptr;
+  std::shared_ptr<const CachedAnalysis> best_entry;
+  for (const auto& [key, slot] : entries_) {
+    const CachedAnalysis& candidate = *slot.entry;
+    if (candidate.sorted_roots.size() >= sorted.size()) continue;
+    if (!std::includes(sorted.begin(), sorted.end(),
+                       candidate.sorted_roots.begin(),
+                       candidate.sorted_roots.end())) {
+      continue;
+    }
+    // Largest subset wins — it replays the most facts. Ties break
+    // toward the lexicographically smallest root list, so the choice
+    // (and thus the warm-built derivation log) never depends on hash
+    // iteration order.
+    if (best == nullptr ||
+        candidate.sorted_roots.size() > best->sorted_roots.size() ||
+        (candidate.sorted_roots.size() == best->sorted_roots.size() &&
+         candidate.sorted_roots < best->sorted_roots)) {
+      best = &candidate;
+      best_entry = slot.entry;
+    }
+  }
+  return best_entry;
+}
+
+common::Result<std::shared_ptr<const CachedAnalysis>>
+ClosureCache::BuildDetached(const std::vector<std::string>& roots,
+                            const CachedAnalysis* warm_base,
+                            obs::SpanId parent) const {
+  obs::ScopedSpan span(obs_ != nullptr ? &obs_->tracer : nullptr,
+                       "closure.build", parent);
+  OODBSEC_ASSIGN_OR_RETURN(std::unique_ptr<unfold::UnfoldedSet> set,
+                           unfold::UnfoldedSet::Build(schema_, roots, obs_));
+  auto entry = std::make_shared<CachedAnalysis>();
+  entry->roots = roots;
+  entry->sorted_roots = roots;
+  std::sort(entry->sorted_roots.begin(), entry->sorted_roots.end());
+  entry->sorted_roots.erase(
+      std::unique(entry->sorted_roots.begin(), entry->sorted_roots.end()),
+      entry->sorted_roots.end());
+  entry->closure = std::make_unique<Closure>(
+      *set, options_, obs_,
+      warm_base != nullptr ? warm_base->closure.get() : nullptr);
+  entry->set = std::move(set);
+  return std::shared_ptr<const CachedAnalysis>(std::move(entry));
+}
+
+void ClosureCache::Insert(std::shared_ptr<const CachedAnalysis> entry) {
+  std::string key = KeyFor(entry->roots);
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    it->second.entry = std::move(entry);
+    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+    return;
+  }
+  if (entries_.size() >= capacity_) {
+    // Evict the least-recently-used entry. Holders of its shared_ptr
+    // (including builds currently replaying it) are unaffected.
+    ++stats_.evictions;
+    if (obs_ != nullptr) {
+      obs_->metrics.counter("closure.cache.evictions")->Increment();
+    }
+    entries_.erase(lru_.back());
+    lru_.pop_back();
+  }
+  lru_.push_front(key);
+  entries_.emplace(std::move(key),
+                   Slot{std::move(entry), lru_.begin()});
+}
+
+void ClosureCache::CountBuild(bool warm) {
+  if (warm) {
+    ++stats_.warm_builds;
+  } else {
+    ++stats_.cold_builds;
+  }
+  if (obs_ != nullptr) {
+    obs_->metrics
+        .counter(warm ? "closure.cache.warm_builds"
+                      : "closure.cache.cold_builds")
+        ->Increment();
+  }
+}
+
+common::Result<std::shared_ptr<const CachedAnalysis>>
+ClosureCache::GetOrBuild(const std::vector<std::string>& roots) {
+  if (std::shared_ptr<const CachedAnalysis> hit = FindExact(roots)) {
+    return hit;
+  }
+  std::shared_ptr<const CachedAnalysis> base = FindLargestSubset(roots);
+  OODBSEC_ASSIGN_OR_RETURN(std::shared_ptr<const CachedAnalysis> entry,
+                           BuildDetached(roots, base.get()));
+  CountBuild(entry->closure->warm_started());
+  Insert(entry);
+  return entry;
+}
+
+}  // namespace oodbsec::core

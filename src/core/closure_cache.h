@@ -1,0 +1,134 @@
+// ClosureCache: a subset-lattice cache of computed closures with
+// warm-start reuse.
+//
+// The PR-1 service cache was an exact-signature map: a request either
+// matched a cached root list byte-for-byte or paid a full cold fixpoint.
+// Real populations don't change that way — capability lists overlap
+// heavily and drift one grant at a time — so this cache treats its
+// entries as points in the subset lattice of root sets:
+//
+//   * exact hit: the request's root list is cached — return it;
+//   * warm build: otherwise find the largest cached entry whose roots
+//     are a subset of the request's, replay its derivation log into the
+//     new closure (core::Closure's warm_base), and run only the delta;
+//   * cold build: no subset is cached — full fixpoint.
+//
+// Entries are handed out as shared_ptr<const CachedAnalysis>: the cache
+// is LRU-bounded, and eviction must not invalidate entries that callers
+// (or in-flight parallel builds using one as a warm base) still hold.
+// A Closure never borrows from its warm base after construction, so an
+// evicted base may be destroyed while closures derived from it live on.
+//
+// Warm-started closures derive the same fact set as a cold run over the
+// same roots (Closure::FactSetDigest) but a different derivation log —
+// callers that promise byte-identical derivation text must build cold.
+//
+// Thread-safety: like the service layer, the cache is a single-caller
+// object — Find*/GetOrBuild/Insert must not race. BuildDetached is the
+// exception: it is const, touches no cache state, and may run on many
+// worker threads at once (the service's parallel build phase), each
+// sharing cached entries as warm bases.
+#ifndef OODBSEC_CORE_CLOSURE_CACHE_H_
+#define OODBSEC_CORE_CLOSURE_CACHE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "core/closure.h"
+#include "obs/obs.h"
+#include "schema/schema.h"
+#include "unfold/unfolded.h"
+
+namespace oodbsec::core {
+
+// One cached analysis unit: the root list that was unfolded, its
+// program, and the closed fixpoint. Immutable after construction and
+// shared read-only.
+struct CachedAnalysis {
+  std::vector<std::string> roots;         // unfold order
+  std::vector<std::string> sorted_roots;  // subset-lattice key (unique'd)
+  std::unique_ptr<unfold::UnfoldedSet> set;
+  std::unique_ptr<Closure> closure;
+};
+
+class ClosureCache {
+ public:
+  static constexpr size_t kDefaultCapacity = 64;
+
+  struct Stats {
+    uint64_t exact_hits = 0;
+    uint64_t warm_builds = 0;  // built from a cached subset's facts
+    uint64_t cold_builds = 0;
+    uint64_t evictions = 0;
+  };
+
+  // `schema` must outlive the cache. `obs` (optional) receives the
+  // closure/unfold spans of every build plus "closure.cache.*" counters.
+  ClosureCache(const schema::Schema& schema, ClosureOptions options,
+               size_t capacity = kDefaultCapacity,
+               obs::Observability* obs = nullptr);
+
+  ClosureCache(const ClosureCache&) = delete;
+  ClosureCache& operator=(const ClosureCache&) = delete;
+
+  // Exact-root-list lookup; bumps the entry to most-recently-used.
+  // Counts an exact hit. nullptr on miss.
+  std::shared_ptr<const CachedAnalysis> FindExact(
+      const std::vector<std::string>& roots);
+
+  // The best warm-start base for `roots`: the cached entry with the
+  // largest root set that is a *proper* subset of `roots` (ties broken
+  // by key order, deterministically). nullptr when none qualifies.
+  // Read-only: no LRU bump, no stats.
+  std::shared_ptr<const CachedAnalysis> FindLargestSubset(
+      const std::vector<std::string>& roots) const;
+
+  // Unfolds `roots` and computes the closure, warm-started from
+  // `warm_base` when given (incompatible bases fall back cold — see
+  // Closure). Never touches cache state; safe on worker threads.
+  common::Result<std::shared_ptr<const CachedAnalysis>> BuildDetached(
+      const std::vector<std::string>& roots,
+      const CachedAnalysis* warm_base = nullptr,
+      obs::SpanId parent = obs::kNoSpan) const;
+
+  // Inserts a built entry, evicting the least-recently-used entry when
+  // over capacity. Replaces an existing entry with the same roots.
+  void Insert(std::shared_ptr<const CachedAnalysis> entry);
+
+  // FindExact, else BuildDetached from the largest cached subset (warm
+  // when one exists, cold otherwise) and Insert. Counts accordingly.
+  common::Result<std::shared_ptr<const CachedAnalysis>> GetOrBuild(
+      const std::vector<std::string>& roots);
+
+  size_t size() const { return entries_.size(); }
+  size_t capacity() const { return capacity_; }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Slot {
+    std::shared_ptr<const CachedAnalysis> entry;
+    std::list<std::string>::iterator lru_it;  // position in lru_
+  };
+
+  static std::string KeyFor(const std::vector<std::string>& roots);
+  void CountBuild(bool warm);
+
+  const schema::Schema& schema_;
+  ClosureOptions options_;
+  size_t capacity_;
+  obs::Observability* obs_;
+  Stats stats_;
+  // Most-recently-used at the front; Slot::lru_it points into this.
+  std::list<std::string> lru_;
+  std::unordered_map<std::string, Slot> entries_;
+};
+
+}  // namespace oodbsec::core
+
+#endif  // OODBSEC_CORE_CLOSURE_CACHE_H_

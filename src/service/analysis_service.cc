@@ -1,6 +1,7 @@
 #include "service/analysis_service.h"
 
 #include <optional>
+#include <unordered_map>
 #include <unordered_set>
 #include <utility>
 
@@ -11,15 +12,20 @@
 
 namespace oodbsec::service {
 
+using core::CachedAnalysis;
+
 AnalysisService::AnalysisService(core::AnalysisSession& session,
                                  int threads_override)
     : session_(&session),
       pool_(threads_override > 0 ? threads_override : session.options().threads,
             &session.obs()),
+      cache_(session.schema(), session.closure_options(),
+             session.options().cache_capacity, &session.obs()),
       closures_built_(session.metrics().counter("service.closures_built")),
       signature_hits_(session.metrics().counter("service.signature_hits")),
       requirement_hits_(session.metrics().counter("service.requirement_hits")),
-      checks_(session.metrics().counter("service.checks")) {}
+      checks_(session.metrics().counter("service.checks")),
+      warm_starts_(session.metrics().counter("service.warm_starts")) {}
 
 AnalysisService::AnalysisService(const schema::Schema& schema,
                                  const schema::UserRegistry& users,
@@ -27,29 +33,18 @@ AnalysisService::AnalysisService(const schema::Schema& schema,
     : owned_session_(std::make_unique<core::AnalysisSession>(
           schema, users,
           core::SessionOptions{.closure = options.closure,
-                               .threads = options.threads})),
+                               .threads = options.threads,
+                               .cache_capacity = options.cache_capacity})),
       session_(owned_session_.get()),
       pool_(session_->options().threads, &session_->obs()),
+      cache_(schema, options.closure, options.cache_capacity,
+             &session_->obs()),
       closures_built_(session_->metrics().counter("service.closures_built")),
       signature_hits_(session_->metrics().counter("service.signature_hits")),
       requirement_hits_(
           session_->metrics().counter("service.requirement_hits")),
-      checks_(session_->metrics().counter("service.checks")) {}
-
-common::Result<std::unique_ptr<AnalysisService::Entry>>
-AnalysisService::BuildEntry(const std::vector<std::string>& roots,
-                            obs::SpanId parent) const {
-  obs::Observability* obs = &session_->obs();
-  obs::ScopedSpan span(&obs->tracer, "closure.build", parent);
-  OODBSEC_ASSIGN_OR_RETURN(
-      std::unique_ptr<unfold::UnfoldedSet> set,
-      unfold::UnfoldedSet::Build(session_->schema(), roots, obs));
-  auto entry = std::make_unique<Entry>();
-  entry->closure = std::make_unique<core::Closure>(
-      *set, session_->closure_options(), obs);
-  entry->set = std::move(set);
-  return entry;
-}
+      checks_(session_->metrics().counter("service.checks")),
+      warm_starts_(session_->metrics().counter("service.warm_starts")) {}
 
 ServiceStats AnalysisService::Stats() const {
   ServiceStats stats;
@@ -57,6 +52,7 @@ ServiceStats AnalysisService::Stats() const {
   stats.signature_hits = static_cast<size_t>(signature_hits_->value());
   stats.requirement_hits = static_cast<size_t>(requirement_hits_->value());
   stats.checks = static_cast<size_t>(checks_->value());
+  stats.warm_starts = static_cast<size_t>(warm_starts_->value());
   return stats;
 }
 
@@ -71,19 +67,20 @@ common::Result<core::AnalysisReport> AnalysisService::Check(
   checks_->Increment();
   std::vector<std::string> roots =
       core::AnalysisRoots(session_->schema(), *user);
-  std::string signature =
-      SignatureFromRoots(roots, session_->closure_options());
-  auto it = cache_.find(signature);
-  if (it == cache_.end()) {
+  std::shared_ptr<const CachedAnalysis> entry = cache_.FindExact(roots);
+  if (entry == nullptr) {
     closures_built_->Increment();
-    OODBSEC_ASSIGN_OR_RETURN(std::unique_ptr<Entry> entry, BuildEntry(roots));
-    it = cache_.emplace(std::move(signature), std::move(entry)).first;
+    std::shared_ptr<const CachedAnalysis> base =
+        cache_.FindLargestSubset(roots);
+    OODBSEC_ASSIGN_OR_RETURN(entry, cache_.BuildDetached(roots, base.get()));
+    if (entry->closure->warm_started()) warm_starts_->Increment();
+    cache_.Insert(entry);
   } else {
     signature_hits_->Increment();
     requirement_hits_->Increment();
   }
-  return core::CheckAgainstClosure(*it->second->set, *it->second->closure,
-                                   requirement, &session_->obs());
+  return core::CheckAgainstClosure(*entry->set, *entry->closure, requirement,
+                                   &session_->obs());
 }
 
 common::Result<std::vector<core::AnalysisReport>> AnalysisService::CheckBatch(
@@ -93,18 +90,22 @@ common::Result<std::vector<core::AnalysisReport>> AnalysisService::CheckBatch(
   obs::ScopedSpan batch_span(tracer, "batch");
 
   // Phase 1 (sequential): resolve users, derive signatures, and plan one
-  // build per distinct uncached signature. Unknown users are recorded,
-  // not returned yet — the error surfaced at the end must belong to the
-  // *earliest* failing requirement, which may instead fail later at
-  // build or check time.
+  // build per distinct uncached signature, pairing each with its best
+  // warm-start base (largest cached subset) up front — lookups stay in
+  // this sequential phase, so the parallel phase below never touches
+  // cache state. Unknown users are recorded, not returned yet — the
+  // error surfaced at the end must belong to the *earliest* failing
+  // requirement, which may instead fail later at build or check time.
   struct Planned {
     const schema::User* user = nullptr;  // nullptr: unknown user
     std::string signature;
+    // The serving closure when the signature was already cached.
+    std::shared_ptr<const CachedAnalysis> entry;
   };
   struct Build {
-    std::string signature;
     std::vector<std::string> roots;
-    common::Result<std::unique_ptr<Entry>> result =
+    std::shared_ptr<const CachedAnalysis> warm_base;  // may be null
+    common::Result<std::shared_ptr<const CachedAnalysis>> result =
         common::InternalError("closure not built");
   };
   std::vector<Planned> planned(n);
@@ -125,7 +126,8 @@ common::Result<std::vector<core::AnalysisReport>> AnalysisService::CheckBatch(
           core::AnalysisRoots(session_->schema(), *user);
       planned[i].signature =
           SignatureFromRoots(roots, session_->closure_options());
-      if (cache_.contains(planned[i].signature)) {
+      planned[i].entry = cache_.FindExact(roots);
+      if (planned[i].entry != nullptr) {
         requirement_hits_->Increment();
         if (counted_signatures.insert(planned[i].signature).second) {
           signature_hits_->Increment();
@@ -140,19 +142,25 @@ common::Result<std::vector<core::AnalysisReport>> AnalysisService::CheckBatch(
       }
       closures_built_->Increment();
       build_index.emplace(planned[i].signature, builds.size());
-      builds.push_back(Build{planned[i].signature, std::move(roots)});
+      std::shared_ptr<const CachedAnalysis> warm_base =
+          cache_.FindLargestSubset(roots);
+      builds.push_back(Build{std::move(roots), std::move(warm_base)});
     }
   }
 
   // Phase 2 (parallel): compute the distinct closures. Workers write to
   // disjoint pre-allocated slots; Wait() orders those writes before the
-  // sequential phase below reads them.
+  // sequential phase below reads them. BuildDetached is const and the
+  // warm bases are pinned by shared_ptr, so eviction elsewhere cannot
+  // disturb a replay in progress.
   {
     obs::ScopedSpan build_span(tracer, "batch.build");
     obs::SpanId build_parent = build_span.id();
     for (Build& build : builds) {
       pool_.Submit([this, &build, build_parent] {
-        build.result = BuildEntry(build.roots, build_parent);
+        build.result =
+            cache_.BuildDetached(build.roots, build.warm_base.get(),
+                                 build_parent);
       });
     }
     pool_.Wait();
@@ -162,7 +170,10 @@ common::Result<std::vector<core::AnalysisReport>> AnalysisService::CheckBatch(
   // of the cache so a later batch retries them.
   for (Build& build : builds) {
     if (build.result.ok()) {
-      cache_.emplace(build.signature, std::move(build.result).value());
+      const std::shared_ptr<const CachedAnalysis>& entry =
+          build.result.value();
+      if (entry->closure->warm_started()) warm_starts_->Increment();
+      cache_.Insert(entry);
     }
   }
 
@@ -176,9 +187,12 @@ common::Result<std::vector<core::AnalysisReport>> AnalysisService::CheckBatch(
     obs::Observability* obs = &session_->obs();
     for (size_t i = 0; i < n; ++i) {
       if (planned[i].user == nullptr) continue;
-      auto it = cache_.find(planned[i].signature);
-      if (it == cache_.end()) continue;  // its build failed
-      const Entry* entry = it->second.get();
+      const CachedAnalysis* entry = planned[i].entry.get();
+      if (entry == nullptr) {
+        const Build& build = builds[build_index.at(planned[i].signature)];
+        if (!build.result.ok()) continue;  // its build failed
+        entry = build.result.value().get();
+      }
       pool_.Submit([&outcomes, &requirements, entry, obs, check_parent, i] {
         outcomes[i].emplace(core::CheckAgainstClosure(
             *entry->set, *entry->closure, requirements[i], obs, check_parent));

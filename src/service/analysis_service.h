@@ -8,10 +8,16 @@
 // handful of grant bundles, so most of the per-user work is identical.
 // The service exploits that twice:
 //
-//   * Capability-signature cache. Closures are keyed by the canonical
-//     signature of (root list, ClosureOptions) — see
-//     capability_signature.h — so every user of a role shares one
-//     unfold + one fixpoint. The cache persists across batches.
+//   * Subset-lattice closure cache (core::ClosureCache). Closures are
+//     keyed by the canonical signature of (root list, ClosureOptions) —
+//     see capability_signature.h — so every user of a role shares one
+//     unfold + one fixpoint. Beyond exact hits, a miss whose root list
+//     is a superset of a cached entry *warm-starts* from that entry's
+//     fact set and derives only the delta, so overlapping roles pay
+//     incremental cost, not full fixpoints. The cache is LRU-bounded
+//     (SessionOptions/ServiceOptions cache_capacity) and persists
+//     across batches; entries are shared_ptr, so eviction never
+//     invalidates in-flight work.
 //   * Work-stealing parallelism. Distinct signatures' closures build
 //     concurrently; then every requirement check runs concurrently
 //     against the (immutable, read-safe) shared closures.
@@ -23,13 +29,18 @@
 // accounting lives in the session's metrics registry ("service.*"
 // counters) — ServiceStats is merely a value snapshot of those.
 //
-// Determinism contract: CheckBatch returns reports in input order and
-// each report is byte-identical to what sequential
-// core::CheckRequirement produces for that requirement, regardless of
-// thread count or cache state. On failure the error returned is the one
-// the *earliest failing requirement in input order* would have produced
-// sequentially. The same holds for every non-"pool." metric the batch
-// emits: scheduling moves work between threads, never changes it.
+// Determinism contract: CheckBatch returns reports in input order,
+// deterministically — thread count and scheduling never change any
+// verdict, flaw site, metric (outside "pool.*"), or byte of output. A
+// report's *verdict and flaw sites* always equal what sequential
+// core::CheckRequirement produces; its fact_count and derivation text
+// are additionally byte-identical whenever the serving closure was
+// built cold (an exact-signature world, e.g. disjoint role bundles).
+// A warm-started closure derives the same fact set along a different
+// route, so those two report fields may differ from the cold-run text —
+// see core::ClosureCache. On failure the error returned is the one the
+// *earliest failing requirement in input order* would have produced
+// sequentially.
 //
 // Single-caller contract (the one authoritative statement — other
 // layers reference this paragraph): the service parallelises
@@ -44,13 +55,13 @@
 #include <cstddef>
 #include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "common/result.h"
 #include "core/analysis_session.h"
 #include "core/analyzer.h"
 #include "core/closure.h"
+#include "core/closure_cache.h"
 #include "core/requirement.h"
 #include "schema/schema.h"
 #include "schema/user.h"
@@ -66,6 +77,8 @@ struct ServiceOptions {
   int threads = 1;
   // Fixpoint semantics; part of every cache key.
   core::ClosureOptions closure;
+  // LRU bound on cached closures (see core::ClosureCache).
+  size_t cache_capacity = core::ClosureCache::kDefaultCapacity;
 };
 
 // A value snapshot of the service's cache accounting (reads of the
@@ -86,6 +99,9 @@ struct ServiceStats {
   size_t signature_hits = 0;    // signature resolutions served from cache
   size_t requirement_hits = 0;  // requirements that reused a closure
   size_t checks = 0;            // requirements checked (ok or not)
+  // Of closures_built, how many warm-started from a cached subset
+  // instead of running a cold fixpoint.
+  size_t warm_starts = 0;
 
   // closures reused / closures resolved: how much fixpoint work the
   // cache saved.
@@ -136,31 +152,21 @@ class AnalysisService {
   core::AnalysisSession& session() { return *session_; }
 
  private:
-  // One cached analysis: the unfolded program and its closed fixpoint.
-  // Immutable once built; shared read-only across worker threads.
-  struct Entry {
-    std::unique_ptr<unfold::UnfoldedSet> set;
-    std::unique_ptr<core::Closure> closure;
-  };
-
-  // Builds (set, closure) for `roots`; never touches the cache.
-  // `parent` parents the build's spans when it runs on a pool worker.
-  common::Result<std::unique_ptr<Entry>> BuildEntry(
-      const std::vector<std::string>& roots,
-      obs::SpanId parent = obs::kNoSpan) const;
-
   std::unique_ptr<core::AnalysisSession> owned_session_;
   core::AnalysisSession* session_;  // owned_session_.get() or borrowed
   ThreadPool pool_;
-  // signature -> analysis; entries are never evicted or replaced, so
-  // raw Entry pointers handed to workers stay valid.
-  std::unordered_map<std::string, std::unique_ptr<Entry>> cache_;
+  // Subset-lattice LRU cache of (unfolded set, closure) entries, shared
+  // as shared_ptr so eviction never invalidates in-flight work (see
+  // core::ClosureCache). Lookups and inserts happen only in sequential
+  // phases; the parallel build phase uses the const BuildDetached.
+  core::ClosureCache cache_;
 
   // "service.*" counter handles into the session's registry.
   obs::Counter* closures_built_;
   obs::Counter* signature_hits_;
   obs::Counter* requirement_hits_;
   obs::Counter* checks_;
+  obs::Counter* warm_starts_;
 };
 
 }  // namespace oodbsec::service

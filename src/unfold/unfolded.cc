@@ -41,6 +41,7 @@ class Builder {
       Root root;
       root.function_name = name;
       root.callable = callable;
+      root.first_node_id = static_cast<int>(set_.nodes_by_id_.size()) + 1;
       int root_index = static_cast<int>(set_.roots_.size());
 
       Scope scope;

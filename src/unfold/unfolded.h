@@ -97,11 +97,23 @@ struct Binder {
 };
 
 // One directly invocable function from the root list.
+//
+// Site-id stability: unfolding one function is deterministic and
+// self-contained — it consults only the schema, never the other roots —
+// so the root's subtree always occupies the contiguous id range
+// [first_node_id, body->id] and has the same shape (and the same
+// id-minus-first_node_id offsets) no matter which root list it appears
+// in or at which position. Warm-start closure seeding
+// (core::Closure's warm_base) relies on this invariant to translate
+// fact node ids between two unfolds that share root functions.
 struct Root {
   std::string function_name;
   schema::Callable callable;
   std::vector<int> arg_binder_ids;
   Node* body = nullptr;
+  // First occurrence id of this root's subtree; the last is body->id
+  // (the body is numbered after all of its descendants).
+  int first_node_id = 0;
 };
 
 // The unfolded, numbered set S(F) with cross-reference tables.

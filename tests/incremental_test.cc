@@ -1,0 +1,396 @@
+// Equivalence tests for the incremental closure engine: a warm-started
+// closure (seeded from a cached subset's derivation log) must derive
+// exactly the same fact set as a cold run over the same roots — compared
+// order-insensitively via Closure::FactSetDigest(), since the two take
+// different derivation routes. Covers the stockbroker schema, randomized
+// capability lists over the scaled broker schema, the session-level
+// grant/revoke re-audit API, and the service's subset reuse.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "common/strings.h"
+#include "core/analysis_session.h"
+#include "core/analyzer.h"
+#include "core/closure.h"
+#include "core/closure_cache.h"
+#include "core/requirement.h"
+#include "schema/schema.h"
+#include "schema/user.h"
+#include "service/analysis_service.h"
+#include "unfold/unfolded.h"
+
+namespace oodbsec::core {
+namespace {
+
+std::unique_ptr<schema::Schema> BrokerSchema() {
+  schema::SchemaBuilder builder;
+  builder.AddClass("Broker", {{"name", "string"},
+                              {"salary", "int"},
+                              {"budget", "int"},
+                              {"profit", "int"}});
+  builder.AddFunction("checkBudget", {{"broker", "Broker"}}, "bool",
+                      ">=(r_budget(broker), *(10, r_salary(broker)))");
+  builder.AddFunction("calcSalary", {{"budget", "int"}, {"profit", "int"}},
+                      "int", "budget / 10 + profit / 2");
+  builder.AddFunction(
+      "updateSalary", {{"broker", "Broker"}}, "null",
+      "w_salary(broker, calcSalary(r_budget(broker), r_profit(broker)))");
+  auto result = std::move(builder).Build();
+  EXPECT_TRUE(result.ok()) << result.status();
+  return std::move(result).value();
+}
+
+// The bench_static_closure scaled workload: `scale` broker departments
+// over one shared class, interacting through same-type argument
+// equality.
+std::unique_ptr<schema::Schema> ScaledBrokerSchema(int scale) {
+  schema::SchemaBuilder builder;
+  std::vector<schema::SchemaBuilder::AttributeSpec> attributes;
+  attributes.push_back({"name", "string"});
+  for (int i = 0; i < scale; ++i) {
+    attributes.push_back({common::StrCat("salary", i), "int"});
+    attributes.push_back({common::StrCat("budget", i), "int"});
+    attributes.push_back({common::StrCat("profit", i), "int"});
+  }
+  builder.AddClass("Broker", std::move(attributes));
+  for (int i = 0; i < scale; ++i) {
+    builder.AddFunction(
+        common::StrCat("checkBudget", i), {{"broker", "Broker"}}, "bool",
+        common::StrCat("r_budget", i, "(broker) >= 10 * r_salary", i,
+                       "(broker)"));
+    builder.AddFunction(common::StrCat("calcSalary", i),
+                        {{"budget", "int"}, {"profit", "int"}}, "int",
+                        "budget / 10 + profit / 2");
+    builder.AddFunction(
+        common::StrCat("updateSalary", i), {{"broker", "Broker"}}, "null",
+        common::StrCat("w_salary", i, "(broker, calcSalary", i, "(r_budget",
+                       i, "(broker), r_profit", i, "(broker)))"));
+  }
+  auto result = std::move(builder).Build();
+  EXPECT_TRUE(result.ok()) << result.status();
+  return std::move(result).value();
+}
+
+std::unique_ptr<unfold::UnfoldedSet> Unfold(
+    const schema::Schema& schema, const std::vector<std::string>& roots) {
+  auto set = unfold::UnfoldedSet::Build(schema, roots);
+  EXPECT_TRUE(set.ok()) << set.status();
+  return std::move(set).value();
+}
+
+TEST(WarmStartTest, StockbrokerWarmMatchesColdDigest) {
+  auto schema = BrokerSchema();
+  auto base_set = Unfold(*schema, {"checkBudget", "w_budget"});
+  Closure base(*base_set);
+
+  std::vector<std::string> full_roots = {"checkBudget", "r_name",
+                                         "updateSalary", "w_budget",
+                                         "w_profit"};
+  auto cold_set = Unfold(*schema, full_roots);
+  Closure cold(*cold_set);
+  EXPECT_FALSE(cold.warm_started());
+
+  auto warm_set = Unfold(*schema, full_roots);
+  Closure warm(*warm_set, {}, nullptr, &base);
+  ASSERT_TRUE(warm.warm_started());
+  EXPECT_EQ(warm.replayed_fact_count(), base.fact_count());
+  EXPECT_GT(warm.fact_count(), base.fact_count());
+  EXPECT_EQ(warm.FactSetDigest(), cold.FactSetDigest());
+}
+
+TEST(WarmStartTest, IncrementalGrantChainMatchesCold) {
+  // Grant one function at a time, each closure warm-started from the
+  // previous one; every step must agree with the cold run of its list.
+  auto schema = BrokerSchema();
+  std::vector<std::string> roots = {"checkBudget"};
+  auto set = Unfold(*schema, roots);
+  auto previous = std::make_unique<Closure>(*set);
+  for (const char* grant : {"w_budget", "updateSalary", "w_profit"}) {
+    roots.push_back(grant);
+    std::sort(roots.begin(), roots.end());
+    auto next_set = Unfold(*schema, roots);
+    auto warm =
+        std::make_unique<Closure>(*next_set, ClosureOptions{}, nullptr,
+                                  previous.get());
+    ASSERT_TRUE(warm->warm_started()) << grant;
+    Closure cold(*next_set);
+    EXPECT_EQ(warm->FactSetDigest(), cold.FactSetDigest()) << grant;
+    previous = std::move(warm);
+    // The sets must outlive their closures; keep the latest alive.
+    set = std::move(next_set);
+  }
+}
+
+TEST(WarmStartTest, IncompatibleBaseFallsBackToColdRun) {
+  auto schema = BrokerSchema();
+  auto base_set = Unfold(*schema, {"checkBudget", "w_budget"});
+  Closure base(*base_set);
+
+  // Different options: ignored base.
+  auto set1 = Unfold(*schema, {"checkBudget", "updateSalary", "w_budget"});
+  ClosureOptions other;
+  other.pi_join_to_ti = false;
+  Closure fallback1(*set1, other, nullptr, &base);
+  EXPECT_FALSE(fallback1.warm_started());
+
+  // A base root missing from the new set: ignored base, and the cold
+  // result is still correct.
+  auto set2 = Unfold(*schema, {"checkBudget"});
+  Closure fallback2(*set2, {}, nullptr, &base);
+  EXPECT_FALSE(fallback2.warm_started());
+  Closure cold2(*set2);
+  EXPECT_EQ(fallback2.FactSetDigest(), cold2.FactSetDigest());
+  EXPECT_EQ(fallback2.fact_count(), cold2.fact_count());
+}
+
+TEST(WarmStartTest, RandomizedCapabilityListsMatchColdDigest) {
+  const int kScale = 3;
+  auto schema = ScaledBrokerSchema(kScale);
+  std::vector<std::string> pool = {"r_name"};
+  for (int i = 0; i < kScale; ++i) {
+    pool.push_back(common::StrCat("checkBudget", i));
+    pool.push_back(common::StrCat("updateSalary", i));
+    pool.push_back(common::StrCat("w_budget", i));
+    pool.push_back(common::StrCat("w_profit", i));
+  }
+  // Fixed seed: reproducible trials, no flakes.
+  std::mt19937 rng(20260806);
+  for (int trial = 0; trial < 8; ++trial) {
+    std::shuffle(pool.begin(), pool.end(), rng);
+    size_t base_size = 2 + rng() % (pool.size() - 3);
+    size_t extra = 1 + rng() % (pool.size() - base_size);
+    std::vector<std::string> base_roots(pool.begin(),
+                                        pool.begin() + base_size);
+    std::vector<std::string> full_roots(
+        pool.begin(), pool.begin() + base_size + extra);
+    std::sort(base_roots.begin(), base_roots.end());
+    std::sort(full_roots.begin(), full_roots.end());
+
+    auto base_set = Unfold(*schema, base_roots);
+    Closure base(*base_set);
+    auto warm_set = Unfold(*schema, full_roots);
+    Closure warm(*warm_set, {}, nullptr, &base);
+    ASSERT_TRUE(warm.warm_started()) << "trial " << trial;
+    auto cold_set = Unfold(*schema, full_roots);
+    Closure cold(*cold_set);
+    EXPECT_EQ(warm.FactSetDigest(), cold.FactSetDigest())
+        << "trial " << trial << ": base=" << base_size
+        << " full=" << base_size + extra;
+  }
+}
+
+TEST(WarmStartTest, RootIdRangesAreStableAcrossRootLists) {
+  // The unfold invariant warm-start seeding relies on: a root's subtree
+  // has the same width and internal offsets no matter which root list
+  // contains it, and occupies [first_node_id, body->id].
+  auto schema = BrokerSchema();
+  auto small = Unfold(*schema, {"updateSalary"});
+  auto large = Unfold(*schema, {"checkBudget", "updateSalary", "w_budget"});
+  const unfold::Root* in_small = &small->roots()[0];
+  const unfold::Root* in_large = nullptr;
+  for (const unfold::Root& root : large->roots()) {
+    if (root.function_name == "updateSalary") in_large = &root;
+  }
+  ASSERT_NE(in_large, nullptr);
+  ASSERT_EQ(in_small->body->id - in_small->first_node_id,
+            in_large->body->id - in_large->first_node_id);
+  int offset = in_large->first_node_id - in_small->first_node_id;
+  for (int id = in_small->first_node_id; id <= in_small->body->id; ++id) {
+    EXPECT_EQ(small->node(id)->kind, large->node(id + offset)->kind);
+  }
+}
+
+TEST(ClosureCacheTest, GetOrBuildPrefersWarmAndCountsStats) {
+  auto schema = BrokerSchema();
+  ClosureCache cache(*schema, {}, /*capacity=*/4);
+
+  auto base = cache.GetOrBuild({"checkBudget", "w_budget"});
+  ASSERT_TRUE(base.ok()) << base.status();
+  EXPECT_FALSE(base.value()->closure->warm_started());
+  EXPECT_EQ(cache.stats().cold_builds, 1u);
+
+  auto bigger =
+      cache.GetOrBuild({"checkBudget", "updateSalary", "w_budget"});
+  ASSERT_TRUE(bigger.ok());
+  EXPECT_TRUE(bigger.value()->closure->warm_started());
+  EXPECT_EQ(cache.stats().warm_builds, 1u);
+
+  // Exact repeat: served from cache, no new build.
+  auto again =
+      cache.GetOrBuild({"checkBudget", "updateSalary", "w_budget"});
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again.value().get(), bigger.value().get());
+  EXPECT_EQ(cache.stats().exact_hits, 1u);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(ClosureCacheTest, LruEvictionKeepsSharedEntriesAlive) {
+  auto schema = BrokerSchema();
+  ClosureCache cache(*schema, {}, /*capacity=*/2);
+  auto first = cache.GetOrBuild({"checkBudget"});
+  ASSERT_TRUE(first.ok());
+  std::shared_ptr<const CachedAnalysis> pinned = first.value();
+  ASSERT_TRUE(cache.GetOrBuild({"updateSalary"}).ok());
+  ASSERT_TRUE(cache.GetOrBuild({"w_budget"}).ok());  // evicts {checkBudget}
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  // The evicted entry stays valid for its holder...
+  EXPECT_GT(pinned->closure->fact_count(), 0u);
+  // ...and a re-request rebuilds rather than hitting the cache.
+  auto rebuilt = cache.GetOrBuild({"checkBudget"});
+  ASSERT_TRUE(rebuilt.ok());
+  EXPECT_NE(rebuilt.value().get(), pinned.get());
+  EXPECT_EQ(rebuilt.value()->closure->FactSetDigest(),
+            pinned->closure->FactSetDigest());
+}
+
+// --- session grant/revoke re-audit ---
+
+std::unique_ptr<schema::UserRegistry> BrokerUsers(
+    const schema::Schema& schema) {
+  auto users = std::make_unique<schema::UserRegistry>(schema);
+  EXPECT_TRUE(users->AddUser("clerk").ok());
+  EXPECT_TRUE(users->Grant("clerk", "checkBudget").ok());
+  return users;
+}
+
+Requirement SalaryRequirement() {
+  auto requirement =
+      ParseRequirementString("(clerk, r_salary(x) : ti)");
+  EXPECT_TRUE(requirement.ok()) << requirement.status();
+  return std::move(requirement).value();
+}
+
+TEST(SessionRecheckTest, GrantExtendsIncrementallyAndMatchesCold) {
+  auto schema = BrokerSchema();
+  auto users = BrokerUsers(*schema);
+  AnalysisSession session(*schema, *users);
+
+  // With checkBudget alone, the salary requirement holds.
+  std::vector<Requirement> reqs = {SalaryRequirement()};
+  auto before = session.RecheckRequirements(reqs);
+  ASSERT_TRUE(before.ok()) << before.status();
+  EXPECT_TRUE(before.value()[0].satisfied);
+  EXPECT_EQ(session.recheck_cache().stats().cold_builds, 1u);
+
+  // Granting w_budget opens the Figure-1 flaw; the re-audit closure is
+  // warm-started from the cached {checkBudget,...} entry.
+  ASSERT_TRUE(session.AddCapability("clerk", "w_budget").ok());
+  auto after = session.RecheckRequirements(reqs);
+  ASSERT_TRUE(after.ok()) << after.status();
+  EXPECT_FALSE(after.value()[0].satisfied);
+  EXPECT_EQ(session.recheck_cache().stats().warm_builds, 1u);
+
+  // The registry itself was never mutated.
+  EXPECT_FALSE(users->Find("clerk")->MayInvoke("w_budget"));
+
+  // Verdict and flaw sites agree with a cold one-shot check of the same
+  // capability state.
+  auto fresh_users = BrokerUsers(*schema);
+  ASSERT_TRUE(fresh_users->Grant("clerk", "w_budget").ok());
+  auto cold = CheckRequirement(*schema, *fresh_users, reqs[0]);
+  ASSERT_TRUE(cold.ok()) << cold.status();
+  ASSERT_EQ(after.value()[0].flaws.size(), cold.value().flaws.size());
+  for (size_t i = 0; i < cold.value().flaws.size(); ++i) {
+    EXPECT_EQ(after.value()[0].flaws[i].site_id,
+              cold.value().flaws[i].site_id);
+    EXPECT_EQ(after.value()[0].flaws[i].description,
+              cold.value().flaws[i].description);
+  }
+}
+
+TEST(SessionRecheckTest, RevokeThenRegrantReturnsToCachedFactSet) {
+  auto schema = BrokerSchema();
+  auto users = BrokerUsers(*schema);
+  AnalysisSession session(*schema, *users);
+  std::vector<Requirement> reqs = {SalaryRequirement()};
+
+  // Cache the pre-grant state first, so the revoke below can return to
+  // it without a rebuild.
+  ASSERT_TRUE(session.RecheckRequirements(reqs).ok());
+
+  ASSERT_TRUE(session.AddCapability("clerk", "w_budget").ok());
+  auto granted = session.RecheckRequirements(reqs);
+  ASSERT_TRUE(granted.ok());
+  EXPECT_FALSE(granted.value()[0].satisfied);
+
+  // Revoke: the pre-grant closure is still cached — exact hit, no new
+  // build — and the flaw disappears again.
+  ASSERT_TRUE(session.RemoveCapability("clerk", "w_budget").ok());
+  uint64_t builds_before = session.recheck_cache().stats().cold_builds +
+                           session.recheck_cache().stats().warm_builds;
+  auto revoked = session.RecheckRequirements(reqs);
+  ASSERT_TRUE(revoked.ok());
+  EXPECT_TRUE(revoked.value()[0].satisfied);
+  EXPECT_EQ(session.recheck_cache().stats().cold_builds +
+                session.recheck_cache().stats().warm_builds,
+            builds_before);
+
+  // Re-grant: back to the cached superset entry, same verdict as the
+  // first granted run.
+  ASSERT_TRUE(session.AddCapability("clerk", "w_budget").ok());
+  auto regranted = session.RecheckRequirements(reqs);
+  ASSERT_TRUE(regranted.ok());
+  EXPECT_FALSE(regranted.value()[0].satisfied);
+  EXPECT_EQ(session.recheck_cache().stats().exact_hits, 2u);
+
+  // Error paths: unknown users and non-held capabilities are rejected.
+  EXPECT_FALSE(session.AddCapability("nobody", "w_budget").ok());
+  EXPECT_FALSE(session.AddCapability("clerk", "no_such_function").ok());
+  EXPECT_FALSE(session.RemoveCapability("clerk", "updateSalary").ok());
+}
+
+TEST(ServiceSubsetReuseTest, WarmStartsAndAgreesOnVerdicts) {
+  auto schema = BrokerSchema();
+  auto users = std::make_unique<schema::UserRegistry>(*schema);
+  ASSERT_TRUE(users->AddUser("clerk").ok());
+  ASSERT_TRUE(users->Grant("clerk", "checkBudget").ok());
+  ASSERT_TRUE(users->AddUser("senior").ok());
+  ASSERT_TRUE(users->Grant("senior", "checkBudget").ok());
+  ASSERT_TRUE(users->Grant("senior", "w_budget").ok());
+
+  auto clerk_req = ParseRequirementString("(clerk, r_salary(x) : ti)");
+  auto senior_req = ParseRequirementString("(senior, r_salary(x) : ti)");
+  ASSERT_TRUE(clerk_req.ok() && senior_req.ok());
+
+  service::ServiceOptions service_options;
+  service_options.threads = 2;
+  service::AnalysisService warm_service(*schema, *users, service_options);
+  // Clerk's batch caches the subset bundle; senior's bundle in the next
+  // batch is a strict superset of it, so its closure warm-starts.
+  // (Within a single batch, subset pairing happens against the cache as
+  // of the plan phase, so cross-batch is where reuse shows up.)
+  auto first = warm_service.CheckBatch({clerk_req.value()});
+  ASSERT_TRUE(first.ok()) << first.status();
+  EXPECT_EQ(warm_service.Stats().warm_starts, 0u);
+  auto second = warm_service.CheckBatch({senior_req.value()});
+  ASSERT_TRUE(second.ok()) << second.status();
+  EXPECT_EQ(warm_service.Stats().closures_built, 2u);
+  EXPECT_EQ(warm_service.Stats().warm_starts, 1u);
+  std::vector<core::AnalysisReport> batch_reports;
+  batch_reports.push_back(std::move(first).value()[0]);
+  batch_reports.push_back(std::move(second).value()[0]);
+  EXPECT_TRUE(batch_reports[0].satisfied);
+  EXPECT_FALSE(batch_reports[1].satisfied);
+
+  // Same verdicts as sequential cold checks.
+  auto cold_clerk = CheckRequirement(*schema, *users, clerk_req.value());
+  auto cold_senior = CheckRequirement(*schema, *users, senior_req.value());
+  ASSERT_TRUE(cold_clerk.ok() && cold_senior.ok());
+  EXPECT_EQ(batch_reports[0].satisfied, cold_clerk.value().satisfied);
+  EXPECT_EQ(batch_reports[1].satisfied, cold_senior.value().satisfied);
+  ASSERT_EQ(batch_reports[1].flaws.size(),
+            cold_senior.value().flaws.size());
+  for (size_t i = 0; i < cold_senior.value().flaws.size(); ++i) {
+    EXPECT_EQ(batch_reports[1].flaws[i].site_id,
+              cold_senior.value().flaws[i].site_id);
+  }
+}
+
+}  // namespace
+}  // namespace oodbsec::core

@@ -29,6 +29,7 @@
 #include "schema/schema.h"
 #include "schema/user.h"
 #include "service/analysis_service.h"
+#include "service/shard.h"
 
 namespace {
 
@@ -159,6 +160,34 @@ void BM_BatchWarmCache(benchmark::State& state) {
   state.counters["cached_closures"] = static_cast<double>(svc.cache_size());
 }
 BENCHMARK(BM_BatchWarmCache)
+    ->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// Sharded multi-process audit over the same population: fork
+// `shard_count` workers, route requirements by capability signature,
+// merge. Cold every iteration (each worker builds its own shard's
+// closures), so against BM_BatchColdCache/1 the delta is fork + pipe +
+// merge overhead versus true multi-core fixpoint parallelism. Runs
+// before any persistent pool exists in this process — fork() wants a
+// single-threaded image (the scoped services above are gone by now).
+void BM_ShardedBatch(benchmark::State& state) {
+  Population population = MakeRolePopulation(kRoles, kUsersPerRole);
+  service::ShardOptions options;
+  options.shard_count = static_cast<int>(state.range(0));
+  double built = 0;
+  for (auto _ : state) {
+    auto result = service::RunShardedBatch(
+        *population.schema, *population.users, population.requirements,
+        options);
+    if (!result.ok()) std::abort();
+    benchmark::DoNotOptimize(result->reports.size());
+    built = static_cast<double>(result->merged_stats.closures_built);
+  }
+  state.counters["users"] = kRoles * kUsersPerRole;
+  state.counters["closures_built"] = built;
+}
+BENCHMARK(BM_ShardedBatch)
     ->Arg(1)->Arg(2)->Arg(4)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();

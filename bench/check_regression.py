@@ -7,7 +7,7 @@ regressed by more than the threshold (default 15%).
 
 Usage:
     bench/check_regression.py --fresh-dir <dir> [--baseline-dir <dir>]
-                              [--threshold-pct 15] [SUITE ...]
+                              [--threshold-pct 15] [--strict] [SUITE ...]
 
 SUITE names are the bare suite part (static_closure, batch_service);
 without any, every BENCH_*.json in the baseline dir that also exists in
@@ -28,6 +28,13 @@ drift-corrected one; a change that slows the *whole* suite uniformly is
 exactly what the raw column is there to catch by eye. Pass
 --no-drift-correction on dedicated quiet hardware.
 
+On such quiet hardware the drift correction is not just unnecessary, it
+actively masks uniform regressions, and 15% is too forgiving. --strict
+gates on raw deltas at a 10% threshold; setting OODBSEC_QUIET_BENCH=1
+in the environment implies --strict, so CI runners on dedicated
+machines opt the whole bench_check target in without touching CMake.
+An explicit --threshold-pct still wins over the strict default.
+
 The committed baselines and the fresh run must both come from Release
 builds (run_bench_json.sh enforces this) and ideally the same machine —
 across machines the gate still catches gross regressions but the
@@ -36,9 +43,12 @@ threshold has to absorb hardware variance.
 
 import argparse
 import json
+import os
 import pathlib
 import statistics
 import sys
+
+STRICT_THRESHOLD_PCT = 10.0
 
 
 def load_results(path):
@@ -106,7 +116,7 @@ def main():
     parser.add_argument("suites", nargs="*", help="suite names, e.g. static_closure")
     parser.add_argument("--baseline-dir", default=".", type=pathlib.Path)
     parser.add_argument("--fresh-dir", required=True, type=pathlib.Path)
-    parser.add_argument("--threshold-pct", default=15.0, type=float)
+    parser.add_argument("--threshold-pct", default=None, type=float)
     parser.add_argument(
         "--floor-ms",
         default=1.0,
@@ -118,7 +128,24 @@ def main():
         action="store_true",
         help="gate on raw deltas without median drift normalization",
     )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="quiet-hardware gate: raw deltas, 10%% threshold "
+        "(implied by OODBSEC_QUIET_BENCH=1 in the environment)",
+    )
     args = parser.parse_args()
+
+    strict = args.strict or os.environ.get("OODBSEC_QUIET_BENCH") == "1"
+    if strict:
+        args.no_drift_correction = True
+    if args.threshold_pct is None:
+        args.threshold_pct = STRICT_THRESHOLD_PCT if strict else 15.0
+    if strict:
+        print(
+            "strict mode: raw deltas, "
+            f"threshold {args.threshold_pct:g}% (quiet hardware)"
+        )
 
     if args.suites:
         baselines = [args.baseline_dir / f"BENCH_{s}.json" for s in args.suites]

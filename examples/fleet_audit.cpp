@@ -8,9 +8,17 @@
 // parallel), and serves the other 33 checks from its signature cache —
 // then double-checks itself against the sequential analyzer.
 //
+// The same sheet then runs through the sharded multi-process path
+// (service/shard.h): four forked workers, requirements routed by
+// capability signature, reports merged byte-identical to the
+// single-process batch. The first sharded run persists every closure
+// it builds to a snapshot directory; a second run — a simulated fleet
+// restart — rebuilds nothing and serves every signature from disk.
+//
 //   $ ./fleet_audit
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <string>
 #include <vector>
 
@@ -19,6 +27,7 @@
 #include "core/analyzer.h"
 #include "core/requirement.h"
 #include "service/analysis_service.h"
+#include "service/shard.h"
 #include "text/workspace.h"
 
 namespace {
@@ -86,40 +95,71 @@ int main() {
     }
   }
 
-  core::SessionOptions options;
-  options.threads = 4;
-  core::AnalysisSession session(*workspace.schema, *workspace.users, options);
-  service::AnalysisService svc(session);
-  auto reports = svc.CheckBatch(sheet);
-  if (!reports.ok()) {
-    std::fprintf(stderr, "%s\n", reports.status().ToString().c_str());
+  // Sharded pass first: fork() wants a single-threaded image, and no
+  // thread pool exists yet. The workers persist what they build into a
+  // fresh snapshot directory for the restart demo below.
+  char dir_template[] = "/tmp/oodbsec_fleet_snap.XXXXXX";
+  const char* snapshot_dir = ::mkdtemp(dir_template);
+  if (snapshot_dir == nullptr) std::abort();
+
+  service::ShardOptions shard_options;
+  shard_options.shard_count = 4;
+  shard_options.snapshot_dir = snapshot_dir;
+  shard_options.save_snapshots = true;
+  auto sharded = service::RunShardedBatch(*workspace.schema, *workspace.users,
+                                          sheet, shard_options);
+  if (!sharded.ok()) {
+    std::fprintf(stderr, "%s\n", sharded.status().ToString().c_str());
     return 1;
   }
 
-  // One line per role (every account of a role gets the same verdict);
-  // flag any account that disagrees with its role's first account.
-  for (size_t r = 0; r < roles.size(); ++r) {
-    const core::AnalysisReport& first = (*reports)[r * kAccountsPerRole];
-    std::printf("%-8s x%d  %s", roles[r].name, kAccountsPerRole,
-                first.ToString().c_str());
-  }
-
-  service::ServiceStats stats = svc.Stats();
-  std::printf(
-      "\n%zu checks on %d threads: %zu closures built, %zu requirement "
-      "hits (%.0f%% of checks served by a shared closure)\n",
-      stats.checks, svc.thread_count(), stats.closures_built,
-      stats.requirement_hits, 100.0 * stats.RequirementHitRate());
-
-  // Self-check: the batch must agree with the sequential analyzer,
-  // report for report.
-  for (size_t i = 0; i < sheet.size(); ++i) {
-    auto sequential =
-        core::CheckRequirement(*workspace.schema, *workspace.users, sheet[i]);
-    if (!sequential.ok() ||
-        sequential->ToString() != (*reports)[i].ToString()) {
-      std::fprintf(stderr, "MISMATCH at requirement %zu\n", i);
+  // Single-process batch, scoped so its pool is gone before the next
+  // fork. Keep the rendered reports for the byte-identity check.
+  std::vector<std::string> batch_text;
+  service::ServiceStats stats;
+  int threads = 0;
+  {
+    core::SessionOptions options;
+    options.threads = 4;
+    core::AnalysisSession session(*workspace.schema, *workspace.users,
+                                  options);
+    service::AnalysisService svc(session);
+    auto reports = svc.CheckBatch(sheet);
+    if (!reports.ok()) {
+      std::fprintf(stderr, "%s\n", reports.status().ToString().c_str());
       return 1;
+    }
+
+    // One line per role (every account of a role gets the same verdict);
+    // flag any account that disagrees with its role's first account.
+    for (size_t r = 0; r < roles.size(); ++r) {
+      const core::AnalysisReport& first = (*reports)[r * kAccountsPerRole];
+      std::printf("%-8s x%d  %s", roles[r].name, kAccountsPerRole,
+                  first.ToString().c_str());
+    }
+
+    stats = svc.Stats();
+    threads = svc.thread_count();
+    std::printf(
+        "\n%zu checks on %d threads: %zu closures built, %zu requirement "
+        "hits (%.0f%% of checks served by a shared closure), "
+        "%zu snapshot hits\n",
+        stats.checks, threads, stats.closures_built, stats.requirement_hits,
+        100.0 * stats.RequirementHitRate(), stats.snapshot_hits);
+
+    // Self-check: the batch must agree with the sequential analyzer,
+    // report for report.
+    for (size_t i = 0; i < sheet.size(); ++i) {
+      auto sequential = core::CheckRequirement(*workspace.schema,
+                                               *workspace.users, sheet[i]);
+      if (!sequential.ok() ||
+          sequential->ToString() != (*reports)[i].ToString()) {
+        std::fprintf(stderr, "MISMATCH at requirement %zu\n", i);
+        return 1;
+      }
+    }
+    for (const core::AnalysisReport& report : *reports) {
+      batch_text.push_back(report.ToString());
     }
   }
   if (stats.closures_built != roles.size()) {
@@ -129,5 +169,51 @@ int main() {
   }
   std::printf("batch verdicts match the sequential analyzer, "
               "one closure per role\n");
+
+  // Byte-identity: the merged sharded report must render exactly as the
+  // single-process batch, requirement for requirement.
+  for (size_t i = 0; i < sheet.size(); ++i) {
+    if (sharded->reports[i].ToString() != batch_text[i]) {
+      std::fprintf(stderr, "SHARD MISMATCH at requirement %zu\n", i);
+      return 1;
+    }
+  }
+  std::printf(
+      "sharded audit (%d processes): reports byte-identical to the "
+      "single-process batch, %zu closures built across shards\n",
+      shard_options.shard_count, sharded->merged_stats.closures_built);
+
+  // Fleet restart: a second sharded run over the snapshot directory the
+  // first one populated. Every distinct signature replays from disk —
+  // zero fixpoints — and the merged report is still byte-identical.
+  auto restarted = service::RunShardedBatch(*workspace.schema,
+                                            *workspace.users, sheet,
+                                            shard_options);
+  if (!restarted.ok()) {
+    std::fprintf(stderr, "%s\n", restarted.status().ToString().c_str());
+    return 1;
+  }
+  for (size_t i = 0; i < sheet.size(); ++i) {
+    if (restarted->reports[i].ToString() != batch_text[i]) {
+      std::fprintf(stderr, "RESTART MISMATCH at requirement %zu\n", i);
+      return 1;
+    }
+  }
+  if (restarted->merged_stats.closures_built != 0 ||
+      restarted->merged_stats.snapshot_hits != roles.size()) {
+    std::fprintf(stderr,
+                 "restart expected %zu snapshot hits and 0 builds, got %zu "
+                 "hits and %zu builds\n",
+                 roles.size(), restarted->merged_stats.snapshot_hits,
+                 restarted->merged_stats.closures_built);
+    return 1;
+  }
+  std::printf(
+      "restarted fleet: %zu snapshot hits, 0 closures built — every role "
+      "warm from disk, reports unchanged\n",
+      restarted->merged_stats.snapshot_hits);
+
+  std::error_code ec;
+  std::filesystem::remove_all(snapshot_dir, ec);
   return 0;
 }

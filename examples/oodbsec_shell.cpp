@@ -12,6 +12,10 @@
 //   requirements               list security requirements
 //   analyze                    run A(R) on every requirement
 //   batch [threads]            same, through the caching batch service
+//   shard [shards] [threads]   same, forked across worker processes
+//   snapshot dir <path>        arm the persistent closure-snapshot tier
+//   snapshot save              persist cached closures to the directory
+//   snapshot load              warm the cache from the directory
 //   explain <n>                derivation for requirement n's first flaw
 //   trace on|off               arm / disarm the session tracer
 //   trace dump [file]          render spans + metrics (file: JSON lines)
@@ -34,6 +38,7 @@
 #include "query/binder.h"
 #include "query/query_parser.h"
 #include "service/analysis_service.h"
+#include "service/shard.h"
 #include "text/workspace.h"
 
 namespace {
@@ -44,7 +49,8 @@ class Shell {
  public:
   explicit Shell(text::Workspace workspace)
       : workspace_(std::move(workspace)),
-        session_(*workspace_.schema, *workspace_.users),
+        session_(std::make_unique<core::AnalysisSession>(*workspace_.schema,
+                                                         *workspace_.users)),
         guard_(*workspace_.schema, *workspace_.users,
                workspace_.requirements) {}
 
@@ -71,6 +77,17 @@ class Shell {
       int threads = 0;
       in >> threads;
       Batch(threads > 0 ? threads : 4);
+    } else if (command == "shard") {
+      int shards = 0;
+      int threads = 0;
+      in >> shards >> threads;
+      Shard(shards > 0 ? shards : 4, threads > 0 ? threads : 1);
+    } else if (command == "snapshot") {
+      std::string subcommand;
+      in >> subcommand;
+      std::string path;
+      in >> path;
+      Snapshot(subcommand, path);
     } else if (command == "explain") {
       size_t index = 0;
       in >> index;
@@ -101,6 +118,12 @@ class Shell {
         "  batch [threads]                 same, through the batch service\n"
         "                                  (shared-closure cache, default 4"
         " threads)\n"
+        "  shard [shards] [threads]        same, forked across worker\n"
+        "                                  processes (default 4 shards)\n"
+        "  snapshot dir <path>             arm the persistent closure-"
+        "snapshot tier\n"
+        "  snapshot save                   persist cached closures\n"
+        "  snapshot load                   warm the cache from disk\n"
         "  dump                            re-render the workspace file\n"
         "  explain <n>                     derivation for requirement n\n"
         "  trace on|off                    arm / disarm the session tracer\n"
@@ -146,7 +169,7 @@ class Shell {
     std::vector<core::AnalysisReport> reports;
     reports.reserve(workspace_.requirements.size());
     for (const core::Requirement& requirement : workspace_.requirements) {
-      auto report = session_.Check(requirement);
+      auto report = session_->Check(requirement);
       if (!report.ok()) {
         std::printf("error: %s\n", report.status().ToString().c_str());
         return;
@@ -168,7 +191,7 @@ class Shell {
   void Batch(int threads) {
     if (service_ == nullptr || service_->thread_count() != threads) {
       service_ =
-          std::make_unique<service::AnalysisService>(session_, threads);
+          std::make_unique<service::AnalysisService>(*session_, threads);
     }
     auto reports = service_->CheckBatch(workspace_.requirements);
     if (!reports.ok()) {
@@ -182,23 +205,111 @@ class Shell {
     service::ServiceStats stats = service_->Stats();
     std::printf(
         "(%d thread(s): %zu check(s), %zu closure(s) built, "
-        "%zu signature hit(s), %zu requirement hit(s))\n",
+        "%zu signature hit(s), %zu requirement hit(s), "
+        "%zu snapshot hit(s))\n",
         service_->thread_count(), stats.checks, stats.closures_built,
-        stats.signature_hits, stats.requirement_hits);
+        stats.signature_hits, stats.requirement_hits, stats.snapshot_hits);
+  }
+
+  // Like Batch(), but forked across worker processes (service/shard.h):
+  // requirements are routed by capability signature, each worker runs a
+  // private service over its subset, and the merged report is
+  // byte-identical to single-process CheckBatch. Uses the armed
+  // snapshot directory (if any) as the workers' shared L2, and saves
+  // what the workers built back into it.
+  void Shard(int shards, int threads) {
+    // fork() wants a single-threaded image: retire the in-process
+    // service's pool first (workers build their own pools post-fork).
+    service_.reset();
+    service::ShardOptions options;
+    options.shard_count = shards;
+    options.threads = threads;
+    options.closure = session_->closure_options();
+    options.snapshot_dir = snapshot_dir_;
+    options.save_snapshots = !snapshot_dir_.empty();
+    auto sharded = service::RunShardedBatch(
+        *workspace_.schema, *workspace_.users, workspace_.requirements,
+        options, &session_->obs());
+    if (!sharded.ok()) {
+      std::printf("error: %s\n", sharded.status().ToString().c_str());
+      return;
+    }
+    last_reports_ = std::move(sharded.value().reports);
+    for (size_t i = 0; i < last_reports_.size(); ++i) {
+      std::printf("[%zu] %s", i, last_reports_[i].ToString().c_str());
+    }
+    const service::ServiceStats& stats = sharded.value().merged_stats;
+    std::printf(
+        "(%d shard(s) x %d thread(s): %zu check(s), %zu closure(s) built, "
+        "%zu signature hit(s), %zu requirement hit(s), "
+        "%zu snapshot hit(s))\n",
+        shards, threads, stats.checks, stats.closures_built,
+        stats.signature_hits, stats.requirement_hits, stats.snapshot_hits);
+    for (int s = 0; s < shards; ++s) {
+      std::printf("  shard %d: %zu requirement(s), %zu closure(s) built, "
+                  "%zu snapshot hit(s)\n",
+                  s, sharded.value().shard_requirements[s],
+                  sharded.value().shard_stats[s].closures_built,
+                  sharded.value().shard_stats[s].snapshot_hits);
+    }
+  }
+
+  void Snapshot(const std::string& subcommand, const std::string& path) {
+    if (subcommand == "dir") {
+      if (path.empty()) {
+        std::printf("usage: snapshot dir <path>\n");
+        return;
+      }
+      // The snapshot directory is part of the cache configuration, so
+      // the session (and its caches) restart with the tier armed. The
+      // recorded trace does not survive the rebuild.
+      snapshot_dir_ = path;
+      service_.reset();
+      core::SessionOptions options = session_->options();
+      options.snapshot_dir = snapshot_dir_;
+      session_ = std::make_unique<core::AnalysisSession>(
+          *workspace_.schema, *workspace_.users, options);
+      std::printf("snapshot tier armed at %s\n", snapshot_dir_.c_str());
+      return;
+    }
+    if (subcommand != "save" && subcommand != "load") {
+      std::printf("usage: snapshot dir <path> | save | load\n");
+      return;
+    }
+    if (snapshot_dir_.empty()) {
+      std::printf("no snapshot directory ('snapshot dir <path>' first)\n");
+      return;
+    }
+    if (service_ == nullptr) {
+      service_ = std::make_unique<service::AnalysisService>(*session_, 4);
+    }
+    if (subcommand == "save") {
+      common::Status status = service_->SaveCacheSnapshot();
+      if (!status.ok()) {
+        std::printf("error: %s\n", status.ToString().c_str());
+        return;
+      }
+      std::printf("saved %zu cached closure(s) to %s\n",
+                  service_->cache_size(), snapshot_dir_.c_str());
+    } else {
+      size_t loaded = service_->LoadCacheSnapshot();
+      std::printf("loaded %zu snapshot(s) from %s\n", loaded,
+                  snapshot_dir_.c_str());
+    }
   }
 
   void Trace(const std::string& subcommand, const std::string& file) {
     if (subcommand == "on") {
-      session_.tracer().set_enabled(true);
+      session_->tracer().set_enabled(true);
       std::printf("tracing on (recording restarted)\n");
     } else if (subcommand == "off") {
-      session_.tracer().set_enabled(false);
+      session_->tracer().set_enabled(false);
       std::printf("tracing off (%zu span(s) kept; 'trace dump' to view)\n",
-                  session_.tracer().span_count());
+                  session_->tracer().span_count());
     } else if (subcommand == "dump") {
       if (file.empty()) {
         obs::ConsoleTableSink sink(std::cout);
-        obs::Emit(session_.obs(), sink);
+        obs::Emit(session_->obs(), sink);
         return;
       }
       std::ofstream out(file);
@@ -207,9 +318,9 @@ class Shell {
         return;
       }
       obs::JsonLinesSink sink(out);
-      obs::Emit(session_.obs(), sink);
+      obs::Emit(session_->obs(), sink);
       std::printf("wrote %zu span(s) to %s\n",
-                  session_.tracer().span_count(), file.c_str());
+                  session_->tracer().span_count(), file.c_str());
     } else {
       std::printf("usage: trace on|off|dump [file]\n");
     }
@@ -264,12 +375,15 @@ class Shell {
   }
 
   text::Workspace workspace_;
-  core::AnalysisSession session_;
+  // unique_ptr: `snapshot dir` rebuilds the session with the tier armed.
+  std::unique_ptr<core::AnalysisSession> session_;
   // Lazily built on the first `batch`, kept so the closure cache (and
   // the session's metrics, which it feeds) survive across commands.
   std::unique_ptr<service::AnalysisService> service_;
   dynamic::SessionGuard guard_;
   std::vector<core::AnalysisReport> last_reports_;
+  // Empty until `snapshot dir` arms the persistent tier.
+  std::string snapshot_dir_;
 };
 
 }  // namespace

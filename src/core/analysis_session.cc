@@ -16,7 +16,8 @@ AnalysisSession::AnalysisSession(const schema::Schema& schema,
   if (options_.threads < 1) options_.threads = 1;
   obs_->tracer.set_enabled(options_.tracing);
   recheck_cache_ = std::make_unique<ClosureCache>(
-      schema_, options_.closure, options_.cache_capacity, obs_.get());
+      schema_, options_.closure, options_.cache_capacity, obs_.get(),
+      options_.snapshot_dir);
 }
 
 common::Result<std::unique_ptr<UserAnalysis>> AnalysisSession::BuildUser(

@@ -53,6 +53,11 @@ struct SessionOptions {
   // RecheckRequirements (and the service layer, which reads this as its
   // cache bound too).
   size_t cache_capacity = ClosureCache::kDefaultCapacity;
+  // Non-empty: directory for the persistent closure-snapshot tier (L2)
+  // behind every cache this session's options configure — the session's
+  // recheck cache and the service layer's cache alike. Several
+  // processes may point at one directory (see core::ClosureCache).
+  std::string snapshot_dir;
 };
 
 class AnalysisSession {

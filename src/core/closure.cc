@@ -46,7 +46,52 @@ Closure::Closure(const unfold::UnfoldedSet& set, ClosureOptions options,
     : set_(&set), options_(options), obs_(obs) {
   obs::Tracer* tracer = obs_ != nullptr ? &obs_->tracer : nullptr;
   obs::ScopedSpan closure_span(tracer, "closure");
-  int n = set.node_count();
+  InitTables();
+
+  if (warm_base != nullptr) {
+    std::vector<int> old_to_new;
+    if (ComputeWarmMap(*warm_base, old_to_new)) {
+      obs::ScopedSpan replay_span(tracer, "closure.delta.replay");
+      ReplayBase(*warm_base, old_to_new);
+      warm_started_ = true;
+    }
+  }
+
+  {
+    obs::ScopedSpan seed_span(tracer, "closure.seed");
+    Seed();
+  }
+  Run();
+  FlushMetrics();
+}
+
+Closure::Closure(const unfold::UnfoldedSet& set, ClosureOptions options,
+                 obs::Observability* obs, const ReplayLog& log)
+    : set_(&set), options_(options), obs_(obs) {
+  obs::Tracer* tracer = obs_ != nullptr ? &obs_->tracer : nullptr;
+  obs::ScopedSpan closure_span(tracer, "closure");
+  InitTables();
+  {
+    obs::ScopedSpan replay_span(tracer, "closure.snapshot.replay");
+    ReplaySteps(log.steps, log.premise_arena, /*old_to_new=*/nullptr);
+    warm_started_ = true;
+  }
+  // A complete log already contains every axiom and every fixpoint
+  // conclusion, so the seed pass and the (empty-frontier) run below only
+  // dedup — they exist to make a *partial or stale* log merely slow
+  // instead of wrong, and they keep the derivation log byte-identical to
+  // the saved one in the complete case (dedup appends nothing).
+  {
+    obs::ScopedSpan seed_span(tracer, "closure.seed");
+    Seed();
+  }
+  Run();
+  FlushMetrics();
+}
+
+void Closure::InitTables() {
+  int n = set_->node_count();
+  const unfold::UnfoldedSet& set = *set_;
   uf_parent_.resize(n + 1);
   uf_rank_.assign(n + 1, 0);
   members_.resize(n + 1);
@@ -89,22 +134,6 @@ Closure::Closure(const unfold::UnfoldedSet& set, ClosureOptions options,
     }
   }
   BuildPremiseIndex();
-
-  if (warm_base != nullptr) {
-    std::vector<int> old_to_new;
-    if (ComputeWarmMap(*warm_base, old_to_new)) {
-      obs::ScopedSpan replay_span(tracer, "closure.delta.replay");
-      ReplayBase(*warm_base, old_to_new);
-      warm_started_ = true;
-    }
-  }
-
-  {
-    obs::ScopedSpan seed_span(tracer, "closure.seed");
-    Seed();
-  }
-  Run();
-  FlushMetrics();
 }
 
 void Closure::BuildPremiseIndex() {
@@ -187,19 +216,28 @@ bool Closure::ComputeWarmMap(const Closure& base,
 
 void Closure::ReplayBase(const Closure& base,
                          const std::vector<int>& old_to_new) {
-  replayed_facts_ = base.steps_.size();
-  steps_.reserve(base.steps_.size() + base.steps_.size() / 4);
-  premise_arena_.reserve(base.premise_arena_.size());
-  for (const DerivationStep& bstep : base.steps_) {
+  ReplaySteps(base.steps_, base.premise_arena_, &old_to_new);
+}
+
+void Closure::ReplaySteps(std::span<const DerivationStep> steps,
+                          std::span<const FactId> arena,
+                          const std::vector<int>* old_to_new) {
+  replayed_facts_ = steps.size();
+  steps_.reserve(steps.size() + steps.size() / 4);
+  premise_arena_.reserve(arena.size());
+  for (const DerivationStep& bstep : steps) {
     // Translate the fact into this set's id space. Origin nums are
     // occurrence ids too (0 marks observation/equality axioms and maps
-    // to itself).
+    // to itself). The snapshot path replays into an unfold over the
+    // same roots, where the id spaces already coincide.
     Fact fact = bstep.fact;
-    fact.a = old_to_new[fact.a];
-    if (fact.kind == Fact::Kind::kPiStar || fact.kind == Fact::Kind::kEq) {
-      fact.b = old_to_new[fact.b];
+    if (old_to_new != nullptr) {
+      fact.a = (*old_to_new)[fact.a];
+      if (fact.kind == Fact::Kind::kPiStar || fact.kind == Fact::Kind::kEq) {
+        fact.b = (*old_to_new)[fact.b];
+      }
+      fact.origin.num = (*old_to_new)[fact.origin.num];
     }
-    fact.origin.num = old_to_new[fact.origin.num];
     // Append the step verbatim. Every base step becomes exactly one
     // replayed step, so premise FactIds keep their values and are
     // copied raw. Rule labels have static storage — nothing borrows
@@ -210,7 +248,7 @@ void Closure::ReplayBase(const Closure& base,
     step.rule = bstep.rule;
     step.premise_offset = static_cast<uint32_t>(premise_arena_.size());
     step.premise_count = bstep.premise_count;
-    const FactId* src = base.premise_arena_.data() + bstep.premise_offset;
+    const FactId* src = arena.data() + bstep.premise_offset;
     premise_arena_.insert(premise_arena_.end(), src,
                           src + bstep.premise_count);
     steps_.push_back(step);

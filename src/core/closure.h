@@ -149,6 +149,18 @@ struct DerivationStep {
 // without allocating (std::span can't bind one until C++26).
 using Premises = std::span<const FactId>;
 
+// A complete derivation log lifted out of some earlier closure — the
+// payload of a persisted snapshot (src/snapshot). Ids are in the id
+// space of the unfold the log was computed over; replaying it into a
+// new Closure requires an UnfoldedSet built over the *same* root list
+// (unfolding is deterministic, so the id spaces coincide). Rule
+// string_views must outlive every closure replayed from the log — the
+// snapshot loader guarantees this by interning them process-wide.
+struct ReplayLog {
+  std::vector<DerivationStep> steps;
+  std::vector<FactId> premise_arena;
+};
+
 // Ablation switches for experiment A1 (see DESIGN.md §7). All on by
 // default; each "off" weakens the analyzer and must lose a documented
 // detection.
@@ -203,6 +215,18 @@ class Closure {
   explicit Closure(const unfold::UnfoldedSet& set, ClosureOptions options = {},
                    obs::Observability* obs = nullptr,
                    const Closure* warm_base = nullptr);
+
+  // Snapshot warm start: replays `log` — the complete derivation log of
+  // a finished closure over the same root list (see ReplayLog) — and
+  // then runs Seed() + the fixpoint, which merely dedup against the
+  // replayed tables when the log is complete. The result is
+  // byte-identical to the closure the log was saved from (same steps,
+  // same premises, same derivation text) at replay cost instead of
+  // fixpoint cost. The caller must pre-validate the log (ids in range,
+  // premises acyclic) — the snapshot loader does; out-of-range ids here
+  // are undefined behaviour. Counts as warm_started().
+  Closure(const unfold::UnfoldedSet& set, ClosureOptions options,
+          obs::Observability* obs, const ReplayLog& log);
 
   Closure(const Closure&) = delete;
   Closure& operator=(const Closure&) = delete;
@@ -339,6 +363,14 @@ class Closure {
   // (ids translated) and applied to the tables, but never enqueued —
   // Seed() + Run() then derive only the delta on top.
   void ReplayBase(const Closure& base, const std::vector<int>& old_to_new);
+  // The shared replay core: appends every step of (steps, arena) to this
+  // closure's log and applies its table effect, translating ids through
+  // `old_to_new` when given (nullptr = identity, the snapshot path).
+  void ReplaySteps(std::span<const DerivationStep> steps,
+                   std::span<const FactId> arena,
+                   const std::vector<int>* old_to_new);
+  // Table/index allocation shared by every constructor.
+  void InitTables();
 
   // --- rule application ---
   void Seed();

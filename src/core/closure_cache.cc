@@ -1,20 +1,23 @@
 #include "core/closure_cache.h"
 
 #include <algorithm>
+#include <filesystem>
 #include <utility>
 
 #include "common/strings.h"
 #include "obs/trace.h"
+#include "snapshot/snapshot.h"
 
 namespace oodbsec::core {
 
 ClosureCache::ClosureCache(const schema::Schema& schema,
                            ClosureOptions options, size_t capacity,
-                           obs::Observability* obs)
+                           obs::Observability* obs, std::string snapshot_dir)
     : schema_(schema),
       options_(options),
       capacity_(capacity == 0 ? 1 : capacity),
-      obs_(obs) {}
+      obs_(obs),
+      snapshot_dir_(std::move(snapshot_dir)) {}
 
 std::string ClosureCache::KeyFor(const std::vector<std::string>& roots) {
   std::string key;
@@ -126,10 +129,104 @@ void ClosureCache::CountBuild(bool warm) {
   }
 }
 
+std::shared_ptr<const CachedAnalysis> ClosureCache::FindSnapshot(
+    const std::vector<std::string>& roots) {
+  if (snapshot_dir_.empty()) return nullptr;
+  std::string path = common::StrCat(
+      snapshot_dir_, "/", snapshot::SnapshotFileName(options_, roots));
+  auto loaded = snapshot::LoadSnapshot(schema_, options_, path, obs_);
+  const char* counter = nullptr;
+  std::shared_ptr<const CachedAnalysis> entry;
+  if (loaded.ok()) {
+    // File names hash (options, roots); on the vanishingly unlikely
+    // collision the stored root list differs — treat it as a miss.
+    if (loaded.value()->roots == roots) {
+      ++stats_.snapshot_hits;
+      counter = "closure.cache.snapshot_hits";
+      entry = std::move(loaded).value();
+    } else {
+      ++stats_.snapshot_misses;
+      counter = "closure.cache.snapshot_misses";
+    }
+  } else if (loaded.status().code() == common::StatusCode::kNotFound) {
+    ++stats_.snapshot_misses;
+    counter = "closure.cache.snapshot_misses";
+  } else {
+    // Truncated / corrupt / wrong fingerprint or version: fall back to
+    // a build, never fail the request.
+    ++stats_.snapshot_invalid;
+    counter = "closure.cache.snapshot_invalid";
+  }
+  if (obs_ != nullptr) obs_->metrics.counter(counter)->Increment();
+  return entry;
+}
+
+common::Status ClosureCache::SaveCacheSnapshot(
+    const CachedAnalysis& entry) const {
+  if (snapshot_dir_.empty()) {
+    return common::FailedPreconditionError(
+        "closure cache has no snapshot directory");
+  }
+  std::string path = common::StrCat(
+      snapshot_dir_, "/", snapshot::SnapshotFileName(options_, entry.roots));
+  return snapshot::SaveSnapshot(schema_, options_, entry, path);
+}
+
+common::Status ClosureCache::SaveCacheSnapshot() const {
+  if (snapshot_dir_.empty()) {
+    return common::FailedPreconditionError(
+        "closure cache has no snapshot directory");
+  }
+  common::Status first_error;
+  for (const std::string& key : lru_) {
+    common::Status status = SaveCacheSnapshot(*entries_.at(key).entry);
+    if (!status.ok() && first_error.ok()) first_error = status;
+  }
+  return first_error;
+}
+
+size_t ClosureCache::LoadCacheSnapshot() {
+  if (snapshot_dir_.empty()) return 0;
+  std::error_code ec;
+  std::vector<std::string> paths;
+  for (const auto& dirent :
+       std::filesystem::directory_iterator(snapshot_dir_, ec)) {
+    if (dirent.path().extension() == ".snap") {
+      paths.push_back(dirent.path().string());
+    }
+  }
+  // Directory iteration order is unspecified; sort so the L1 population
+  // (and its LRU order) is deterministic across runs.
+  std::sort(paths.begin(), paths.end());
+  size_t loaded = 0;
+  for (const std::string& path : paths) {
+    if (loaded >= capacity_) break;
+    auto entry = snapshot::LoadSnapshot(schema_, options_, path, obs_);
+    if (!entry.ok()) {
+      ++stats_.snapshot_invalid;
+      if (obs_ != nullptr) {
+        obs_->metrics.counter("closure.cache.snapshot_invalid")->Increment();
+      }
+      continue;
+    }
+    ++stats_.snapshot_hits;
+    if (obs_ != nullptr) {
+      obs_->metrics.counter("closure.cache.snapshot_hits")->Increment();
+    }
+    Insert(std::move(entry).value());
+    ++loaded;
+  }
+  return loaded;
+}
+
 common::Result<std::shared_ptr<const CachedAnalysis>>
 ClosureCache::GetOrBuild(const std::vector<std::string>& roots) {
   if (std::shared_ptr<const CachedAnalysis> hit = FindExact(roots)) {
     return hit;
+  }
+  if (std::shared_ptr<const CachedAnalysis> loaded = FindSnapshot(roots)) {
+    Insert(loaded);
+    return loaded;
   }
   std::shared_ptr<const CachedAnalysis> base = FindLargestSubset(roots);
   OODBSEC_ASSIGN_OR_RETURN(std::shared_ptr<const CachedAnalysis> entry,

@@ -23,6 +23,22 @@
 // same roots (Closure::FactSetDigest) but a different derivation log —
 // callers that promise byte-identical derivation text must build cold.
 //
+// Snapshot tier (L2): when constructed with a snapshot directory, the
+// cache persists entries as versioned, checksummed files (src/snapshot)
+// and consults them between the exact-hit check and the build path:
+//
+//   exact hit (L1) → snapshot load (L2) → warm/cold build
+//
+// An L2 hit replays the saved derivation log into a fresh closure —
+// byte-identical to the one that was saved, at replay cost — and is
+// inserted into L1 so the process pays the disk read once. Invalid
+// files (truncated, wrong schema fingerprint, wrong format version,
+// corrupt) are counted and fall back to a build; they are never an
+// error. Several processes may share one snapshot directory: writes
+// are atomic (temp + rename) and loads validate before trusting, so
+// the directory doubles as the cross-process cache the sharded audit
+// workers warm from.
+//
 // Thread-safety: like the service layer, the cache is a single-caller
 // object — Find*/GetOrBuild/Insert must not race. BuildDetached is the
 // exception: it is const, touches no cache state, and may run on many
@@ -66,13 +82,23 @@ class ClosureCache {
     uint64_t warm_builds = 0;  // built from a cached subset's facts
     uint64_t cold_builds = 0;
     uint64_t evictions = 0;
+    // L2 accounting, all zero when no snapshot directory is configured.
+    // snapshot_hits counts closures served by replaying a persisted
+    // derivation log — distinct from warm_builds, which replay another
+    // *in-memory* entry and still run a delta fixpoint.
+    uint64_t snapshot_hits = 0;
+    uint64_t snapshot_misses = 0;   // probes with no snapshot file
+    uint64_t snapshot_invalid = 0;  // files rejected by validation
   };
 
   // `schema` must outlive the cache. `obs` (optional) receives the
   // closure/unfold spans of every build plus "closure.cache.*" counters.
+  // A non-empty `snapshot_dir` arms the L2 tier (see the header
+  // comment); the directory is created on first save.
   ClosureCache(const schema::Schema& schema, ClosureOptions options,
                size_t capacity = kDefaultCapacity,
-               obs::Observability* obs = nullptr);
+               obs::Observability* obs = nullptr,
+               std::string snapshot_dir = {});
 
   ClosureCache(const ClosureCache&) = delete;
   ClosureCache& operator=(const ClosureCache&) = delete;
@@ -101,14 +127,38 @@ class ClosureCache {
   // over capacity. Replaces an existing entry with the same roots.
   void Insert(std::shared_ptr<const CachedAnalysis> entry);
 
-  // FindExact, else BuildDetached from the largest cached subset (warm
-  // when one exists, cold otherwise) and Insert. Counts accordingly.
+  // L2 probe: loads the snapshot persisted for `roots`, if any, and
+  // counts a snapshot hit / miss / invalid. Does NOT insert into L1
+  // (GetOrBuild does). nullptr when the tier is disabled, the file is
+  // absent, or validation rejected it.
+  std::shared_ptr<const CachedAnalysis> FindSnapshot(
+      const std::vector<std::string>& roots);
+
+  // Persists one entry to the snapshot directory (atomic write).
+  // kFailedPrecondition when no snapshot directory is configured.
+  common::Status SaveCacheSnapshot(const CachedAnalysis& entry) const;
+
+  // Persists every resident L1 entry, least-recently-used last so a
+  // concurrent reader warms from the hottest signatures first. Returns
+  // the first write error, after attempting every entry.
+  common::Status SaveCacheSnapshot() const;
+
+  // Bulk warm start: loads every valid snapshot in the directory into
+  // L1 (up to capacity) and returns how many were loaded. Invalid files
+  // are counted and skipped. 0 when the tier is disabled.
+  size_t LoadCacheSnapshot();
+
+  // FindExact, else FindSnapshot (inserted into L1 on a hit), else
+  // BuildDetached from the largest cached subset (warm when one exists,
+  // cold otherwise) and Insert. Counts accordingly.
   common::Result<std::shared_ptr<const CachedAnalysis>> GetOrBuild(
       const std::vector<std::string>& roots);
 
   size_t size() const { return entries_.size(); }
   size_t capacity() const { return capacity_; }
   const Stats& stats() const { return stats_; }
+  // Empty when the snapshot tier is disabled.
+  const std::string& snapshot_dir() const { return snapshot_dir_; }
 
  private:
   struct Slot {
@@ -123,6 +173,7 @@ class ClosureCache {
   ClosureOptions options_;
   size_t capacity_;
   obs::Observability* obs_;
+  std::string snapshot_dir_;
   Stats stats_;
   // Most-recently-used at the front; Slot::lru_it points into this.
   std::list<std::string> lru_;

@@ -20,12 +20,14 @@ AnalysisService::AnalysisService(core::AnalysisSession& session,
       pool_(threads_override > 0 ? threads_override : session.options().threads,
             &session.obs()),
       cache_(session.schema(), session.closure_options(),
-             session.options().cache_capacity, &session.obs()),
+             session.options().cache_capacity, &session.obs(),
+             session.options().snapshot_dir),
       closures_built_(session.metrics().counter("service.closures_built")),
       signature_hits_(session.metrics().counter("service.signature_hits")),
       requirement_hits_(session.metrics().counter("service.requirement_hits")),
       checks_(session.metrics().counter("service.checks")),
-      warm_starts_(session.metrics().counter("service.warm_starts")) {}
+      warm_starts_(session.metrics().counter("service.warm_starts")),
+      snapshot_hits_(session.metrics().counter("service.snapshot_hits")) {}
 
 AnalysisService::AnalysisService(const schema::Schema& schema,
                                  const schema::UserRegistry& users,
@@ -34,17 +36,19 @@ AnalysisService::AnalysisService(const schema::Schema& schema,
           schema, users,
           core::SessionOptions{.closure = options.closure,
                                .threads = options.threads,
-                               .cache_capacity = options.cache_capacity})),
+                               .cache_capacity = options.cache_capacity,
+                               .snapshot_dir = options.snapshot_dir})),
       session_(owned_session_.get()),
       pool_(session_->options().threads, &session_->obs()),
       cache_(schema, options.closure, options.cache_capacity,
-             &session_->obs()),
+             &session_->obs(), options.snapshot_dir),
       closures_built_(session_->metrics().counter("service.closures_built")),
       signature_hits_(session_->metrics().counter("service.signature_hits")),
       requirement_hits_(
           session_->metrics().counter("service.requirement_hits")),
       checks_(session_->metrics().counter("service.checks")),
-      warm_starts_(session_->metrics().counter("service.warm_starts")) {}
+      warm_starts_(session_->metrics().counter("service.warm_starts")),
+      snapshot_hits_(session_->metrics().counter("service.snapshot_hits")) {}
 
 ServiceStats AnalysisService::Stats() const {
   ServiceStats stats;
@@ -53,6 +57,7 @@ ServiceStats AnalysisService::Stats() const {
   stats.requirement_hits = static_cast<size_t>(requirement_hits_->value());
   stats.checks = static_cast<size_t>(checks_->value());
   stats.warm_starts = static_cast<size_t>(warm_starts_->value());
+  stats.snapshot_hits = static_cast<size_t>(snapshot_hits_->value());
   return stats;
 }
 
@@ -68,6 +73,18 @@ common::Result<core::AnalysisReport> AnalysisService::Check(
   std::vector<std::string> roots =
       core::AnalysisRoots(session_->schema(), *user);
   std::shared_ptr<const CachedAnalysis> entry = cache_.FindExact(roots);
+  if (entry != nullptr) {
+    signature_hits_->Increment();
+    requirement_hits_->Increment();
+  } else {
+    // L2 before building: a persisted snapshot replays in a fraction of
+    // even a warm fixpoint and lands in L1 for the rest of the process.
+    entry = cache_.FindSnapshot(roots);
+    if (entry != nullptr) {
+      snapshot_hits_->Increment();
+      cache_.Insert(entry);
+    }
+  }
   if (entry == nullptr) {
     closures_built_->Increment();
     std::shared_ptr<const CachedAnalysis> base =
@@ -75,9 +92,6 @@ common::Result<core::AnalysisReport> AnalysisService::Check(
     OODBSEC_ASSIGN_OR_RETURN(entry, cache_.BuildDetached(roots, base.get()));
     if (entry->closure->warm_started()) warm_starts_->Increment();
     cache_.Insert(entry);
-  } else {
-    signature_hits_->Increment();
-    requirement_hits_->Increment();
   }
   return core::CheckAgainstClosure(*entry->set, *entry->closure, requirement,
                                    &session_->obs());
@@ -138,6 +152,16 @@ common::Result<std::vector<core::AnalysisReport>> AnalysisService::CheckBatch(
         // Reuses a closure another requirement in this batch is
         // building: a requirement-level hit, not a signature-level one.
         requirement_hits_->Increment();
+        continue;
+      }
+      // L2 probe before planning a build: a valid persisted snapshot
+      // replays straight into L1, and every later requirement of this
+      // signature takes the exact-hit path above.
+      planned[i].entry = cache_.FindSnapshot(roots);
+      if (planned[i].entry != nullptr) {
+        snapshot_hits_->Increment();
+        counted_signatures.insert(planned[i].signature);
+        cache_.Insert(planned[i].entry);
         continue;
       }
       closures_built_->Increment();

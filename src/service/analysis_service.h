@@ -79,6 +79,9 @@ struct ServiceOptions {
   core::ClosureOptions closure;
   // LRU bound on cached closures (see core::ClosureCache).
   size_t cache_capacity = core::ClosureCache::kDefaultCapacity;
+  // Non-empty: snapshot directory for the persistent L2 tier behind the
+  // closure cache (see core::ClosureCache and core::SessionOptions).
+  std::string snapshot_dir;
 };
 
 // A value snapshot of the service's cache accounting (reads of the
@@ -102,6 +105,11 @@ struct ServiceStats {
   // Of closures_built, how many warm-started from a cached subset
   // instead of running a cold fixpoint.
   size_t warm_starts = 0;
+  // Signature resolutions served by replaying a persisted snapshot
+  // (the L2 tier) instead of building — disjoint from both
+  // closures_built and signature_hits. Always 0 without a snapshot
+  // directory.
+  size_t snapshot_hits = 0;
 
   // closures reused / closures resolved: how much fixpoint work the
   // cache saved.
@@ -147,6 +155,15 @@ class AnalysisService {
 
   // Value snapshot of the cache accounting; see ServiceStats.
   ServiceStats Stats() const;
+
+  // Persists every resident cache entry to the snapshot directory /
+  // warms the cache from it. Thin forwards to core::ClosureCache;
+  // kFailedPrecondition / 0 when no snapshot directory is configured.
+  common::Status SaveCacheSnapshot() const {
+    return cache_.SaveCacheSnapshot();
+  }
+  size_t LoadCacheSnapshot() { return cache_.LoadCacheSnapshot(); }
+
   size_t cache_size() const { return cache_.size(); }
   int thread_count() const { return pool_.thread_count(); }
   core::AnalysisSession& session() { return *session_; }
@@ -167,6 +184,7 @@ class AnalysisService {
   obs::Counter* requirement_hits_;
   obs::Counter* checks_;
   obs::Counter* warm_starts_;
+  obs::Counter* snapshot_hits_;
 };
 
 }  // namespace oodbsec::service

@@ -1,0 +1,357 @@
+#include "service/shard.h"
+
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstddef>
+#include <optional>
+#include <utility>
+
+#include "common/strings.h"
+#include "core/analyzer.h"
+#include "obs/trace.h"
+#include "service/capability_signature.h"
+#include "snapshot/binio.h"
+
+namespace oodbsec::service {
+
+namespace {
+
+using core::AnalysisReport;
+using core::FlawSite;
+using snapshot::ByteReader;
+using snapshot::ByteWriter;
+
+// Writes the whole buffer to `fd`, retrying on EINTR / short writes.
+bool WriteAll(int fd, const std::string& data) {
+  size_t off = 0;
+  while (off < data.size()) {
+    ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+// Reads `fd` to EOF.
+std::string ReadAll(int fd) {
+  std::string data;
+  char buf[64 << 10];
+  for (;;) {
+    ssize_t n = ::read(fd, buf, sizeof buf);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (n == 0) break;
+    data.append(buf, static_cast<size_t>(n));
+  }
+  return data;
+}
+
+// --- worker wire protocol (one EOF-delimited message per worker) -----
+//
+//   u8 ok
+//   ok=1: u32 report_count, then per report
+//           u32 global_index, u8 satisfied, i32 node_count,
+//           u64 fact_count, u32 flaw_count, then per flaw
+//             i32 site_id, u8 is_root_site, string description,
+//             u32 fact_ids, i32 each, string derivation
+//         then 6 x u64 ServiceStats fields
+//   ok=0: u32 earliest failing global index, u8 status code,
+//         string message
+
+void PutStats(ByteWriter& w, const ServiceStats& stats) {
+  w.PutU64(stats.closures_built);
+  w.PutU64(stats.signature_hits);
+  w.PutU64(stats.requirement_hits);
+  w.PutU64(stats.checks);
+  w.PutU64(stats.warm_starts);
+  w.PutU64(stats.snapshot_hits);
+}
+
+ServiceStats GetStats(ByteReader& r) {
+  ServiceStats stats;
+  stats.closures_built = static_cast<size_t>(r.GetU64());
+  stats.signature_hits = static_cast<size_t>(r.GetU64());
+  stats.requirement_hits = static_cast<size_t>(r.GetU64());
+  stats.checks = static_cast<size_t>(r.GetU64());
+  stats.warm_starts = static_cast<size_t>(r.GetU64());
+  stats.snapshot_hits = static_cast<size_t>(r.GetU64());
+  return stats;
+}
+
+// Runs one worker's subset and serializes the outcome. Runs in the
+// forked child; must not touch coordinator state it shouldn't (it
+// operates on the fork's copy-on-write image of schema/users/
+// requirements, which is exactly the point — no re-parsing).
+std::string RunWorker(const schema::Schema& schema,
+                      const schema::UserRegistry& users,
+                      const std::vector<core::Requirement>& requirements,
+                      const std::vector<size_t>& indices,
+                      const ShardOptions& options) {
+  AnalysisService service(schema, users,
+                          ServiceOptions{.threads = options.threads,
+                                         .closure = options.closure,
+                                         .cache_capacity =
+                                             options.cache_capacity,
+                                         .snapshot_dir =
+                                             options.snapshot_dir});
+  std::vector<core::Requirement> subset;
+  subset.reserve(indices.size());
+  for (size_t gi : indices) subset.push_back(requirements[gi]);
+
+  ByteWriter w;
+  auto batch = service.CheckBatch(subset);
+  if (!batch.ok()) {
+    // CheckBatch reports the earliest failure but not its index;
+    // recover it with a sequential pass (the batch left every closure
+    // it could build in cache, so this costs checks, not fixpoints).
+    // `indices` preserves global input order, so the first local
+    // failure is the earliest global one.
+    size_t failing = indices.empty() ? 0 : indices.front();
+    common::Status status = batch.status();
+    for (size_t li = 0; li < subset.size(); ++li) {
+      auto single = service.Check(subset[li]);
+      if (!single.ok()) {
+        failing = indices[li];
+        status = single.status();
+        break;
+      }
+    }
+    w.PutU8(0);
+    w.PutU32(static_cast<uint32_t>(failing));
+    w.PutU8(static_cast<uint8_t>(status.code()));
+    w.PutString(status.message());
+    return w.Release();
+  }
+
+  if (options.save_snapshots && !options.snapshot_dir.empty()) {
+    // Best-effort persistence; a full disk must not fail the audit.
+    service.SaveCacheSnapshot();
+  }
+
+  const std::vector<AnalysisReport>& reports = batch.value();
+  w.PutU8(1);
+  w.PutU32(static_cast<uint32_t>(reports.size()));
+  for (size_t li = 0; li < reports.size(); ++li) {
+    const AnalysisReport& report = reports[li];
+    w.PutU32(static_cast<uint32_t>(indices[li]));
+    w.PutU8(report.satisfied ? 1 : 0);
+    w.PutI32(report.node_count);
+    w.PutU64(report.fact_count);
+    w.PutU32(static_cast<uint32_t>(report.flaws.size()));
+    for (const FlawSite& flaw : report.flaws) {
+      w.PutI32(flaw.site_id);
+      w.PutU8(flaw.is_root_site ? 1 : 0);
+      w.PutString(flaw.description);
+      w.PutU32(static_cast<uint32_t>(flaw.supporting_facts.size()));
+      for (core::FactId fact : flaw.supporting_facts) w.PutI32(fact);
+      w.PutString(flaw.derivation);
+    }
+  }
+  PutStats(w, service.Stats());
+  return w.Release();
+}
+
+struct Failure {
+  size_t global_index;
+  common::Status status;
+};
+
+void NoteFailure(std::optional<Failure>& worst, size_t global_index,
+                 common::Status status) {
+  if (!worst.has_value() || global_index < worst->global_index) {
+    worst = Failure{global_index, std::move(status)};
+  }
+}
+
+}  // namespace
+
+int ShardOf(std::string_view signature, int shard_count) {
+  if (shard_count <= 1) return 0;
+  return static_cast<int>(snapshot::Fnv1a64(signature) %
+                          static_cast<uint64_t>(shard_count));
+}
+
+common::Result<ShardedBatchResult> RunShardedBatch(
+    const schema::Schema& schema, const schema::UserRegistry& users,
+    const std::vector<core::Requirement>& requirements,
+    const ShardOptions& options, obs::Observability* obs) {
+  if (options.shard_count < 1) {
+    return common::InvalidArgumentError("shard_count must be >= 1");
+  }
+  const int shards = options.shard_count;
+  const size_t n = requirements.size();
+  obs::Tracer* tracer = obs != nullptr ? &obs->tracer : nullptr;
+  obs::ScopedSpan batch_span(tracer, "shard.batch");
+
+  // Route every requirement: signature -> shard. Unknown users cannot
+  // be signed; they become failure candidates at their input position,
+  // exactly where single-process CheckBatch would surface them.
+  std::vector<std::vector<size_t>> routed(static_cast<size_t>(shards));
+  std::optional<Failure> failure;
+  {
+    obs::ScopedSpan plan_span(tracer, "shard.plan");
+    for (size_t i = 0; i < n; ++i) {
+      const schema::User* user = users.Find(requirements[i].user);
+      if (user == nullptr) {
+        NoteFailure(failure, i,
+                    common::NotFoundError(common::StrCat(
+                        "unknown user '", requirements[i].user, "'")));
+        continue;
+      }
+      std::vector<std::string> roots = core::AnalysisRoots(schema, *user);
+      std::string signature = SignatureFromRoots(roots, options.closure);
+      routed[static_cast<size_t>(ShardOf(signature, shards))].push_back(i);
+    }
+  }
+
+  // Fork the fleet first, then drain pipes in shard order — every
+  // worker runs concurrently, and the ordered drain keeps the merge
+  // (and the span sequence) deterministic. A worker never blocks on
+  // its pipe: messages are far below the pipe buffer for any failure
+  // and the parent drains continuously for bulk report payloads.
+  struct Worker {
+    pid_t pid = -1;
+    int read_fd = -1;
+  };
+  std::vector<Worker> workers(static_cast<size_t>(shards));
+  for (int s = 0; s < shards; ++s) {
+    int fds[2];
+    if (::pipe(fds) != 0) {
+      return common::InternalError("shard: pipe() failed");
+    }
+    pid_t pid = ::fork();
+    if (pid < 0) {
+      return common::InternalError("shard: fork() failed");
+    }
+    if (pid == 0) {
+      // Child: run the subset, stream the message, and _exit without
+      // flushing inherited stdio buffers twice.
+      ::close(fds[0]);
+      std::string message = RunWorker(schema, users, requirements,
+                                      routed[static_cast<size_t>(s)],
+                                      options);
+      WriteAll(fds[1], message);
+      ::close(fds[1]);
+      ::_exit(0);
+    }
+    ::close(fds[1]);
+    workers[static_cast<size_t>(s)] = Worker{pid, fds[0]};
+    if (obs != nullptr) obs->metrics.counter("shard.workers")->Increment();
+  }
+
+  ShardedBatchResult result;
+  result.shard_stats.resize(static_cast<size_t>(shards));
+  result.shard_requirements.resize(static_cast<size_t>(shards));
+  std::vector<std::optional<AnalysisReport>> assembled(n);
+  for (int s = 0; s < shards; ++s) {
+    Worker& worker = workers[static_cast<size_t>(s)];
+    const std::vector<size_t>& indices = routed[static_cast<size_t>(s)];
+    result.shard_requirements[static_cast<size_t>(s)] = indices.size();
+    std::string message;
+    {
+      obs::ScopedSpan wait_span(tracer,
+                                common::StrCat("shard.wait.", s));
+      message = ReadAll(worker.read_fd);
+      ::close(worker.read_fd);
+      int wstatus = 0;
+      while (::waitpid(worker.pid, &wstatus, 0) < 0 && errno == EINTR) {
+      }
+    }
+
+    ByteReader r(message);
+    uint8_t ok = r.GetU8();
+    if (!r.ok()) {
+      // Crashed or wrote nothing: attribute the failure to the
+      // shard's earliest requirement (determinism under crashes is
+      // best-effort; correctness of the error path is not).
+      NoteFailure(failure, indices.empty() ? n : indices.front(),
+                  common::InternalError(
+                      common::StrCat("shard ", s, " produced no output")));
+      continue;
+    }
+    if (ok == 0) {
+      size_t failing = r.GetU32();
+      auto code = static_cast<common::StatusCode>(r.GetU8());
+      std::string text = r.GetString();
+      if (!r.ok()) {
+        NoteFailure(failure, indices.empty() ? n : indices.front(),
+                    common::InternalError(common::StrCat(
+                        "shard ", s, " sent a malformed failure")));
+      } else {
+        NoteFailure(failure, failing, common::Status(code, std::move(text)));
+      }
+      continue;
+    }
+    uint32_t report_count = r.GetU32();
+    bool malformed = false;
+    for (uint32_t k = 0; k < report_count && r.ok(); ++k) {
+      uint32_t gi = r.GetU32();
+      AnalysisReport report;
+      report.satisfied = r.GetU8() != 0;
+      report.node_count = r.GetI32();
+      report.fact_count = static_cast<size_t>(r.GetU64());
+      uint32_t flaw_count = r.GetU32();
+      for (uint32_t f = 0; f < flaw_count && r.ok(); ++f) {
+        FlawSite flaw;
+        flaw.site_id = r.GetI32();
+        flaw.is_root_site = r.GetU8() != 0;
+        flaw.description = r.GetString();
+        uint32_t fact_count = r.GetU32();
+        for (uint32_t p = 0; p < fact_count && r.ok(); ++p) {
+          flaw.supporting_facts.push_back(r.GetI32());
+        }
+        flaw.derivation = r.GetString();
+        report.flaws.push_back(std::move(flaw));
+      }
+      if (!r.ok() || gi >= n || assembled[gi].has_value()) {
+        malformed = true;
+        break;
+      }
+      // The worker checked requirements[gi] verbatim (fork copy), so
+      // re-attaching it here reproduces CheckBatch's report bytes.
+      report.requirement = requirements[gi];
+      assembled[gi] = std::move(report);
+    }
+    ServiceStats stats = GetStats(r);
+    if (malformed || !r.exhausted()) {
+      NoteFailure(failure, indices.empty() ? n : indices.front(),
+                  common::InternalError(common::StrCat(
+                      "shard ", s, " sent a malformed report stream")));
+      continue;
+    }
+    result.shard_stats[static_cast<size_t>(s)] = stats;
+    result.merged_stats.closures_built += stats.closures_built;
+    result.merged_stats.signature_hits += stats.signature_hits;
+    result.merged_stats.requirement_hits += stats.requirement_hits;
+    result.merged_stats.checks += stats.checks;
+    result.merged_stats.warm_starts += stats.warm_starts;
+    result.merged_stats.snapshot_hits += stats.snapshot_hits;
+    if (obs != nullptr) {
+      obs->metrics.counter("shard.reports")->Increment(report_count);
+    }
+  }
+
+  if (failure.has_value()) {
+    return std::move(failure->status);
+  }
+  result.reports.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (!assembled[i].has_value()) {
+      return common::InternalError(common::StrCat(
+          "shard merge lost requirement ", i, " ('",
+          requirements[i].user, "')"));
+    }
+    result.reports.push_back(std::move(*assembled[i]));
+  }
+  return result;
+}
+
+}  // namespace oodbsec::service

@@ -1,0 +1,106 @@
+// Persistent closure snapshots: the disk tier under core::ClosureCache.
+//
+// The paper's A(R) pipeline is deterministic end to end — unfolding a
+// root list depends only on the schema, and the F(F) fixpoint depends
+// only on the unfold and the ClosureOptions — so a closure's entire
+// identity is (schema, options, root list). That makes the derivation
+// log a perfect persistence format: a restarted process rebuilds the
+// unfold (cheap), replays the saved log through the warm-start path
+// (core::Closure's ReplayLog constructor), and lands on a closure
+// byte-identical to the one that was saved, without re-running the
+// fixpoint. This is what turns a nightly-audit restart from a cold
+// population-wide fixpoint into file reads.
+//
+// File layout (versioned, checksummed; all integers host-endian —
+// snapshots are a same-machine cache tier, not an interchange format):
+//
+//   header   "OODBSNAP" | format version u32 | schema fingerprint u64
+//            | payload checksum u64 (FNV-1a)
+//   payload  roots (count + strings, unfold order)
+//            | fact-set digest (Closure::FactSetDigest of the saved run)
+//            | rule-label table (count + strings)
+//            | steps (count; kind u8, a i32, b i32, origin num i32,
+//              origin dir u8, rule index u32, premise offset u32,
+//              premise count u32)
+//            | premise arena (count + i32 ids)
+//
+// Invalidation is fail-safe, never fail-wrong. A load refuses (and the
+// caller falls back to a cold build) when ANY of these trips:
+//   * magic/version mismatch — format evolved;
+//   * schema fingerprint mismatch — any class, attribute, function
+//     body, constraint, or closure option changed since the save;
+//   * checksum mismatch or truncation — torn/corrupted file;
+//   * structural validation — every id must be a valid occurrence of
+//     the re-unfolded root list, every premise must reference an
+//     earlier step;
+//   * digest mismatch — the replayed closure must reproduce the saved
+//     fact set exactly (defence in depth: this catches rule-semantics
+//     drift the fingerprint cannot see, e.g. a rewritten closure.cc).
+//
+// Rule labels are interned into a process-lifetime pool on load, so a
+// snapshot-loaded closure satisfies Closure's "rule strings outlive
+// everything" contract and can itself serve as a warm-start base.
+#ifndef OODBSEC_SNAPSHOT_SNAPSHOT_H_
+#define OODBSEC_SNAPSHOT_SNAPSHOT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "core/closure.h"
+#include "core/closure_cache.h"
+#include "obs/obs.h"
+#include "schema/schema.h"
+
+namespace oodbsec::snapshot {
+
+// Bump on any change to the header or payload layout above.
+inline constexpr uint32_t kFormatVersion = 1;
+inline constexpr std::string_view kMagic = "OODBSNAP";
+
+// Copies `label` into a never-freed process-wide pool and returns a
+// view with effectively static storage. Idempotent; thread-safe. The
+// pool is bounded by the set of distinct rule labels in the system
+// (a few dozen), so "never freed" is a contract, not a leak.
+std::string_view InternRuleLabel(std::string_view label);
+
+// Order-sensitive FNV-1a fingerprint of everything that determines a
+// closure besides the root list: every class (name, attributes, types),
+// every function (signature + printed body), the constraint list, and
+// the ClosureOptions bits. Two processes over the same workspace text
+// compute the same fingerprint; any semantic edit changes it.
+uint64_t SchemaFingerprint(const schema::Schema& schema,
+                           const core::ClosureOptions& options);
+
+// The file name (no directory) a snapshot of `roots` lives under:
+// 16 hex digits of the hash of (options bits, root list), ".snap".
+// Name collisions are tolerated — LoadSnapshot returns the stored root
+// list, and the cache re-checks it against the request.
+std::string SnapshotFileName(const core::ClosureOptions& options,
+                             const std::vector<std::string>& roots);
+
+// Serializes `entry` (roots + digest + derivation log) to `path`,
+// atomically (temp file + rename), creating parent directories as
+// needed. `options` must be the options the closure was built under.
+common::Status SaveSnapshot(const schema::Schema& schema,
+                            const core::ClosureOptions& options,
+                            const core::CachedAnalysis& entry,
+                            const std::string& path);
+
+// Loads, validates, re-unfolds, and replays a snapshot. Returns
+// kNotFound when the file does not exist, kFailedPrecondition for every
+// flavour of invalid (wrong version, wrong fingerprint, checksum,
+// truncation, structural or digest mismatch — the message says which).
+// Never crashes on hostile bytes. `obs` (optional) observes the unfold
+// and replay spans, plus "snapshot.load.*" counters.
+common::Result<std::shared_ptr<const core::CachedAnalysis>> LoadSnapshot(
+    const schema::Schema& schema, const core::ClosureOptions& options,
+    const std::string& path, obs::Observability* obs = nullptr);
+
+}  // namespace oodbsec::snapshot
+
+#endif  // OODBSEC_SNAPSHOT_SNAPSHOT_H_

@@ -11,6 +11,9 @@
 //   users                      list users and capability lists
 //   requirements               list security requirements
 //   analyze                    run A(R) on every requirement
+//   grant <user> <function>    grant a capability (session overlay)
+//   revoke <user> <function>   revoke one; DRed-shrinks the cached closure
+//   recheck                    re-audit every requirement incrementally
 //   batch [threads]            same, through the caching batch service
 //   shard [shards] [threads]   same, forked across worker processes
 //   snapshot dir <path>        arm the persistent closure-snapshot tier
@@ -73,6 +76,13 @@ class Shell {
       std::printf("%s", text::FormatWorkspace(workspace_).c_str());
     } else if (command == "analyze") {
       Analyze();
+    } else if (command == "grant" || command == "revoke") {
+      std::string user;
+      std::string function;
+      in >> user >> function;
+      GrantRevoke(command, user, function);
+    } else if (command == "recheck") {
+      Recheck();
     } else if (command == "batch") {
       int threads = 0;
       in >> threads;
@@ -115,6 +125,12 @@ class Shell {
     std::printf(
         "  schema | users | requirements   inspect the workspace\n"
         "  analyze                         run A(R) on every requirement\n"
+        "  grant <user> <function>         grant a capability (session"
+        " overlay)\n"
+        "  revoke <user> <function>        revoke one; DRed-shrinks the"
+        " cached closure\n"
+        "  recheck                         re-audit every requirement\n"
+        "                                  (incremental, cached)\n"
         "  batch [threads]                 same, through the batch service\n"
         "                                  (shared-closure cache, default 4"
         " threads)\n"
@@ -181,6 +197,61 @@ class Shell {
       std::printf("[%zu] %s", i, last_reports_[i].ToString().c_str());
     }
     std::printf("(use 'explain <n>' for a derivation)\n");
+  }
+
+  // Session-overlay policy edits. A revoke eagerly DRed-retracts the
+  // user's cached closure (core::Closure::Retract), so the `recheck`
+  // that follows is an exact cache hit; the printed counters make the
+  // fast path (vs the rebuild fallback) visible.
+  void GrantRevoke(const std::string& verb, const std::string& user,
+                   const std::string& function) {
+    if (user.empty() || function.empty()) {
+      std::printf("usage: %s <user> <function>\n", verb.c_str());
+      return;
+    }
+    common::Status status =
+        verb == "grant" ? session_->AddCapability(user, function)
+                        : session_->RemoveCapability(user, function);
+    if (!status.ok()) {
+      std::printf("error: %s\n", status.ToString().c_str());
+      return;
+    }
+    if (verb == "grant") {
+      std::printf("granted %s to %s\n", function.c_str(), user.c_str());
+    } else {
+      obs::MetricsRegistry& metrics = session_->metrics();
+      std::printf(
+          "revoked %s from %s (%lld retraction(s) fast, %lld fell back to"
+          " rebuild)\n",
+          function.c_str(), user.c_str(),
+          static_cast<long long>(
+              metrics.counter("session.retractions_fast")->value()),
+          static_cast<long long>(
+              metrics.counter("session.retractions_fallback")->value()));
+    }
+    std::printf("(run 'recheck' to re-audit)\n");
+  }
+
+  // Re-audits every requirement against the overlay capability state,
+  // serving closures from the session's incremental cache.
+  void Recheck() {
+    auto reports = session_->RecheckRequirements(workspace_.requirements);
+    if (!reports.ok()) {
+      std::printf("error: %s\n", reports.status().ToString().c_str());
+      return;
+    }
+    last_reports_ = std::move(reports).value();
+    for (size_t i = 0; i < last_reports_.size(); ++i) {
+      std::printf("[%zu] %s", i, last_reports_[i].ToString().c_str());
+    }
+    const core::ClosureCache::Stats& stats =
+        session_->recheck_cache().stats();
+    std::printf(
+        "(%llu exact hit(s), %llu warm, %llu retracted, %llu cold)\n",
+        static_cast<unsigned long long>(stats.exact_hits),
+        static_cast<unsigned long long>(stats.warm_builds),
+        static_cast<unsigned long long>(stats.retract_builds),
+        static_cast<unsigned long long>(stats.cold_builds));
   }
 
   // Like Analyze(), but through AnalysisService: users sharing a

@@ -76,9 +76,21 @@ common::Status AnalysisSession::RemoveCapability(std::string_view user,
         "user '", user, "' does not hold '", function, "'"));
   }
   obs_->metrics.counter("session.revokes")->Increment();
+  std::vector<std::string> old_roots = AnalysisRoots(schema_, *current);
   auto [it, inserted] =
       overlay_users_.try_emplace(std::string(user), *current);
   it->second.Revoke(function);
+  // Retraction fast path: shrink the user's cached closure in place
+  // (copy-on-write — the superset entry stays immutable) instead of
+  // leaving the next recheck to warm-start from some smaller subset.
+  // The fallback counter makes the miss rate observable: it trips when
+  // the user's pre-revoke closure was never built or already evicted.
+  std::vector<std::string> new_roots = AnalysisRoots(schema_, it->second);
+  if (recheck_cache_->RetractEntry(old_roots, new_roots) != nullptr) {
+    obs_->metrics.counter("session.retractions_fast")->Increment();
+  } else {
+    obs_->metrics.counter("session.retractions_fallback")->Increment();
+  }
   return common::Status();
 }
 

@@ -105,9 +105,14 @@ class AnalysisSession {
   //   * after AddCapability, the user's old root list is a subset of
   //     the new one: the cached closure seeds a warm-started build that
   //     derives just the new function's contribution;
-  //   * after RemoveCapability, the new list warm-starts from the
-  //     largest still-valid cached subset (often a sibling role), and
-  //     falls back to a cold run only when nothing overlaps.
+  //   * after RemoveCapability, the user's cached closure is shrunk by
+  //     DRed retraction (Closure::Retract) into a fresh cache entry,
+  //     eagerly — the revoked capability's fact cone is deleted and
+  //     alternate support re-derived, so the next recheck is an exact
+  //     hit ("session.retractions_fast"). When the pre-revoke closure
+  //     was never built or already evicted, the next recheck pays the
+  //     ordinary subset-warm-start or cold path instead
+  //     ("session.retractions_fallback").
 
   // The session's view of `name`: the overlay copy when the user has
   // been edited here, the registry's user otherwise. nullptr if unknown.

@@ -48,12 +48,28 @@ Closure::Closure(const unfold::UnfoldedSet& set, ClosureOptions options,
   obs::ScopedSpan closure_span(tracer, "closure");
   InitTables();
 
+  std::vector<int> delta_ids;
   if (warm_base != nullptr) {
     std::vector<int> old_to_new;
     if (ComputeWarmMap(*warm_base, old_to_new)) {
       obs::ScopedSpan replay_span(tracer, "closure.delta.replay");
       ReplayBase(*warm_base, old_to_new);
       warm_started_ = true;
+      // Occurrences the base does not cover: the added roots' blocks.
+      // Replayed facts never enter the frontier, so a rule keyed on an
+      // old occurrence (e.g. "alterability via write object", whose
+      // conclusions span every read of the attribute) would never see
+      // these new targets. Rederive() re-fires the per-occurrence and
+      // per-class producers from the new nodes' perspective, reading the
+      // replayed state the frontier skipped.
+      std::vector<char> mapped(set.node_count() + 1, 0);
+      for (int old_id = 1; old_id < static_cast<int>(old_to_new.size());
+           ++old_id) {
+        if (old_to_new[old_id] != 0) mapped[old_to_new[old_id]] = 1;
+      }
+      for (int id = 1; id <= set.node_count(); ++id) {
+        if (mapped[id] == 0) delta_ids.push_back(id);
+      }
     }
   }
 
@@ -61,6 +77,7 @@ Closure::Closure(const unfold::UnfoldedSet& set, ClosureOptions options,
     obs::ScopedSpan seed_span(tracer, "closure.seed");
     Seed();
   }
+  if (!delta_ids.empty()) Rederive(delta_ids, {});
   Run();
   FlushMetrics();
 }
@@ -256,38 +273,437 @@ void Closure::ReplaySteps(std::span<const DerivationStep> steps,
     // the follow-up Seed() + Run() re-derive only what the added roots
     // contribute, re-firing rules through the premise index as new
     // facts interact with the replayed state.
-    switch (fact.kind) {
-      case Fact::Kind::kTa:
-        ta_[fact.a] = id;
-        break;
-      case Fact::Kind::kPa:
-        pa_[fact.a] = id;
-        break;
-      case Fact::Kind::kTi:
-        ti_[Find(fact.a)].Insert(fact.origin, id);
-        break;
-      case Fact::Kind::kPi:
-        pi_[Find(fact.a)].Insert(fact.origin, id);
-        break;
-      case Fact::Kind::kPiStar: {
-        std::pair<int, int> key = {Find(fact.a), Find(fact.b)};
-        pistar_[PairKey(key.first, key.second)].Insert(fact.origin, id);
-        InsertSortedUnique(pistar_touching_[key.first], key);
-        InsertSortedUnique(pistar_touching_[key.second], key);
-        break;
+    ApplyReplayedFact(fact, id);
+  }
+}
+
+void Closure::ApplyReplayedFact(const Fact& fact, FactId id) {
+  switch (fact.kind) {
+    case Fact::Kind::kTa:
+      ta_[fact.a] = id;
+      break;
+    case Fact::Kind::kPa:
+      pa_[fact.a] = id;
+      break;
+    case Fact::Kind::kTi:
+      ti_[Find(fact.a)].Insert(fact.origin, id);
+      break;
+    case Fact::Kind::kPi:
+      pi_[Find(fact.a)].Insert(fact.origin, id);
+      break;
+    case Fact::Kind::kPiStar: {
+      std::pair<int, int> key = {Find(fact.a), Find(fact.b)};
+      pistar_[PairKey(key.first, key.second)].Insert(fact.origin, id);
+      InsertSortedUnique(pistar_touching_[key.first], key);
+      InsertSortedUnique(pistar_touching_[key.second], key);
+      break;
+    }
+    case Fact::Kind::kEq: {
+      int ra = Find(fact.a);
+      int rb = Find(fact.b);
+      if (ra != rb) {
+        ++eq_merges_;
+        eq_edges_[fact.a].emplace_back(fact.b, id);
+        eq_edges_[fact.b].emplace_back(fact.a, id);
+        MergeClasses(ra, rb);
       }
-      case Fact::Kind::kEq: {
-        int ra = Find(fact.a);
-        int rb = Find(fact.b);
-        if (ra != rb) {
-          ++eq_merges_;
-          eq_edges_[fact.a].emplace_back(fact.b, id);
-          eq_edges_[fact.b].emplace_back(fact.a, id);
-          MergeClasses(ra, rb);
+      break;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Retraction (DRed, delete-and-rederive). See the Retract() contract in
+// the header and DESIGN.md §12 for the invariants.
+
+std::unique_ptr<Closure> Closure::Retract(const unfold::UnfoldedSet& set,
+                                          ClosureOptions options,
+                                          obs::Observability* obs,
+                                          const Closure& base) {
+  std::unique_ptr<Closure> closure(
+      new Closure(set, options, obs, base, RetractTag{}));
+  if (!closure->retracted_) return nullptr;
+  return closure;
+}
+
+bool Closure::ComputeShrinkMap(const Closure& base,
+                               std::vector<int>& old_to_new) const {
+  if (&base == this || !(base.options_ == options_)) return false;
+  const std::vector<unfold::Root>& old_roots = base.set_->roots();
+  const std::vector<unfold::Root>& new_roots = set_->roots();
+  // ComputeWarmMap's k-th-duplicate matching with the roles reversed:
+  // every *new* root claims a distinct old root; old roots nobody
+  // claims are the revoked ones, and their id ranges stay mapped to 0.
+  std::map<std::string_view, std::vector<size_t>> available;
+  for (size_t j = 0; j < old_roots.size(); ++j) {
+    available[old_roots[j].function_name].push_back(j);
+  }
+  std::map<std::string_view, size_t> next;
+  old_to_new.assign(base.set_->node_count() + 1, 0);
+  for (const unfold::Root& new_root : new_roots) {
+    auto it = available.find(new_root.function_name);
+    if (it == available.end()) return false;
+    size_t& cursor = next[new_root.function_name];
+    if (cursor >= it->second.size()) return false;
+    const unfold::Root& old_root = old_roots[it->second[cursor++]];
+    int old_first = old_root.first_node_id;
+    int old_last = old_root.body->id;
+    int new_first = new_root.first_node_id;
+    if (old_last - old_first != new_root.body->id - new_first) {
+      return false;  // shape mismatch: schemas differ, fall back cold
+    }
+    for (int id = old_first; id <= old_last; ++id) {
+      old_to_new[id] = id - old_first + new_first;
+    }
+  }
+  return true;
+}
+
+Closure::Closure(const unfold::UnfoldedSet& set, ClosureOptions options,
+                 obs::Observability* obs, const Closure& base, RetractTag)
+    : set_(&set), options_(options), obs_(obs) {
+  obs::Tracer* tracer = obs_ != nullptr ? &obs_->tracer : nullptr;
+  obs::ScopedSpan closure_span(tracer, "closure");
+  InitTables();
+  std::vector<int> old_to_new;
+  if (!ComputeShrinkMap(base, old_to_new)) return;  // discarded by Retract()
+
+  // Over-delete the cone of base steps that mention a revoked
+  // occurrence — as subject, pair partner, or origin provenance — or
+  // depend on a marked step. Premise edges alone do not close the cone:
+  // the class-level rules (pi*: join, join of partial inferabilities,
+  // EvalRule's pi* atoms) match their premises through the equivalence
+  // tables, and the eq facts that merged the mediating class are NOT in
+  // the recorded premise list. Classes whose mediation may have changed
+  // are marked *suspect*, and every premise-bearing fact whose own or
+  // premise endpoints touch a suspect class is over-deleted as well.
+  //
+  // Suspicion is connectivity-based, not loss-based: a class only
+  // becomes suspect when its *surviving* members are no longer all
+  // connected by the *surviving* eq facts. Losing an eq edge that the
+  // class can route around (e.g. revoking one department of a scaled
+  // workload whose argument class is held together by the other
+  // departments' axioms) changes nothing any class-mediated derivation
+  // relied on — every "a ~ b" among survivors still holds — so those
+  // facts are kept and the cone stays proportional to the revoked
+  // delta instead of swallowing the whole log. Deleting an eq late in
+  // the log can split a class and thereby indict a join earlier in it,
+  // so the sweep repeats to a fixpoint, recomputing connectivity from
+  // the thinner edge set each round (splits are monotone: edges only
+  // disappear). Over-deletion is always safe: the rederive pass
+  // restores whatever has surviving support.
+  std::vector<char> deleted(base.steps_.size(), 0);
+  std::vector<int> touched;
+  std::vector<DeletedPair> deleted_pairs;
+  {
+    obs::ScopedSpan delete_span(tracer, "closure.retract.delete");
+    auto removed = [&old_to_new](int id) {
+      return id != 0 && old_to_new[id] == 0;
+    };
+    int base_n = base.set_->node_count();
+    std::vector<char> suspect(base_n + 1, 0);
+    std::vector<int> parent(base_n + 1);
+    std::vector<int> first_member(base_n + 1);
+    auto find = [&parent](int x) {
+      while (parent[x] != x) {
+        parent[x] = parent[parent[x]];
+        x = parent[x];
+      }
+      return x;
+    };
+    auto recompute_suspect = [&] {
+      for (int id = 0; id <= base_n; ++id) parent[id] = id;
+      for (size_t i = 0; i < base.steps_.size(); ++i) {
+        if (deleted[i] != 0) continue;
+        const Fact& fact = base.steps_[i].fact;
+        if (fact.kind != Fact::Kind::kEq) continue;
+        if (removed(fact.a) || removed(fact.b)) continue;
+        parent[find(fact.a)] = find(fact.b);
+      }
+      std::fill(first_member.begin(), first_member.end(), 0);
+      for (int id = 1; id <= base_n; ++id) {
+        if (removed(id)) continue;
+        int rep = base.Rep(id);
+        if (first_member[rep] == 0) {
+          first_member[rep] = id;
+        } else if (find(id) != find(first_member[rep])) {
+          suspect[rep] = 1;  // sticky: splits are monotone across rounds
         }
-        break;
+      }
+    };
+    auto is_pair = [](const Fact& f) {
+      return f.kind == Fact::Kind::kPiStar || f.kind == Fact::Kind::kEq;
+    };
+    auto endpoint_suspect = [&](const Fact& f) {
+      if (suspect[base.Rep(f.a)] != 0) return true;
+      return is_pair(f) && suspect[base.Rep(f.b)] != 0;
+    };
+    bool changed = true;
+    while (changed) {
+      recompute_suspect();
+      changed = false;
+      for (size_t i = 0; i < base.steps_.size(); ++i) {
+        if (deleted[i] != 0) continue;
+        const DerivationStep& bstep = base.steps_[i];
+        const Fact& fact = bstep.fact;
+        bool pair = is_pair(fact);
+        bool gone = removed(fact.a) || removed(fact.origin.num) ||
+                    (pair && removed(fact.b));
+        if (!gone && bstep.premise_count > 0) {
+          gone = endpoint_suspect(fact);
+          for (FactId premise : base.premises(static_cast<FactId>(i))) {
+            if (gone) break;
+            gone = deleted[premise] != 0 ||
+                   endpoint_suspect(base.steps_[premise].fact);
+          }
+        }
+        if (!gone) continue;
+        deleted[i] = 1;
+        changed = true;
+        ++retracted_facts_;
+        if (int a = old_to_new[fact.a]; a != 0) touched.push_back(a);
+        if (pair) {
+          if (int b = old_to_new[fact.b]; b != 0) touched.push_back(b);
+        }
+        if (fact.kind == Fact::Kind::kPiStar) {
+          int a = old_to_new[fact.a];
+          int b = old_to_new[fact.b];
+          int onum = fact.origin.num == 0 ? 0 : old_to_new[fact.origin.num];
+          if (a != 0 && b != 0 && (fact.origin.num == 0 || onum != 0)) {
+            deleted_pairs.push_back({a, b, Origin{onum, fact.origin.dir}});
+          }
+        }
       }
     }
+    std::sort(touched.begin(), touched.end());
+    touched.erase(std::unique(touched.begin(), touched.end()),
+                  touched.end());
+  }
+  {
+    obs::ScopedSpan replay_span(tracer, "closure.retract.replay");
+    ReplaySurvivors(base, old_to_new, deleted);
+  }
+  warm_started_ = true;  // replay-prefix semantics (replayed_fact_count)
+  retracted_ = true;
+  // Seed() re-adds every axiom the cone lost and re-evaluates every
+  // basic-function rule against the survivor tables; the targeted pass
+  // covers the structural rules. Both only enqueue genuinely missing
+  // facts, and Run() propagates their consequences to the fixpoint.
+  {
+    obs::ScopedSpan seed_span(tracer, "closure.seed");
+    Seed();
+  }
+  {
+    obs::ScopedSpan rederive_span(tracer, "closure.retract.rederive");
+    Rederive(touched, deleted_pairs);
+  }
+  Run();
+  FlushMetrics();
+}
+
+void Closure::ReplaySurvivors(const Closure& base,
+                              const std::vector<int>& old_to_new,
+                              const std::vector<char>& deleted) {
+  // Like ReplaySteps, but survivors compact: premise FactIds shift, so
+  // each is remapped through the old-index -> new-index table (always
+  // already filled — a survivor's premises are survivors).
+  std::vector<FactId> remap(base.steps_.size(), kNoFact);
+  steps_.reserve(base.steps_.size());
+  premise_arena_.reserve(base.premise_arena_.size());
+  for (size_t i = 0; i < base.steps_.size(); ++i) {
+    if (deleted[i] != 0) continue;
+    const DerivationStep& bstep = base.steps_[i];
+    Fact fact = bstep.fact;
+    fact.a = old_to_new[fact.a];
+    if (fact.kind == Fact::Kind::kPiStar || fact.kind == Fact::Kind::kEq) {
+      fact.b = old_to_new[fact.b];
+    }
+    fact.origin.num = old_to_new[fact.origin.num];
+    FactId id = static_cast<FactId>(steps_.size());
+    remap[i] = id;
+    DerivationStep step;
+    step.fact = fact;
+    step.rule = bstep.rule;
+    step.premise_offset = static_cast<uint32_t>(premise_arena_.size());
+    step.premise_count = bstep.premise_count;
+    for (FactId premise : base.premises(static_cast<FactId>(i))) {
+      premise_arena_.push_back(remap[premise]);
+    }
+    steps_.push_back(step);
+    ApplyReplayedFact(fact, id);
+  }
+  replayed_facts_ = steps_.size();
+}
+
+void Closure::Rederive(const std::vector<int>& touched,
+                       const std::vector<DeletedPair>& pairs) {
+  // Every over-deleted fact's conclusion site is a touched occurrence
+  // (or was itself revoked, in which case nothing concludes there any
+  // more), so firing every structural producer *at* the touched sites
+  // and classes restores exactly the alternate-support facts. Producers
+  // whose premises appear only later — added by Seed(), this pass, or
+  // the fixpoint — re-fire through the normal Process() handlers when
+  // those premises drain from the frontier.
+  std::vector<int> reps;
+  reps.reserve(touched.size());
+  for (int id : touched) reps.push_back(Find(id));
+  std::sort(reps.begin(), reps.end());
+  reps.erase(std::unique(reps.begin(), reps.end()), reps.end());
+  for (int id : touched) RederiveNode(id);
+  for (int rep : reps) RederiveClass(rep);
+  // Conclusion-driven DRed: probe one-step alternate support for
+  // exactly the over-deleted pi* facts. Deeper chains resolve in Run()
+  // — every fact a probe restores re-enters the frontier, and
+  // ProcessPiStar fires the full swap/join consequences from there.
+  for (const DeletedPair& pair : pairs) RederivePair(pair);
+}
+
+void Closure::RederiveNode(int id) {
+  // The per-occurrence producers, in ProcessTa/ProcessPa order:
+  // implication first, then the let and read/write rules.
+  if (ta_[id] != kNoFact && pa_[id] == kNoFact) {
+    AddPa(id, "ta => pa", {ta_[id]});
+  }
+  const Node* node = set_->node(id);
+  if (node->kind == NodeKind::kVarRef && node->binder_id >= 0) {
+    const unfold::Binder& binder = set_->binder(node->binder_id);
+    if (binder.bound_expr != nullptr) {
+      int bound = binder.bound_expr->id;
+      if (ta_[bound] != kNoFact) {
+        AddTa(id, "let: bound expression to variable", {ta_[bound]});
+      } else if (pa_[bound] != kNoFact) {
+        AddPa(id, "let: bound expression to variable", {pa_[bound]});
+      }
+    }
+  }
+  if (node->is_let()) {
+    int body = node->body()->id;
+    if (ta_[body] != kNoFact) {
+      AddTa(id, "let: body to let value", {ta_[body]});
+    } else if (pa_[body] != kNoFact) {
+      AddPa(id, "let: body to let value", {pa_[body]});
+    }
+  }
+  if (node->kind != NodeKind::kReadAttr) return;
+  const Node* object = node->object_child();
+  if (pa_[object->id] != kNoFact) {
+    if (options_.read_object_total_alterability) {
+      AddTa(id, "alterability via read object", {pa_[object->id]});
+    } else {
+      AddPa(id, "alterability via read object", {pa_[object->id]});
+    }
+  }
+  if (!options_.write_read_equality) return;
+  for (const Node* write : set_->writes(node->attribute)) {
+    if (pa_[write->object_child()->id] != kNoFact) {
+      AddTa(id, "alterability via write object",
+            {pa_[write->object_child()->id]});
+    }
+    if (Find(write->object_child()->id) != Find(object->id)) continue;
+    if (Find(write->value_child()->id) != Find(id)) {
+      std::vector<FactId> premises;
+      ExplainEquality(write->object_child()->id, object->id, premises);
+      std::sort(premises.begin(), premises.end());
+      premises.erase(std::unique(premises.begin(), premises.end()),
+                     premises.end());
+      AddEq(write->value_child()->id, id, "=: written value equals read",
+            premises);
+    }
+    FactId alter = ta_[write->value_child()->id] != kNoFact
+                       ? ta_[write->value_child()->id]
+                       : pa_[write->value_child()->id];
+    if (alter != kNoFact) FireWriteValueRules(write, alter, node);
+  }
+  for (const Node* other : obj_reads_[Find(object->id)]) {
+    if (other == node || other->attribute != node->attribute) continue;
+    if (Find(other->id) == Find(id)) continue;
+    std::vector<FactId> premises;
+    ExplainEquality(object->id, other->object_child()->id, premises);
+    AddEq(id, other->id, "=: reads of equal objects", premises);
+  }
+}
+
+void Closure::RederiveClass(int rep) {
+  // The per-class producers: the ti/pi implication and join, the
+  // equal-pair pi* axiom, and the pi* swap/join around every pair key
+  // touching the class. Origin sets are copied before iterating — the
+  // Add* calls below may insert into the very sets being walked.
+  {
+    OriginSet tis = ti_[rep];
+    for (const OriginSet::Entry& entry : tis.entries()) {
+      if (pi_[rep].Lookup(entry.origin) == kNoFact) {
+        AddPi(steps_[entry.fact].fact.a, entry.origin, "ti => pi",
+              {entry.fact});
+      }
+    }
+  }
+  if (options_.pi_join_to_ti) {
+    OriginSet pis = pi_[rep];
+    if (pis.size() >= 2) {
+      for (const OriginSet::Entry& entry : pis.entries()) {
+        if (ti_[rep].Lookup(entry.origin) != kNoFact) continue;
+        for (const OriginSet::Entry& other : pis.entries()) {
+          if (other.origin == entry.origin) continue;
+          AddTi(steps_[entry.fact].fact.a, entry.origin,
+                "join of partial inferabilities",
+                {entry.fact, other.fact});
+          break;
+        }
+      }
+    }
+  }
+  if (members_[rep].size() >= 2) {
+    auto it = pistar_.find(PairKey(rep, rep));
+    if (it == pistar_.end() || it->second.Lookup({0, '+'}) == kNoFact) {
+      int m0 = members_[rep][0];
+      int m1 = members_[rep][1];
+      std::vector<FactId> premises;
+      ExplainEquality(m0, m1, premises);
+      AddPiStar(m0, m1, {0, '+'}, "=: pair of equals", premises);
+    }
+  }
+}
+
+void Closure::RederivePair(const DeletedPair& pair) {
+  // One-step alternate support for an over-deleted pi*(a, b, origin):
+  // either the swap of a surviving pi*(b, a, origin), or a join
+  // pi*(a, m, origin) + pi*(m, b, _) through some surviving mediator m.
+  // The mediator scan walks whichever endpoint's adjacency list is
+  // shorter, so probes stay cheap even against a hub class.
+  int ra = Find(pair.a);
+  int rb = Find(pair.b);
+  if (ra == rb) return;  // intra-class pairs come from "=: pair of equals"
+  auto it = pistar_.find(PairKey(ra, rb));
+  if (it != pistar_.end() && it->second.Lookup(pair.origin) != kNoFact) {
+    return;  // already restored (replay kept it, or an earlier probe did)
+  }
+  auto swap_it = pistar_.find(PairKey(rb, ra));
+  if (swap_it != pistar_.end()) {
+    FactId swapped = swap_it->second.Lookup(pair.origin);
+    if (swapped != kNoFact) {
+      AddPiStar(pair.a, pair.b, pair.origin, "pi*: swap", {swapped});
+      return;
+    }
+  }
+  const std::vector<std::pair<int, int>>& left_adj = pistar_touching_[ra];
+  const std::vector<std::pair<int, int>>& right_adj = pistar_touching_[rb];
+  bool scan_left = left_adj.size() <= right_adj.size();
+  const std::vector<std::pair<int, int>>& adj =
+      scan_left ? left_adj : right_adj;
+  for (const std::pair<int, int>& key : adj) {
+    // Scanning from the left wants keys (ra, m); from the right, (m, rb).
+    int mediator = scan_left ? key.second : key.first;
+    if (scan_left ? key.first != ra : key.second != rb) continue;
+    if (mediator == ra || mediator == rb) continue;
+    auto left_it = pistar_.find(PairKey(ra, mediator));
+    if (left_it == pistar_.end()) continue;
+    FactId left_fact = left_it->second.Lookup(pair.origin);
+    if (left_fact == kNoFact) continue;
+    auto right_it = pistar_.find(PairKey(mediator, rb));
+    if (right_it == pistar_.end() || right_it->second.empty()) continue;
+    AddPiStar(pair.a, pair.b, pair.origin, "pi*: join",
+              {left_fact, right_it->second.entries()[0].fact});
+    return;
   }
 }
 
@@ -697,7 +1113,57 @@ void Closure::ProcessEqMerge(const Fact& fact, FactId fact_id) {
     cross(rb, ra);
   }
 
+  // Snapshot both sides' pi* keys before the union erases the side
+  // distinction: the merge is about to make cross-side chains joinable,
+  // and every pair involved is an already-processed fact the semi-naive
+  // frontier will never revisit. Without the cross-join below, whether
+  // pi*[(ea,ec)] gets derived would depend on whether this eq fact
+  // happened to precede the two pair facts — an order dependence that
+  // cold and warm runs resolve differently (warm starts replay old pairs
+  // without processing them, so a late bridge eq would silently drop the
+  // joins a cold build happens to catch).
+  std::vector<std::pair<int, int>> side_a = pistar_touching_[ra];
+  std::vector<std::pair<int, int>> side_b = pistar_touching_[rb];
+
   int root = MergeClasses(ra, rb);
+
+  // Join: pi*[(ea,eb)], pi*[(eb',ec)] -> pi*[(ea,ec)] where this merge
+  // united eb with eb'. Same rule as ProcessPiStar's join, fired at
+  // merge time for the cross-side combinations that only now chain.
+  // Within-side joins already fired when the later pair was processed.
+  auto cross_join = [&](const std::vector<std::pair<int, int>>& into,
+                        int into_rep,
+                        const std::vector<std::pair<int, int>>& from,
+                        int from_rep) {
+    for (const std::pair<int, int>& left : into) {
+      if (left.second != into_rep) continue;
+      for (const std::pair<int, int>& right : from) {
+        if (right.first != from_rep) continue;
+        // The snapshots hold pre-merge keys; the absorbed side's entries
+        // were re-keyed to `root`, so look up through Find.
+        auto left_it =
+            pistar_.find(PairKey(Find(left.first), Find(left.second)));
+        if (left_it == pistar_.end() || left_it->second.empty()) continue;
+        auto right_it =
+            pistar_.find(PairKey(Find(right.first), Find(right.second)));
+        if (right_it == pistar_.end() || right_it->second.empty()) {
+          continue;
+        }
+        const OriginSet::Entry& left_entry = left_it->second.entries()[0];
+        const OriginSet::Entry& right_entry =
+            right_it->second.entries()[0];
+        const Fact& left_fact = steps_[left_entry.fact].fact;
+        const Fact& right_fact = steps_[right_entry.fact].fact;
+        if (Find(left_fact.a) == Find(right_fact.b)) continue;
+        // Conclusion keeps the first pair's provenance, mirroring
+        // ProcessPiStar.
+        AddPiStar(left_fact.a, right_fact.b, left_entry.origin,
+                  "pi*: join", {left_entry.fact, right_entry.fact});
+      }
+    }
+  };
+  cross_join(side_a, ra, side_b, rb);
+  cross_join(side_b, rb, side_a, ra);
 
   // =[e1,e2] -> pi*[(e1,e2), 0, +]: equal expressions form a known pair.
   AddPiStar(fact.a, fact.b, {0, '+'}, "=: pair of equals", {fact_id});
@@ -1052,11 +1518,20 @@ void Closure::FlushMetrics() {
   metrics.counter("closure.basic_call.reevals")->Increment(basic_reevals_);
   metrics.counter("closure.eq.merges")->Increment(eq_merges_);
   metrics.counter("closure.delta.rule_evals")->Increment(rule_evals_);
-  if (warm_started_) {
+  if (warm_started_ && !retracted_) {
     metrics.counter("closure.delta.warm_starts")->Increment();
     metrics.counter("closure.delta.replayed_facts")
         ->Increment(replayed_facts_);
     metrics.counter("closure.delta.new_facts")
+        ->Increment(steps_.size() - replayed_facts_);
+  }
+  if (retracted_) {
+    metrics.counter("closure.retract.builds")->Increment();
+    metrics.counter("closure.retract.cone_facts")
+        ->Increment(retracted_facts_);
+    metrics.counter("closure.retract.replayed_facts")
+        ->Increment(replayed_facts_);
+    metrics.counter("closure.retract.rederived_facts")
         ->Increment(steps_.size() - replayed_facts_);
   }
 

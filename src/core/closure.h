@@ -53,6 +53,7 @@
 #include <array>
 #include <cstdint>
 #include <initializer_list>
+#include <memory>
 #include <span>
 #include <string>
 #include <string_view>
@@ -228,6 +229,31 @@ class Closure {
   Closure(const unfold::UnfoldedSet& set, ClosureOptions options,
           obs::Observability* obs, const ReplayLog& log);
 
+  // Retraction (DRed, delete-and-rederive): builds the closure over
+  // `set` — whose roots must form a sub-multiset of `base`'s, computed
+  // under the same options — by *shrinking* the base instead of
+  // rebuilding. The base's derivation log is scanned once to over-delete
+  // the cone of steps that mention a removed occurrence (as subject,
+  // pair partner, origin, or transitively through a premise), the
+  // surviving steps are replayed into fresh tables, and the deleted
+  // facts with alternate support are re-derived: Seed() re-evaluates
+  // every axiom and basic-function rule, and a targeted pass re-fires
+  // the structural rules at exactly the occurrences and equality
+  // classes the cone touched. The standard semi-naive frontier then
+  // runs to completion, so the result derives the same fact *set* as a
+  // cold build over `set` (FactSetDigest equality — the log and
+  // derivation routes may differ, as with warm starts).
+  //
+  // Returns nullptr when the base is incompatible (different options, a
+  // root of `set` missing from the base, mismatched unfold shapes) —
+  // the caller falls back to a cold or warm build. The base is read
+  // during construction only. Counts as warm_started(); retracted()
+  // reports the path.
+  static std::unique_ptr<Closure> Retract(const unfold::UnfoldedSet& set,
+                                          ClosureOptions options,
+                                          obs::Observability* obs,
+                                          const Closure& base);
+
   Closure(const Closure&) = delete;
   Closure& operator=(const Closure&) = delete;
 
@@ -237,6 +263,15 @@ class Closure {
   bool warm_started() const { return warm_started_; }
   // Facts replayed from the base (prefix of steps()); 0 for cold runs.
   size_t replayed_fact_count() const { return replayed_facts_; }
+  // True when this closure was produced by Retract().
+  bool retracted() const { return retracted_; }
+  // Over-deleted base facts (the DRed cone); 0 unless retracted().
+  size_t retracted_fact_count() const { return retracted_facts_; }
+  // Facts appended after the survivor replay: re-seeded axioms,
+  // alternate-support re-derivations, and their consequences.
+  size_t rederived_fact_count() const {
+    return steps_.size() - replayed_facts_;
+  }
 
   // Canonical, order-insensitive summary of the derived fact set:
   // per-occurrence predicate bits, the equality partition, and the set
@@ -369,8 +404,47 @@ class Closure {
   void ReplaySteps(std::span<const DerivationStep> steps,
                    std::span<const FactId> arena,
                    const std::vector<int>* old_to_new);
+  // Applies one already-logged fact to the tables without enqueueing it
+  // (the replay half of ReplaySteps / ReplaySurvivors).
+  void ApplyReplayedFact(const Fact& fact, FactId id);
   // Table/index allocation shared by every constructor.
   void InitTables();
+
+  // --- retraction (DRed) ---
+  struct RetractTag {};
+  Closure(const unfold::UnfoldedSet& set, ClosureOptions options,
+          obs::Observability* obs, const Closure& base, RetractTag);
+  // ComputeWarmMap with the roles reversed: every root of *this* set
+  // (the reduced list) must match a distinct base root; base ids inside
+  // an unmatched (revoked) root map to 0. False when incompatible.
+  bool ComputeShrinkMap(const Closure& base,
+                        std::vector<int>& old_to_new) const;
+  // Replays the non-deleted base steps, remapping premise FactIds to
+  // the compacted log (a survivor's premises all survive — the cone is
+  // premise-closed by construction).
+  void ReplaySurvivors(const Closure& base,
+                       const std::vector<int>& old_to_new,
+                       const std::vector<char>& deleted);
+  // An over-deleted pi* fact whose endpoints (and origin occurrence)
+  // survive the shrink map, recorded in *new* id space. The rederive
+  // pass attempts exactly these conclusions instead of sweeping the
+  // pair index, keeping the cost proportional to the cone.
+  struct DeletedPair {
+    int a;
+    int b;
+    Origin origin;
+  };
+  // Re-fires the structural (non-basic) rules whose conclusions may
+  // have been over-deleted: `touched` holds the surviving occurrence
+  // ids the cone mentioned, sorted unique, and `pairs` the over-deleted
+  // pi* conclusions to probe for one-step alternate support. Additions
+  // enter the frontier and propagate in Run(), which also restores any
+  // conclusion whose alternate support is itself rederived later.
+  void Rederive(const std::vector<int>& touched,
+                const std::vector<DeletedPair>& pairs);
+  void RederiveNode(int id);
+  void RederiveClass(int rep);
+  void RederivePair(const DeletedPair& pair);
 
   // --- rule application ---
   void Seed();
@@ -425,6 +499,8 @@ class Closure {
 
   bool warm_started_ = false;
   size_t replayed_facts_ = 0;
+  bool retracted_ = false;
+  size_t retracted_facts_ = 0;
 
   // Union-find over occurrence ids (1-based). No `mutable` escape hatch:
   // path compression happens only during construction, and Run() leaves

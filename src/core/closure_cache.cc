@@ -70,6 +70,81 @@ std::shared_ptr<const CachedAnalysis> ClosureCache::FindLargestSubset(
   return best_entry;
 }
 
+std::shared_ptr<const CachedAnalysis> ClosureCache::FindSmallestSuperset(
+    const std::vector<std::string>& roots) const {
+  std::vector<std::string> sorted(roots);
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  const CachedAnalysis* best = nullptr;
+  std::shared_ptr<const CachedAnalysis> best_entry;
+  for (const auto& [key, slot] : entries_) {
+    const CachedAnalysis& candidate = *slot.entry;
+    if (candidate.sorted_roots.size() <= sorted.size()) continue;
+    // The overlap gate: retraction replays the surviving facts, so it
+    // only beats a warm build when most of the superset survives. Root
+    // count proxies fact count here (roots unfold to comparable-size
+    // programs); half is where the cone stops being the smaller side.
+    if (candidate.sorted_roots.size() > sorted.size() * 2) continue;
+    if (!std::includes(candidate.sorted_roots.begin(),
+                       candidate.sorted_roots.end(), sorted.begin(),
+                       sorted.end())) {
+      continue;
+    }
+    // Smallest superset wins — it has the smallest cone to delete. Ties
+    // break toward the lexicographically smallest root list, so the
+    // choice never depends on hash iteration order.
+    if (best == nullptr ||
+        candidate.sorted_roots.size() < best->sorted_roots.size() ||
+        (candidate.sorted_roots.size() == best->sorted_roots.size() &&
+         candidate.sorted_roots < best->sorted_roots)) {
+      best = &candidate;
+      best_entry = slot.entry;
+    }
+  }
+  return best_entry;
+}
+
+std::shared_ptr<const CachedAnalysis> ClosureCache::BuildRetracted(
+    const std::vector<std::string>& roots, const CachedAnalysis& base,
+    obs::SpanId parent) const {
+  if (base.closure == nullptr) return nullptr;
+  obs::ScopedSpan span(obs_ != nullptr ? &obs_->tracer : nullptr,
+                       "closure.build", parent);
+  auto set_or = unfold::UnfoldedSet::Build(schema_, roots, obs_);
+  if (!set_or.ok()) return nullptr;
+  std::unique_ptr<unfold::UnfoldedSet> set = std::move(set_or).value();
+  std::unique_ptr<Closure> closure =
+      Closure::Retract(*set, options_, obs_, *base.closure);
+  if (closure == nullptr) return nullptr;
+  auto entry = std::make_shared<CachedAnalysis>();
+  entry->roots = roots;
+  entry->sorted_roots = roots;
+  std::sort(entry->sorted_roots.begin(), entry->sorted_roots.end());
+  entry->sorted_roots.erase(
+      std::unique(entry->sorted_roots.begin(), entry->sorted_roots.end()),
+      entry->sorted_roots.end());
+  entry->closure = std::move(closure);
+  entry->set = std::move(set);
+  return entry;
+}
+
+std::shared_ptr<const CachedAnalysis> ClosureCache::RetractEntry(
+    const std::vector<std::string>& old_roots,
+    const std::vector<std::string>& new_roots) {
+  // Peek, not FindExact: a revoke landing on an already-cached state is
+  // not a request-path hit and must not skew the hit-rate stats.
+  auto resident = entries_.find(KeyFor(new_roots));
+  if (resident != entries_.end()) return resident->second.entry;
+  auto base = entries_.find(KeyFor(old_roots));
+  if (base == entries_.end()) return nullptr;
+  std::shared_ptr<const CachedAnalysis> entry =
+      BuildRetracted(new_roots, *base->second.entry);
+  if (entry == nullptr) return nullptr;
+  CountRetract();
+  Insert(entry);
+  return entry;
+}
+
 common::Result<std::shared_ptr<const CachedAnalysis>>
 ClosureCache::BuildDetached(const std::vector<std::string>& roots,
                             const CachedAnalysis* warm_base,
@@ -113,6 +188,13 @@ void ClosureCache::Insert(std::shared_ptr<const CachedAnalysis> entry) {
   lru_.push_front(key);
   entries_.emplace(std::move(key),
                    Slot{std::move(entry), lru_.begin()});
+}
+
+void ClosureCache::CountRetract() {
+  ++stats_.retract_builds;
+  if (obs_ != nullptr) {
+    obs_->metrics.counter("closure.cache.retract_builds")->Increment();
+  }
 }
 
 void ClosureCache::CountBuild(bool warm) {
@@ -227,6 +309,15 @@ ClosureCache::GetOrBuild(const std::vector<std::string>& roots) {
   if (std::shared_ptr<const CachedAnalysis> loaded = FindSnapshot(roots)) {
     Insert(loaded);
     return loaded;
+  }
+  if (std::shared_ptr<const CachedAnalysis> super =
+          FindSmallestSuperset(roots)) {
+    if (std::shared_ptr<const CachedAnalysis> entry =
+            BuildRetracted(roots, *super)) {
+      CountRetract();
+      Insert(entry);
+      return entry;
+    }
   }
   std::shared_ptr<const CachedAnalysis> base = FindLargestSubset(roots);
   OODBSEC_ASSIGN_OR_RETURN(std::shared_ptr<const CachedAnalysis> entry,

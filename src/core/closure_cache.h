@@ -8,10 +8,18 @@
 // entries as points in the subset lattice of root sets:
 //
 //   * exact hit: the request's root list is cached — return it;
+//   * retract build: otherwise, when a cached entry's roots are a
+//     *superset* of the request's and close enough (at least half the
+//     superset's roots remain), shrink it by DRed retraction
+//     (core::Closure::Retract) instead of growing a subset;
 //   * warm build: otherwise find the largest cached entry whose roots
 //     are a subset of the request's, replay its derivation log into the
 //     new closure (core::Closure's warm_base), and run only the delta;
 //   * cold build: no subset is cached — full fixpoint.
+//
+// Retraction is copy-on-write: the superset entry is never mutated (it
+// may be shared with concurrent readers); the shrunk closure becomes a
+// brand-new entry under the reduced root list's key.
 //
 // Entries are handed out as shared_ptr<const CachedAnalysis>: the cache
 // is LRU-bounded, and eviction must not invalidate entries that callers
@@ -81,6 +89,9 @@ class ClosureCache {
     uint64_t exact_hits = 0;
     uint64_t warm_builds = 0;  // built from a cached subset's facts
     uint64_t cold_builds = 0;
+    // Built by DRed retraction from a cached superset (GetOrBuild's
+    // retract path and RetractEntry's revoke fast path).
+    uint64_t retract_builds = 0;
     uint64_t evictions = 0;
     // L2 accounting, all zero when no snapshot directory is configured.
     // snapshot_hits counts closures served by replaying a persisted
@@ -115,6 +126,16 @@ class ClosureCache {
   std::shared_ptr<const CachedAnalysis> FindLargestSubset(
       const std::vector<std::string>& roots) const;
 
+  // The best retraction base for `roots`: the cached entry with the
+  // smallest root set that is a *proper* superset of `roots` AND shares
+  // at least half its roots with the request (2·|request| ≥ |superset|,
+  // on deduplicated sorted lists) — below that, deleting the cone costs
+  // more than warm-starting up from a subset. Ties break toward the
+  // lexicographically smallest root list. Read-only; nullptr when none
+  // qualifies.
+  std::shared_ptr<const CachedAnalysis> FindSmallestSuperset(
+      const std::vector<std::string>& roots) const;
+
   // Unfolds `roots` and computes the closure, warm-started from
   // `warm_base` when given (incompatible bases fall back cold — see
   // Closure). Never touches cache state; safe on worker threads.
@@ -122,6 +143,27 @@ class ClosureCache {
       const std::vector<std::string>& roots,
       const CachedAnalysis* warm_base = nullptr,
       obs::SpanId parent = obs::kNoSpan) const;
+
+  // Shrinks `base` to `roots` by DRed retraction (Closure::Retract)
+  // into a brand-new entry; `base` itself is never mutated. Never
+  // touches cache state; safe on worker threads. nullptr when the base
+  // is incompatible or the unfold fails — callers fall back to the
+  // warm/cold build path (which surfaces real errors).
+  std::shared_ptr<const CachedAnalysis> BuildRetracted(
+      const std::vector<std::string>& roots, const CachedAnalysis& base,
+      obs::SpanId parent = obs::kNoSpan) const;
+
+  // The revoke fast path: replaces the resident entry for `old_roots`
+  // with one for `new_roots` by retraction, copy-on-write (the old
+  // entry object stays immutable for concurrent holders; the new entry
+  // is Insert()ed under its own key). Returns the already-resident
+  // entry for `new_roots` when one exists (revoke-then-regrant churn
+  // returns to a cached state — nothing to build). nullptr when
+  // `old_roots` is not resident or retraction is not applicable; the
+  // caller falls back to the ordinary GetOrBuild path on next use.
+  std::shared_ptr<const CachedAnalysis> RetractEntry(
+      const std::vector<std::string>& old_roots,
+      const std::vector<std::string>& new_roots);
 
   // Inserts a built entry, evicting the least-recently-used entry when
   // over capacity. Replaces an existing entry with the same roots.
@@ -149,6 +191,7 @@ class ClosureCache {
   size_t LoadCacheSnapshot();
 
   // FindExact, else FindSnapshot (inserted into L1 on a hit), else
+  // BuildRetracted from the smallest qualifying cached superset, else
   // BuildDetached from the largest cached subset (warm when one exists,
   // cold otherwise) and Insert. Counts accordingly.
   common::Result<std::shared_ptr<const CachedAnalysis>> GetOrBuild(
@@ -168,6 +211,7 @@ class ClosureCache {
 
   static std::string KeyFor(const std::vector<std::string>& roots);
   void CountBuild(bool warm);
+  void CountRetract();
 
   const schema::Schema& schema_;
   ClosureOptions options_;

@@ -27,7 +27,13 @@ AnalysisService::AnalysisService(core::AnalysisSession& session,
       requirement_hits_(session.metrics().counter("service.requirement_hits")),
       checks_(session.metrics().counter("service.checks")),
       warm_starts_(session.metrics().counter("service.warm_starts")),
-      snapshot_hits_(session.metrics().counter("service.snapshot_hits")) {}
+      retract_builds_(session.metrics().counter("service.retract_builds")),
+      snapshot_hits_(session.metrics().counter("service.snapshot_hits")),
+      revokes_(session.metrics().counter("session.revokes")),
+      retractions_fast_(
+          session.metrics().counter("session.retractions_fast")),
+      retractions_fallback_(
+          session.metrics().counter("session.retractions_fallback")) {}
 
 AnalysisService::AnalysisService(const schema::Schema& schema,
                                  const schema::UserRegistry& users,
@@ -48,7 +54,14 @@ AnalysisService::AnalysisService(const schema::Schema& schema,
           session_->metrics().counter("service.requirement_hits")),
       checks_(session_->metrics().counter("service.checks")),
       warm_starts_(session_->metrics().counter("service.warm_starts")),
-      snapshot_hits_(session_->metrics().counter("service.snapshot_hits")) {}
+      retract_builds_(
+          session_->metrics().counter("service.retract_builds")),
+      snapshot_hits_(session_->metrics().counter("service.snapshot_hits")),
+      revokes_(session_->metrics().counter("session.revokes")),
+      retractions_fast_(
+          session_->metrics().counter("session.retractions_fast")),
+      retractions_fallback_(
+          session_->metrics().counter("session.retractions_fallback")) {}
 
 ServiceStats AnalysisService::Stats() const {
   ServiceStats stats;
@@ -57,7 +70,12 @@ ServiceStats AnalysisService::Stats() const {
   stats.requirement_hits = static_cast<size_t>(requirement_hits_->value());
   stats.checks = static_cast<size_t>(checks_->value());
   stats.warm_starts = static_cast<size_t>(warm_starts_->value());
+  stats.retract_builds = static_cast<size_t>(retract_builds_->value());
   stats.snapshot_hits = static_cast<size_t>(snapshot_hits_->value());
+  stats.revokes = static_cast<size_t>(revokes_->value());
+  stats.retractions_fast = static_cast<size_t>(retractions_fast_->value());
+  stats.retractions_fallback =
+      static_cast<size_t>(retractions_fallback_->value());
   return stats;
 }
 
@@ -87,10 +105,22 @@ common::Result<core::AnalysisReport> AnalysisService::Check(
   }
   if (entry == nullptr) {
     closures_built_->Increment();
-    std::shared_ptr<const CachedAnalysis> base =
-        cache_.FindLargestSubset(roots);
-    OODBSEC_ASSIGN_OR_RETURN(entry, cache_.BuildDetached(roots, base.get()));
-    if (entry->closure->warm_started()) warm_starts_->Increment();
+    // Shrink beats grow when a close-enough superset is cached (a role
+    // that lost a capability): DRed-retract its closure. Otherwise
+    // warm-start up from the largest cached subset, or run cold.
+    if (std::shared_ptr<const CachedAnalysis> super =
+            cache_.FindSmallestSuperset(roots)) {
+      entry = cache_.BuildRetracted(roots, *super);
+    }
+    if (entry != nullptr) {
+      retract_builds_->Increment();
+    } else {
+      std::shared_ptr<const CachedAnalysis> base =
+          cache_.FindLargestSubset(roots);
+      OODBSEC_ASSIGN_OR_RETURN(entry,
+                               cache_.BuildDetached(roots, base.get()));
+      if (entry->closure->warm_started()) warm_starts_->Increment();
+    }
     cache_.Insert(entry);
   }
   return core::CheckAgainstClosure(*entry->set, *entry->closure, requirement,
@@ -118,7 +148,8 @@ common::Result<std::vector<core::AnalysisReport>> AnalysisService::CheckBatch(
   };
   struct Build {
     std::vector<std::string> roots;
-    std::shared_ptr<const CachedAnalysis> warm_base;  // may be null
+    std::shared_ptr<const CachedAnalysis> warm_base;     // may be null
+    std::shared_ptr<const CachedAnalysis> retract_base;  // may be null
     common::Result<std::shared_ptr<const CachedAnalysis>> result =
         common::InternalError("closure not built");
   };
@@ -166,9 +197,15 @@ common::Result<std::vector<core::AnalysisReport>> AnalysisService::CheckBatch(
       }
       closures_built_->Increment();
       build_index.emplace(planned[i].signature, builds.size());
+      // Both shrink and grow bases are picked here, in the sequential
+      // phase; the worker tries retraction first and falls back to the
+      // warm/cold build — a deterministic function of its inputs.
       std::shared_ptr<const CachedAnalysis> warm_base =
           cache_.FindLargestSubset(roots);
-      builds.push_back(Build{std::move(roots), std::move(warm_base)});
+      std::shared_ptr<const CachedAnalysis> retract_base =
+          cache_.FindSmallestSuperset(roots);
+      builds.push_back(Build{std::move(roots), std::move(warm_base),
+                             std::move(retract_base)});
     }
   }
 
@@ -182,6 +219,15 @@ common::Result<std::vector<core::AnalysisReport>> AnalysisService::CheckBatch(
     obs::SpanId build_parent = build_span.id();
     for (Build& build : builds) {
       pool_.Submit([this, &build, build_parent] {
+        if (build.retract_base != nullptr) {
+          std::shared_ptr<const CachedAnalysis> entry =
+              cache_.BuildRetracted(build.roots, *build.retract_base,
+                                    build_parent);
+          if (entry != nullptr) {
+            build.result = std::move(entry);
+            return;
+          }
+        }
         build.result =
             cache_.BuildDetached(build.roots, build.warm_base.get(),
                                  build_parent);
@@ -196,7 +242,11 @@ common::Result<std::vector<core::AnalysisReport>> AnalysisService::CheckBatch(
     if (build.result.ok()) {
       const std::shared_ptr<const CachedAnalysis>& entry =
           build.result.value();
-      if (entry->closure->warm_started()) warm_starts_->Increment();
+      if (entry->closure->retracted()) {
+        retract_builds_->Increment();
+      } else if (entry->closure->warm_started()) {
+        warm_starts_->Increment();
+      }
       cache_.Insert(entry);
     }
   }

@@ -105,6 +105,20 @@ struct ServiceStats {
   // Of closures_built, how many warm-started from a cached subset
   // instead of running a cold fixpoint.
   size_t warm_starts = 0;
+  // Of closures_built, how many were DRed-retracted from a cached
+  // superset (core::Closure::Retract) — the shrink counterpart of
+  // warm_starts. Disjoint from warm_starts.
+  size_t retract_builds = 0;
+  // Session-level revoke accounting, read from the shared registry's
+  // "session.*" counters (satellite of the retraction work): every
+  // RemoveCapability counts one revoke, and exactly one of
+  // retractions_fast (the cached closure was shrunk in place, or the
+  // post-revoke state was already cached) or retractions_fallback (no
+  // resident pre-revoke closure — the next recheck pays a warm or cold
+  // build). All 0 when no session-level revokes happened.
+  size_t revokes = 0;
+  size_t retractions_fast = 0;
+  size_t retractions_fallback = 0;
   // Signature resolutions served by replaying a persisted snapshot
   // (the L2 tier) instead of building — disjoint from both
   // closures_built and signature_hits. Always 0 without a snapshot
@@ -178,13 +192,18 @@ class AnalysisService {
   // phases; the parallel build phase uses the const BuildDetached.
   core::ClosureCache cache_;
 
-  // "service.*" counter handles into the session's registry.
+  // "service.*" (and session revoke) counter handles into the
+  // session's registry.
   obs::Counter* closures_built_;
   obs::Counter* signature_hits_;
   obs::Counter* requirement_hits_;
   obs::Counter* checks_;
   obs::Counter* warm_starts_;
+  obs::Counter* retract_builds_;
   obs::Counter* snapshot_hits_;
+  obs::Counter* revokes_;
+  obs::Counter* retractions_fast_;
+  obs::Counter* retractions_fallback_;
 };
 
 }  // namespace oodbsec::service

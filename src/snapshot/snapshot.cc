@@ -20,10 +20,11 @@ namespace oodbsec::snapshot {
 
 namespace {
 
-// Fixed header: magic, format version, schema fingerprint, payload
-// checksum. Everything after byte kHeaderSize is the checksummed
-// payload.
-constexpr size_t kHeaderSize = 8 + sizeof(uint32_t) + 2 * sizeof(uint64_t);
+// Fixed header: magic, format version, byte-order marker, schema
+// fingerprint, payload checksum. Everything after byte kHeaderSize is
+// the checksummed payload.
+constexpr size_t kHeaderSize =
+    8 + 2 * sizeof(uint32_t) + 2 * sizeof(uint64_t);
 
 std::string OptionBits(const core::ClosureOptions& o) {
   std::string bits;
@@ -151,6 +152,7 @@ common::Status SaveSnapshot(const schema::Schema& schema,
   ByteWriter file;
   file.PutFixedString(kMagic);
   file.PutU32(kFormatVersion);
+  file.PutU32(kByteOrderMark);
   file.PutU64(SchemaFingerprint(schema, options));
   file.PutU64(Fnv1a64(payload.buffer()));
   std::string bytes = file.Release() + payload.buffer();
@@ -205,11 +207,20 @@ common::Result<std::shared_ptr<const core::CachedAnalysis>> LoadSnapshot(
   ByteReader header(std::string_view(data).substr(kMagic.size(),
                                                   kHeaderSize - kMagic.size()));
   uint32_t version = header.GetU32();
+  uint32_t byte_order = header.GetU32();
   uint64_t fingerprint = header.GetU64();
   uint64_t checksum = header.GetU64();
   if (version != kFormatVersion) {
     return Invalid(path, common::StrCat("format version ", version,
                                         " (expected ", kFormatVersion, ")"));
+  }
+  // Checked before the checksum: a foreign-endian file's checksum field
+  // is itself byte-swapped, and this message says *why* instead of
+  // "corrupt".
+  if (byte_order != kByteOrderMark) {
+    return Invalid(path,
+                   "byte-order mismatch (snapshot written on a machine of "
+                   "different endianness)");
   }
   if (fingerprint != SchemaFingerprint(schema, options)) {
     return Invalid(path, "schema fingerprint mismatch (schema or options "

@@ -11,11 +11,17 @@
 // fixpoint. This is what turns a nightly-audit restart from a cold
 // population-wide fixpoint into file reads.
 //
-// File layout (versioned, checksummed; all integers host-endian —
-// snapshots are a same-machine cache tier, not an interchange format):
+// File layout (versioned, checksummed; all integers host-endian). The
+// header carries an explicit byte-order marker — a u32 written as
+// 0x01020304 by the saver — so a snapshot read on a machine of the
+// opposite endianness is *detected* and rejected (fall back to a cold
+// build) rather than misparsed. Cross-endian snapshots are refused, not
+// translated: the tier is a same-machine cache today, and the marker is
+// the forward-compatibility hook a future networked snapshot store
+// needs (see ROADMAP).
 //
-//   header   "OODBSNAP" | format version u32 | schema fingerprint u64
-//            | payload checksum u64 (FNV-1a)
+//   header   "OODBSNAP" | format version u32 | byte-order marker u32
+//            | schema fingerprint u64 | payload checksum u64 (FNV-1a)
 //   payload  roots (count + strings, unfold order)
 //            | fact-set digest (Closure::FactSetDigest of the saved run)
 //            | rule-label table (count + strings)
@@ -27,6 +33,8 @@
 // Invalidation is fail-safe, never fail-wrong. A load refuses (and the
 // caller falls back to a cold build) when ANY of these trips:
 //   * magic/version mismatch — format evolved;
+//   * byte-order marker mismatch — saved on a machine of the opposite
+//     endianness (every multi-byte field would be byte-swapped);
 //   * schema fingerprint mismatch — any class, attribute, function
 //     body, constraint, or closure option changed since the save;
 //   * checksum mismatch or truncation — torn/corrupted file;
@@ -59,8 +67,14 @@
 namespace oodbsec::snapshot {
 
 // Bump on any change to the header or payload layout above.
-inline constexpr uint32_t kFormatVersion = 1;
+// v2: byte-order marker inserted after the format version.
+inline constexpr uint32_t kFormatVersion = 2;
 inline constexpr std::string_view kMagic = "OODBSNAP";
+
+// Written host-endian after the version; reads back as 0x04030201 on a
+// machine of the opposite endianness, which LoadSnapshot rejects. The
+// value is asymmetric under byte swap on purpose.
+inline constexpr uint32_t kByteOrderMark = 0x01020304;
 
 // Copies `label` into a never-freed process-wide pool and returns a
 // view with effectively static storage. Idempotent; thread-safe. The

@@ -392,5 +392,355 @@ TEST(ServiceSubsetReuseTest, WarmStartsAndAgreesOnVerdicts) {
   }
 }
 
+// --- DRed retraction ---
+
+TEST(RetractTest, SingleRevokeMatchesColdDigest) {
+  // Retracting each root in turn from the full broker bundle must land
+  // on exactly the cold fact set of the reduced list.
+  auto schema = BrokerSchema();
+  std::vector<std::string> full_roots = {"checkBudget", "r_name",
+                                         "updateSalary", "w_budget",
+                                         "w_profit"};
+  auto base_set = Unfold(*schema, full_roots);
+  Closure base(*base_set);
+
+  for (const std::string& revoked : full_roots) {
+    std::vector<std::string> reduced;
+    for (const std::string& root : full_roots) {
+      if (root != revoked) reduced.push_back(root);
+    }
+    auto reduced_set = Unfold(*schema, reduced);
+    std::unique_ptr<Closure> shrunk =
+        Closure::Retract(*reduced_set, {}, nullptr, base);
+    ASSERT_NE(shrunk, nullptr) << revoked;
+    EXPECT_TRUE(shrunk->retracted()) << revoked;
+    EXPECT_TRUE(shrunk->warm_started()) << revoked;
+    EXPECT_GT(shrunk->retracted_fact_count(), 0u) << revoked;
+    EXPECT_EQ(shrunk->replayed_fact_count() + shrunk->rederived_fact_count(),
+              shrunk->fact_count())
+        << revoked;
+    Closure cold(*reduced_set);
+    EXPECT_EQ(shrunk->FactSetDigest(), cold.FactSetDigest()) << revoked;
+  }
+}
+
+TEST(RetractTest, RevokeThenRegrantMatchesCold) {
+  // Shrink by retraction, then grow back by warm-start from the shrunk
+  // closure: both hops must agree with cold runs of their lists.
+  auto schema = BrokerSchema();
+  std::vector<std::string> full_roots = {"checkBudget", "updateSalary",
+                                         "w_budget", "w_profit"};
+  std::vector<std::string> reduced = {"checkBudget", "updateSalary",
+                                      "w_profit"};
+  auto full_set = Unfold(*schema, full_roots);
+  Closure base(*full_set);
+
+  auto reduced_set = Unfold(*schema, reduced);
+  std::unique_ptr<Closure> shrunk =
+      Closure::Retract(*reduced_set, {}, nullptr, base);
+  ASSERT_NE(shrunk, nullptr);
+  Closure cold_reduced(*reduced_set);
+  EXPECT_EQ(shrunk->FactSetDigest(), cold_reduced.FactSetDigest());
+
+  auto regrown_set = Unfold(*schema, full_roots);
+  Closure regrown(*regrown_set, {}, nullptr, shrunk.get());
+  ASSERT_TRUE(regrown.warm_started());
+  EXPECT_FALSE(regrown.retracted());
+  EXPECT_EQ(regrown.FactSetDigest(), base.FactSetDigest());
+}
+
+TEST(RetractTest, MultiRootDepartmentRevokeMatchesCold) {
+  // Revoking a whole department (four roots at once) from the scaled
+  // schema exercises multi-root cones and cross-department equalities.
+  const int kScale = 3;
+  auto schema = ScaledBrokerSchema(kScale);
+  std::vector<std::string> full_roots = {"r_name"};
+  for (int i = 0; i < kScale; ++i) {
+    full_roots.push_back(common::StrCat("checkBudget", i));
+    full_roots.push_back(common::StrCat("updateSalary", i));
+    full_roots.push_back(common::StrCat("w_budget", i));
+    full_roots.push_back(common::StrCat("w_profit", i));
+  }
+  auto base_set = Unfold(*schema, full_roots);
+  Closure base(*base_set);
+
+  std::vector<std::string> reduced;
+  for (const std::string& root : full_roots) {
+    if (root.find('1') == std::string::npos) reduced.push_back(root);
+  }
+  ASSERT_EQ(reduced.size(), full_roots.size() - 4);
+  auto reduced_set = Unfold(*schema, reduced);
+  std::unique_ptr<Closure> shrunk =
+      Closure::Retract(*reduced_set, {}, nullptr, base);
+  ASSERT_NE(shrunk, nullptr);
+  Closure cold(*reduced_set);
+  EXPECT_EQ(shrunk->FactSetDigest(), cold.FactSetDigest());
+}
+
+TEST(RetractTest, IncompatibleBaseReturnsNull) {
+  auto schema = BrokerSchema();
+  auto base_set = Unfold(*schema, {"checkBudget", "w_budget"});
+  Closure base(*base_set);
+
+  // Different options: the base's log is not valid under them.
+  auto reduced_set = Unfold(*schema, {"checkBudget"});
+  ClosureOptions other;
+  other.pi_join_to_ti = false;
+  EXPECT_EQ(Closure::Retract(*reduced_set, other, nullptr, base), nullptr);
+
+  // A root the base never held: not a shrink of the base at all.
+  auto foreign_set = Unfold(*schema, {"checkBudget", "updateSalary"});
+  EXPECT_EQ(Closure::Retract(*foreign_set, {}, nullptr, base), nullptr);
+}
+
+TEST(ClosureCacheTest, GetOrBuildRetractsFromSupersetAndCountsStats) {
+  auto schema = BrokerSchema();
+  ClosureCache cache(*schema, {}, /*capacity=*/4);
+
+  auto super =
+      cache.GetOrBuild({"checkBudget", "updateSalary", "w_budget"});
+  ASSERT_TRUE(super.ok()) << super.status();
+  EXPECT_EQ(cache.stats().cold_builds, 1u);
+
+  // A proper subset with enough overlap shrinks the cached superset
+  // instead of building cold.
+  auto shrunk = cache.GetOrBuild({"checkBudget", "w_budget"});
+  ASSERT_TRUE(shrunk.ok()) << shrunk.status();
+  EXPECT_TRUE(shrunk.value()->closure->retracted());
+  EXPECT_EQ(cache.stats().retract_builds, 1u);
+  EXPECT_EQ(cache.stats().cold_builds, 1u);
+
+  auto cold_set = Unfold(*schema, {"checkBudget", "w_budget"});
+  Closure cold(*cold_set);
+  EXPECT_EQ(shrunk.value()->closure->FactSetDigest(), cold.FactSetDigest());
+
+  // The shrunk list is now resident: an exact repeat hits it.
+  auto again = cache.GetOrBuild({"checkBudget", "w_budget"});
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again.value().get(), shrunk.value().get());
+  EXPECT_EQ(cache.stats().exact_hits, 1u);
+}
+
+TEST(SessionRecheckTest, RevokeUsesRetractionFastPath) {
+  auto schema = BrokerSchema();
+  auto users = BrokerUsers(*schema);
+  AnalysisSession session(*schema, *users);
+  std::vector<Requirement> reqs = {SalaryRequirement()};
+
+  // Cache only the granted state, so the pre-grant list is NOT resident
+  // and the revoke must genuinely retract rather than find it cached.
+  ASSERT_TRUE(session.AddCapability("clerk", "w_budget").ok());
+  auto granted = session.RecheckRequirements(reqs);
+  ASSERT_TRUE(granted.ok());
+  EXPECT_FALSE(granted.value()[0].satisfied);
+  EXPECT_EQ(session.recheck_cache().stats().cold_builds, 1u);
+
+  ASSERT_TRUE(session.RemoveCapability("clerk", "w_budget").ok());
+  EXPECT_EQ(session.recheck_cache().stats().retract_builds, 1u);
+  EXPECT_EQ(session.metrics().counter("session.retractions_fast")->value(),
+            1);
+  EXPECT_EQ(
+      session.metrics().counter("session.retractions_fallback")->value(), 0);
+
+  // The retracted entry serves the re-audit as an exact hit: no new
+  // build of any kind, and the flaw is gone.
+  auto revoked = session.RecheckRequirements(reqs);
+  ASSERT_TRUE(revoked.ok());
+  EXPECT_TRUE(revoked.value()[0].satisfied);
+  EXPECT_EQ(session.recheck_cache().stats().cold_builds, 1u);
+  EXPECT_EQ(session.recheck_cache().stats().warm_builds, 0u);
+  EXPECT_GE(session.recheck_cache().stats().exact_hits, 1u);
+
+  // A revoke whose pre-revoke closure was never built AND whose
+  // post-revoke state is not cached either falls back: the next recheck
+  // pays the ordinary build. (Revoking back onto a cached state — e.g.
+  // straight down to {checkBudget} — would count as fast instead.)
+  ASSERT_TRUE(session.AddCapability("clerk", "updateSalary").ok());
+  ASSERT_TRUE(session.AddCapability("clerk", "w_budget").ok());
+  ASSERT_TRUE(session.RemoveCapability("clerk", "w_budget").ok());
+  EXPECT_EQ(
+      session.metrics().counter("session.retractions_fallback")->value(), 1);
+}
+
+TEST(ServiceRetractTest, SubsetRequestRetractsFromCachedSuperset) {
+  auto schema = BrokerSchema();
+  auto users = std::make_unique<schema::UserRegistry>(*schema);
+  ASSERT_TRUE(users->AddUser("clerk").ok());
+  ASSERT_TRUE(users->Grant("clerk", "checkBudget").ok());
+  ASSERT_TRUE(users->AddUser("senior").ok());
+  ASSERT_TRUE(users->Grant("senior", "checkBudget").ok());
+  ASSERT_TRUE(users->Grant("senior", "w_budget").ok());
+
+  auto clerk_req = ParseRequirementString("(clerk, r_salary(x) : ti)");
+  auto senior_req = ParseRequirementString("(senior, r_salary(x) : ti)");
+  ASSERT_TRUE(clerk_req.ok() && senior_req.ok());
+
+  service::ServiceOptions service_options;
+  service_options.threads = 2;
+  service::AnalysisService service(*schema, *users, service_options);
+  // Senior's bundle goes in first; clerk's is then a proper subset of a
+  // cached entry, so its closure is built by retraction, not cold.
+  auto first = service.CheckBatch({senior_req.value()});
+  ASSERT_TRUE(first.ok()) << first.status();
+  EXPECT_FALSE(first.value()[0].satisfied);
+  auto second = service.CheckBatch({clerk_req.value()});
+  ASSERT_TRUE(second.ok()) << second.status();
+  EXPECT_TRUE(second.value()[0].satisfied);
+  EXPECT_EQ(service.Stats().closures_built, 2u);
+  EXPECT_EQ(service.Stats().retract_builds, 1u);
+  EXPECT_EQ(service.Stats().warm_starts, 0u);
+
+  // Same verdict as a sequential cold check.
+  auto cold_clerk = CheckRequirement(*schema, *users, clerk_req.value());
+  ASSERT_TRUE(cold_clerk.ok());
+  EXPECT_EQ(second.value()[0].satisfied, cold_clerk.value().satisfied);
+}
+
+// --- randomized churn (the retraction correctness gate) ---
+
+// Cache-level churn: three simulated users' capability sets evolve by
+// interleaved grant/revoke/regrant; every revoke goes through the
+// retraction path (RetractEntry, falling back to GetOrBuild), every
+// grant through GetOrBuild, and after EVERY op the served closure's
+// digest must equal a cold rebuild of that exact root list.
+TEST(RetractTest, RandomizedChurnMatchesColdDigestEveryStep) {
+  const int kScale = 3;
+  const int kOps = 220;
+  auto schema = ScaledBrokerSchema(kScale);
+  std::vector<std::string> pool = {"r_name"};
+  for (int i = 0; i < kScale; ++i) {
+    pool.push_back(common::StrCat("checkBudget", i));
+    pool.push_back(common::StrCat("updateSalary", i));
+    pool.push_back(common::StrCat("w_budget", i));
+    pool.push_back(common::StrCat("w_profit", i));
+  }
+
+  ClosureCache cache(*schema, {}, /*capacity=*/16);
+  // Three users with overlapping starting bundles.
+  std::vector<std::vector<std::string>> held(3);
+  held[0] = {"checkBudget0", "r_name", "w_budget0"};
+  held[1] = {"checkBudget1", "updateSalary1", "w_profit1"};
+  held[2] = {"checkBudget0", "checkBudget2", "r_name"};
+
+  // Fixed seed: reproducible, no flakes.
+  std::mt19937 rng(20260807);
+  for (int op = 0; op < kOps; ++op) {
+    size_t user = rng() % held.size();
+    std::vector<std::string>& caps = held[user];
+    std::vector<std::string> old_roots = caps;
+
+    std::vector<std::string> absent;
+    for (const std::string& fn : pool) {
+      if (std::find(caps.begin(), caps.end(), fn) == caps.end()) {
+        absent.push_back(fn);
+      }
+    }
+    bool revoke = caps.size() > 1 && (absent.empty() || rng() % 2 == 0);
+    if (revoke) {
+      caps.erase(caps.begin() + static_cast<long>(rng() % caps.size()));
+    } else {
+      caps.push_back(absent[rng() % absent.size()]);
+      std::sort(caps.begin(), caps.end());
+    }
+
+    std::shared_ptr<const CachedAnalysis> entry;
+    if (revoke) {
+      entry = cache.RetractEntry(old_roots, caps);
+      if (entry == nullptr) {
+        auto built = cache.GetOrBuild(caps);
+        ASSERT_TRUE(built.ok()) << built.status();
+        entry = built.value();
+      }
+    } else {
+      auto built = cache.GetOrBuild(caps);
+      ASSERT_TRUE(built.ok()) << built.status();
+      entry = built.value();
+    }
+
+    auto cold_set = Unfold(*schema, caps);
+    Closure cold(*cold_set);
+    ASSERT_EQ(entry->closure->FactSetDigest(), cold.FactSetDigest())
+        << "op " << op << " user " << user
+        << (revoke ? " revoke" : " grant")
+        << " roots=" << common::Join(caps, ",")
+        << " retracted=" << entry->closure->retracted()
+        << " warm=" << entry->closure->warm_started();
+  }
+  // The churn must actually have exercised retraction.
+  EXPECT_GT(cache.stats().retract_builds, 0u);
+}
+
+// Session-level churn: the same interleaving through the public
+// grant/revoke API, checking verdict agreement with a cold one-shot
+// check after every op, plus the revoke accounting invariant.
+TEST(SessionRecheckTest, RandomizedChurnAgreesWithColdChecks) {
+  auto schema = BrokerSchema();
+  std::vector<std::string> pool = {"checkBudget", "updateSalary",
+                                   "w_budget", "w_profit"};
+  auto users = std::make_unique<schema::UserRegistry>(*schema);
+  std::vector<std::string> names = {"u0", "u1", "u2"};
+  std::vector<std::vector<std::string>> held(names.size());
+  for (size_t u = 0; u < names.size(); ++u) {
+    ASSERT_TRUE(users->AddUser(names[u]).ok());
+    ASSERT_TRUE(users->Grant(names[u], "checkBudget").ok());
+    held[u] = {"checkBudget"};
+  }
+  AnalysisSession session(*schema, *users);
+
+  std::mt19937 rng(20260808);
+  for (int op = 0; op < 90; ++op) {
+    size_t u = rng() % names.size();
+    std::vector<std::string>& caps = held[u];
+    std::vector<std::string> absent;
+    for (const std::string& fn : pool) {
+      if (std::find(caps.begin(), caps.end(), fn) == caps.end()) {
+        absent.push_back(fn);
+      }
+    }
+    bool revoke = caps.size() > 1 && (absent.empty() || rng() % 2 == 0);
+    if (revoke) {
+      size_t victim = rng() % caps.size();
+      ASSERT_TRUE(
+          session.RemoveCapability(names[u], caps[victim]).ok());
+      caps.erase(caps.begin() + static_cast<long>(victim));
+    } else {
+      const std::string& granted = absent[rng() % absent.size()];
+      ASSERT_TRUE(session.AddCapability(names[u], granted).ok());
+      caps.push_back(granted);
+    }
+
+    auto req = ParseRequirementString(
+        common::StrCat("(", names[u], ", r_salary(x) : ti)"));
+    ASSERT_TRUE(req.ok());
+    auto incremental = session.RecheckRequirements({req.value()});
+    ASSERT_TRUE(incremental.ok()) << incremental.status();
+
+    auto mirror = std::make_unique<schema::UserRegistry>(*schema);
+    ASSERT_TRUE(mirror->AddUser(names[u]).ok());
+    for (const std::string& cap : caps) {
+      ASSERT_TRUE(mirror->Grant(names[u], cap).ok());
+    }
+    auto cold = CheckRequirement(*schema, *mirror, req.value());
+    ASSERT_TRUE(cold.ok()) << cold.status();
+    ASSERT_EQ(incremental.value()[0].satisfied, cold.value().satisfied)
+        << "op " << op << " user " << names[u];
+    ASSERT_EQ(incremental.value()[0].flaws.size(),
+              cold.value().flaws.size())
+        << "op " << op;
+    for (size_t f = 0; f < cold.value().flaws.size(); ++f) {
+      EXPECT_EQ(incremental.value()[0].flaws[f].site_id,
+                cold.value().flaws[f].site_id);
+    }
+  }
+
+  // Every revoke resolved to exactly one of the two retraction
+  // outcomes, and the fast path genuinely fired.
+  obs::MetricsRegistry& metrics = session.metrics();
+  EXPECT_EQ(metrics.counter("session.revokes")->value(),
+            metrics.counter("session.retractions_fast")->value() +
+                metrics.counter("session.retractions_fallback")->value());
+  EXPECT_GT(metrics.counter("session.retractions_fast")->value(), 0);
+}
+
 }  // namespace
 }  // namespace oodbsec::core

@@ -19,6 +19,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
@@ -284,6 +285,39 @@ TEST(SnapshotRoundtrip, LoadedSnapshotServesAsWarmBase) {
   RemoveDir(dir);
 }
 
+TEST(SnapshotRoundtrip, RetractedClosureSnapshotRoundtrips) {
+  // A retraction-built closure's log is complete and premise-ordered —
+  // structurally indistinguishable from a cold log — so the snapshot
+  // tier must persist and replay it like any other entry.
+  std::string dir = MakeTempDir();
+  auto schema = BrokerSchema();
+  ClosureOptions options;
+  const std::vector<std::string> reduced = {"checkBudget"};
+
+  ClosureCache saver(*schema, options, 64, nullptr, dir);
+  auto full = saver.GetOrBuild(kFullRoots);
+  ASSERT_TRUE(full.ok()) << full.status();
+  auto retracted = saver.RetractEntry(kFullRoots, reduced);
+  ASSERT_NE(retracted, nullptr);
+  ASSERT_TRUE(retracted->closure->retracted());
+  EXPECT_EQ(saver.stats().retract_builds, 1u);
+  ASSERT_TRUE(saver.SaveCacheSnapshot(*retracted).ok());
+
+  ClosureCache loader(*schema, options, 64, nullptr, dir);
+  auto loaded = loader.FindSnapshot(reduced);
+  ASSERT_NE(loaded, nullptr);
+  EXPECT_EQ(loader.stats().snapshot_hits, 1u);
+  ExpectIdenticalLogs(*retracted->closure, *loaded->closure);
+
+  // The replayed retraction serves the same fact set a cold build of
+  // the reduced list derives.
+  auto cold_set = unfold::UnfoldedSet::Build(*schema, reduced);
+  ASSERT_TRUE(cold_set.ok());
+  core::Closure cold(*cold_set.value());
+  EXPECT_EQ(loaded->closure->FactSetDigest(), cold.FactSetDigest());
+  RemoveDir(dir);
+}
+
 TEST(SnapshotRoundtrip, OptionsChangeTheFileName) {
   ClosureOptions a;
   ClosureOptions b;
@@ -413,12 +447,12 @@ TEST_F(SnapshotRobustnessTest, TruncatedPayloadWithRecomputedChecksum) {
   // The deeper case: the payload is cut short but the checksum is made
   // consistent again, so only the bounds-checked decoder can catch it.
   std::string bytes = ReadFileBytes(path_);
-  constexpr size_t kHeaderSize = 28;
+  constexpr size_t kHeaderSize = 32;  // magic 8 | u32 ×2 | u64 ×2
   ASSERT_GT(bytes.size(), kHeaderSize + 64);
   bytes.resize(bytes.size() - 33);
   uint64_t checksum =
       snapshot::Fnv1a64(std::string_view(bytes).substr(kHeaderSize));
-  std::memcpy(bytes.data() + 20, &checksum, sizeof checksum);
+  std::memcpy(bytes.data() + 24, &checksum, sizeof checksum);
   WriteFileBytes(path_, bytes);
   ExpectCountedFallback();
 }
@@ -439,8 +473,27 @@ TEST_F(SnapshotRobustnessTest, WrongFormatVersion) {
 
 TEST_F(SnapshotRobustnessTest, WrongSchemaFingerprintBytes) {
   std::string bytes = ReadFileBytes(path_);
-  bytes[12] ^= 0x7f;  // the u64 fingerprint lives at bytes 12..19
+  bytes[16] ^= 0x7f;  // the u64 fingerprint lives at bytes 16..23
   WriteFileBytes(path_, bytes);
+  ExpectCountedFallback();
+}
+
+TEST_F(SnapshotRobustnessTest, ByteOrderMarkerMismatch) {
+  // Simulate a snapshot written on a machine of the opposite endianness:
+  // every multi-byte field would arrive byte-swapped, and the marker —
+  // 0x01020304, asymmetric under byte swap — is the field that makes
+  // the condition *detectable* before the (itself byte-swapped)
+  // checksum turns it into a generic "corrupt file". Reversing the
+  // marker's four bytes in place is the minimal forgery: the checksum
+  // only covers the payload, so nothing else trips first.
+  std::string bytes = ReadFileBytes(path_);
+  std::reverse(bytes.begin() + 12, bytes.begin() + 16);  // u32 at 12..15
+  WriteFileBytes(path_, bytes);
+  auto load = snapshot::LoadSnapshot(*schema_, options_, path_);
+  ASSERT_FALSE(load.ok());
+  EXPECT_EQ(load.status().code(), common::StatusCode::kFailedPrecondition);
+  EXPECT_NE(load.status().message().find("byte-order"), std::string::npos)
+      << load.status();
   ExpectCountedFallback();
 }
 

@@ -16,6 +16,12 @@
 // BM_SnapshotSave prices the write side (serialize + checksum + atomic
 // rename per entry), so the nightly "persist what you built" step can
 // be budgeted against the fixpoints it saves.
+//
+// BM_PackedFind / BM_DirectoryFind race the two SnapshotStore
+// implementations on the per-signature lookup (the packed store runs
+// with a one-entry page cache so every find pays the mmap replay, not
+// an LRU hit); BM_PackedSweep / BM_DirectorySweep price the
+// steady-state nightly retention pass over an all-live store.
 #include <benchmark/benchmark.h>
 
 #include <cstdlib>
@@ -29,6 +35,9 @@
 #include "core/closure.h"
 #include "core/closure_cache.h"
 #include "schema/schema.h"
+#include "snapshot/packed_store.h"
+#include "snapshot/snapshot.h"
+#include "snapshot/snapshot_store.h"
 
 namespace {
 
@@ -186,6 +195,91 @@ void BM_SnapshotSave(benchmark::State& state) {
   state.counters["lists"] = kLists;
 }
 BENCHMARK(BM_SnapshotSave)->Unit(benchmark::kMillisecond);
+
+// A pack holding the same fleet as PopulatedSnapshotDir, built once by
+// migrating the directory (which also digest-verifies every entry).
+const std::string& PopulatedPackFile() {
+  static const std::string pack = [] {
+    std::string path = common::StrCat(PopulatedSnapshotDir(), "/fleet.pack");
+    auto stats = snapshot::MigrateDirectoryToPack(
+        SharedSchema(), core::ClosureOptions{}, PopulatedSnapshotDir(), path);
+    if (!stats.ok() || stats.value().migrated != kLists) std::abort();
+    return path;
+  }();
+  return pack;
+}
+
+// Per-signature lookup through the directory store: open the snapshot
+// file, validate the header ladder, replay the log.
+void BM_DirectoryFind(benchmark::State& state) {
+  const schema::Schema& schema = SharedSchema();
+  auto store = snapshot::OpenDirectoryStore(PopulatedSnapshotDir());
+  const auto lists = FleetLists();
+  for (auto _ : state) {
+    for (const auto& roots : lists) {
+      auto entry = store->Find(schema, core::ClosureOptions{}, roots);
+      if (!entry.ok() || !entry.value()->closure->warm_started()) std::abort();
+      benchmark::DoNotOptimize(entry.value()->closure.get());
+    }
+  }
+  state.counters["lists"] = kLists;
+}
+BENCHMARK(BM_DirectoryFind)->Unit(benchmark::kMillisecond);
+
+// The same lookup through the packed store. The page cache is sized to
+// one entry while the fleet cycles three signatures, so every find is a
+// cache miss that pays the full in-place mmap replay — the honest
+// apples-to-apples against BM_DirectoryFind (with the default capacity
+// the steady state is an LRU hit and there is nothing left to measure).
+void BM_PackedFind(benchmark::State& state) {
+  const schema::Schema& schema = SharedSchema();
+  auto opened = snapshot::OpenPackedStore(PopulatedPackFile(),
+                                          /*page_cache_capacity=*/1);
+  if (!opened.ok()) std::abort();
+  auto store = std::move(opened).value();
+  const auto lists = FleetLists();
+  for (auto _ : state) {
+    for (const auto& roots : lists) {
+      auto entry = store->Find(schema, core::ClosureOptions{}, roots);
+      if (!entry.ok() || !entry.value()->closure->warm_started()) std::abort();
+      benchmark::DoNotOptimize(entry.value()->closure.get());
+    }
+  }
+  state.counters["lists"] = kLists;
+}
+BENCHMARK(BM_PackedFind)->Unit(benchmark::kMillisecond);
+
+// Steady-state retention pass over an all-live directory: stat and
+// header-parse every file, remove nothing.
+void BM_DirectorySweep(benchmark::State& state) {
+  auto store = snapshot::OpenDirectoryStore(PopulatedSnapshotDir());
+  const uint64_t live = snapshot::SchemaFingerprint(SharedSchema(),
+                                                    core::ClosureOptions{});
+  for (auto _ : state) {
+    auto swept = store->Sweep(live);
+    if (!swept.ok() || swept.value().records_swept != 0) std::abort();
+    benchmark::DoNotOptimize(swept.value().records_kept);
+  }
+  state.counters["lists"] = kLists;
+}
+BENCHMARK(BM_DirectorySweep)->Unit(benchmark::kMicrosecond);
+
+// The packed equivalent: walk the in-memory index, find nothing stale
+// and no dead bytes, skip compaction.
+void BM_PackedSweep(benchmark::State& state) {
+  auto opened = snapshot::OpenPackedStore(PopulatedPackFile());
+  if (!opened.ok()) std::abort();
+  auto store = std::move(opened).value();
+  const uint64_t live = snapshot::SchemaFingerprint(SharedSchema(),
+                                                    core::ClosureOptions{});
+  for (auto _ : state) {
+    auto swept = store->Sweep(live);
+    if (!swept.ok() || swept.value().records_swept != 0) std::abort();
+    benchmark::DoNotOptimize(swept.value().records_kept);
+  }
+  state.counters["lists"] = kLists;
+}
+BENCHMARK(BM_PackedSweep)->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 

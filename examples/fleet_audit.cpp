@@ -12,8 +12,11 @@
 // (service/shard.h): four forked workers, requirements routed by
 // capability signature, reports merged byte-identical to the
 // single-process batch. The first sharded run persists every closure
-// it builds to a snapshot directory; a second run — a simulated fleet
-// restart — rebuilds nothing and serves every signature from disk.
+// it builds into a packed snapshot store (one segment file; workers
+// append to private side segments the coordinator merges). Then the
+// fleet is "killed": the store object is dropped and the pack reopened
+// cold, and a second sharded run rebuilds nothing — every signature
+// replays from the segment via mmap.
 //
 //   $ ./fleet_audit
 #include <cstdio>
@@ -28,6 +31,8 @@
 #include "core/requirement.h"
 #include "service/analysis_service.h"
 #include "service/shard.h"
+#include "snapshot/packed_store.h"
+#include "snapshot/snapshot_store.h"
 #include "text/workspace.h"
 
 namespace {
@@ -97,14 +102,20 @@ int main() {
 
   // Sharded pass first: fork() wants a single-threaded image, and no
   // thread pool exists yet. The workers persist what they build into a
-  // fresh snapshot directory for the restart demo below.
+  // fresh packed snapshot store for the restart demo below.
   char dir_template[] = "/tmp/oodbsec_fleet_snap.XXXXXX";
   const char* snapshot_dir = ::mkdtemp(dir_template);
   if (snapshot_dir == nullptr) std::abort();
+  const std::string pack_path = common::StrCat(snapshot_dir, "/fleet.pack");
+  auto store = snapshot::OpenPackedStore(pack_path);
+  if (!store.ok()) {
+    std::fprintf(stderr, "%s\n", store.status().ToString().c_str());
+    return 1;
+  }
 
   service::ShardOptions shard_options;
   shard_options.shard_count = 4;
-  shard_options.snapshot_dir = snapshot_dir;
+  shard_options.snapshot_store = store.value();
   shard_options.save_snapshots = true;
   auto sharded = service::RunShardedBatch(*workspace.schema, *workspace.users,
                                           sheet, shard_options);
@@ -183,9 +194,17 @@ int main() {
       "single-process batch, %zu closures built across shards\n",
       shard_options.shard_count, sharded->merged_stats.closures_built);
 
-  // Fleet restart: a second sharded run over the snapshot directory the
-  // first one populated. Every distinct signature replays from disk —
-  // zero fixpoints — and the merged report is still byte-identical.
+  // Fleet restart: drop the live store object (the "kill") and reopen
+  // the pack cold, exactly as a rebooted coordinator would. Every
+  // distinct signature replays from the segment — zero fixpoints — and
+  // the merged report is still byte-identical.
+  shard_options.snapshot_store.reset();
+  store = snapshot::OpenPackedStore(pack_path);
+  if (!store.ok()) {
+    std::fprintf(stderr, "%s\n", store.status().ToString().c_str());
+    return 1;
+  }
+  shard_options.snapshot_store = store.value();
   auto restarted = service::RunShardedBatch(*workspace.schema,
                                             *workspace.users, sheet,
                                             shard_options);

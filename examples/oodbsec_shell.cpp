@@ -16,9 +16,14 @@
 //   recheck                    re-audit every requirement incrementally
 //   batch [threads]            same, through the caching batch service
 //   shard [shards] [threads]   same, forked across worker processes
-//   snapshot dir <path>        arm the persistent closure-snapshot tier
-//   snapshot save              persist cached closures to the directory
-//   snapshot load              warm the cache from the directory
+//   snapshot dir <path>        arm the tier over a snapshot directory
+//   snapshot pack <path>       arm it over a packed segment file
+//   snapshot save              persist cached closures to the store
+//   snapshot load              warm the cache from the store
+//   snapshot stats             store utilisation (live vs stale bytes)
+//   snapshot compact           sweep stale generations from the store
+//   snapshot migrate <dir> <packfile>
+//                              fold a snapshot directory into a pack
 //   explain <n>                derivation for requirement n's first flaw
 //   trace on|off               arm / disarm the session tracer
 //   trace dump [file]          render spans + metrics (file: JSON lines)
@@ -42,6 +47,9 @@
 #include "query/query_parser.h"
 #include "service/analysis_service.h"
 #include "service/shard.h"
+#include "snapshot/packed_store.h"
+#include "snapshot/snapshot.h"
+#include "snapshot/snapshot_store.h"
 #include "text/workspace.h"
 
 namespace {
@@ -96,8 +104,9 @@ class Shell {
       std::string subcommand;
       in >> subcommand;
       std::string path;
-      in >> path;
-      Snapshot(subcommand, path);
+      std::string second;
+      in >> path >> second;  // migrate takes two operands; rest take <= 1
+      Snapshot(subcommand, path, second);
     } else if (command == "explain") {
       size_t index = 0;
       in >> index;
@@ -136,10 +145,15 @@ class Shell {
         " threads)\n"
         "  shard [shards] [threads]        same, forked across worker\n"
         "                                  processes (default 4 shards)\n"
-        "  snapshot dir <path>             arm the persistent closure-"
-        "snapshot tier\n"
+        "  snapshot dir <path>             arm the tier over a snapshot"
+        " directory\n"
+        "  snapshot pack <path>            arm it over a packed segment"
+        " file\n"
         "  snapshot save                   persist cached closures\n"
-        "  snapshot load                   warm the cache from disk\n"
+        "  snapshot load                   warm the cache from the store\n"
+        "  snapshot stats                  store utilisation\n"
+        "  snapshot compact                sweep stale generations\n"
+        "  snapshot migrate <dir> <pack>   fold a directory into a pack\n"
         "  dump                            re-render the workspace file\n"
         "  explain <n>                     derivation for requirement n\n"
         "  trace on|off                    arm / disarm the session tracer\n"
@@ -286,8 +300,8 @@ class Shell {
   // requirements are routed by capability signature, each worker runs a
   // private service over its subset, and the merged report is
   // byte-identical to single-process CheckBatch. Uses the armed
-  // snapshot directory (if any) as the workers' shared L2, and saves
-  // what the workers built back into it.
+  // snapshot store (if any) as the workers' shared L2, and saves what
+  // the workers built back into it.
   void Shard(int shards, int threads) {
     // fork() wants a single-threaded image: retire the in-process
     // service's pool first (workers build their own pools post-fork).
@@ -296,8 +310,8 @@ class Shell {
     options.shard_count = shards;
     options.threads = threads;
     options.closure = session_->closure_options();
-    options.snapshot_dir = snapshot_dir_;
-    options.save_snapshots = !snapshot_dir_.empty();
+    options.snapshot_store = store_;
+    options.save_snapshots = store_ != nullptr;
     auto sharded = service::RunShardedBatch(
         *workspace_.schema, *workspace_.users, workspace_.requirements,
         options, &session_->obs());
@@ -325,30 +339,107 @@ class Shell {
     }
   }
 
-  void Snapshot(const std::string& subcommand, const std::string& path) {
+  // Rebuilds the session with `store` armed as the L2 tier. The store
+  // is part of the cache configuration, so the session (and its caches)
+  // restart; the recorded trace does not survive the rebuild.
+  void ArmStore(std::shared_ptr<snapshot::SnapshotStore> store) {
+    store_ = std::move(store);
+    service_.reset();
+    core::SessionOptions options = session_->options();
+    options.snapshot_store = store_;
+    session_ = std::make_unique<core::AnalysisSession>(
+        *workspace_.schema, *workspace_.users, options);
+    std::printf("snapshot tier armed (%s)\n",
+                store_->Stats().description.c_str());
+  }
+
+  void Snapshot(const std::string& subcommand, const std::string& path,
+                const std::string& second) {
     if (subcommand == "dir") {
       if (path.empty()) {
         std::printf("usage: snapshot dir <path>\n");
         return;
       }
-      // The snapshot directory is part of the cache configuration, so
-      // the session (and its caches) restart with the tier armed. The
-      // recorded trace does not survive the rebuild.
-      snapshot_dir_ = path;
-      service_.reset();
-      core::SessionOptions options = session_->options();
-      options.snapshot_dir = snapshot_dir_;
-      session_ = std::make_unique<core::AnalysisSession>(
-          *workspace_.schema, *workspace_.users, options);
-      std::printf("snapshot tier armed at %s\n", snapshot_dir_.c_str());
+      ArmStore(snapshot::OpenDirectoryStore(path));
       return;
     }
-    if (subcommand != "save" && subcommand != "load") {
-      std::printf("usage: snapshot dir <path> | save | load\n");
+    if (subcommand == "pack") {
+      if (path.empty()) {
+        std::printf("usage: snapshot pack <path>\n");
+        return;
+      }
+      auto store = snapshot::OpenPackedStore(path);
+      if (!store.ok()) {
+        std::printf("error: %s\n", store.status().ToString().c_str());
+        return;
+      }
+      ArmStore(std::move(store).value());
       return;
     }
-    if (snapshot_dir_.empty()) {
-      std::printf("no snapshot directory ('snapshot dir <path>' first)\n");
+    if (subcommand == "migrate") {
+      if (path.empty() || second.empty()) {
+        std::printf("usage: snapshot migrate <dir> <packfile>\n");
+        return;
+      }
+      auto migrated = snapshot::MigrateDirectoryToPack(
+          *workspace_.schema, session_->closure_options(), path, second,
+          &session_->obs());
+      if (!migrated.ok()) {
+        std::printf("error: %s\n", migrated.status().ToString().c_str());
+        return;
+      }
+      std::printf(
+          "migrated %zu snapshot(s) from %s into %s (%zu invalid"
+          " skipped; every entry digest-verified)\n",
+          migrated.value().migrated, path.c_str(), second.c_str(),
+          migrated.value().invalid);
+      return;
+    }
+    if (subcommand != "save" && subcommand != "load" &&
+        subcommand != "stats" && subcommand != "compact") {
+      std::printf(
+          "usage: snapshot dir <path> | pack <path> | save | load |"
+          " stats | compact | migrate <dir> <packfile>\n");
+      return;
+    }
+    if (store_ == nullptr) {
+      std::printf(
+          "no snapshot store ('snapshot dir <path>' or"
+          " 'snapshot pack <path>' first)\n");
+      return;
+    }
+    if (subcommand == "stats") {
+      snapshot::StoreStats stats = store_->Stats();
+      std::printf(
+          "%s: %llu entr%s, %llu byte(s) (%llu live, %llu stale), "
+          "%llu find(s) / %llu save(s) / %llu sweep(s), "
+          "page cache %llu hit(s) / %llu miss(es) / %llu eviction(s)\n",
+          stats.description.c_str(),
+          static_cast<unsigned long long>(stats.entries),
+          stats.entries == 1 ? "y" : "ies",
+          static_cast<unsigned long long>(stats.file_bytes),
+          static_cast<unsigned long long>(stats.live_bytes),
+          static_cast<unsigned long long>(stats.stale_bytes),
+          static_cast<unsigned long long>(stats.finds),
+          static_cast<unsigned long long>(stats.saves),
+          static_cast<unsigned long long>(stats.sweeps),
+          static_cast<unsigned long long>(stats.page_cache_hits),
+          static_cast<unsigned long long>(stats.page_cache_misses),
+          static_cast<unsigned long long>(stats.page_cache_evictions));
+      return;
+    }
+    if (subcommand == "compact") {
+      auto swept = store_->Sweep(snapshot::SchemaFingerprint(
+          *workspace_.schema, session_->closure_options()));
+      if (!swept.ok()) {
+        std::printf("error: %s\n", swept.status().ToString().c_str());
+        return;
+      }
+      std::printf(
+          "kept %llu record(s), swept %llu, reclaimed %llu byte(s)\n",
+          static_cast<unsigned long long>(swept.value().records_kept),
+          static_cast<unsigned long long>(swept.value().records_swept),
+          static_cast<unsigned long long>(swept.value().bytes_reclaimed));
       return;
     }
     if (service_ == nullptr) {
@@ -360,12 +451,11 @@ class Shell {
         std::printf("error: %s\n", status.ToString().c_str());
         return;
       }
-      std::printf("saved %zu cached closure(s) to %s\n",
-                  service_->cache_size(), snapshot_dir_.c_str());
+      std::printf("saved %zu cached closure(s) to the store\n",
+                  service_->cache_size());
     } else {
       size_t loaded = service_->LoadCacheSnapshot();
-      std::printf("loaded %zu snapshot(s) from %s\n", loaded,
-                  snapshot_dir_.c_str());
+      std::printf("loaded %zu snapshot(s) from the store\n", loaded);
     }
   }
 
@@ -453,8 +543,8 @@ class Shell {
   std::unique_ptr<service::AnalysisService> service_;
   dynamic::SessionGuard guard_;
   std::vector<core::AnalysisReport> last_reports_;
-  // Empty until `snapshot dir` arms the persistent tier.
-  std::string snapshot_dir_;
+  // Null until `snapshot dir`/`snapshot pack` arms the persistent tier.
+  std::shared_ptr<snapshot::SnapshotStore> store_;
 };
 
 }  // namespace

@@ -106,6 +106,28 @@ Closure::Closure(const unfold::UnfoldedSet& set, ClosureOptions options,
   FlushMetrics();
 }
 
+Closure::Closure(const unfold::UnfoldedSet& set, ClosureOptions options,
+                 obs::Observability* obs, const ReplayView& view)
+    : set_(&set), options_(options), obs_(obs) {
+  obs::Tracer* tracer = obs_ != nullptr ? &obs_->tracer : nullptr;
+  obs::ScopedSpan closure_span(tracer, "closure");
+  InitTables();
+  {
+    obs::ScopedSpan replay_span(tracer, "closure.snapshot.replay");
+    ReplayPackedSteps(view);
+    warm_started_ = true;
+  }
+  // Same complete-log contract as the ReplayLog constructor above: the
+  // seed and run only dedup when the log is complete, and make a stale
+  // log slow instead of wrong otherwise.
+  {
+    obs::ScopedSpan seed_span(tracer, "closure.seed");
+    Seed();
+  }
+  Run();
+  FlushMetrics();
+}
+
 void Closure::InitTables() {
   int n = set_->node_count();
   const unfold::UnfoldedSet& set = *set_;
@@ -273,6 +295,34 @@ void Closure::ReplaySteps(std::span<const DerivationStep> steps,
     // the follow-up Seed() + Run() re-derive only what the added roots
     // contribute, re-firing rules through the premise index as new
     // facts interact with the replayed state.
+    ApplyReplayedFact(fact, id);
+  }
+}
+
+void Closure::ReplayPackedSteps(const ReplayView& view) {
+  replayed_facts_ = view.steps.size();
+  steps_.reserve(view.steps.size() + view.steps.size() / 4);
+  premise_arena_.reserve(view.premise_arena.size());
+  for (const PackedStep& pstep : view.steps) {
+    // Decode the fixed-width image into a live step. Ids are already in
+    // this set's id space (packed records, like snapshots, replay into
+    // an unfold over the same roots).
+    Fact fact;
+    fact.kind = static_cast<Fact::Kind>(pstep.kind);
+    fact.a = pstep.a;
+    fact.b = pstep.b;
+    fact.origin.num = pstep.origin_num;
+    fact.origin.dir = static_cast<char>(pstep.origin_dir);
+    FactId id = static_cast<FactId>(steps_.size());
+    DerivationStep step;
+    step.fact = fact;
+    step.rule = view.rules[pstep.rule];
+    step.premise_offset = static_cast<uint32_t>(premise_arena_.size());
+    step.premise_count = pstep.premise_count;
+    const FactId* src = view.premise_arena.data() + pstep.premise_offset;
+    premise_arena_.insert(premise_arena_.end(), src,
+                          src + pstep.premise_count);
+    steps_.push_back(step);
     ApplyReplayedFact(fact, id);
   }
 }

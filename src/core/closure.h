@@ -57,6 +57,7 @@
 #include <span>
 #include <string>
 #include <string_view>
+#include <type_traits>
 #include <unordered_map>
 #include <vector>
 
@@ -162,6 +163,40 @@ struct ReplayLog {
   std::vector<FactId> premise_arena;
 };
 
+// One derivation step in the packed snapshot layout (src/snapshot
+// packed_store): a fixed-width, trivially-copyable image of
+// DerivationStep with the rule string replaced by an index into a
+// per-record label table. Arrays of these are written verbatim into
+// packed segments and read back by aliasing the mapped bytes — no
+// per-step decode — so the layout is part of the v3 record format:
+// change it and bump the format version.
+struct PackedStep {
+  int32_t a = 0;
+  int32_t b = 0;
+  int32_t origin_num = 0;
+  uint32_t rule = 0;            // index into the record's label table
+  uint32_t premise_offset = 0;  // into the record's premise arena
+  uint32_t premise_count = 0;
+  uint8_t kind = 0;             // Fact::Kind as u8
+  uint8_t origin_dir = '+';
+  uint8_t pad[2] = {0, 0};
+};
+static_assert(sizeof(PackedStep) == 28);
+static_assert(std::is_trivially_copyable_v<PackedStep>);
+
+// A derivation log borrowed straight from a mapped packed record: steps
+// and premise arena alias the mapping, `rules` is the record's label
+// table resolved to interned (process-lifetime) string_views. Replaying
+// copies everything into the closure's own tables, so the view — and
+// the mapping behind it — only needs to outlive the constructor call.
+// The caller must pre-validate ids and premise references, exactly as
+// with ReplayLog.
+struct ReplayView {
+  std::span<const PackedStep> steps;
+  std::span<const FactId> premise_arena;
+  std::span<const std::string_view> rules;
+};
+
 // Ablation switches for experiment A1 (see DESIGN.md §7). All on by
 // default; each "off" weakens the analyzer and must lose a documented
 // detection.
@@ -228,6 +263,13 @@ class Closure {
   // are undefined behaviour. Counts as warm_started().
   Closure(const unfold::UnfoldedSet& set, ClosureOptions options,
           obs::Observability* obs, const ReplayLog& log);
+
+  // Same contract as the ReplayLog constructor, but reading the packed
+  // in-place layout (see ReplayView): steps and premises are consumed
+  // directly from the caller's mapping without materializing an
+  // intermediate ReplayLog.
+  Closure(const unfold::UnfoldedSet& set, ClosureOptions options,
+          obs::Observability* obs, const ReplayView& view);
 
   // Retraction (DRed, delete-and-rederive): builds the closure over
   // `set` — whose roots must form a sub-multiset of `base`'s, computed
@@ -404,6 +446,9 @@ class Closure {
   void ReplaySteps(std::span<const DerivationStep> steps,
                    std::span<const FactId> arena,
                    const std::vector<int>* old_to_new);
+  // ReplaySteps for the packed layout: identical table effects, reading
+  // (step, premises, rule label) straight out of the view.
+  void ReplayPackedSteps(const ReplayView& view);
   // Applies one already-logged fact to the tables without enqueueing it
   // (the replay half of ReplaySteps / ReplaySurvivors).
   void ApplyReplayedFact(const Fact& fact, FactId id);

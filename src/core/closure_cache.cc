@@ -1,23 +1,29 @@
 #include "core/closure_cache.h"
 
 #include <algorithm>
-#include <filesystem>
 #include <utility>
 
 #include "common/strings.h"
 #include "obs/trace.h"
-#include "snapshot/snapshot.h"
+#include "snapshot/snapshot_store.h"
 
 namespace oodbsec::core {
 
 ClosureCache::ClosureCache(const schema::Schema& schema,
                            ClosureOptions options, size_t capacity,
-                           obs::Observability* obs, std::string snapshot_dir)
+                           obs::Observability* obs,
+                           std::shared_ptr<snapshot::SnapshotStore> store)
     : schema_(schema),
       options_(options),
       capacity_(capacity == 0 ? 1 : capacity),
       obs_(obs),
-      snapshot_dir_(std::move(snapshot_dir)) {}
+      store_(std::move(store)) {}
+
+ClosureCache::ClosureCache(const schema::Schema& schema,
+                           ClosureOptions options, size_t capacity,
+                           obs::Observability* obs, std::string snapshot_dir)
+    : ClosureCache(schema, options, capacity, obs,
+                   snapshot::ResolveStore(nullptr, snapshot_dir)) {}
 
 std::string ClosureCache::KeyFor(const std::vector<std::string>& roots) {
   std::string key;
@@ -213,23 +219,16 @@ void ClosureCache::CountBuild(bool warm) {
 
 std::shared_ptr<const CachedAnalysis> ClosureCache::FindSnapshot(
     const std::vector<std::string>& roots) {
-  if (snapshot_dir_.empty()) return nullptr;
-  std::string path = common::StrCat(
-      snapshot_dir_, "/", snapshot::SnapshotFileName(options_, roots));
-  auto loaded = snapshot::LoadSnapshot(schema_, options_, path, obs_);
+  if (store_ == nullptr) return nullptr;
+  auto loaded = store_->Find(schema_, options_, roots, obs_);
   const char* counter = nullptr;
   std::shared_ptr<const CachedAnalysis> entry;
   if (loaded.ok()) {
-    // File names hash (options, roots); on the vanishingly unlikely
-    // collision the stored root list differs — treat it as a miss.
-    if (loaded.value()->roots == roots) {
-      ++stats_.snapshot_hits;
-      counter = "closure.cache.snapshot_hits";
-      entry = std::move(loaded).value();
-    } else {
-      ++stats_.snapshot_misses;
-      counter = "closure.cache.snapshot_misses";
-    }
+    // The store verifies the stored root list against the request
+    // (signature collisions read as kNotFound), so ok means hit.
+    ++stats_.snapshot_hits;
+    counter = "closure.cache.snapshot_hits";
+    entry = std::move(loaded).value();
   } else if (loaded.status().code() == common::StatusCode::kNotFound) {
     ++stats_.snapshot_misses;
     counter = "closure.cache.snapshot_misses";
@@ -245,19 +244,17 @@ std::shared_ptr<const CachedAnalysis> ClosureCache::FindSnapshot(
 
 common::Status ClosureCache::SaveCacheSnapshot(
     const CachedAnalysis& entry) const {
-  if (snapshot_dir_.empty()) {
+  if (store_ == nullptr) {
     return common::FailedPreconditionError(
-        "closure cache has no snapshot directory");
+        "closure cache has no snapshot store");
   }
-  std::string path = common::StrCat(
-      snapshot_dir_, "/", snapshot::SnapshotFileName(options_, entry.roots));
-  return snapshot::SaveSnapshot(schema_, options_, entry, path);
+  return store_->Save(schema_, options_, entry);
 }
 
 common::Status ClosureCache::SaveCacheSnapshot() const {
-  if (snapshot_dir_.empty()) {
+  if (store_ == nullptr) {
     return common::FailedPreconditionError(
-        "closure cache has no snapshot directory");
+        "closure cache has no snapshot store");
   }
   common::Status first_error;
   for (const std::string& key : lru_) {
@@ -268,37 +265,23 @@ common::Status ClosureCache::SaveCacheSnapshot() const {
 }
 
 size_t ClosureCache::LoadCacheSnapshot() {
-  if (snapshot_dir_.empty()) return 0;
-  std::error_code ec;
-  std::vector<std::string> paths;
-  for (const auto& dirent :
-       std::filesystem::directory_iterator(snapshot_dir_, ec)) {
-    if (dirent.path().extension() == ".snap") {
-      paths.push_back(dirent.path().string());
-    }
+  if (store_ == nullptr) return 0;
+  size_t invalid = 0;
+  std::vector<std::shared_ptr<const CachedAnalysis>> entries =
+      store_->LoadAll(schema_, options_, capacity_, &invalid, obs_);
+  stats_.snapshot_invalid += invalid;
+  if (obs_ != nullptr && invalid > 0) {
+    obs_->metrics.counter("closure.cache.snapshot_invalid")
+        ->Increment(invalid);
   }
-  // Directory iteration order is unspecified; sort so the L1 population
-  // (and its LRU order) is deterministic across runs.
-  std::sort(paths.begin(), paths.end());
-  size_t loaded = 0;
-  for (const std::string& path : paths) {
-    if (loaded >= capacity_) break;
-    auto entry = snapshot::LoadSnapshot(schema_, options_, path, obs_);
-    if (!entry.ok()) {
-      ++stats_.snapshot_invalid;
-      if (obs_ != nullptr) {
-        obs_->metrics.counter("closure.cache.snapshot_invalid")->Increment();
-      }
-      continue;
-    }
+  for (auto& entry : entries) {
     ++stats_.snapshot_hits;
     if (obs_ != nullptr) {
       obs_->metrics.counter("closure.cache.snapshot_hits")->Increment();
     }
-    Insert(std::move(entry).value());
-    ++loaded;
+    Insert(std::move(entry));
   }
-  return loaded;
+  return entries.size();
 }
 
 common::Result<std::shared_ptr<const CachedAnalysis>>

@@ -31,21 +31,21 @@
 // same roots (Closure::FactSetDigest) but a different derivation log —
 // callers that promise byte-identical derivation text must build cold.
 //
-// Snapshot tier (L2): when constructed with a snapshot directory, the
-// cache persists entries as versioned, checksummed files (src/snapshot)
-// and consults them between the exact-hit check and the build path:
+// Snapshot tier (L2): when constructed with a snapshot::SnapshotStore,
+// the cache persists entries through it (a packed segment file or a
+// snapshot directory — see snapshot/snapshot_store.h) and consults it
+// between the exact-hit check and the build path:
 //
-//   exact hit (L1) → snapshot load (L2) → warm/cold build
+//   exact hit (L1) → store probe (L2) → warm/cold build
 //
-// An L2 hit replays the saved derivation log into a fresh closure —
+// An L2 hit replays the persisted derivation log into a fresh closure —
 // byte-identical to the one that was saved, at replay cost — and is
-// inserted into L1 so the process pays the disk read once. Invalid
-// files (truncated, wrong schema fingerprint, wrong format version,
+// inserted into L1 so the process pays the decode once. Invalid
+// records (truncated, wrong schema fingerprint, wrong format version,
 // corrupt) are counted and fall back to a build; they are never an
-// error. Several processes may share one snapshot directory: writes
-// are atomic (temp + rename) and loads validate before trusting, so
-// the directory doubles as the cross-process cache the sharded audit
-// workers warm from.
+// error. Several caches and processes may share one store: writes are
+// atomic and loads validate before trusting, so the store doubles as
+// the cross-process cache the sharded audit workers warm from.
 //
 // Thread-safety: like the service layer, the cache is a single-caller
 // object — Find*/GetOrBuild/Insert must not race. BuildDetached is the
@@ -64,10 +64,15 @@
 #include <vector>
 
 #include "common/result.h"
+#include "common/status.h"
 #include "core/closure.h"
 #include "obs/obs.h"
 #include "schema/schema.h"
 #include "unfold/unfolded.h"
+
+namespace oodbsec::snapshot {
+class SnapshotStore;  // snapshot/snapshot_store.h
+}  // namespace oodbsec::snapshot
 
 namespace oodbsec::core {
 
@@ -104,8 +109,15 @@ class ClosureCache {
 
   // `schema` must outlive the cache. `obs` (optional) receives the
   // closure/unfold spans of every build plus "closure.cache.*" counters.
-  // A non-empty `snapshot_dir` arms the L2 tier (see the header
-  // comment); the directory is created on first save.
+  // A non-null `store` arms the L2 tier (see the header comment); the
+  // store may be shared with other caches and sessions.
+  ClosureCache(const schema::Schema& schema, ClosureOptions options,
+               size_t capacity, obs::Observability* obs,
+               std::shared_ptr<snapshot::SnapshotStore> store);
+
+  // Deprecated shim: a non-empty `snapshot_dir` constructs a
+  // DirectoryStore over it (the pre-store spelling of the L2 tier).
+  // New call sites should build a store and pass it above.
   ClosureCache(const schema::Schema& schema, ClosureOptions options,
                size_t capacity = kDefaultCapacity,
                obs::Observability* obs = nullptr,
@@ -200,8 +212,10 @@ class ClosureCache {
   size_t size() const { return entries_.size(); }
   size_t capacity() const { return capacity_; }
   const Stats& stats() const { return stats_; }
-  // Empty when the snapshot tier is disabled.
-  const std::string& snapshot_dir() const { return snapshot_dir_; }
+  // Null when the snapshot tier is disabled.
+  const std::shared_ptr<snapshot::SnapshotStore>& snapshot_store() const {
+    return store_;
+  }
 
  private:
   struct Slot {
@@ -217,7 +231,7 @@ class ClosureCache {
   ClosureOptions options_;
   size_t capacity_;
   obs::Observability* obs_;
-  std::string snapshot_dir_;
+  std::shared_ptr<snapshot::SnapshotStore> store_;
   Stats stats_;
   // Most-recently-used at the front; Slot::lru_it points into this.
   std::list<std::string> lru_;

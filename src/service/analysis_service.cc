@@ -19,9 +19,12 @@ AnalysisService::AnalysisService(core::AnalysisSession& session,
     : session_(&session),
       pool_(threads_override > 0 ? threads_override : session.options().threads,
             &session.obs()),
+      // The session resolved snapshot_dir into snapshot_store at its
+      // construction; reading the resolved field shares one store (and
+      // its page cache) between the session's cache and this one.
       cache_(session.schema(), session.closure_options(),
              session.options().cache_capacity, &session.obs(),
-             session.options().snapshot_dir),
+             session.options().snapshot_store),
       closures_built_(session.metrics().counter("service.closures_built")),
       signature_hits_(session.metrics().counter("service.signature_hits")),
       requirement_hits_(session.metrics().counter("service.requirement_hits")),
@@ -43,11 +46,12 @@ AnalysisService::AnalysisService(const schema::Schema& schema,
           core::SessionOptions{.closure = options.closure,
                                .threads = options.threads,
                                .cache_capacity = options.cache_capacity,
-                               .snapshot_dir = options.snapshot_dir})),
+                               .snapshot_dir = options.snapshot_dir,
+                               .snapshot_store = options.snapshot_store})),
       session_(owned_session_.get()),
       pool_(session_->options().threads, &session_->obs()),
       cache_(schema, options.closure, options.cache_capacity,
-             &session_->obs(), options.snapshot_dir),
+             &session_->obs(), session_->options().snapshot_store),
       closures_built_(session_->metrics().counter("service.closures_built")),
       signature_hits_(session_->metrics().counter("service.signature_hits")),
       requirement_hits_(

@@ -79,9 +79,13 @@ struct ServiceOptions {
   core::ClosureOptions closure;
   // LRU bound on cached closures (see core::ClosureCache).
   size_t cache_capacity = core::ClosureCache::kDefaultCapacity;
-  // Non-empty: snapshot directory for the persistent L2 tier behind the
-  // closure cache (see core::ClosureCache and core::SessionOptions).
+  // Deprecated shim: a non-empty directory opens a DirectoryStore when
+  // `snapshot_store` is null (see core::SessionOptions).
   std::string snapshot_dir;
+  // Persistent L2 tier behind the closure cache (see
+  // snapshot/snapshot_store.h); forwarded into the private session's
+  // SessionOptions.
+  std::shared_ptr<snapshot::SnapshotStore> snapshot_store;
 };
 
 // A value snapshot of the service's cache accounting (reads of the
@@ -122,7 +126,7 @@ struct ServiceStats {
   // Signature resolutions served by replaying a persisted snapshot
   // (the L2 tier) instead of building — disjoint from both
   // closures_built and signature_hits. Always 0 without a snapshot
-  // directory.
+  // store.
   size_t snapshot_hits = 0;
 
   // closures reused / closures resolved: how much fixpoint work the
@@ -170,9 +174,9 @@ class AnalysisService {
   // Value snapshot of the cache accounting; see ServiceStats.
   ServiceStats Stats() const;
 
-  // Persists every resident cache entry to the snapshot directory /
-  // warms the cache from it. Thin forwards to core::ClosureCache;
-  // kFailedPrecondition / 0 when no snapshot directory is configured.
+  // Persists every resident cache entry to the snapshot store / warms
+  // the cache from it. Thin forwards to core::ClosureCache;
+  // kFailedPrecondition / 0 when no snapshot store is configured.
   common::Status SaveCacheSnapshot() const {
     return cache_.SaveCacheSnapshot();
   }

@@ -14,6 +14,7 @@
 #include "obs/trace.h"
 #include "service/capability_signature.h"
 #include "snapshot/binio.h"
+#include "snapshot/snapshot_store.h"
 
 namespace oodbsec::service {
 
@@ -94,14 +95,15 @@ std::string RunWorker(const schema::Schema& schema,
                       const schema::UserRegistry& users,
                       const std::vector<core::Requirement>& requirements,
                       const std::vector<size_t>& indices,
-                      const ShardOptions& options) {
+                      const ShardOptions& options,
+                      std::shared_ptr<snapshot::SnapshotStore> store) {
   AnalysisService service(schema, users,
                           ServiceOptions{.threads = options.threads,
                                          .closure = options.closure,
                                          .cache_capacity =
                                              options.cache_capacity,
-                                         .snapshot_dir =
-                                             options.snapshot_dir});
+                                         .snapshot_store =
+                                             std::move(store)});
   std::vector<core::Requirement> subset;
   subset.reserve(indices.size());
   for (size_t gi : indices) subset.push_back(requirements[gi]);
@@ -131,7 +133,8 @@ std::string RunWorker(const schema::Schema& schema,
     return w.Release();
   }
 
-  if (options.save_snapshots && !options.snapshot_dir.empty()) {
+  if (options.save_snapshots &&
+      service.session().options().snapshot_store != nullptr) {
     // Best-effort persistence; a full disk must not fail the audit.
     service.SaveCacheSnapshot();
   }
@@ -191,6 +194,12 @@ common::Result<ShardedBatchResult> RunShardedBatch(
   obs::Tracer* tracer = obs != nullptr ? &obs->tracer : nullptr;
   obs::ScopedSpan batch_span(tracer, "shard.batch");
 
+  // One shared base store across the fleet (the deprecated snapshot_dir
+  // shim resolves here); each child forks a worker view of it so
+  // sibling writers never contend on one segment.
+  std::shared_ptr<snapshot::SnapshotStore> base_store =
+      snapshot::ResolveStore(options.snapshot_store, options.snapshot_dir);
+
   // Route every requirement: signature -> shard. Unknown users cannot
   // be signed; they become failure candidates at their input position,
   // exactly where single-process CheckBatch would surface them.
@@ -233,11 +242,19 @@ common::Result<ShardedBatchResult> RunShardedBatch(
     }
     if (pid == 0) {
       // Child: run the subset, stream the message, and _exit without
-      // flushing inherited stdio buffers twice.
+      // flushing inherited stdio buffers twice. The worker store is
+      // forked post-fork so the child owns its descriptors and side
+      // segment; a failed fork degrades to no L2 tier (reports stay
+      // byte-identical — only warm hits are lost).
       ::close(fds[0]);
+      std::shared_ptr<snapshot::SnapshotStore> worker_store;
+      if (base_store != nullptr) {
+        auto forked = base_store->ForkWorker(s);
+        if (forked.ok()) worker_store = std::move(forked).value();
+      }
       std::string message = RunWorker(schema, users, requirements,
                                       routed[static_cast<size_t>(s)],
-                                      options);
+                                      options, std::move(worker_store));
       WriteAll(fds[1], message);
       ::close(fds[1]);
       ::_exit(0);
@@ -336,6 +353,18 @@ common::Result<ShardedBatchResult> RunShardedBatch(
     result.merged_stats.snapshot_hits += stats.snapshot_hits;
     if (obs != nullptr) {
       obs->metrics.counter("shard.reports")->Increment(report_count);
+    }
+  }
+
+  // Every worker has exited; fold their side segments (packed stores
+  // append privately per worker) back into the shared base segment.
+  // Best-effort, like worker saves: a failed merge costs the next run
+  // warm hits, never this run's reports.
+  if (base_store != nullptr && options.save_snapshots) {
+    common::Status merged = base_store->MergeWorkers();
+    if (obs != nullptr) {
+      obs->metrics.counter(merged.ok() ? "shard.merges" : "shard.merge_errors")
+          ->Increment();
     }
   }
 

@@ -14,11 +14,13 @@
 // Workers are forked from the coordinator, run a private
 // AnalysisService over their requirement subset, and stream their
 // reports and ServiceStats back over a pipe (snapshot/binio format).
-// When a shared snapshot directory is configured, every worker mounts
-// it as the L2 tier behind its in-memory L1 cache, so a fleet restart
-// replays persisted derivation logs instead of re-running fixpoints —
-// and with save_snapshots set, workers persist what they built, warming
-// the next run.
+// When a shared snapshot store is configured, every worker mounts a
+// fork of it (SnapshotStore::ForkWorker) as the L2 tier behind its
+// in-memory L1 cache, so a fleet restart replays persisted derivation
+// logs instead of re-running fixpoints — and with save_snapshots set,
+// workers persist what they built (a packed store's workers append to
+// private side segments the coordinator merges back afterwards),
+// warming the next run.
 //
 // Determinism contract: RunShardedBatch over fresh caches produces
 // reports byte-identical to a fresh single-process
@@ -39,6 +41,7 @@
 #define OODBSEC_SERVICE_SHARD_H_
 
 #include <cstddef>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -61,12 +64,16 @@ struct ShardOptions {
   int threads = 1;
   core::ClosureOptions closure;
   size_t cache_capacity = core::ClosureCache::kDefaultCapacity;
-  // Non-empty: shared snapshot directory every worker mounts as its L2
-  // closure tier (see core::ClosureCache).
+  // Deprecated shim: a non-empty directory opens a DirectoryStore when
+  // `snapshot_store` is null.
   std::string snapshot_dir;
-  // Workers persist every closure they built to snapshot_dir before
-  // exiting (atomic writes; concurrent savers race benignly).
+  // Workers persist every closure they built to the snapshot store
+  // before exiting (atomic directory writes race benignly; packed
+  // workers append to private side segments, merged after the drain).
   bool save_snapshots = false;
+  // Shared snapshot store every worker mounts (via ForkWorker) as its
+  // L2 closure tier (see snapshot/snapshot_store.h).
+  std::shared_ptr<snapshot::SnapshotStore> snapshot_store;
 };
 
 struct ShardedBatchResult {

@@ -9,7 +9,10 @@
 // truncated or corrupted buffer NEVER crashes the reader: every Get*
 // checks the remaining size first and latches a failure flag, so
 // callers can decode an entire structure optimistically and test ok()
-// once at the end (reads after a failure return zero values).
+// once at the end (reads after a failure return zero values). The one
+// concession to interchange is set_byte_swap(): the snapshot loader
+// arms it when a file's byte-order marker reads back reversed, so
+// foreign-endian snapshots decode instead of being refused.
 #ifndef OODBSEC_SNAPSHOT_BINIO_H_
 #define OODBSEC_SNAPSHOT_BINIO_H_
 
@@ -46,9 +49,31 @@ class ByteWriter {
   std::string buffer_;
 };
 
+// Byte-swap helpers for the foreign-endian snapshot reader: a snapshot
+// saved on a machine of the opposite endianness has every multi-byte
+// integer byte-swapped, and nothing else (strings and u8 fields are
+// byte sequences). Swapping on read recovers the writer's values.
+inline constexpr uint16_t Bswap16(uint16_t v) {
+  return static_cast<uint16_t>((v >> 8) | (v << 8));
+}
+inline constexpr uint32_t Bswap32(uint32_t v) {
+  return (v >> 24) | ((v >> 8) & 0x0000ff00u) | ((v << 8) & 0x00ff0000u) |
+         (v << 24);
+}
+inline constexpr uint64_t Bswap64(uint64_t v) {
+  return (static_cast<uint64_t>(Bswap32(static_cast<uint32_t>(v))) << 32) |
+         Bswap32(static_cast<uint32_t>(v >> 32));
+}
+
 class ByteReader {
  public:
   explicit ByteReader(std::string_view data) : data_(data) {}
+
+  // Arms foreign-endian decoding: every subsequent multi-byte integer
+  // (including string length prefixes) is byte-swapped after the read.
+  // The caller decides from the header's byte-order marker.
+  void set_byte_swap(bool swap) { swap_ = swap; }
+  bool byte_swap() const { return swap_; }
 
   uint8_t GetU8() {
     uint8_t v = 0;
@@ -58,16 +83,20 @@ class ByteReader {
   uint32_t GetU32() {
     uint32_t v = 0;
     GetFixed(&v, sizeof v);
-    return v;
+    return swap_ ? Bswap32(v) : v;
   }
   uint64_t GetU64() {
     uint64_t v = 0;
     GetFixed(&v, sizeof v);
-    return v;
+    return swap_ ? Bswap64(v) : v;
   }
   int32_t GetI32() {
     int32_t v = 0;
     GetFixed(&v, sizeof v);
+    if (swap_) {
+      uint32_t u = Bswap32(static_cast<uint32_t>(v));
+      std::memcpy(&v, &u, sizeof v);
+    }
     return v;
   }
   std::string GetString() {
@@ -100,6 +129,7 @@ class ByteReader {
   std::string_view data_;
   size_t pos_ = 0;
   bool failed_ = false;
+  bool swap_ = false;
 };
 
 // FNV-1a 64-bit: the checksum of snapshot payloads, the schema

@@ -1,0 +1,1022 @@
+#include "snapshot/packed_store.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <list>
+#include <map>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/strings.h"
+#include "core/closure.h"
+#include "obs/trace.h"
+#include "snapshot/binio.h"
+#include "snapshot/snapshot.h"
+#include "unfold/unfolded.h"
+
+namespace oodbsec::snapshot {
+
+namespace {
+
+constexpr uint64_t kPackHeaderSize = 32;
+constexpr uint64_t kEntryHeaderSize = 32;   // "OODBSNAP" + 2 u32 + 2 u64
+constexpr uint64_t kRecordHeaderSize = 16;  // key u64 + entry length u64
+constexpr uint64_t kIndexEntrySize = 40;
+constexpr uint64_t kTrailerSize = 32;
+
+uint64_t AlignUp8(uint64_t v) { return (v + 7) & ~uint64_t{7}; }
+
+common::Status PackError(std::string_view path, std::string_view what) {
+  return common::FailedPreconditionError(
+      common::StrCat("pack ", path, ": ", what));
+}
+
+uint64_t LoadU64(const char* p) {
+  uint64_t v;
+  std::memcpy(&v, p, sizeof v);
+  return v;
+}
+
+uint32_t LoadU32(const char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, sizeof v);
+  return v;
+}
+
+// A live record as the in-memory index sees it: the far pointer
+// (segment offset + entry length) plus the header fields Find needs
+// before touching the record bytes.
+struct IndexEntry {
+  uint64_t offset = 0;       // of the record header (the key u64)
+  uint64_t length = 0;       // entry bytes, excl. record header and pad
+  uint64_t fingerprint = 0;  // schema generation stamp
+  uint64_t checksum = 0;     // FNV-1a of the entry payload
+
+  // On-disk footprint of the whole record including header and pad.
+  uint64_t Footprint() const {
+    return AlignUp8(kRecordHeaderSize + length);
+  }
+};
+
+using PackIndex = std::map<uint64_t, IndexEntry>;  // key-sorted
+
+// ---- v3 entry codec ----------------------------------------------------
+
+// Serializes one cache entry into a v3 record: the v2-style header over
+// the packed in-place payload (see packed_store.h for the layout).
+std::string BuildEntryBytes(const schema::Schema& schema,
+                            const core::ClosureOptions& options,
+                            const core::CachedAnalysis& entry) {
+  const std::vector<core::DerivationStep>& steps = entry.closure->steps();
+
+  ByteWriter payload;
+  payload.PutU32(static_cast<uint32_t>(entry.roots.size()));
+  for (const std::string& root : entry.roots) payload.PutString(root);
+  payload.PutString(entry.closure->FactSetDigest());
+
+  // Rule labels dedup into a table; steps reference it by index.
+  std::vector<std::string_view> rules;
+  std::unordered_map<std::string_view, uint32_t> rule_index;
+  for (const core::DerivationStep& step : steps) {
+    if (rule_index.emplace(step.rule, rules.size()).second) {
+      rules.push_back(step.rule);
+    }
+  }
+  payload.PutU32(static_cast<uint32_t>(rules.size()));
+  for (std::string_view rule : rules) payload.PutString(rule);
+
+  uint32_t arena_size = 0;
+  for (const core::DerivationStep& step : steps) {
+    arena_size += step.premise_count;
+  }
+  payload.PutU32(static_cast<uint32_t>(steps.size()));
+  payload.PutU32(arena_size);
+  // The steps offset is payload-relative; records land at 8-aligned
+  // segment offsets and the payload starts 48 bytes in, so padding the
+  // offset to 8 here 8-aligns the step array in the file (and in the
+  // mapping) — the precondition for aliasing it as PackedStep[].
+  uint64_t prefix = payload.buffer().size() + sizeof(uint32_t);
+  uint32_t steps_rel = static_cast<uint32_t>(AlignUp8(prefix));
+  payload.PutU32(steps_rel);
+  payload.PutFixedString(std::string(steps_rel - prefix, '\0'));
+  for (const core::DerivationStep& step : steps) {
+    core::PackedStep packed;
+    packed.a = step.fact.a;
+    packed.b = step.fact.b;
+    packed.origin_num = step.fact.origin.num;
+    packed.rule = rule_index.at(step.rule);
+    packed.premise_offset = step.premise_offset;
+    packed.premise_count = step.premise_count;
+    packed.kind = static_cast<uint8_t>(step.fact.kind);
+    packed.origin_dir = static_cast<uint8_t>(step.fact.origin.dir);
+    payload.PutFixedString(std::string_view(
+        reinterpret_cast<const char*>(&packed), sizeof packed));
+  }
+  // The arena is append-only in step order (Closure::Log), so stored
+  // premise offsets stay valid over the concatenation.
+  for (size_t i = 0; i < steps.size(); ++i) {
+    for (core::FactId premise :
+         entry.closure->premises(static_cast<core::FactId>(i))) {
+      payload.PutI32(premise);
+    }
+  }
+
+  ByteWriter file;
+  file.PutFixedString(kMagic);
+  file.PutU32(kPackedEntryVersion);
+  file.PutU32(kByteOrderMark);
+  file.PutU64(SchemaFingerprint(schema, options));
+  file.PutU64(Fnv1a64(payload.buffer()));
+  return file.Release() + payload.buffer();
+}
+
+// Validates and replays one mapped v3 record. `bytes` aliases the
+// segment mapping; nothing in the returned entry borrows from it (the
+// ReplayView constructor copies). The invalidation ladder mirrors
+// LoadSnapshot: magic/version → byte order → fingerprint → checksum →
+// structural validation → digest equality.
+common::Result<std::shared_ptr<const core::CachedAnalysis>> DecodeEntry(
+    const schema::Schema& schema, const core::ClosureOptions& options,
+    std::string_view label, std::string_view bytes, obs::Observability* obs) {
+  obs::ScopedSpan span(obs != nullptr ? &obs->tracer : nullptr,
+                       "snapshot.load");
+  if (bytes.size() < kEntryHeaderSize ||
+      bytes.substr(0, kMagic.size()) != kMagic) {
+    return PackError(label, "not a snapshot record");
+  }
+  uint32_t version = LoadU32(bytes.data() + 8);
+  uint32_t marker = LoadU32(bytes.data() + 12);
+  if (marker == Bswap32(kByteOrderMark)) {
+    // Unlike directory snapshots, packs alias raw structs out of the
+    // mapping — a foreign-endian record cannot be replayed in place.
+    return PackError(label, "foreign-endian record (packs are machine-local)");
+  }
+  if (marker != kByteOrderMark) {
+    return PackError(label, "corrupt byte-order marker");
+  }
+  if (version != kPackedEntryVersion) {
+    return PackError(label, common::StrCat("record version ", version,
+                                           " (expected ", kPackedEntryVersion,
+                                           ")"));
+  }
+  uint64_t fingerprint = LoadU64(bytes.data() + 16);
+  uint64_t checksum = LoadU64(bytes.data() + 24);
+  if (fingerprint != SchemaFingerprint(schema, options)) {
+    return PackError(label, "schema fingerprint mismatch (stale generation)");
+  }
+  std::string_view payload = bytes.substr(kEntryHeaderSize);
+  if (Fnv1a64(payload) != checksum) {
+    return PackError(label, "payload checksum mismatch (torn or corrupt)");
+  }
+
+  ByteReader reader(payload);
+  std::vector<std::string> roots;
+  uint32_t root_count = reader.GetU32();
+  for (uint32_t i = 0; i < root_count && reader.ok(); ++i) {
+    roots.push_back(reader.GetString());
+  }
+  std::string digest = reader.GetString();
+  std::vector<std::string_view> rules;
+  uint32_t rule_count = reader.GetU32();
+  for (uint32_t i = 0; i < rule_count && reader.ok(); ++i) {
+    rules.push_back(InternRuleLabel(reader.GetString()));
+  }
+  uint32_t step_count = reader.GetU32();
+  uint32_t arena_count = reader.GetU32();
+  uint32_t steps_rel = reader.GetU32();
+  if (!reader.ok()) return PackError(label, "truncated record prefix");
+
+  uint64_t prefix_end = payload.size() - reader.remaining();
+  uint64_t steps_end =
+      steps_rel + uint64_t{step_count} * sizeof(core::PackedStep);
+  uint64_t payload_end = steps_end + uint64_t{arena_count} * sizeof(int32_t);
+  if (steps_rel < prefix_end || payload_end != payload.size()) {
+    return PackError(label, "record geometry out of bounds");
+  }
+  const char* steps_ptr = payload.data() + steps_rel;
+  if (reinterpret_cast<uintptr_t>(steps_ptr) % alignof(core::PackedStep) !=
+      0) {
+    return PackError(label, "misaligned step array");
+  }
+  core::ReplayView view;
+  view.steps = {reinterpret_cast<const core::PackedStep*>(steps_ptr),
+                step_count};
+  view.premise_arena = {
+      reinterpret_cast<const core::FactId*>(payload.data() + steps_end),
+      arena_count};
+  view.rules = rules;
+
+  auto set_or = unfold::UnfoldedSet::Build(schema, roots, obs);
+  if (!set_or.ok()) {
+    return PackError(label, common::StrCat("stale root list: ",
+                                           set_or.status().message()));
+  }
+  std::unique_ptr<unfold::UnfoldedSet> set = std::move(set_or).value();
+
+  // Structural validation: after this the ReplayView constructor's
+  // precondition holds and in-place replay is safe on hostile bytes.
+  const int n = set->node_count();
+  auto valid_id = [n](int id) { return id >= 1 && id <= n; };
+  for (uint32_t i = 0; i < step_count; ++i) {
+    const core::PackedStep& step = view.steps[i];
+    if (step.kind > static_cast<uint8_t>(core::Fact::Kind::kEq)) {
+      return PackError(label, "invalid fact kind");
+    }
+    auto kind = static_cast<core::Fact::Kind>(step.kind);
+    if (!valid_id(step.a)) {
+      return PackError(label, "occurrence id out of range");
+    }
+    if ((kind == core::Fact::Kind::kPiStar ||
+         kind == core::Fact::Kind::kEq) &&
+        !valid_id(step.b)) {
+      return PackError(label, "occurrence id out of range");
+    }
+    if (step.origin_num < 0 || step.origin_num > n) {
+      return PackError(label, "origin occurrence out of range");
+    }
+    if (step.origin_dir != '+' && step.origin_dir != '-') {
+      return PackError(label, "invalid origin direction");
+    }
+    if (step.rule >= rules.size()) {
+      return PackError(label, "rule index out of range");
+    }
+    uint64_t premise_end =
+        uint64_t{step.premise_offset} + step.premise_count;
+    if (premise_end > arena_count) {
+      return PackError(label, "premise range out of arena bounds");
+    }
+    for (uint32_t p = 0; p < step.premise_count; ++p) {
+      core::FactId premise = view.premise_arena[step.premise_offset + p];
+      if (premise < 0 || static_cast<uint32_t>(premise) >= i) {
+        return PackError(label, "premise references a later step");
+      }
+    }
+  }
+
+  auto entry = std::make_shared<core::CachedAnalysis>();
+  entry->roots = roots;
+  entry->sorted_roots = std::move(roots);
+  std::sort(entry->sorted_roots.begin(), entry->sorted_roots.end());
+  entry->sorted_roots.erase(
+      std::unique(entry->sorted_roots.begin(), entry->sorted_roots.end()),
+      entry->sorted_roots.end());
+  entry->closure = std::make_unique<core::Closure>(*set, options, obs, view);
+  entry->set = std::move(set);
+
+  if (entry->closure->FactSetDigest() != digest) {
+    return PackError(label, "fact-set digest mismatch (stale derivation log)");
+  }
+  if (obs != nullptr) {
+    obs->metrics.counter("snapshot.load.facts")
+        ->Increment(entry->closure->fact_count());
+  }
+  return std::shared_ptr<const core::CachedAnalysis>(std::move(entry));
+}
+
+// ---- segment parsing ---------------------------------------------------
+
+// Validates one record header + entry at `offset` of `file`. Fills
+// `out` and returns true when the record is intact (magic, version,
+// byte order, checksum); the scan recovery path stops at the first
+// false.
+bool ParseRecordAt(std::string_view file, uint64_t offset, uint64_t* key_out,
+                   IndexEntry* out) {
+  if (offset + kRecordHeaderSize > file.size()) return false;
+  uint64_t key = LoadU64(file.data() + offset);
+  uint64_t length = LoadU64(file.data() + offset + 8);
+  if (length < kEntryHeaderSize ||
+      length > file.size() - offset - kRecordHeaderSize) {
+    return false;
+  }
+  std::string_view entry = file.substr(offset + kRecordHeaderSize, length);
+  if (entry.substr(0, kMagic.size()) != kMagic) return false;
+  if (LoadU32(entry.data() + 8) != kPackedEntryVersion) return false;
+  if (LoadU32(entry.data() + 12) != kByteOrderMark) return false;
+  uint64_t checksum = LoadU64(entry.data() + 24);
+  if (Fnv1a64(entry.substr(kEntryHeaderSize)) != checksum) return false;
+  *key_out = key;
+  out->offset = offset;
+  out->length = length;
+  out->fingerprint = LoadU64(entry.data() + 16);
+  out->checksum = checksum;
+  return true;
+}
+
+// Rebuilds the index by scanning self-delimiting records from the top,
+// stopping at the first record that fails validation — the recovery
+// path for truncated segments and torn footers. Later records win for
+// a duplicated key (appends supersede).
+void ScanRecords(std::string_view file, PackIndex* index,
+                 uint64_t* records_end) {
+  index->clear();
+  uint64_t offset = kPackHeaderSize;
+  while (true) {
+    uint64_t key = 0;
+    IndexEntry entry;
+    if (!ParseRecordAt(file, offset, &key, &entry)) break;
+    (*index)[key] = entry;
+    offset = AlignUp8(offset + kRecordHeaderSize + entry.length);
+  }
+  *records_end = offset;
+}
+
+// Loads the footer index when the trailer is intact and internally
+// consistent; falls back to the record scan otherwise. Returns whether
+// the trailer was used (informational).
+bool LoadIndex(std::string_view file, PackIndex* index,
+               uint64_t* records_end) {
+  if (file.size() >= kPackHeaderSize + kTrailerSize) {
+    std::string_view trailer = file.substr(file.size() - kTrailerSize);
+    if (trailer.substr(24) == kPackIndexMagic) {
+      uint64_t index_offset = LoadU64(trailer.data());
+      uint64_t count = LoadU64(trailer.data() + 8);
+      uint64_t index_checksum = LoadU64(trailer.data() + 16);
+      uint64_t index_bytes = count * kIndexEntrySize;
+      if (index_offset >= kPackHeaderSize && index_offset % 8 == 0 &&
+          index_offset + index_bytes + kTrailerSize == file.size() &&
+          Fnv1a64(file.substr(index_offset, index_bytes)) == index_checksum) {
+        PackIndex loaded;
+        bool consistent = true;
+        for (uint64_t i = 0; i < count; ++i) {
+          const char* p = file.data() + index_offset + i * kIndexEntrySize;
+          uint64_t key = LoadU64(p);
+          IndexEntry entry;
+          entry.offset = LoadU64(p + 8);
+          entry.length = LoadU64(p + 16);
+          entry.fingerprint = LoadU64(p + 24);
+          entry.checksum = LoadU64(p + 32);
+          // Far pointers must land on an intact record inside the
+          // record region; a stale trailer surviving a torn append is
+          // caught here (or by the checksum above) and falls back.
+          if (entry.offset % 8 != 0 || entry.offset < kPackHeaderSize ||
+              entry.length < kEntryHeaderSize ||
+              entry.offset + kRecordHeaderSize + entry.length >
+                  index_offset ||
+              file.substr(entry.offset + kRecordHeaderSize, kMagic.size()) !=
+                  kMagic) {
+            consistent = false;
+            break;
+          }
+          loaded[key] = entry;
+        }
+        if (consistent) {
+          *index = std::move(loaded);
+          *records_end = index_offset;
+          return true;
+        }
+      }
+    }
+  }
+  ScanRecords(file, index, records_end);
+  return false;
+}
+
+// ---- the store ---------------------------------------------------------
+
+class PackedStore final : public SnapshotStore,
+                          public std::enable_shared_from_this<PackedStore> {
+ public:
+  PackedStore(std::string path, size_t page_cache_capacity)
+      : path_(std::move(path)),
+        page_cache_capacity_(page_cache_capacity == 0 ? 1
+                                                      : page_cache_capacity) {}
+
+  ~PackedStore() override { CloseFile(); }
+
+  // Opens or creates the segment; recovers from torn footers. Called
+  // once by the factory before the store is shared.
+  common::Status OpenFile() {
+    fd_ = ::open(path_.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+    if (fd_ < 0) {
+      return common::InternalError(
+          common::StrCat("pack ", path_, ": cannot open"));
+    }
+    uint64_t size = FileSize();
+    if (size == 0) {
+      ByteWriter header;
+      header.PutFixedString(kPackMagic);
+      header.PutU32(kPackVersion);
+      header.PutU32(kByteOrderMark);
+      header.PutU64(0);  // reserved
+      header.PutU64(0);  // reserved (pads the header to kPackHeaderSize)
+      if (!PwriteAll(header.buffer(), 0)) {
+        return common::InternalError(
+            common::StrCat("pack ", path_, ": cannot write header"));
+      }
+      records_end_ = kPackHeaderSize;
+      common::Status status = WriteFooterLocked();
+      if (!status.ok()) return status;
+      return Remap();
+    }
+    common::Status status = Remap();
+    if (!status.ok()) return status;
+    std::string_view file(map_, map_len_);
+    if (file.size() < kPackHeaderSize ||
+        file.substr(0, kPackMagic.size()) != kPackMagic) {
+      return PackError(path_, "not a pack file");
+    }
+    uint32_t version = LoadU32(file.data() + 8);
+    uint32_t marker = LoadU32(file.data() + 12);
+    if (marker == Bswap32(kByteOrderMark)) {
+      return PackError(path_,
+                       "foreign-endian pack (packs are machine-local; "
+                       "regenerate or migrate on this machine)");
+    }
+    if (marker != kByteOrderMark) {
+      return PackError(path_, "corrupt byte-order marker");
+    }
+    if (version != kPackVersion) {
+      return PackError(path_, common::StrCat("pack version ", version,
+                                             " (expected ", kPackVersion,
+                                             ")"));
+    }
+    LoadIndex(file, &index_, &records_end_);
+    // Rewrite a clean footer: after a recovery this truncates the torn
+    // tail; after a clean open it rewrites identical bytes.
+    status = WriteFooterLocked();
+    if (!status.ok()) return status;
+    return Remap();
+  }
+
+  common::Result<std::shared_ptr<const core::CachedAnalysis>> Find(
+      const schema::Schema& schema, const core::ClosureOptions& options,
+      const std::vector<std::string>& roots, obs::Observability* obs) override {
+    uint64_t fingerprint = SchemaFingerprint(schema, options);
+    uint64_t key = SnapshotKeyHash(options, roots);
+    std::unique_lock<std::mutex> lock(mu_);
+    ++finds_;
+    last_fingerprint_ = fingerprint;
+    has_fingerprint_ = true;
+    auto it = index_.find(key);
+    if (it == index_.end()) {
+      lock.unlock();
+      // Worker overlay: reads fall through to the parent segment.
+      if (base_ != nullptr) return base_->Find(schema, options, roots, obs);
+      return common::NotFoundError(
+          common::StrCat("pack ", path_, ": no record for signature"));
+    }
+    if (it->second.fingerprint != fingerprint) {
+      return PackError(path_, "schema fingerprint mismatch (stale generation)");
+    }
+    if (std::shared_ptr<const core::CachedAnalysis> hot =
+            PageLookupLocked(key, fingerprint, roots)) {
+      ++page_hits_;
+      return hot;
+    }
+    ++page_misses_;
+    auto decoded = DecodeLocked(it->second, schema, options, obs);
+    if (!decoded.ok()) return decoded;
+    if (decoded.value()->roots != roots) {
+      // Keys hash (options, roots); on the vanishingly unlikely
+      // collision the stored root list differs — report a miss.
+      return common::NotFoundError(
+          common::StrCat("pack ", path_, ": signature collision"));
+    }
+    PageInsertLocked(key, fingerprint, decoded.value());
+    return decoded;
+  }
+
+  common::Status Save(const schema::Schema& schema,
+                      const core::ClosureOptions& options,
+                      const core::CachedAnalysis& entry) override {
+    if (entry.closure == nullptr || entry.set == nullptr) {
+      return common::InvalidArgumentError("pack: entry has no closure");
+    }
+    uint64_t key = SnapshotKeyHash(options, entry.roots);
+    std::string bytes = BuildEntryBytes(schema, options, entry);
+    uint64_t fingerprint = LoadU64(bytes.data() + 16);
+    uint64_t checksum = LoadU64(bytes.data() + 24);
+    std::lock_guard<std::mutex> lock(mu_);
+    ++saves_;
+    last_fingerprint_ = fingerprint;
+    has_fingerprint_ = true;
+    auto it = index_.find(key);
+    if (it != index_.end() && it->second.fingerprint == fingerprint &&
+        it->second.checksum == checksum && it->second.length == bytes.size()) {
+      // Identical record already live: warm re-saves (every restarted
+      // fleet run ends with a bulk save) must not grow the segment.
+      return common::Status::Ok();
+    }
+    common::Status status = AppendRawLocked(key, bytes, fingerprint, checksum);
+    if (!status.ok()) return status;
+    status = WriteFooterLocked();
+    if (!status.ok()) return status;
+    return Remap();
+  }
+
+  common::Result<StoreSweepStats> Sweep(uint64_t live_fingerprint) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++sweeps_;
+    last_fingerprint_ = live_fingerprint;
+    has_fingerprint_ = true;
+    StoreSweepStats out;
+    uint64_t live_footprint = kPackHeaderSize;
+    for (const auto& [key, entry] : index_) {
+      if (entry.fingerprint == live_fingerprint) {
+        ++out.records_kept;
+        live_footprint += entry.Footprint();
+      } else {
+        ++out.records_swept;
+      }
+    }
+    // Dead bytes: superseded duplicates not reachable from the index.
+    bool has_dead =
+        SumFootprintLocked() + kPackHeaderSize != records_end_;
+    if (out.records_swept == 0 && !has_dead) return out;  // nothing to do
+
+    // Online compaction: rewrite the live generation into a fresh
+    // segment, key order, and swap it in atomically.
+    uint64_t old_size = FileSize();
+    std::string fresh;
+    fresh.reserve(live_footprint + index_.size() * kIndexEntrySize +
+                  kTrailerSize);
+    {
+      ByteWriter header;
+      header.PutFixedString(kPackMagic);
+      header.PutU32(kPackVersion);
+      header.PutU32(kByteOrderMark);
+      header.PutU64(0);  // reserved
+      header.PutU64(0);  // reserved (pads the header to kPackHeaderSize)
+      fresh = header.Release();
+    }
+    PackIndex compacted;
+    for (const auto& [key, entry] : index_) {
+      if (entry.fingerprint != live_fingerprint) continue;
+      IndexEntry moved = entry;
+      moved.offset = fresh.size();
+      ByteWriter record_header;
+      record_header.PutU64(key);
+      record_header.PutU64(entry.length);
+      fresh += record_header.buffer();
+      fresh.append(map_ + entry.offset + kRecordHeaderSize, entry.length);
+      fresh.resize(AlignUp8(fresh.size()), '\0');
+      compacted[key] = moved;
+    }
+    uint64_t new_records_end = fresh.size();
+    ByteWriter index_writer;
+    for (const auto& [key, entry] : compacted) {
+      index_writer.PutU64(key);
+      index_writer.PutU64(entry.offset);
+      index_writer.PutU64(entry.length);
+      index_writer.PutU64(entry.fingerprint);
+      index_writer.PutU64(entry.checksum);
+    }
+    ByteWriter trailer;
+    trailer.PutU64(new_records_end);
+    trailer.PutU64(compacted.size());
+    trailer.PutU64(Fnv1a64(index_writer.buffer()));
+    trailer.PutFixedString(kPackIndexMagic);
+    fresh += index_writer.buffer();
+    fresh += trailer.buffer();
+
+    std::string tmp = common::StrCat(path_, ".compact.tmp.", ::getpid());
+    {
+      int tmp_fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+      if (tmp_fd < 0) {
+        return common::InternalError(
+            common::StrCat("pack ", path_, ": cannot open compaction temp"));
+      }
+      size_t written = 0;
+      while (written < fresh.size()) {
+        ssize_t n = ::write(tmp_fd, fresh.data() + written,
+                            fresh.size() - written);
+        if (n <= 0) {
+          ::close(tmp_fd);
+          ::unlink(tmp.c_str());
+          return common::InternalError(
+              common::StrCat("pack ", path_, ": compaction write failed"));
+        }
+        written += static_cast<size_t>(n);
+      }
+      ::fsync(tmp_fd);
+      ::close(tmp_fd);
+    }
+    std::error_code ec;
+    std::filesystem::rename(tmp, path_, ec);
+    if (ec) {
+      std::filesystem::remove(tmp, ec);
+      return common::InternalError(
+          common::StrCat("pack ", path_, ": compaction rename failed"));
+    }
+    CloseFile();
+    fd_ = ::open(path_.c_str(), O_RDWR | O_CLOEXEC);
+    if (fd_ < 0) {
+      return common::InternalError(
+          common::StrCat("pack ", path_, ": cannot reopen after compaction"));
+    }
+    index_ = std::move(compacted);
+    records_end_ = new_records_end;
+    common::Status status = Remap();
+    if (!status.ok()) return status;
+    out.bytes_reclaimed = old_size - fresh.size();
+    // Swept generations also leave the page cache.
+    for (auto it = pages_.begin(); it != pages_.end();) {
+      if (it->second.fingerprint != live_fingerprint) {
+        page_lru_.erase(it->second.lru_it);
+        it = pages_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    return out;
+  }
+
+  StoreStats Stats() const override {
+    std::lock_guard<std::mutex> lock(mu_);
+    StoreStats stats;
+    stats.description = common::StrCat("packed:", path_);
+    stats.entries = index_.size();
+    stats.file_bytes = FileSize();
+    uint64_t indexed = 0;
+    for (const auto& [key, entry] : index_) {
+      indexed += entry.Footprint();
+      if (!has_fingerprint_ || entry.fingerprint == last_fingerprint_) {
+        stats.live_bytes += entry.Footprint();
+      }
+    }
+    // Stale = dead record bytes (superseded appends) plus live-index
+    // records from a swept-out generation.
+    stats.stale_bytes =
+        (records_end_ - kPackHeaderSize - indexed) +
+        (indexed - stats.live_bytes);
+    stats.finds = finds_;
+    stats.saves = saves_;
+    stats.sweeps = sweeps_;
+    stats.page_cache_hits = page_hits_;
+    stats.page_cache_misses = page_misses_;
+    stats.page_cache_evictions = page_evictions_;
+    return stats;
+  }
+
+  std::vector<std::shared_ptr<const core::CachedAnalysis>> LoadAll(
+      const schema::Schema& schema, const core::ClosureOptions& options,
+      size_t limit, size_t* invalid, obs::Observability* obs) override {
+    uint64_t fingerprint = SchemaFingerprint(schema, options);
+    std::vector<std::shared_ptr<const core::CachedAnalysis>> entries;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      last_fingerprint_ = fingerprint;
+      has_fingerprint_ = true;
+      for (const auto& [key, meta] : index_) {  // key order: deterministic
+        if (entries.size() >= limit) break;
+        if (meta.fingerprint != fingerprint) {
+          if (invalid != nullptr) ++*invalid;
+          continue;
+        }
+        auto decoded = DecodeLocked(meta, schema, options, obs);
+        if (!decoded.ok()) {
+          if (invalid != nullptr) ++*invalid;
+          continue;
+        }
+        PageInsertLocked(key, fingerprint, decoded.value());
+        entries.push_back(std::move(decoded).value());
+      }
+    }
+    if (base_ != nullptr && entries.size() < limit) {
+      // Worker overlay: surface the parent's entries too, own side
+      // segment winning on a shared signature.
+      std::vector<std::shared_ptr<const core::CachedAnalysis>> below =
+          base_->LoadAll(schema, options, limit - entries.size(), invalid,
+                         obs);
+      std::lock_guard<std::mutex> lock(mu_);
+      for (auto& entry : below) {
+        if (index_.count(SnapshotKeyHash(options, entry->roots)) != 0) {
+          continue;
+        }
+        entries.push_back(std::move(entry));
+      }
+    }
+    return entries;
+  }
+
+  common::Result<std::shared_ptr<SnapshotStore>> ForkWorker(
+      int worker_id) override {
+    std::string side_path = common::StrCat(path_, ".worker.", worker_id);
+    // A side segment surviving a killed fleet belongs to a dead worker;
+    // its records were either merged or are stale. Start clean.
+    std::error_code ec;
+    std::filesystem::remove(side_path, ec);
+    auto side = std::make_shared<PackedStore>(std::move(side_path),
+                                              page_cache_capacity_);
+    common::Status status = side->OpenFile();
+    if (!status.ok()) return status;
+    side->base_ = shared_from_this();
+    return std::shared_ptr<SnapshotStore>(std::move(side));
+  }
+
+  common::Status MergeWorkers() override {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::filesystem::path self(path_);
+    std::filesystem::path dir = self.parent_path();
+    if (dir.empty()) dir = ".";
+    std::string prefix = self.filename().string() + ".worker.";
+    std::vector<std::pair<long, std::string>> sides;
+    std::error_code ec;
+    for (const auto& dirent : std::filesystem::directory_iterator(dir, ec)) {
+      std::string name = dirent.path().filename().string();
+      if (name.size() <= prefix.size() ||
+          name.compare(0, prefix.size(), prefix) != 0) {
+        continue;
+      }
+      std::string suffix = name.substr(prefix.size());
+      if (suffix.find_first_not_of("0123456789") != std::string::npos) {
+        continue;  // tmp files and other debris
+      }
+      sides.emplace_back(std::stol(suffix), dirent.path().string());
+    }
+    if (sides.empty()) return common::Status::Ok();
+    std::sort(sides.begin(), sides.end());  // worker order: deterministic
+
+    common::Status first_error;
+    bool appended = false;
+    for (const auto& [worker_id, side_path] : sides) {
+      std::string file;
+      {
+        std::ifstream in(side_path, std::ios::binary);
+        if (!in) {
+          if (first_error.ok()) {
+            first_error = common::InternalError(
+                common::StrCat("pack ", side_path, ": cannot read"));
+          }
+          continue;
+        }
+        file.assign(std::istreambuf_iterator<char>(in),
+                    std::istreambuf_iterator<char>());
+      }
+      if (file.size() < kPackHeaderSize ||
+          std::string_view(file).substr(0, kPackMagic.size()) != kPackMagic ||
+          LoadU32(file.data() + 8) != kPackVersion ||
+          LoadU32(file.data() + 12) != kByteOrderMark) {
+        if (first_error.ok()) {
+          first_error = PackError(side_path, "not a pack segment");
+        }
+        continue;
+      }
+      // Salvage whatever validates, even from a worker killed mid-save.
+      PackIndex side_index;
+      uint64_t side_end = 0;
+      LoadIndex(file, &side_index, &side_end);
+      common::Status fold = common::Status::Ok();
+      for (const auto& [key, meta] : side_index) {
+        auto it = index_.find(key);
+        if (it != index_.end() && it->second.fingerprint == meta.fingerprint &&
+            it->second.checksum == meta.checksum &&
+            it->second.length == meta.length) {
+          continue;  // already live — identical bytes by checksum
+        }
+        std::string_view bytes = std::string_view(file).substr(
+            meta.offset + kRecordHeaderSize, meta.length);
+        fold = AppendRawLocked(key, bytes, meta.fingerprint, meta.checksum);
+        if (!fold.ok()) break;
+        appended = true;
+      }
+      if (!fold.ok()) {
+        if (first_error.ok()) first_error = fold;
+        continue;  // leave the side segment for inspection
+      }
+      std::filesystem::remove(side_path, ec);
+    }
+    if (appended || first_error.ok()) {
+      common::Status status = WriteFooterLocked();
+      if (status.ok()) status = Remap();
+      if (!status.ok() && first_error.ok()) first_error = status;
+    }
+    return first_error;
+  }
+
+ private:
+  struct PageSlot {
+    uint64_t fingerprint = 0;
+    std::shared_ptr<const core::CachedAnalysis> entry;
+    std::list<uint64_t>::iterator lru_it;
+  };
+
+  uint64_t FileSize() const {
+    struct stat st;
+    if (::fstat(fd_, &st) != 0) return 0;
+    return static_cast<uint64_t>(st.st_size);
+  }
+
+  bool PwriteAll(std::string_view bytes, uint64_t offset) {
+    size_t written = 0;
+    while (written < bytes.size()) {
+      ssize_t n = ::pwrite(fd_, bytes.data() + written,
+                           bytes.size() - written,
+                           static_cast<off_t>(offset + written));
+      if (n <= 0) return false;
+      written += static_cast<size_t>(n);
+    }
+    return true;
+  }
+
+  void CloseFile() {
+    if (map_ != nullptr) {
+      ::munmap(map_, map_len_);
+      map_ = nullptr;
+      map_len_ = 0;
+    }
+    if (fd_ >= 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+
+  common::Status Remap() {
+    if (map_ != nullptr) {
+      ::munmap(map_, map_len_);
+      map_ = nullptr;
+      map_len_ = 0;
+    }
+    uint64_t size = FileSize();
+    if (size == 0) return common::Status::Ok();
+    void* mapped =
+        ::mmap(nullptr, size, PROT_READ, MAP_SHARED, fd_, /*offset=*/0);
+    if (mapped == MAP_FAILED) {
+      return common::InternalError(
+          common::StrCat("pack ", path_, ": mmap failed"));
+    }
+    map_ = static_cast<char*>(mapped);
+    map_len_ = size;
+    return common::Status::Ok();
+  }
+
+  // Appends one record at records_end_ (overwriting the old footer);
+  // the caller rewrites the footer and remaps afterwards. Record
+  // first, footer second: a torn append loses only this record.
+  common::Status AppendRawLocked(uint64_t key, std::string_view entry_bytes,
+                                 uint64_t fingerprint, uint64_t checksum) {
+    uint64_t offset = records_end_;
+    uint64_t footprint = AlignUp8(kRecordHeaderSize + entry_bytes.size());
+    std::string record(footprint, '\0');
+    uint64_t length = entry_bytes.size();
+    std::memcpy(record.data(), &key, sizeof key);
+    std::memcpy(record.data() + 8, &length, sizeof length);
+    std::memcpy(record.data() + kRecordHeaderSize, entry_bytes.data(),
+                entry_bytes.size());
+    if (!PwriteAll(record, offset)) {
+      return common::InternalError(
+          common::StrCat("pack ", path_, ": append failed"));
+    }
+    records_end_ = offset + footprint;
+    index_[key] = IndexEntry{offset, length, fingerprint, checksum};
+    return common::Status::Ok();
+  }
+
+  common::Status WriteFooterLocked() {
+    ByteWriter index_writer;
+    for (const auto& [key, entry] : index_) {
+      index_writer.PutU64(key);
+      index_writer.PutU64(entry.offset);
+      index_writer.PutU64(entry.length);
+      index_writer.PutU64(entry.fingerprint);
+      index_writer.PutU64(entry.checksum);
+    }
+    ByteWriter trailer;
+    trailer.PutU64(records_end_);
+    trailer.PutU64(index_.size());
+    trailer.PutU64(Fnv1a64(index_writer.buffer()));
+    trailer.PutFixedString(kPackIndexMagic);
+    std::string footer = index_writer.Release() + trailer.buffer();
+    if (!PwriteAll(footer, records_end_)) {
+      return common::InternalError(
+          common::StrCat("pack ", path_, ": footer write failed"));
+    }
+    // Drop stale tail bytes (an older, larger footer) so the trailer
+    // is exactly at EOF, where LoadIndex looks for it.
+    if (::ftruncate(fd_, static_cast<off_t>(records_end_ + footer.size())) !=
+        0) {
+      return common::InternalError(
+          common::StrCat("pack ", path_, ": truncate failed"));
+    }
+    return common::Status::Ok();
+  }
+
+  uint64_t SumFootprintLocked() const {
+    uint64_t sum = 0;
+    for (const auto& [key, entry] : index_) sum += entry.Footprint();
+    return sum;
+  }
+
+  common::Result<std::shared_ptr<const core::CachedAnalysis>> DecodeLocked(
+      const IndexEntry& meta, const schema::Schema& schema,
+      const core::ClosureOptions& options, obs::Observability* obs) {
+    if (meta.offset + kRecordHeaderSize + meta.length > map_len_) {
+      return common::InternalError(
+          common::StrCat("pack ", path_, ": mapping out of date"));
+    }
+    std::string_view bytes(map_ + meta.offset + kRecordHeaderSize,
+                           meta.length);
+    return DecodeEntry(schema, options, path_, bytes, obs);
+  }
+
+  std::shared_ptr<const core::CachedAnalysis> PageLookupLocked(
+      uint64_t key, uint64_t fingerprint,
+      const std::vector<std::string>& roots) {
+    auto it = pages_.find(key);
+    if (it == pages_.end()) return nullptr;
+    if (it->second.fingerprint != fingerprint ||
+        it->second.entry->roots != roots) {
+      return nullptr;  // stale generation or key collision: re-decode
+    }
+    page_lru_.splice(page_lru_.begin(), page_lru_, it->second.lru_it);
+    return it->second.entry;
+  }
+
+  void PageInsertLocked(uint64_t key, uint64_t fingerprint,
+                        std::shared_ptr<const core::CachedAnalysis> entry) {
+    auto it = pages_.find(key);
+    if (it != pages_.end()) {
+      it->second.fingerprint = fingerprint;
+      it->second.entry = std::move(entry);
+      page_lru_.splice(page_lru_.begin(), page_lru_, it->second.lru_it);
+      return;
+    }
+    if (pages_.size() >= page_cache_capacity_) {
+      ++page_evictions_;
+      pages_.erase(page_lru_.back());
+      page_lru_.pop_back();
+    }
+    page_lru_.push_front(key);
+    pages_.emplace(key,
+                   PageSlot{fingerprint, std::move(entry), page_lru_.begin()});
+  }
+
+  const std::string path_;
+  const size_t page_cache_capacity_;
+  // Worker overlay: non-null on stores returned by ForkWorker; Find
+  // and LoadAll fall through to it on a local miss.
+  std::shared_ptr<SnapshotStore> base_;
+
+  mutable std::mutex mu_;
+  int fd_ = -1;
+  char* map_ = nullptr;
+  size_t map_len_ = 0;
+  uint64_t records_end_ = kPackHeaderSize;
+  PackIndex index_;
+
+  // Decoded-closure LRU ("page cache"), keyed by signature.
+  std::unordered_map<uint64_t, PageSlot> pages_;
+  std::list<uint64_t> page_lru_;  // most recent at the front
+
+  uint64_t finds_ = 0;
+  uint64_t saves_ = 0;
+  uint64_t sweeps_ = 0;
+  uint64_t page_hits_ = 0;
+  uint64_t page_misses_ = 0;
+  uint64_t page_evictions_ = 0;
+  // The generation Stats splits live/stale against: the fingerprint of
+  // the last (schema, options) this store served.
+  uint64_t last_fingerprint_ = 0;
+  bool has_fingerprint_ = false;
+};
+
+}  // namespace
+
+common::Result<std::shared_ptr<SnapshotStore>> OpenPackedStore(
+    std::string path, size_t page_cache_capacity) {
+  auto store =
+      std::make_shared<PackedStore>(std::move(path), page_cache_capacity);
+  common::Status status = store->OpenFile();
+  if (!status.ok()) return status;
+  return std::shared_ptr<SnapshotStore>(std::move(store));
+}
+
+common::Result<MigrateStats> MigrateDirectoryToPack(
+    const schema::Schema& schema, const core::ClosureOptions& options,
+    const std::string& dir, const std::string& pack_path,
+    obs::Observability* obs) {
+  std::shared_ptr<SnapshotStore> source = OpenDirectoryStore(dir);
+  OODBSEC_ASSIGN_OR_RETURN(std::shared_ptr<SnapshotStore> pack,
+                           OpenPackedStore(pack_path));
+  MigrateStats stats;
+  std::vector<std::shared_ptr<const core::CachedAnalysis>> entries =
+      source->LoadAll(schema, options, /*limit=*/SIZE_MAX, &stats.invalid,
+                      obs);
+  for (const auto& entry : entries) {
+    common::Status status = pack->Save(schema, options, *entry);
+    if (!status.ok()) return status;
+    // Read the migrated record back and hold it to the directory copy:
+    // digest equality per entry, or the migration fails.
+    auto back = pack->Find(schema, options, entry->roots, obs);
+    if (!back.ok()) return back.status();
+    if (back.value()->closure->FactSetDigest() !=
+        entry->closure->FactSetDigest()) {
+      return common::InternalError(
+          common::StrCat("pack ", pack_path,
+                         ": migrated record digest diverges from ", dir));
+    }
+    ++stats.migrated;
+  }
+  return stats;
+}
+
+}  // namespace oodbsec::snapshot

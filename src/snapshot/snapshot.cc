@@ -84,16 +84,22 @@ uint64_t SchemaFingerprint(const schema::Schema& schema,
   return hash;
 }
 
-std::string SnapshotFileName(const core::ClosureOptions& options,
-                             const std::vector<std::string>& roots) {
+uint64_t SnapshotKeyHash(const core::ClosureOptions& options,
+                         const std::vector<std::string>& roots) {
   uint64_t hash = Fnv1a64(OptionBits(options));
   for (const std::string& root : roots) {
     hash = Fnv1a64("|", hash);
     hash = Fnv1a64(root, hash);
   }
+  return hash;
+}
+
+std::string SnapshotFileName(const core::ClosureOptions& options,
+                             const std::vector<std::string>& roots) {
   char name[32];
   std::snprintf(name, sizeof name, "%016llx.snap",
-                static_cast<unsigned long long>(hash));
+                static_cast<unsigned long long>(SnapshotKeyHash(options,
+                                                                roots)));
   return name;
 }
 
@@ -208,30 +214,36 @@ common::Result<std::shared_ptr<const core::CachedAnalysis>> LoadSnapshot(
                                                   kHeaderSize - kMagic.size()));
   uint32_t version = header.GetU32();
   uint32_t byte_order = header.GetU32();
+  // The marker decides how to read everything else — including the
+  // version field already consumed raw above — so it is interpreted
+  // first. A swapped marker arms foreign-endian decoding; anything that
+  // is neither spelling is corruption, diagnosed as such.
+  bool foreign = byte_order == Bswap32(kByteOrderMark);
+  if (!foreign && byte_order != kByteOrderMark) {
+    return Invalid(path, "corrupt byte-order marker");
+  }
+  header.set_byte_swap(foreign);
+  if (foreign) version = Bswap32(version);
   uint64_t fingerprint = header.GetU64();
   uint64_t checksum = header.GetU64();
   if (version != kFormatVersion) {
     return Invalid(path, common::StrCat("format version ", version,
                                         " (expected ", kFormatVersion, ")"));
   }
-  // Checked before the checksum: a foreign-endian file's checksum field
-  // is itself byte-swapped, and this message says *why* instead of
-  // "corrupt".
-  if (byte_order != kByteOrderMark) {
-    return Invalid(path,
-                   "byte-order mismatch (snapshot written on a machine of "
-                   "different endianness)");
-  }
   if (fingerprint != SchemaFingerprint(schema, options)) {
     return Invalid(path, "schema fingerprint mismatch (schema or options "
                          "changed since save)");
   }
+  // The checksum is FNV over the writer's raw payload bytes — the same
+  // bytes we hold, whatever their endianness — so a foreign file only
+  // needed its stored checksum field swapped (done by GetU64 above).
   std::string_view payload = std::string_view(data).substr(kHeaderSize);
   if (Fnv1a64(payload) != checksum) {
     return Invalid(path, "payload checksum mismatch (truncated or corrupt)");
   }
 
   ByteReader reader(payload);
+  reader.set_byte_swap(foreign);
   std::vector<std::string> roots;
   uint32_t root_count = reader.GetU32();
   for (uint32_t i = 0; i < root_count && reader.ok(); ++i) {

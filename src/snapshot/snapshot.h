@@ -11,14 +11,16 @@
 // fixpoint. This is what turns a nightly-audit restart from a cold
 // population-wide fixpoint into file reads.
 //
-// File layout (versioned, checksummed; all integers host-endian). The
-// header carries an explicit byte-order marker — a u32 written as
-// 0x01020304 by the saver — so a snapshot read on a machine of the
-// opposite endianness is *detected* and rejected (fall back to a cold
-// build) rather than misparsed. Cross-endian snapshots are refused, not
-// translated: the tier is a same-machine cache today, and the marker is
-// the forward-compatibility hook a future networked snapshot store
-// needs (see ROADMAP).
+// File layout (versioned, checksummed; all integers written
+// host-endian). The header carries an explicit byte-order marker — a
+// u32 written as 0x01020304 by the saver — so a snapshot read on a
+// machine of the opposite endianness is *detected*: the loader arms
+// ByteReader::set_byte_swap and decodes the file anyway (every
+// multi-byte integer, including the header's fingerprint and checksum,
+// is byte-swapped on read). A marker that matches neither the native
+// nor the swapped spelling means corruption and is refused with a
+// specific diagnosis. This is what lets a heterogeneous fleet share a
+// networked snapshot tier (see ROADMAP).
 //
 //   header   "OODBSNAP" | format version u32 | byte-order marker u32
 //            | schema fingerprint u64 | payload checksum u64 (FNV-1a)
@@ -33,8 +35,9 @@
 // Invalidation is fail-safe, never fail-wrong. A load refuses (and the
 // caller falls back to a cold build) when ANY of these trips:
 //   * magic/version mismatch — format evolved;
-//   * byte-order marker mismatch — saved on a machine of the opposite
-//     endianness (every multi-byte field would be byte-swapped);
+//   * corrupt byte-order marker — neither the native nor the swapped
+//     spelling of 0x01020304 (a recognized swapped marker decodes
+//     instead, see above);
 //   * schema fingerprint mismatch — any class, attribute, function
 //     body, constraint, or closure option changed since the save;
 //   * checksum mismatch or truncation — torn/corrupted file;
@@ -72,9 +75,17 @@ inline constexpr uint32_t kFormatVersion = 2;
 inline constexpr std::string_view kMagic = "OODBSNAP";
 
 // Written host-endian after the version; reads back as 0x04030201 on a
-// machine of the opposite endianness, which LoadSnapshot rejects. The
-// value is asymmetric under byte swap on purpose.
+// machine of the opposite endianness, which arms byte-swapped decoding
+// in LoadSnapshot. The value is asymmetric under byte swap on purpose.
 inline constexpr uint32_t kByteOrderMark = 0x01020304;
+
+// The capability-signature key a snapshot of `roots` is stored under:
+// FNV-1a over (options bits, root list). This is the identity shared by
+// the directory tier (hex file names, SnapshotFileName) and the packed
+// store's on-disk index. Collisions are tolerated — both tiers store
+// the root list and re-check it against the request.
+uint64_t SnapshotKeyHash(const core::ClosureOptions& options,
+                         const std::vector<std::string>& roots);
 
 // Copies `label` into a never-freed process-wide pool and returns a
 // view with effectively static storage. Idempotent; thread-safe. The

@@ -1,0 +1,130 @@
+// SnapshotStore: the persistence API behind the L2 closure-cache tier.
+//
+// Before this interface every layer (SessionOptions, ServiceOptions,
+// ShardOptions, ClosureCache) plumbed a raw `snapshot_dir` string and
+// the cache composed file paths inline. The store abstracts the four
+// operations the cache actually needs — probe by capability signature,
+// persist an entry, sweep stale generations, report stats — so the
+// same call sites drive either backend:
+//
+//   * DirectoryStore — one versioned, checksummed file per capability
+//     signature (the PR-4 layout, src/snapshot/snapshot.h). Kept for
+//     migration and debugging: files are individually inspectable and
+//     trivially rsync-able.
+//   * PackedStore — a single packed segment with an on-disk index,
+//     an LRU page cache, and mmap in-place replay
+//     (src/snapshot/packed_store.h). The production default.
+//
+// A store is shared: one object serves the session's recheck cache,
+// the service's closure cache, and every sharded worker (ForkWorker /
+// MergeWorkers give multi-process stores a fork-safe protocol).
+// Thread-safety: Find/Save/Sweep/Stats may be called from any thread;
+// implementations synchronize internally. ForkWorker/MergeWorkers
+// follow the sharded-audit fork discipline (see shard.h): ForkWorker
+// is called in the freshly forked child, MergeWorkers in the
+// coordinator after every worker exited.
+#ifndef OODBSEC_SNAPSHOT_SNAPSHOT_STORE_H_
+#define OODBSEC_SNAPSHOT_SNAPSHOT_STORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "core/closure_cache.h"
+#include "obs/obs.h"
+#include "schema/schema.h"
+
+namespace oodbsec::snapshot {
+
+// Value snapshot of a store's state and lifetime counters. Byte sizes
+// are as-on-disk; the stale split is relative to the schema
+// fingerprint the store last observed in a Save/Find/Sweep (stores are
+// generation-stamped by fingerprint, not by wall clock).
+struct StoreStats {
+  std::string description;  // e.g. "packed:/var/oodb/cache.pack"
+  uint64_t entries = 0;     // live records
+  uint64_t file_bytes = 0;  // total on-disk footprint
+  uint64_t live_bytes = 0;  // record bytes in the observed generation
+  uint64_t stale_bytes = 0; // record bytes a Sweep would reclaim
+  // Lifetime operation counters (this store object, not the file).
+  uint64_t finds = 0;
+  uint64_t saves = 0;
+  uint64_t sweeps = 0;
+  // Page-cache accounting; all zero for stores without one.
+  uint64_t page_cache_hits = 0;
+  uint64_t page_cache_misses = 0;
+  uint64_t page_cache_evictions = 0;
+};
+
+// What one retention sweep did.
+struct StoreSweepStats {
+  uint64_t records_kept = 0;
+  uint64_t records_swept = 0;
+  uint64_t bytes_reclaimed = 0;  // on-disk footprint shrink
+};
+
+class SnapshotStore {
+ public:
+  virtual ~SnapshotStore() = default;
+
+  // Probes the store for a closure over `roots` built under
+  // (schema, options). Returns the replayed, digest-verified entry;
+  // kNotFound when no record exists for the signature (an L2 miss);
+  // kFailedPrecondition when a record exists but failed validation
+  // (stale fingerprint, checksum, structural or digest mismatch — the
+  // message says which). Never crashes on hostile bytes.
+  virtual common::Result<std::shared_ptr<const core::CachedAnalysis>> Find(
+      const schema::Schema& schema, const core::ClosureOptions& options,
+      const std::vector<std::string>& roots,
+      obs::Observability* obs = nullptr) = 0;
+
+  // Persists `entry` (built under (schema, options)) durably and
+  // atomically; concurrent savers of the same signature race benignly.
+  virtual common::Status Save(const schema::Schema& schema,
+                              const core::ClosureOptions& options,
+                              const core::CachedAnalysis& entry) = 0;
+
+  // Retention sweep: drops every record whose schema fingerprint
+  // differs from `live_fingerprint` (see SchemaFingerprint) and
+  // reclaims its bytes. Packed stores compact online: live records are
+  // rewritten into a fresh segment swapped in atomically.
+  virtual common::Result<StoreSweepStats> Sweep(uint64_t live_fingerprint) = 0;
+
+  virtual StoreStats Stats() const = 0;
+
+  // Bulk warm start: loads up to `limit` valid entries, in a
+  // deterministic order, replaying each. Records that fail validation
+  // are skipped and counted into *invalid (when non-null).
+  virtual std::vector<std::shared_ptr<const core::CachedAnalysis>> LoadAll(
+      const schema::Schema& schema, const core::ClosureOptions& options,
+      size_t limit, size_t* invalid = nullptr,
+      obs::Observability* obs = nullptr) = 0;
+
+  // Multi-process protocol for the sharded audit. ForkWorker is called
+  // in a freshly forked worker and returns the store that worker should
+  // use: reads see everything the parent store held at fork time,
+  // writes go to a private side location that never races siblings.
+  // MergeWorkers is called by the coordinator after all workers exited
+  // and folds their side writes back into this store.
+  virtual common::Result<std::shared_ptr<SnapshotStore>> ForkWorker(
+      int worker_id) = 0;
+  virtual common::Status MergeWorkers() { return common::Status::Ok(); }
+};
+
+// A store over the one-file-per-signature directory layout. Never
+// fails to open: the directory is created on first Save, and a missing
+// directory reads as empty.
+std::shared_ptr<SnapshotStore> OpenDirectoryStore(std::string dir);
+
+// The migration shim behind the deprecated `snapshot_dir` options
+// fields: `store` when set, else a DirectoryStore over `deprecated_dir`
+// when non-empty, else nullptr (persistence disabled).
+std::shared_ptr<SnapshotStore> ResolveStore(
+    std::shared_ptr<SnapshotStore> store, const std::string& deprecated_dir);
+
+}  // namespace oodbsec::snapshot
+
+#endif  // OODBSEC_SNAPSHOT_SNAPSHOT_STORE_H_

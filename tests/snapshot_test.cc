@@ -21,6 +21,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <memory>
@@ -478,16 +479,86 @@ TEST_F(SnapshotRobustnessTest, WrongSchemaFingerprintBytes) {
   ExpectCountedFallback();
 }
 
-TEST_F(SnapshotRobustnessTest, ByteOrderMarkerMismatch) {
-  // Simulate a snapshot written on a machine of the opposite endianness:
-  // every multi-byte field would arrive byte-swapped, and the marker —
-  // 0x01020304, asymmetric under byte swap — is the field that makes
-  // the condition *detectable* before the (itself byte-swapped)
-  // checksum turns it into a generic "corrupt file". Reversing the
-  // marker's four bytes in place is the minimal forgery: the checksum
-  // only covers the payload, so nothing else trips first.
+// Rewrites a native snapshot as the byte-identical twin a machine of
+// the opposite endianness would have written: every multi-byte integer
+// field — header and payload, walked structure-aware — is reversed in
+// place, string bytes stay untouched, and the checksum is recomputed
+// over the new payload bytes and stored swapped (a foreign writer
+// checksums *its* payload bytes and stores the u64 in *its* order).
+std::string SwapSnapshotEndianness(const std::string& bytes) {
+  std::string out = bytes;
+  size_t pos = 8;  // past "OODBSNAP"
+  auto swap32 = [&out](size_t off) {
+    std::reverse(out.begin() + static_cast<ptrdiff_t>(off),
+                 out.begin() + static_cast<ptrdiff_t>(off + 4));
+  };
+  auto swap64 = [&out](size_t off) {
+    std::reverse(out.begin() + static_cast<ptrdiff_t>(off),
+                 out.begin() + static_cast<ptrdiff_t>(off + 8));
+  };
+  // Field values must be read *before* their bytes are reversed.
+  auto u32_at = [&out](size_t off) {
+    uint32_t v = 0;
+    std::memcpy(&v, out.data() + off, sizeof v);
+    return v;
+  };
+  swap32(pos), pos += 4;  // version
+  swap32(pos), pos += 4;  // byte-order marker
+  swap64(pos), pos += 8;  // schema fingerprint
+  const size_t checksum_at = pos;
+  pos += 8;  // checksum: rewritten below over the swapped payload
+  const size_t payload_start = pos;
+  auto swap_count = [&]() {
+    uint32_t count = u32_at(pos);
+    swap32(pos), pos += 4;
+    return count;
+  };
+  auto swap_string = [&]() { pos += swap_count(); };
+  for (uint32_t n = swap_count(); n > 0; --n) swap_string();  // roots
+  swap_string();                                              // digest
+  for (uint32_t n = swap_count(); n > 0; --n) swap_string();  // rules
+  for (uint32_t n = swap_count(); n > 0; --n) {               // steps
+    pos += 1;               // kind u8
+    swap32(pos), pos += 4;  // a
+    swap32(pos), pos += 4;  // b
+    swap32(pos), pos += 4;  // origin.num
+    pos += 1;               // origin.dir u8
+    swap32(pos), pos += 4;  // rule index
+    swap32(pos), pos += 4;  // premise offset
+    swap32(pos), pos += 4;  // premise count
+  }
+  for (uint32_t n = swap_count(); n > 0; --n) {  // premise arena
+    swap32(pos), pos += 4;
+  }
+  EXPECT_EQ(pos, out.size());
+  uint64_t checksum = snapshot::Bswap64(
+      snapshot::Fnv1a64(std::string_view(out).substr(payload_start)));
+  std::memcpy(out.data() + checksum_at, &checksum, sizeof checksum);
+  return out;
+}
+
+TEST_F(SnapshotRobustnessTest, ForeignEndianSnapshotDecodesBySwapping) {
+  // A snapshot written on a machine of the opposite endianness is not
+  // corruption: the mirrored marker arms the reader's swap-decode and
+  // the full ladder (fingerprint, checksum, structure, digest) runs on
+  // the decoded values. The replayed closure is byte-identical to the
+  // native one.
+  WriteFileBytes(path_, SwapSnapshotEndianness(ReadFileBytes(path_)));
+  auto load = snapshot::LoadSnapshot(*schema_, options_, path_);
+  ASSERT_TRUE(load.ok()) << load.status();
+  EXPECT_EQ(load.value()->roots, kFullRoots);
+  EXPECT_EQ(load.value()->closure->FactSetDigest(), reference_digest_);
+  ClosureCache cache(*schema_, options_, 64, nullptr, dir_);
+  EXPECT_NE(cache.FindSnapshot(kFullRoots), nullptr);
+  EXPECT_EQ(cache.stats().snapshot_hits, 1u);
+  EXPECT_EQ(cache.stats().snapshot_invalid, 0u);
+}
+
+TEST_F(SnapshotRobustnessTest, CorruptByteOrderMarkerIsRefused) {
+  // A marker that is neither the native constant nor its mirror is
+  // corruption, not foreignness — refused before any payload decode.
   std::string bytes = ReadFileBytes(path_);
-  std::reverse(bytes.begin() + 12, bytes.begin() + 16);  // u32 at 12..15
+  bytes[12] ^= 0x40;  // u32 marker lives at bytes 12..15
   WriteFileBytes(path_, bytes);
   auto load = snapshot::LoadSnapshot(*schema_, options_, path_);
   ASSERT_FALSE(load.ok());

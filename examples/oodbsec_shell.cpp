@@ -29,6 +29,10 @@
 //   trace dump [file]          render spans + metrics (file: JSON lines)
 //   query <user> <select ...>  run a query as <user>
 //   guard <user> <select ...>  run it under the dynamic session guard
+//   guard stats                serving-path tier counters
+//   guard sessions             open sessions (committed/checked sets)
+//   guard save                 persist guard closures to the store
+//   guard load                 warm the guard cache from the store
 //   quit
 #include <unistd.h>
 
@@ -61,9 +65,9 @@ class Shell {
   explicit Shell(text::Workspace workspace)
       : workspace_(std::move(workspace)),
         session_(std::make_unique<core::AnalysisSession>(*workspace_.schema,
-                                                         *workspace_.users)),
-        guard_(*workspace_.schema, *workspace_.users,
-               workspace_.requirements) {}
+                                                         *workspace_.users)) {
+    RebuildGuard();
+  }
 
   // Returns false on "quit".
   bool Handle(const std::string& line) {
@@ -120,9 +124,15 @@ class Shell {
     } else if (command == "query" || command == "guard") {
       std::string user;
       in >> user;
-      std::string rest;
-      std::getline(in, rest);
-      RunQuery(user, rest, /*guarded=*/command == "guard");
+      if (command == "guard" &&
+          (user == "stats" || user == "sessions" || user == "save" ||
+           user == "load")) {
+        GuardAdmin(user);
+      } else {
+        std::string rest;
+        std::getline(in, rest);
+        RunQuery(user, rest, /*guarded=*/command == "guard");
+      }
     } else {
       std::printf("unknown command '%s' (try 'help')\n", command.c_str());
     }
@@ -161,6 +171,11 @@ class Shell {
         " lines)\n"
         "  query <user> <select ...>       run a query as <user>\n"
         "  guard <user> <select ...>       ... under the session guard\n"
+        "  guard stats                     serving-path tier counters\n"
+        "  guard sessions                  open sessions (committed/"
+        "checked)\n"
+        "  guard save | load               persist / warm guard closures\n"
+        "                                  (needs an armed snapshot store)\n"
         "  quit\n");
   }
 
@@ -339,9 +354,24 @@ class Shell {
     }
   }
 
+  // (Re)builds the session guard against the current session's options
+  // and the armed store (if any): the guard's signature cache shares
+  // the snapshot tier, so `guard load` warms serving-path sessions from
+  // closures a previous process saved.
+  void RebuildGuard() {
+    dynamic::GuardOptions options;
+    options.closure = session_->closure_options();
+    options.snapshot_store = store_;
+    options.obs = &session_->obs();
+    guard_ = std::make_unique<dynamic::SessionGuard>(
+        *workspace_.schema, *workspace_.users, workspace_.requirements,
+        options);
+  }
+
   // Rebuilds the session with `store` armed as the L2 tier. The store
   // is part of the cache configuration, so the session (and its caches)
-  // restart; the recorded trace does not survive the rebuild.
+  // restart; the recorded trace — and any open guard sessions — do not
+  // survive the rebuild.
   void ArmStore(std::shared_ptr<snapshot::SnapshotStore> store) {
     store_ = std::move(store);
     service_.reset();
@@ -349,6 +379,7 @@ class Shell {
     options.snapshot_store = store_;
     session_ = std::make_unique<core::AnalysisSession>(
         *workspace_.schema, *workspace_.users, options);
+    RebuildGuard();
     std::printf("snapshot tier armed (%s)\n",
                 store_->Stats().description.c_str());
   }
@@ -459,6 +490,68 @@ class Shell {
     }
   }
 
+  // Guard administration: tier counters, open sessions, snapshot-tier
+  // persistence. Query execution stays on RunQuery ('guard <user> ...').
+  void GuardAdmin(const std::string& subcommand) {
+    if (subcommand == "stats") {
+      dynamic::GuardStats stats = guard_->Stats();
+      std::printf(
+          "%llu decision(s): %llu fast-path allow(s), %llu session"
+          " hit(s), %llu exact hit(s), %llu delta recheck(s), %llu cold"
+          " build(s), %llu denial(s)\n",
+          static_cast<unsigned long long>(stats.decisions),
+          static_cast<unsigned long long>(stats.fastpath_allows),
+          static_cast<unsigned long long>(stats.session_hits),
+          static_cast<unsigned long long>(stats.exact_hits),
+          static_cast<unsigned long long>(stats.delta_rechecks),
+          static_cast<unsigned long long>(stats.cold_builds),
+          static_cast<unsigned long long>(stats.denials));
+      std::printf(
+          "signature cache: %llu exact hit(s), %llu warm, %llu cold,"
+          " %llu snapshot hit(s)\n",
+          static_cast<unsigned long long>(stats.cache.exact_hits),
+          static_cast<unsigned long long>(stats.cache.warm_builds),
+          static_cast<unsigned long long>(stats.cache.cold_builds),
+          static_cast<unsigned long long>(stats.cache.snapshot_hits));
+      return;
+    }
+    if (subcommand == "sessions") {
+      std::vector<std::string> users = guard_->SessionUsers();
+      if (users.empty()) {
+        std::printf("no open sessions\n");
+        return;
+      }
+      for (const std::string& user : users) {
+        dynamic::SessionGuard::SessionProbe probe = guard_->Probe(user);
+        std::vector<std::string> committed(probe.committed.begin(),
+                                           probe.committed.end());
+        std::printf("%s: %zu committed (%s), %zu checked by the live"
+                    " closure\n",
+                    user.c_str(), probe.committed.size(),
+                    common::Join(committed, ", ").c_str(),
+                    probe.checked.size());
+      }
+      return;
+    }
+    if (store_ == nullptr) {
+      std::printf(
+          "no snapshot store ('snapshot dir <path>' or"
+          " 'snapshot pack <path>' first)\n");
+      return;
+    }
+    if (subcommand == "save") {
+      common::Status status = guard_->SaveCacheSnapshot();
+      if (!status.ok()) {
+        std::printf("error: %s\n", status.ToString().c_str());
+        return;
+      }
+      std::printf("saved the guard's cached closures to the store\n");
+    } else {
+      size_t loaded = guard_->LoadCacheSnapshot();
+      std::printf("loaded %zu snapshot(s) into the guard cache\n", loaded);
+    }
+  }
+
   void Trace(const std::string& subcommand, const std::string& file) {
     if (subcommand == "on") {
       session_->tracer().set_enabled(true);
@@ -522,7 +615,7 @@ class Shell {
     }
     common::Result<query::QueryResult> result = [&] {
       if (guarded) {
-        return guard_.Run(*workspace_.database, *user, *parsed.value());
+        return guard_->Run(*workspace_.database, *user, *parsed.value());
       }
       query::QueryEvaluator evaluator(*workspace_.database, user);
       return evaluator.Run(*parsed.value());
@@ -541,7 +634,8 @@ class Shell {
   // Lazily built on the first `batch`, kept so the closure cache (and
   // the session's metrics, which it feeds) survive across commands.
   std::unique_ptr<service::AnalysisService> service_;
-  dynamic::SessionGuard guard_;
+  // unique_ptr: ArmStore rebuilds the guard sharing the armed store.
+  std::unique_ptr<dynamic::SessionGuard> guard_;
   std::vector<core::AnalysisReport> last_reports_;
   // Null until `snapshot dir`/`snapshot pack` arms the persistent tier.
   std::shared_ptr<snapshot::SnapshotStore> store_;

@@ -21,13 +21,17 @@ std::string AnalysisReport::ToString() const {
 
 std::vector<std::string> AnalysisRoots(const schema::Schema& schema,
                                        const schema::User& user) {
-  std::vector<std::string> roots(user.capabilities().begin(),
-                                 user.capabilities().end());
+  return AnalysisRoots(schema, user.capabilities());
+}
+
+std::vector<std::string> AnalysisRoots(const schema::Schema& schema,
+                                       const std::set<std::string>& functions) {
+  std::vector<std::string> roots(functions.begin(), functions.end());
   // Integrity constraints (paper §1.1) are known-true to every user:
   // their unfolded bodies join the closure as observed results, so
   // constraint knowledge participates in inference even without a grant.
   for (const schema::FunctionDecl* constraint : schema.constraints()) {
-    if (!user.MayInvoke(constraint->name())) {
+    if (!functions.contains(constraint->name())) {
       roots.push_back(constraint->name());
     }
   }

@@ -19,6 +19,7 @@
 #define OODBSEC_CORE_ANALYZER_H_
 
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -58,6 +59,15 @@ struct AnalysisReport {
 // cache keys on.
 std::vector<std::string> AnalysisRoots(const schema::Schema& schema,
                                        const schema::User& user);
+
+// The same root list for a bare function set (no registry user): the
+// sorted set plus every constraint it does not already contain. The
+// dynamic session guard keys its incremental closures on this form —
+// a session's exercised-function set is a transient capability list,
+// and both overloads must produce identical lists for identical sets so
+// guard closures and registry-user closures share cache entries.
+std::vector<std::string> AnalysisRoots(const schema::Schema& schema,
+                                       const std::set<std::string>& functions);
 
 // Checks `requirement` against an already-computed closure, without
 // validating the requirement's user name: the site enumeration and

@@ -18,19 +18,34 @@
 // cold, and a second sharded run rebuilds nothing — every signature
 // replays from the segment via mmap.
 //
-//   $ ./fleet_audit
+// With --transport=tcp the audit goes one step further: after the fork
+// passes (which need the single-threaded image) a loopback TCP fleet is
+// started — worker threads with no local state — and the coordinator
+// streams the same sheet over sockets while serving its packed store
+// over the wire. The workers warm entirely from the networked snapshot
+// tier (three remote hits, zero builds) and the merged report is
+// asserted byte-identical to fork, batch, and the sequential analyzer.
+//
+//   $ ./fleet_audit                    # fork transport only
+//   $ ./fleet_audit --transport=tcp    # ... plus the TCP loopback fleet
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <filesystem>
+#include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/strings.h"
 #include "core/analysis_session.h"
 #include "core/analyzer.h"
 #include "core/requirement.h"
+#include "net/socket.h"
 #include "service/analysis_service.h"
 #include "service/shard.h"
+#include "service/tcp_shard.h"
 #include "snapshot/packed_store.h"
 #include "snapshot/snapshot_store.h"
 #include "text/workspace.h"
@@ -64,7 +79,19 @@ struct Role {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bool use_tcp = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--transport=tcp") == 0) {
+      use_tcp = true;
+    } else if (std::strcmp(argv[i], "--transport=fork") == 0) {
+      use_tcp = false;
+    } else {
+      std::fprintf(stderr, "usage: %s [--transport=fork|tcp]\n", argv[0]);
+      return 2;
+    }
+  }
+
   auto loaded = text::LoadWorkspace(kSchema);
   if (!loaded.ok()) {
     std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
@@ -231,6 +258,78 @@ int main() {
       "restarted fleet: %zu snapshot hits, 0 closures built — every role "
       "warm from disk, reports unchanged\n",
       restarted->merged_stats.snapshot_hits);
+
+  // --transport=tcp: the networked fleet. Every fork has happened by
+  // now, so worker threads are safe to start. Two loopback workers with
+  // no local state mount the coordinator's pack over the wire; the
+  // stream must warm every role remotely and still render the exact
+  // bytes the fork transport, the batch service, and the sequential
+  // analyzer all agreed on.
+  if (use_tcp) {
+    std::vector<std::unique_ptr<net::Listener>> listeners;
+    std::vector<std::thread> worker_threads;
+    std::atomic<bool> stop{false};
+    service::TcpTransportOptions tcp_options;
+    for (int w = 0; w < 2; ++w) {
+      auto bound = net::Listener::Bind(0);
+      if (!bound.ok()) {
+        std::fprintf(stderr, "%s\n", bound.status().ToString().c_str());
+        return 1;
+      }
+      listeners.push_back(
+          std::make_unique<net::Listener>(std::move(bound).value()));
+      tcp_options.workers.push_back(
+          common::StrCat("127.0.0.1:", listeners.back()->port()));
+      net::Listener* listener = listeners.back().get();
+      const schema::Schema* schema = workspace.schema.get();
+      worker_threads.emplace_back([listener, schema, &stop] {
+        service::TcpWorkerOptions worker_options;
+        auto status =
+            service::ServeShardWorker(*listener, *schema, worker_options,
+                                      &stop);
+        if (!status.ok()) {
+          std::fprintf(stderr, "%s\n", status.ToString().c_str());
+          std::abort();
+        }
+      });
+    }
+
+    tcp_options.snapshot_store = store.value();
+    service::TcpTransport transport(tcp_options);
+    auto tcp_run = transport.Run(*workspace.schema, *workspace.users, sheet,
+                                 nullptr);
+    int failed = 0;
+    if (!tcp_run.ok()) {
+      std::fprintf(stderr, "%s\n", tcp_run.status().ToString().c_str());
+      failed = 1;
+    } else {
+      for (size_t i = 0; i < sheet.size(); ++i) {
+        if (tcp_run->reports[i].ToString() != batch_text[i]) {
+          std::fprintf(stderr, "TCP MISMATCH at requirement %zu\n", i);
+          failed = 1;
+          break;
+        }
+      }
+      if (failed == 0 &&
+          (tcp_run->merged_stats.closures_built != 0 ||
+           tcp_run->merged_stats.snapshot_hits != roles.size())) {
+        std::fprintf(
+            stderr,
+            "tcp fleet expected %zu remote snapshot hits and 0 builds, "
+            "got %zu hits and %zu builds\n",
+            roles.size(), tcp_run->merged_stats.snapshot_hits,
+            tcp_run->merged_stats.closures_built);
+        failed = 1;
+      }
+    }
+    stop.store(true);
+    for (std::thread& t : worker_threads) t.join();
+    if (failed != 0) return 1;
+    std::printf(
+        "tcp fleet (%zu loopback workers): %zu remote snapshot hits, 0 "
+        "closures built — fork = tcp = batch = sequential, byte for byte\n",
+        tcp_options.workers.size(), tcp_run->merged_stats.snapshot_hits);
+  }
 
   std::error_code ec;
   std::filesystem::remove_all(snapshot_dir, ec);

@@ -16,6 +16,10 @@
 //   recheck                    re-audit every requirement incrementally
 //   batch [threads]            same, through the caching batch service
 //   shard [shards] [threads]   same, forked across worker processes
+//   shard tcp <host:port>...   same, streamed to TCP workers (started
+//                              with `serve`), pipelined by signature
+//   serve <port>               become a shard worker: serve batches on
+//                              <port> until the process is killed
 //   snapshot dir <path>        arm the tier over a snapshot directory
 //   snapshot pack <path>       arm it over a packed segment file
 //   snapshot save              persist cached closures to the store
@@ -37,11 +41,13 @@
 #include <unistd.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <memory>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "common/strings.h"
 #include "core/analysis_session.h"
@@ -49,8 +55,10 @@
 #include "obs/sink.h"
 #include "query/binder.h"
 #include "query/query_parser.h"
+#include "net/socket.h"
 #include "service/analysis_service.h"
 #include "service/shard.h"
+#include "service/tcp_shard.h"
 #include "snapshot/packed_store.h"
 #include "snapshot/snapshot.h"
 #include "snapshot/snapshot_store.h"
@@ -100,10 +108,23 @@ class Shell {
       in >> threads;
       Batch(threads > 0 ? threads : 4);
     } else if (command == "shard") {
-      int shards = 0;
-      int threads = 0;
-      in >> shards >> threads;
-      Shard(shards > 0 ? shards : 4, threads > 0 ? threads : 1);
+      std::string first;
+      in >> first;
+      if (first == "tcp") {
+        std::vector<std::string> addresses;
+        std::string address;
+        while (in >> address) addresses.push_back(address);
+        ShardTcp(addresses);
+      } else {
+        int shards = std::atoi(first.c_str());
+        int threads = 0;
+        in >> threads;
+        Shard(shards > 0 ? shards : 4, threads > 0 ? threads : 1);
+      }
+    } else if (command == "serve") {
+      int port = 0;
+      in >> port;
+      Serve(port);
     } else if (command == "snapshot") {
       std::string subcommand;
       in >> subcommand;
@@ -155,6 +176,9 @@ class Shell {
         " threads)\n"
         "  shard [shards] [threads]        same, forked across worker\n"
         "                                  processes (default 4 shards)\n"
+        "  shard tcp <host:port> ...       same, streamed to TCP workers\n"
+        "                                  (started with 'serve')\n"
+        "  serve <port>                    become a shard worker on <port>\n"
         "  snapshot dir <path>             arm the tier over a snapshot"
         " directory\n"
         "  snapshot pack <path>            arm it over a packed segment"
@@ -352,6 +376,76 @@ class Shell {
                   sharded.value().shard_stats[s].closures_built,
                   sharded.value().shard_stats[s].snapshot_hits);
     }
+  }
+
+  // Like Shard(), but streamed to already-running TCP workers
+  // (service/tcp_shard.h): signature-coalesced batches pipeline over
+  // persistent connections, and the armed snapshot store (if any) is
+  // served to the workers over the same wire as a remote L2 tier. The
+  // merged report stays byte-identical to `batch` and `shard`.
+  void ShardTcp(const std::vector<std::string>& addresses) {
+    if (addresses.empty()) {
+      std::printf("usage: shard tcp <host:port> [<host:port> ...]\n");
+      return;
+    }
+    service::TcpTransportOptions options;
+    options.workers = addresses;
+    options.closure = session_->closure_options();
+    options.snapshot_store = store_;
+    options.save_snapshots = store_ != nullptr;
+    service::TcpTransport transport(options);
+    auto sharded =
+        transport.Run(*workspace_.schema, *workspace_.users,
+                      workspace_.requirements, &session_->obs());
+    if (!sharded.ok()) {
+      std::printf("error: %s\n", sharded.status().ToString().c_str());
+      return;
+    }
+    last_reports_ = std::move(sharded.value().reports);
+    for (size_t i = 0; i < last_reports_.size(); ++i) {
+      std::printf("[%zu] %s", i, last_reports_[i].ToString().c_str());
+    }
+    const service::ServiceStats& stats = sharded.value().merged_stats;
+    std::printf(
+        "(%zu tcp worker(s): %zu check(s), %zu closure(s) built, "
+        "%zu signature hit(s), %zu snapshot hit(s))\n",
+        addresses.size(), stats.checks, stats.closures_built,
+        stats.signature_hits, stats.snapshot_hits);
+    for (size_t s = 0; s < addresses.size(); ++s) {
+      std::printf("  %s: %zu requirement(s), %zu closure(s) built, "
+                  "%zu snapshot hit(s)\n",
+                  addresses[s].c_str(),
+                  sharded.value().shard_requirements[s],
+                  sharded.value().shard_stats[s].closures_built,
+                  sharded.value().shard_stats[s].snapshot_hits);
+    }
+  }
+
+  // Turns this shell into a shard worker: serves batches from TCP
+  // coordinators (the `shard tcp` command in another shell) until the
+  // process is killed. The armed snapshot store (if any) becomes the
+  // worker's local L2; otherwise the coordinator's store is mounted
+  // over the wire when one is advertised.
+  void Serve(int port) {
+    if (port <= 0 || port > 65535) {
+      std::printf("usage: serve <port>\n");
+      return;
+    }
+    auto listener = net::Listener::Bind(static_cast<uint16_t>(port),
+                                        /*loopback_only=*/false);
+    if (!listener.ok()) {
+      std::printf("error: %s\n", listener.status().ToString().c_str());
+      return;
+    }
+    std::printf("worker: serving shard batches on port %u\n",
+                listener.value().port());
+    std::fflush(stdout);
+    service::TcpWorkerOptions options;
+    options.closure = session_->closure_options();
+    options.snapshot_store = store_;
+    auto status = service::ServeShardWorker(listener.value(),
+                                            *workspace_.schema, options);
+    std::printf("error: %s\n", status.ToString().c_str());
   }
 
   // (Re)builds the session guard against the current session's options

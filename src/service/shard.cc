@@ -6,6 +6,7 @@
 
 #include <cerrno>
 #include <cstddef>
+#include <cstdlib>
 #include <optional>
 #include <utility>
 
@@ -13,6 +14,7 @@
 #include "core/analyzer.h"
 #include "obs/trace.h"
 #include "service/capability_signature.h"
+#include "service/shard_wire.h"
 #include "snapshot/binio.h"
 #include "snapshot/snapshot_store.h"
 
@@ -21,71 +23,16 @@ namespace oodbsec::service {
 namespace {
 
 using core::AnalysisReport;
-using core::FlawSite;
 using snapshot::ByteReader;
 using snapshot::ByteWriter;
-
-// Writes the whole buffer to `fd`, retrying on EINTR / short writes.
-bool WriteAll(int fd, const std::string& data) {
-  size_t off = 0;
-  while (off < data.size()) {
-    ssize_t n = ::write(fd, data.data() + off, data.size() - off);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    off += static_cast<size_t>(n);
-  }
-  return true;
-}
-
-// Reads `fd` to EOF.
-std::string ReadAll(int fd) {
-  std::string data;
-  char buf[64 << 10];
-  for (;;) {
-    ssize_t n = ::read(fd, buf, sizeof buf);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      break;
-    }
-    if (n == 0) break;
-    data.append(buf, static_cast<size_t>(n));
-  }
-  return data;
-}
 
 // --- worker wire protocol (one EOF-delimited message per worker) -----
 //
 //   u8 ok
-//   ok=1: u32 report_count, then per report
-//           u32 global_index, u8 satisfied, i32 node_count,
-//           u64 fact_count, u32 flaw_count, then per flaw
-//             i32 site_id, u8 is_root_site, string description,
-//             u32 fact_ids, i32 each, string derivation
-//         then 6 x u64 ServiceStats fields
+//   ok=1: u32 report_count, then report_count reports and a stats
+//         block, both in shard_wire.h layout
 //   ok=0: u32 earliest failing global index, u8 status code,
 //         string message
-
-void PutStats(ByteWriter& w, const ServiceStats& stats) {
-  w.PutU64(stats.closures_built);
-  w.PutU64(stats.signature_hits);
-  w.PutU64(stats.requirement_hits);
-  w.PutU64(stats.checks);
-  w.PutU64(stats.warm_starts);
-  w.PutU64(stats.snapshot_hits);
-}
-
-ServiceStats GetStats(ByteReader& r) {
-  ServiceStats stats;
-  stats.closures_built = static_cast<size_t>(r.GetU64());
-  stats.signature_hits = static_cast<size_t>(r.GetU64());
-  stats.requirement_hits = static_cast<size_t>(r.GetU64());
-  stats.checks = static_cast<size_t>(r.GetU64());
-  stats.warm_starts = static_cast<size_t>(r.GetU64());
-  stats.snapshot_hits = static_cast<size_t>(r.GetU64());
-  return stats;
-}
 
 // Runs one worker's subset and serializes the outcome. Runs in the
 // forked child; must not touch coordinator state it shouldn't (it
@@ -143,23 +90,18 @@ std::string RunWorker(const schema::Schema& schema,
   w.PutU8(1);
   w.PutU32(static_cast<uint32_t>(reports.size()));
   for (size_t li = 0; li < reports.size(); ++li) {
-    const AnalysisReport& report = reports[li];
-    w.PutU32(static_cast<uint32_t>(indices[li]));
-    w.PutU8(report.satisfied ? 1 : 0);
-    w.PutI32(report.node_count);
-    w.PutU64(report.fact_count);
-    w.PutU32(static_cast<uint32_t>(report.flaws.size()));
-    for (const FlawSite& flaw : report.flaws) {
-      w.PutI32(flaw.site_id);
-      w.PutU8(flaw.is_root_site ? 1 : 0);
-      w.PutString(flaw.description);
-      w.PutU32(static_cast<uint32_t>(flaw.supporting_facts.size()));
-      for (core::FactId fact : flaw.supporting_facts) w.PutI32(fact);
-      w.PutString(flaw.derivation);
-    }
+    wire::PutReport(w, static_cast<uint32_t>(indices[li]), reports[li]);
   }
-  PutStats(w, service.Stats());
+  wire::PutStats(w, service.Stats());
   return w.Release();
+}
+
+// Test seam for the worker-death path: OODBSEC_TEST_SHARD_CRASH=<shard>
+// makes that shard write half its message and die with a nonzero exit,
+// simulating a worker killed mid-stream. Returns -1 when unset.
+int CrashShardFromEnv() {
+  const char* value = std::getenv("OODBSEC_TEST_SHARD_CRASH");
+  return value != nullptr ? std::atoi(value) : -1;
 }
 
 struct Failure {
@@ -255,7 +197,15 @@ common::Result<ShardedBatchResult> RunShardedBatch(
       std::string message = RunWorker(schema, users, requirements,
                                       routed[static_cast<size_t>(s)],
                                       options, std::move(worker_store));
-      WriteAll(fds[1], message);
+      if (CrashShardFromEnv() == s) {
+        // Die mid-stream: half a message, nonzero exit, no side-segment
+        // cleanup — exactly what a worker killed by the OOM killer (or
+        // a crash in report serialization) leaves behind.
+        snapshot::WriteFull(
+            fds[1], std::string_view(message).substr(0, message.size() / 2));
+        ::_exit(3);
+      }
+      snapshot::WriteFull(fds[1], message);
       ::close(fds[1]);
       ::_exit(0);
     }
@@ -273,14 +223,33 @@ common::Result<ShardedBatchResult> RunShardedBatch(
     const std::vector<size_t>& indices = routed[static_cast<size_t>(s)];
     result.shard_requirements[static_cast<size_t>(s)] = indices.size();
     std::string message;
+    int wstatus = 0;
     {
       obs::ScopedSpan wait_span(tracer,
                                 common::StrCat("shard.wait.", s));
-      message = ReadAll(worker.read_fd);
+      message = snapshot::ReadToEof(worker.read_fd);
       ::close(worker.read_fd);
-      int wstatus = 0;
       while (::waitpid(worker.pid, &wstatus, 0) < 0 && errno == EINTR) {
       }
+    }
+    // A worker that died (signal or nonzero exit) may have written a
+    // prefix of a valid message; naming the shard and the cause beats
+    // mis-diagnosing the truncation as a protocol bug. Its side segment
+    // (if any) is torn mid-record — MergeWorkers below salvages the
+    // complete records and removes the segment either way.
+    if (WIFSIGNALED(wstatus)) {
+      NoteFailure(failure, indices.empty() ? n : indices.front(),
+                  common::InternalError(common::StrCat(
+                      "shard ", s, " worker killed by signal ",
+                      WTERMSIG(wstatus))));
+      continue;
+    }
+    if (WIFEXITED(wstatus) && WEXITSTATUS(wstatus) != 0) {
+      NoteFailure(failure, indices.empty() ? n : indices.front(),
+                  common::InternalError(common::StrCat(
+                      "shard ", s, " worker exited with status ",
+                      WEXITSTATUS(wstatus))));
+      continue;
     }
 
     ByteReader r(message);
@@ -310,25 +279,10 @@ common::Result<ShardedBatchResult> RunShardedBatch(
     uint32_t report_count = r.GetU32();
     bool malformed = false;
     for (uint32_t k = 0; k < report_count && r.ok(); ++k) {
-      uint32_t gi = r.GetU32();
+      uint32_t gi = 0;
       AnalysisReport report;
-      report.satisfied = r.GetU8() != 0;
-      report.node_count = r.GetI32();
-      report.fact_count = static_cast<size_t>(r.GetU64());
-      uint32_t flaw_count = r.GetU32();
-      for (uint32_t f = 0; f < flaw_count && r.ok(); ++f) {
-        FlawSite flaw;
-        flaw.site_id = r.GetI32();
-        flaw.is_root_site = r.GetU8() != 0;
-        flaw.description = r.GetString();
-        uint32_t fact_count = r.GetU32();
-        for (uint32_t p = 0; p < fact_count && r.ok(); ++p) {
-          flaw.supporting_facts.push_back(r.GetI32());
-        }
-        flaw.derivation = r.GetString();
-        report.flaws.push_back(std::move(flaw));
-      }
-      if (!r.ok() || gi >= n || assembled[gi].has_value()) {
+      if (!wire::GetReport(r, &gi, &report) || gi >= n ||
+          assembled[gi].has_value()) {
         malformed = true;
         break;
       }
@@ -337,7 +291,7 @@ common::Result<ShardedBatchResult> RunShardedBatch(
       report.requirement = requirements[gi];
       assembled[gi] = std::move(report);
     }
-    ServiceStats stats = GetStats(r);
+    ServiceStats stats = wire::GetStats(r);
     if (malformed || !r.exhausted()) {
       NoteFailure(failure, indices.empty() ? n : indices.front(),
                   common::InternalError(common::StrCat(

@@ -44,6 +44,7 @@
 #include <memory>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "common/result.h"
@@ -104,6 +105,41 @@ common::Result<ShardedBatchResult> RunShardedBatch(
     const schema::Schema& schema, const schema::UserRegistry& users,
     const std::vector<core::Requirement>& requirements,
     const ShardOptions& options, obs::Observability* obs = nullptr);
+
+// The transport seam: one interface over the fork engine (this file)
+// and the TCP engine (service/tcp_shard.h), so audit drivers pick a
+// process model without changing any audit code. Every implementation
+// owes the same determinism contract as RunShardedBatch — reports
+// byte-identical to single-process CheckBatch, earliest-failure error
+// parity — which is what the transport parity tests pin.
+class ShardTransport {
+ public:
+  virtual ~ShardTransport() = default;
+  // Short label for logs and bench output ("fork", "tcp").
+  virtual std::string_view name() const = 0;
+  virtual common::Result<ShardedBatchResult> Run(
+      const schema::Schema& schema, const schema::UserRegistry& users,
+      const std::vector<core::Requirement>& requirements,
+      obs::Observability* obs) = 0;
+};
+
+// RunShardedBatch behind the seam. Carries the fork() caveat above:
+// Run() must be called from a single-threaded process image.
+class ForkTransport : public ShardTransport {
+ public:
+  explicit ForkTransport(ShardOptions options)
+      : options_(std::move(options)) {}
+  std::string_view name() const override { return "fork"; }
+  common::Result<ShardedBatchResult> Run(
+      const schema::Schema& schema, const schema::UserRegistry& users,
+      const std::vector<core::Requirement>& requirements,
+      obs::Observability* obs) override {
+    return RunShardedBatch(schema, users, requirements, options_, obs);
+  }
+
+ private:
+  ShardOptions options_;
+};
 
 }  // namespace oodbsec::service
 

@@ -1,0 +1,69 @@
+#include "service/shard_wire.h"
+
+#include <utility>
+
+namespace oodbsec::service::wire {
+
+void PutStats(snapshot::ByteWriter& w, const ServiceStats& stats) {
+  w.PutU64(stats.closures_built);
+  w.PutU64(stats.signature_hits);
+  w.PutU64(stats.requirement_hits);
+  w.PutU64(stats.checks);
+  w.PutU64(stats.warm_starts);
+  w.PutU64(stats.snapshot_hits);
+}
+
+ServiceStats GetStats(snapshot::ByteReader& r) {
+  ServiceStats stats;
+  stats.closures_built = static_cast<size_t>(r.GetU64());
+  stats.signature_hits = static_cast<size_t>(r.GetU64());
+  stats.requirement_hits = static_cast<size_t>(r.GetU64());
+  stats.checks = static_cast<size_t>(r.GetU64());
+  stats.warm_starts = static_cast<size_t>(r.GetU64());
+  stats.snapshot_hits = static_cast<size_t>(r.GetU64());
+  return stats;
+}
+
+void PutReport(snapshot::ByteWriter& w, uint32_t global_index,
+               const core::AnalysisReport& report) {
+  w.PutU32(global_index);
+  w.PutU8(report.satisfied ? 1 : 0);
+  w.PutI32(report.node_count);
+  w.PutU64(report.fact_count);
+  w.PutU32(static_cast<uint32_t>(report.flaws.size()));
+  for (const core::FlawSite& flaw : report.flaws) {
+    w.PutI32(flaw.site_id);
+    w.PutU8(flaw.is_root_site ? 1 : 0);
+    w.PutString(flaw.description);
+    w.PutU32(static_cast<uint32_t>(flaw.supporting_facts.size()));
+    for (core::FactId fact : flaw.supporting_facts) w.PutI32(fact);
+    w.PutString(flaw.derivation);
+  }
+}
+
+bool GetReport(snapshot::ByteReader& r, uint32_t* global_index,
+               core::AnalysisReport* report) {
+  *global_index = r.GetU32();
+  core::AnalysisReport out;
+  out.satisfied = r.GetU8() != 0;
+  out.node_count = r.GetI32();
+  out.fact_count = static_cast<size_t>(r.GetU64());
+  uint32_t flaw_count = r.GetU32();
+  for (uint32_t f = 0; f < flaw_count && r.ok(); ++f) {
+    core::FlawSite flaw;
+    flaw.site_id = r.GetI32();
+    flaw.is_root_site = r.GetU8() != 0;
+    flaw.description = r.GetString();
+    uint32_t fact_count = r.GetU32();
+    for (uint32_t p = 0; p < fact_count && r.ok(); ++p) {
+      flaw.supporting_facts.push_back(r.GetI32());
+    }
+    flaw.derivation = r.GetString();
+    out.flaws.push_back(std::move(flaw));
+  }
+  if (!r.ok()) return false;
+  *report = std::move(out);
+  return true;
+}
+
+}  // namespace oodbsec::service::wire

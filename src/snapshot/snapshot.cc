@@ -103,13 +103,10 @@ std::string SnapshotFileName(const core::ClosureOptions& options,
   return name;
 }
 
-common::Status SaveSnapshot(const schema::Schema& schema,
-                            const core::ClosureOptions& options,
-                            const core::CachedAnalysis& entry,
-                            const std::string& path) {
-  if (entry.closure == nullptr || entry.set == nullptr) {
-    return common::InvalidArgumentError("snapshot: entry has no closure");
-  }
+std::string EncodeSnapshot(const schema::Schema& schema,
+                           const core::ClosureOptions& options,
+                           const core::CachedAnalysis& entry) {
+  if (entry.closure == nullptr || entry.set == nullptr) return {};
 
   ByteWriter payload;
   payload.PutU32(static_cast<uint32_t>(entry.roots.size()));
@@ -161,7 +158,17 @@ common::Status SaveSnapshot(const schema::Schema& schema,
   file.PutU32(kByteOrderMark);
   file.PutU64(SchemaFingerprint(schema, options));
   file.PutU64(Fnv1a64(payload.buffer()));
-  std::string bytes = file.Release() + payload.buffer();
+  return file.Release() + payload.buffer();
+}
+
+common::Status SaveSnapshot(const schema::Schema& schema,
+                            const core::ClosureOptions& options,
+                            const core::CachedAnalysis& entry,
+                            const std::string& path) {
+  std::string bytes = EncodeSnapshot(schema, options, entry);
+  if (bytes.empty()) {
+    return common::InvalidArgumentError("snapshot: entry has no closure");
+  }
 
   std::error_code ec;
   std::filesystem::path target(path);
@@ -189,29 +196,17 @@ common::Status SaveSnapshot(const schema::Schema& schema,
   return common::Status::Ok();
 }
 
-common::Result<std::shared_ptr<const core::CachedAnalysis>> LoadSnapshot(
+common::Result<std::shared_ptr<const core::CachedAnalysis>> DecodeSnapshot(
     const schema::Schema& schema, const core::ClosureOptions& options,
-    const std::string& path, obs::Observability* obs) {
-  obs::ScopedSpan span(obs != nullptr ? &obs->tracer : nullptr,
-                       "snapshot.load");
-
-  std::string data;
-  {
-    std::ifstream in(path, std::ios::binary);
-    if (!in) {
-      return common::NotFoundError(
-          common::StrCat("snapshot ", path, ": no such file"));
-    }
-    data.assign(std::istreambuf_iterator<char>(in),
-                std::istreambuf_iterator<char>());
-  }
+    std::string_view bytes, std::string_view name, obs::Observability* obs) {
+  std::string_view data = bytes;
+  std::string_view path = name;  // label for diagnostics only
 
   if (data.size() < kHeaderSize ||
-      std::string_view(data).substr(0, kMagic.size()) != kMagic) {
+      data.substr(0, kMagic.size()) != kMagic) {
     return Invalid(path, "not a snapshot file");
   }
-  ByteReader header(std::string_view(data).substr(kMagic.size(),
-                                                  kHeaderSize - kMagic.size()));
+  ByteReader header(data.substr(kMagic.size(), kHeaderSize - kMagic.size()));
   uint32_t version = header.GetU32();
   uint32_t byte_order = header.GetU32();
   // The marker decides how to read everything else — including the
@@ -355,6 +350,25 @@ common::Result<std::shared_ptr<const core::CachedAnalysis>> LoadSnapshot(
         ->Increment(entry->closure->fact_count());
   }
   return std::shared_ptr<const core::CachedAnalysis>(std::move(entry));
+}
+
+common::Result<std::shared_ptr<const core::CachedAnalysis>> LoadSnapshot(
+    const schema::Schema& schema, const core::ClosureOptions& options,
+    const std::string& path, obs::Observability* obs) {
+  obs::ScopedSpan span(obs != nullptr ? &obs->tracer : nullptr,
+                       "snapshot.load");
+
+  std::string data;
+  {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      return common::NotFoundError(
+          common::StrCat("snapshot ", path, ": no such file"));
+    }
+    data.assign(std::istreambuf_iterator<char>(in),
+                std::istreambuf_iterator<char>());
+  }
+  return DecodeSnapshot(schema, options, data, path, obs);
 }
 
 }  // namespace oodbsec::snapshot

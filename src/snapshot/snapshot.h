@@ -108,6 +108,26 @@ uint64_t SchemaFingerprint(const schema::Schema& schema,
 std::string SnapshotFileName(const core::ClosureOptions& options,
                              const std::vector<std::string>& roots);
 
+// Serializes `entry` (roots + digest + derivation log) into the full
+// snapshot byte string — header and checksummed payload, exactly the
+// bytes SaveSnapshot writes to disk. The byte-level half of the codec,
+// shared by the file tier and the networked snapshot tier (a remote
+// store ships these bytes over a frame; the record's own byte-order
+// marker keeps it decodable on a foreign-endian peer). Empty string
+// when the entry has no closure.
+std::string EncodeSnapshot(const schema::Schema& schema,
+                           const core::ClosureOptions& options,
+                           const core::CachedAnalysis& entry);
+
+// Validates, re-unfolds, and replays snapshot bytes (the inverse of
+// EncodeSnapshot; the decode half of LoadSnapshot). `name` labels
+// diagnostics — a path for file loads, an endpoint for remote loads.
+// Same error contract as LoadSnapshot, minus the file read.
+common::Result<std::shared_ptr<const core::CachedAnalysis>> DecodeSnapshot(
+    const schema::Schema& schema, const core::ClosureOptions& options,
+    std::string_view bytes, std::string_view name,
+    obs::Observability* obs = nullptr);
+
 // Serializes `entry` (roots + digest + derivation log) to `path`,
 // atomically (temp file + rename), creating parent directories as
 // needed. `options` must be the options the closure was built under.

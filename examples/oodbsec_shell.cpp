@@ -20,6 +20,8 @@
 //                              with `serve`), pipelined by signature
 //   serve <port>               become a shard worker: serve batches on
 //                              <port> until the process is killed
+//   fixpoint [threads]         parallel closure fixpoint (0 = auto,
+//                              1 = sequential; prints current if omitted)
 //   snapshot dir <path>        arm the tier over a snapshot directory
 //   snapshot pack <path>       arm it over a packed segment file
 //   snapshot save              persist cached closures to the store
@@ -121,6 +123,10 @@ class Shell {
         in >> threads;
         Shard(shards > 0 ? shards : 4, threads > 0 ? threads : 1);
       }
+    } else if (command == "fixpoint") {
+      int threads = -1;
+      in >> threads;
+      Fixpoint(threads);
     } else if (command == "serve") {
       int port = 0;
       in >> port;
@@ -179,6 +185,11 @@ class Shell {
         "  shard tcp <host:port> ...       same, streamed to TCP workers\n"
         "                                  (started with 'serve')\n"
         "  serve <port>                    become a shard worker on <port>\n"
+        "  fixpoint [threads]              parallel closure fixpoint (0 ="
+        " auto,\n"
+        "                                  1 = sequential; prints current"
+        " when\n"
+        "                                  omitted)\n"
         "  snapshot dir <path>             arm the tier over a snapshot"
         " directory\n"
         "  snapshot pack <path>            arm it over a packed segment"
@@ -460,6 +471,26 @@ class Shell {
     guard_ = std::make_unique<dynamic::SessionGuard>(
         *workspace_.schema, *workspace_.users, workspace_.requirements,
         options);
+  }
+
+  // Rebuilds the session with `threads` fixpoint workers per closure
+  // build (0 = auto-detect cores, 1 = sequential). Derivation logs are
+  // byte-identical at every setting, so the swap only changes build
+  // speed; the caches restart because the session does.
+  void Fixpoint(int threads) {
+    if (threads < 0) {
+      std::printf("fixpoint threads: %d\n",
+                  session_->closure_options().closure_threads);
+      return;
+    }
+    service_.reset();
+    core::SessionOptions options = session_->options();
+    options.closure.closure_threads = threads;
+    session_ = std::make_unique<core::AnalysisSession>(
+        *workspace_.schema, *workspace_.users, options);
+    RebuildGuard();
+    std::printf("closure fixpoint threads = %d%s\n", threads,
+                threads == 0 ? " (auto)" : "");
   }
 
   // Rebuilds the session with `store` armed as the L2 tier. The store

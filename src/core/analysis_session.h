@@ -40,10 +40,14 @@ namespace oodbsec::core {
 
 struct SessionOptions {
   // Fixpoint semantics; flows into every closure the session builds and
-  // into the service layer's cache keys.
+  // into the service layer's cache keys. closure.closure_threads
+  // additionally parallelises each build's fixpoint rounds (0 = auto);
+  // it never changes the derivation log, so it is excluded from cache
+  // keys and snapshot fingerprints.
   ClosureOptions closure;
-  // Worker threads for layers that parallelise (service::AnalysisService
-  // reads this as its pool size). The sequential core ignores it.
+  // Worker threads for layers that parallelise *across* closures
+  // (service::AnalysisService reads this as its pool size); independent
+  // of closure.closure_threads, which parallelises *inside* one build.
   int threads = 1;
   // Arms the tracer from construction. Metrics are always collected —
   // they are counters folded into reports and stats — while span

@@ -1,10 +1,14 @@
 #include "core/closure.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <map>
+#include <mutex>
+#include <thread>
 
 #include "common/strings.h"
+#include "core/thread_pool.h"
 
 namespace oodbsec::core {
 
@@ -12,6 +16,27 @@ using unfold::Node;
 using unfold::NodeKind;
 
 namespace {
+
+// Round-crew sizing. Rounds below the frontier threshold run inline —
+// dispatch latency would swamp the work — and parallel rounds split
+// into at most kChunksPerThread chunks per worker of at least
+// kMinChunkFacts facts each, so the atomic chunk claim amortizes while
+// stragglers can still be rebalanced. None of these affect the output:
+// candidates merge in frontier order whatever the chunking.
+constexpr size_t kParallelFrontierThreshold = 256;
+constexpr size_t kMinChunkFacts = 64;
+constexpr size_t kChunksPerThread = 4;
+constexpr int kMaxClosureThreads = 64;
+
+int ResolveClosureThreads(int requested) {
+  if (requested == 0) {
+    unsigned hw = std::thread::hardware_concurrency();
+    requested = hw == 0 ? 1 : static_cast<int>(hw);
+  }
+  if (requested < 1) requested = 1;
+  if (requested > kMaxClosureThreads) requested = kMaxClosureThreads;
+  return requested;
+}
 
 // Sorted-unique insert/erase for the small per-rep key lists that
 // replace std::set in the hot tables.
@@ -40,6 +65,22 @@ void InsertSortedUniqueById(std::vector<const Node*>& nodes,
 std::string Origin::ToString() const {
   return common::StrCat("(", num, ",", std::string(1, dir), ")");
 }
+
+// The worker crew for one Run(): a lazily-spawned pool (first round
+// that crosses the parallel threshold) plus one EvalCtx per worker and
+// the per-chunk output buffers, all reused across rounds. The crew
+// lives on Run()'s stack, so small builds (warm deltas, replays) never
+// spawn a thread.
+struct Closure::RoundCrew {
+  explicit RoundCrew(int threads) : threads(threads) {}
+
+  int threads;  // resolved cap (>= 1)
+  std::unique_ptr<ThreadPool> pool;
+  std::vector<std::unique_ptr<EvalCtx>> worker_ctxs;
+  std::vector<ChunkOut> outs;
+  // Context for rounds evaluated on the calling thread.
+  EvalCtx inline_ctx;
+};
 
 Closure::Closure(const unfold::UnfoldedSet& set, ClosureOptions options,
                  obs::Observability* obs, const Closure* warm_base)
@@ -144,9 +185,7 @@ void Closure::InitTables() {
   obj_reads_.resize(n + 1);
   obj_writes_.resize(n + 1);
   binder_of_bound_expr_.assign(n + 1, -1);
-  bfs_prev_node_.resize(n + 1);
-  bfs_prev_edge_.resize(n + 1);
-  bfs_seen_epoch_.assign(n + 1, 0);
+  InitCtx(direct_ctx_);
   for (int i = 1; i <= n; ++i) {
     uf_parent_[i] = i;
     members_[i] = {i};
@@ -177,7 +216,13 @@ void Closure::InitTables() {
 
 void Closure::BuildPremiseIndex() {
   int n = set_->node_count();
-  alter_triggers_.resize(n + 1);
+  // The alterability triggers are collected per-id and then flattened
+  // into the CSR pair (never merged, so the layout can freeze here);
+  // the class-keyed tables stay vectors because MergeClasses folds
+  // them on every union.
+  std::vector<std::vector<RuleRef>> alter_triggers(n + 1);
+  alter_trigger_offsets_.assign(n + 2, 0);
+  alter_trigger_refs_.clear();
   infer_triggers_.resize(n + 1);
   pistar_triggers_.resize(n + 1);
   if (!options_.basic_function_rules) return;
@@ -196,7 +241,7 @@ void Closure::BuildPremiseIndex() {
         switch (atom.pred) {
           case RuleAtom::Pred::kTa:
           case RuleAtom::Pred::kPa:
-            insert_ref(alter_triggers_[id], ref);
+            insert_ref(alter_triggers[id], ref);
             break;
           case RuleAtom::Pred::kTi:
           case RuleAtom::Pred::kPi:
@@ -218,6 +263,15 @@ void Closure::BuildPremiseIndex() {
       }
     }
   }
+  for (int id = 0; id <= n; ++id) {
+    alter_trigger_offsets_[id] =
+        static_cast<uint32_t>(alter_trigger_refs_.size());
+    alter_trigger_refs_.insert(alter_trigger_refs_.end(),
+                               alter_triggers[id].begin(),
+                               alter_triggers[id].end());
+  }
+  alter_trigger_offsets_[n + 1] =
+      static_cast<uint32_t>(alter_trigger_refs_.size());
 }
 
 bool Closure::ComputeWarmMap(const Closure& base,
@@ -263,6 +317,7 @@ void Closure::ReplaySteps(std::span<const DerivationStep> steps,
                           const std::vector<int>* old_to_new) {
   replayed_facts_ = steps.size();
   steps_.reserve(steps.size() + steps.size() / 4);
+  fact_of_.reserve(steps_.capacity());
   premise_arena_.reserve(arena.size());
   for (const DerivationStep& bstep : steps) {
     // Translate the fact into this set's id space. Origin nums are
@@ -291,6 +346,7 @@ void Closure::ReplaySteps(std::span<const DerivationStep> steps,
     premise_arena_.insert(premise_arena_.end(), src,
                           src + bstep.premise_count);
     steps_.push_back(step);
+    fact_of_.push_back(fact);
     // Apply the table effect. Replayed facts never enter the frontier:
     // the follow-up Seed() + Run() re-derive only what the added roots
     // contribute, re-firing rules through the premise index as new
@@ -302,6 +358,7 @@ void Closure::ReplaySteps(std::span<const DerivationStep> steps,
 void Closure::ReplayPackedSteps(const ReplayView& view) {
   replayed_facts_ = view.steps.size();
   steps_.reserve(view.steps.size() + view.steps.size() / 4);
+  fact_of_.reserve(steps_.capacity());
   premise_arena_.reserve(view.premise_arena.size());
   for (const PackedStep& pstep : view.steps) {
     // Decode the fixed-width image into a live step. Ids are already in
@@ -323,6 +380,7 @@ void Closure::ReplayPackedSteps(const ReplayView& view) {
     premise_arena_.insert(premise_arena_.end(), src,
                           src + pstep.premise_count);
     steps_.push_back(step);
+    fact_of_.push_back(fact);
     ApplyReplayedFact(fact, id);
   }
 }
@@ -559,6 +617,7 @@ void Closure::ReplaySurvivors(const Closure& base,
   // already filled — a survivor's premises are survivors).
   std::vector<FactId> remap(base.steps_.size(), kNoFact);
   steps_.reserve(base.steps_.size());
+  fact_of_.reserve(base.steps_.size());
   premise_arena_.reserve(base.premise_arena_.size());
   for (size_t i = 0; i < base.steps_.size(); ++i) {
     if (deleted[i] != 0) continue;
@@ -580,6 +639,7 @@ void Closure::ReplaySurvivors(const Closure& base,
       premise_arena_.push_back(remap[premise]);
     }
     steps_.push_back(step);
+    fact_of_.push_back(fact);
     ApplyReplayedFact(fact, id);
   }
   replayed_facts_ = steps_.size();
@@ -612,7 +672,7 @@ void Closure::RederiveNode(int id) {
   // The per-occurrence producers, in ProcessTa/ProcessPa order:
   // implication first, then the let and read/write rules.
   if (ta_[id] != kNoFact && pa_[id] == kNoFact) {
-    AddPa(id, "ta => pa", {ta_[id]});
+    AddPa(direct_ctx_, id, "ta => pa", {ta_[id]});
   }
   const Node* node = set_->node(id);
   if (node->kind == NodeKind::kVarRef && node->binder_id >= 0) {
@@ -620,56 +680,65 @@ void Closure::RederiveNode(int id) {
     if (binder.bound_expr != nullptr) {
       int bound = binder.bound_expr->id;
       if (ta_[bound] != kNoFact) {
-        AddTa(id, "let: bound expression to variable", {ta_[bound]});
+        AddTa(direct_ctx_, id, "let: bound expression to variable",
+              {ta_[bound]});
       } else if (pa_[bound] != kNoFact) {
-        AddPa(id, "let: bound expression to variable", {pa_[bound]});
+        AddPa(direct_ctx_, id, "let: bound expression to variable",
+              {pa_[bound]});
       }
     }
   }
   if (node->is_let()) {
     int body = node->body()->id;
     if (ta_[body] != kNoFact) {
-      AddTa(id, "let: body to let value", {ta_[body]});
+      AddTa(direct_ctx_, id, "let: body to let value", {ta_[body]});
     } else if (pa_[body] != kNoFact) {
-      AddPa(id, "let: body to let value", {pa_[body]});
+      AddPa(direct_ctx_, id, "let: body to let value", {pa_[body]});
     }
   }
   if (node->kind != NodeKind::kReadAttr) return;
   const Node* object = node->object_child();
   if (pa_[object->id] != kNoFact) {
     if (options_.read_object_total_alterability) {
-      AddTa(id, "alterability via read object", {pa_[object->id]});
+      AddTa(direct_ctx_, id, "alterability via read object",
+            {pa_[object->id]});
     } else {
-      AddPa(id, "alterability via read object", {pa_[object->id]});
+      AddPa(direct_ctx_, id, "alterability via read object",
+            {pa_[object->id]});
     }
   }
   if (!options_.write_read_equality) return;
   for (const Node* write : set_->writes(node->attribute)) {
     if (pa_[write->object_child()->id] != kNoFact) {
-      AddTa(id, "alterability via write object",
+      AddTa(direct_ctx_, id, "alterability via write object",
             {pa_[write->object_child()->id]});
     }
     if (Find(write->object_child()->id) != Find(object->id)) continue;
     if (Find(write->value_child()->id) != Find(id)) {
       std::vector<FactId> premises;
-      ExplainEquality(write->object_child()->id, object->id, premises);
+      ExplainEquality(direct_ctx_, write->object_child()->id, object->id,
+                      premises);
       std::sort(premises.begin(), premises.end());
       premises.erase(std::unique(premises.begin(), premises.end()),
                      premises.end());
-      AddEq(write->value_child()->id, id, "=: written value equals read",
-            premises);
+      AddEq(direct_ctx_, write->value_child()->id, id,
+            "=: written value equals read", premises);
     }
     FactId alter = ta_[write->value_child()->id] != kNoFact
                        ? ta_[write->value_child()->id]
                        : pa_[write->value_child()->id];
-    if (alter != kNoFact) FireWriteValueRules(write, alter, node);
+    if (alter != kNoFact) {
+      FireWriteValueRules(direct_ctx_, write, alter, node);
+    }
   }
   for (const Node* other : obj_reads_[Find(object->id)]) {
     if (other == node || other->attribute != node->attribute) continue;
     if (Find(other->id) == Find(id)) continue;
     std::vector<FactId> premises;
-    ExplainEquality(object->id, other->object_child()->id, premises);
-    AddEq(id, other->id, "=: reads of equal objects", premises);
+    ExplainEquality(direct_ctx_, object->id, other->object_child()->id,
+                    premises);
+    AddEq(direct_ctx_, id, other->id, "=: reads of equal objects",
+          premises);
   }
 }
 
@@ -682,8 +751,8 @@ void Closure::RederiveClass(int rep) {
     OriginSet tis = ti_[rep];
     for (const OriginSet::Entry& entry : tis.entries()) {
       if (pi_[rep].Lookup(entry.origin) == kNoFact) {
-        AddPi(steps_[entry.fact].fact.a, entry.origin, "ti => pi",
-              {entry.fact});
+        AddPi(direct_ctx_, fact_of_[entry.fact].a, entry.origin,
+              "ti => pi", {entry.fact});
       }
     }
   }
@@ -694,7 +763,7 @@ void Closure::RederiveClass(int rep) {
         if (ti_[rep].Lookup(entry.origin) != kNoFact) continue;
         for (const OriginSet::Entry& other : pis.entries()) {
           if (other.origin == entry.origin) continue;
-          AddTi(steps_[entry.fact].fact.a, entry.origin,
+          AddTi(direct_ctx_, fact_of_[entry.fact].a, entry.origin,
                 "join of partial inferabilities",
                 {entry.fact, other.fact});
           break;
@@ -708,8 +777,9 @@ void Closure::RederiveClass(int rep) {
       int m0 = members_[rep][0];
       int m1 = members_[rep][1];
       std::vector<FactId> premises;
-      ExplainEquality(m0, m1, premises);
-      AddPiStar(m0, m1, {0, '+'}, "=: pair of equals", premises);
+      ExplainEquality(direct_ctx_, m0, m1, premises);
+      AddPiStar(direct_ctx_, m0, m1, {0, '+'}, "=: pair of equals",
+                premises);
     }
   }
 }
@@ -731,7 +801,8 @@ void Closure::RederivePair(const DeletedPair& pair) {
   if (swap_it != pistar_.end()) {
     FactId swapped = swap_it->second.Lookup(pair.origin);
     if (swapped != kNoFact) {
-      AddPiStar(pair.a, pair.b, pair.origin, "pi*: swap", {swapped});
+      AddPiStar(direct_ctx_, pair.a, pair.b, pair.origin, "pi*: swap",
+                {swapped});
       return;
     }
   }
@@ -751,7 +822,7 @@ void Closure::RederivePair(const DeletedPair& pair) {
     if (left_fact == kNoFact) continue;
     auto right_it = pistar_.find(PairKey(mediator, rb));
     if (right_it == pistar_.end() || right_it->second.empty()) continue;
-    AddPiStar(pair.a, pair.b, pair.origin, "pi*: join",
+    AddPiStar(direct_ctx_, pair.a, pair.b, pair.origin, "pi*: join",
               {left_fact, right_it->second.entries()[0].fact});
     return;
   }
@@ -772,30 +843,44 @@ int Closure::Find(int id) {
   return root;
 }
 
-void Closure::ExplainEquality(int id1, int id2, std::vector<FactId>& out) {
+void Closure::InitCtx(EvalCtx& ctx) const {
+  size_t n = static_cast<size_t>(set_->node_count()) + 1;
+  if (ctx.bfs_seen_epoch.size() != n) {
+    ctx.bfs_prev_node.resize(n);
+    ctx.bfs_prev_edge.resize(n);
+    ctx.bfs_seen_epoch.assign(n, 0);
+    ctx.bfs_epoch = 0;
+  }
+}
+
+void Closure::ExplainEquality(EvalCtx& ctx, int id1, int id2,
+                              std::vector<FactId>& out) {
   if (id1 == id2) return;
   // BFS through the proof forest (paths are unique). The scratch state
-  // is epoch-stamped: no per-call clearing or allocation.
-  ++bfs_epoch_;
-  bfs_queue_.clear();
-  bfs_queue_.push_back(id1);
-  bfs_seen_epoch_[id1] = bfs_epoch_;
-  bfs_prev_node_[id1] = id1;
-  for (size_t head = 0; head < bfs_queue_.size(); ++head) {
-    int current = bfs_queue_[head];
+  // is per-context and epoch-stamped: no per-call clearing, no
+  // allocation, no sharing between chunk workers. In buffering mode
+  // eq_edges_ is frozen (edges are only added in phase B and replay),
+  // so concurrent walks are pure reads.
+  ++ctx.bfs_epoch;
+  ctx.bfs_queue.clear();
+  ctx.bfs_queue.push_back(id1);
+  ctx.bfs_seen_epoch[id1] = ctx.bfs_epoch;
+  ctx.bfs_prev_node[id1] = id1;
+  for (size_t head = 0; head < ctx.bfs_queue.size(); ++head) {
+    int current = ctx.bfs_queue[head];
     if (current == id2) break;
     for (const auto& [next, edge] : eq_edges_[current]) {
-      if (bfs_seen_epoch_[next] == bfs_epoch_) continue;
-      bfs_seen_epoch_[next] = bfs_epoch_;
-      bfs_prev_node_[next] = current;
-      bfs_prev_edge_[next] = edge;
-      bfs_queue_.push_back(next);
+      if (ctx.bfs_seen_epoch[next] == ctx.bfs_epoch) continue;
+      ctx.bfs_seen_epoch[next] = ctx.bfs_epoch;
+      ctx.bfs_prev_node[next] = current;
+      ctx.bfs_prev_edge[next] = edge;
+      ctx.bfs_queue.push_back(next);
     }
   }
-  assert(bfs_seen_epoch_[id2] == bfs_epoch_ &&
+  assert(ctx.bfs_seen_epoch[id2] == ctx.bfs_epoch &&
          "equality explanation requested for non-equal occurrences");
-  for (int at = id2; at != id1; at = bfs_prev_node_[at]) {
-    out.push_back(bfs_prev_edge_[at]);
+  for (int at = id2; at != id1; at = ctx.bfs_prev_node[at]) {
+    out.push_back(ctx.bfs_prev_edge[at]);
   }
 }
 
@@ -812,29 +897,68 @@ FactId Closure::Log(Fact fact, std::string_view rule, Premises premises) {
   premise_arena_.insert(premise_arena_.end(), premises.begin(),
                         premises.end());
   steps_.push_back(step);
+  fact_of_.push_back(fact);
   next_frontier_.push_back(id);
   return id;
 }
 
-FactId Closure::AddTa(int id, std::string_view rule, Premises premises) {
-  ++add_attempts_;
+FactId Closure::Buffer(EvalCtx& ctx, const Fact& fact, std::string_view rule,
+                       Premises premises) {
+  ChunkOut& out = *ctx.out;
+  Candidate candidate;
+  candidate.fact = fact;
+  candidate.rule = rule;
+  candidate.premise_offset = static_cast<uint32_t>(out.premise_pool.size());
+  candidate.premise_count = static_cast<uint32_t>(premises.size());
+  out.premise_pool.insert(out.premise_pool.end(), premises.begin(),
+                          premises.end());
+  out.candidates.push_back(candidate);
+  return kNoFact;
+}
+
+// The Add* bodies run in both modes. Dedup reads the (frozen or live)
+// tables either way; the tail then either logs + mutates (direct) or
+// buffers the candidate (chunk worker). A candidate that passes the
+// frozen dedup can still lose at the barrier — an earlier candidate
+// this round claimed the slot — where the direct re-check drops it.
+
+FactId Closure::AddTa(EvalCtx& ctx, int id, std::string_view rule,
+                      Premises premises) {
+  if (ctx.buffering()) ++ctx.out->add_attempts;
+  else ++add_attempts_;
   if (ta_[id] != kNoFact) return ta_[id];
+  if (ctx.buffering()) {
+    return Buffer(ctx, {Fact::Kind::kTa, id, 0, {}}, rule, premises);
+  }
   FactId fact = Log({Fact::Kind::kTa, id, 0, {}}, rule, premises);
   ta_[id] = fact;
   return fact;
 }
 
-FactId Closure::AddPa(int id, std::string_view rule, Premises premises) {
-  ++add_attempts_;
+FactId Closure::AddPa(EvalCtx& ctx, int id, std::string_view rule,
+                      Premises premises) {
+  if (ctx.buffering()) ++ctx.out->add_attempts;
+  else ++add_attempts_;
   if (pa_[id] != kNoFact) return pa_[id];
+  if (ctx.buffering()) {
+    return Buffer(ctx, {Fact::Kind::kPa, id, 0, {}}, rule, premises);
+  }
   FactId fact = Log({Fact::Kind::kPa, id, 0, {}}, rule, premises);
   pa_[id] = fact;
   return fact;
 }
 
-FactId Closure::AddTi(int id, Origin origin, std::string_view rule,
-                      Premises premises) {
-  ++add_attempts_;
+FactId Closure::AddTi(EvalCtx& ctx, int id, Origin origin,
+                      std::string_view rule, Premises premises) {
+  if (ctx.buffering()) ++ctx.out->add_attempts;
+  else ++add_attempts_;
+  if (ctx.buffering()) {
+    const OriginSet& origins = ti_[CtxFind(ctx, id)];
+    FactId existing = origins.Lookup(origin);
+    if (existing != kNoFact) return existing;
+    if (origins.full()) return kNoFact;
+    return Buffer(ctx, {Fact::Kind::kTi, id, 0, origin}, rule, premises);
+  }
   OriginSet& origins = ti_[Find(id)];
   FactId existing = origins.Lookup(origin);
   if (existing != kNoFact) return existing;
@@ -844,9 +968,17 @@ FactId Closure::AddTi(int id, Origin origin, std::string_view rule,
   return fact;
 }
 
-FactId Closure::AddPi(int id, Origin origin, std::string_view rule,
-                      Premises premises) {
-  ++add_attempts_;
+FactId Closure::AddPi(EvalCtx& ctx, int id, Origin origin,
+                      std::string_view rule, Premises premises) {
+  if (ctx.buffering()) ++ctx.out->add_attempts;
+  else ++add_attempts_;
+  if (ctx.buffering()) {
+    const OriginSet& origins = pi_[CtxFind(ctx, id)];
+    FactId existing = origins.Lookup(origin);
+    if (existing != kNoFact) return existing;
+    if (origins.full()) return kNoFact;
+    return Buffer(ctx, {Fact::Kind::kPi, id, 0, origin}, rule, premises);
+  }
   OriginSet& origins = pi_[Find(id)];
   FactId existing = origins.Lookup(origin);
   if (existing != kNoFact) return existing;
@@ -856,10 +988,23 @@ FactId Closure::AddPi(int id, Origin origin, std::string_view rule,
   return fact;
 }
 
-FactId Closure::AddPiStar(int id1, int id2, Origin origin,
+FactId Closure::AddPiStar(EvalCtx& ctx, int id1, int id2, Origin origin,
                           std::string_view rule, Premises premises) {
-  ++add_attempts_;
-  std::pair<int, int> key = {Find(id1), Find(id2)};
+  if (ctx.buffering()) ++ctx.out->add_attempts;
+  else ++add_attempts_;
+  std::pair<int, int> key = {CtxFind(ctx, id1), CtxFind(ctx, id2)};
+  if (ctx.buffering()) {
+    // No operator[]: the map must not grow (or rehash) under the other
+    // chunk workers.
+    auto it = pistar_.find(PairKey(key.first, key.second));
+    if (it != pistar_.end()) {
+      FactId existing = it->second.Lookup(origin);
+      if (existing != kNoFact) return existing;
+      if (it->second.full()) return kNoFact;
+    }
+    return Buffer(ctx, {Fact::Kind::kPiStar, id1, id2, origin}, rule,
+                  premises);
+  }
   OriginSet& origins = pistar_[PairKey(key.first, key.second)];
   FactId existing = origins.Lookup(origin);
   if (existing != kNoFact) return existing;
@@ -871,10 +1016,14 @@ FactId Closure::AddPiStar(int id1, int id2, Origin origin,
   return fact;
 }
 
-FactId Closure::AddEq(int id1, int id2, std::string_view rule,
+FactId Closure::AddEq(EvalCtx& ctx, int id1, int id2, std::string_view rule,
                       Premises premises) {
-  ++add_attempts_;
-  if (Find(id1) == Find(id2)) return kNoFact;  // already known
+  if (ctx.buffering()) ++ctx.out->add_attempts;
+  else ++add_attempts_;
+  if (CtxFind(ctx, id1) == CtxFind(ctx, id2)) return kNoFact;  // known
+  if (ctx.buffering()) {
+    return Buffer(ctx, {Fact::Kind::kEq, id1, id2, {}}, rule, premises);
+  }
   return Log({Fact::Kind::kEq, id1, id2, {}}, rule, premises);
 }
 
@@ -888,8 +1037,9 @@ void Closure::Seed() {
   for (const unfold::Binder& binder : set.binders()) {
     if (!binder.is_root_arg) continue;
     for (const Node* occurrence : binder.occurrences) {
-      AddTa(occurrence->id, "axiom: outer-most argument (alterable)", {});
-      AddTi(occurrence->id, {occurrence->id, '+'},
+      AddTa(direct_ctx_, occurrence->id,
+            "axiom: outer-most argument (alterable)", {});
+      AddTi(direct_ctx_, occurrence->id, {occurrence->id, '+'},
             "axiom: outer-most argument (known)", {});
     }
   }
@@ -898,29 +1048,32 @@ void Closure::Seed() {
   for (int i = 1; i <= set.node_count(); ++i) {
     const Node* node = set.node(i);
     if (node->kind == NodeKind::kConstant) {
-      AddTi(node->id, {node->id, '+'}, "axiom: constant", {});
+      AddTi(direct_ctx_, node->id, {node->id, '+'}, "axiom: constant",
+            {});
     }
   }
   for (const unfold::Root& root : set.roots()) {
-    AddTi(root.body->id, {0, '-'}, "axiom: observed result", {});
+    AddTi(direct_ctx_, root.body->id, {0, '-'},
+          "axiom: observed result", {});
   }
 
   // Equality axioms: occurrences of the same variable, let bindings, and
   // let bodies.
   for (const unfold::Binder& binder : set.binders()) {
     for (size_t i = 1; i < binder.occurrences.size(); ++i) {
-      AddEq(binder.occurrences[0]->id, binder.occurrences[i]->id,
-            "axiom for =: same variable", {});
+      AddEq(direct_ctx_, binder.occurrences[0]->id,
+            binder.occurrences[i]->id, "axiom for =: same variable", {});
     }
     if (binder.bound_expr != nullptr && !binder.occurrences.empty()) {
-      AddEq(binder.occurrences[0]->id, binder.bound_expr->id,
-            "axiom for =: let binding", {});
+      AddEq(direct_ctx_, binder.occurrences[0]->id,
+            binder.bound_expr->id, "axiom for =: let binding", {});
     }
   }
   for (int i = 1; i <= set.node_count(); ++i) {
     const Node* node = set.node(i);
     if (node->is_let()) {
-      AddEq(node->body()->id, node->id, "axiom for =: let value", {});
+      AddEq(direct_ctx_, node->body()->id, node->id,
+            "axiom for =: let value", {});
     }
   }
 
@@ -934,7 +1087,7 @@ void Closure::Seed() {
       auto [it, inserted] =
           representative.emplace(binder.type, occurrence);
       if (!inserted) {
-        AddEq(it->second->id, occurrence->id,
+        AddEq(direct_ctx_, it->second->id, occurrence->id,
               "axiom for =: outer-most arguments of the same type", {});
       }
     }
@@ -945,7 +1098,7 @@ void Closure::Seed() {
   if (options_.basic_function_rules) {
     for (int i = 1; i <= set.node_count(); ++i) {
       if (set.node(i)->kind == NodeKind::kBasicCall) {
-        ReevalBasicCall(set.node(i));
+        ReevalBasicCall(direct_ctx_, set.node(i));
       }
     }
   }
@@ -956,21 +1109,23 @@ void Closure::Run() {
   obs::Histogram* round_facts =
       obs_ != nullptr ? obs_->metrics.histogram("closure.fixpoint.round_facts")
                       : nullptr;
+  RoundCrew crew(ResolveClosureThreads(options_.closure_threads));
   {
     obs::ScopedSpan fixpoint_span(tracer, "closure.fixpoint");
     // Semi-naive delta rounds: one round processes exactly the facts
     // derived before it began (the delta); conclusions land in
-    // next_frontier_ and form the next round. Facts are processed in
-    // FactId order — the same FIFO order as the deque worklist this
-    // replaces — and each processed fact re-fires only the rule
-    // instantiations the premise index lists for it.
+    // next_frontier_ and form the next round. Each round runs the
+    // two-phase discipline documented on Run() in the header — frozen
+    // chunk evaluation, a canonical-order merge, then the sequential
+    // equality merges — so the log is byte-identical for every value
+    // of closure_threads.
     while (!next_frontier_.empty()) {
       ++rounds_;
       obs::ScopedSpan round_span(tracer, "closure.fixpoint.round");
       size_t facts_before = steps_.size();
       frontier_.clear();
       std::swap(frontier_, next_frontier_);
-      for (FactId fact_id : frontier_) Process(fact_id);
+      RunRound(crew);
       if (round_facts != nullptr) {
         round_facts->Record(steps_.size() - facts_before);
       }
@@ -985,51 +1140,177 @@ void Closure::Run() {
   }
 }
 
-void Closure::Process(FactId fact_id) {
-  // Copy: steps_ may reallocate while rules fire.
-  Fact fact = steps_[fact_id].fact;
-  switch (fact.kind) {
-    case Fact::Kind::kTa:
-      ProcessTa(fact, fact_id);
-      break;
-    case Fact::Kind::kPa:
-      ProcessPa(fact, fact_id);
-      break;
-    case Fact::Kind::kEq:
-      ProcessEqMerge(fact, fact_id);
-      break;
-    case Fact::Kind::kTi:
-      ProcessTi(fact, fact_id);
-      break;
-    case Fact::Kind::kPi:
-      ProcessPi(fact, fact_id);
-      break;
-    case Fact::Kind::kPiStar:
-      ProcessPiStar(fact, fact_id);
-      break;
+void Closure::RunRound(RoundCrew& crew) {
+  size_t frontier_size = frontier_.size();
+  // Phase A: evaluate every non-eq frontier fact against the frozen
+  // round-start tables, buffering conclusions per chunk. Nothing
+  // shared is written until every worker has finished.
+  bool parallel =
+      crew.threads > 1 && frontier_size >= kParallelFrontierThreshold;
+  if (!parallel) {
+    InitCtx(crew.inline_ctx);
+    if (crew.outs.empty()) crew.outs.resize(1);
+    ChunkOut& out = crew.outs[0];
+    out.Clear();
+    crew.inline_ctx.out = &out;
+    EvalFrontierChunk(crew.inline_ctx, 0, frontier_size);
+    crew.inline_ctx.out = nullptr;
+    SnapshotChunkCounters(out);
+    ApplyChunk(out);
+  } else {
+    size_t max_chunks =
+        static_cast<size_t>(crew.threads) * kChunksPerThread;
+    size_t chunks =
+        std::clamp<size_t>(frontier_size / kMinChunkFacts, 1, max_chunks);
+    size_t chunk_size = (frontier_size + chunks - 1) / chunks;
+    if (crew.pool == nullptr) {
+      crew.pool = std::make_unique<ThreadPool>(crew.threads);
+      crew.worker_ctxs.reserve(static_cast<size_t>(crew.threads));
+      for (int w = 0; w < crew.threads; ++w) {
+        crew.worker_ctxs.push_back(std::make_unique<EvalCtx>());
+        InitCtx(*crew.worker_ctxs.back());
+      }
+    }
+    if (crew.outs.size() < chunks) crew.outs.resize(chunks);
+    // One task per worker; tasks claim chunks through a shared cursor,
+    // so a worker stuck on a dense chunk sheds the rest of the range
+    // to its siblings. Each task owns one context; each chunk owns one
+    // output buffer — no writable state is shared.
+    std::atomic<size_t> next_chunk{0};
+    for (int w = 0; w < crew.threads; ++w) {
+      EvalCtx* ctx = crew.worker_ctxs[static_cast<size_t>(w)].get();
+      crew.pool->Submit([this, &crew, &next_chunk, ctx, chunks, chunk_size,
+                         frontier_size] {
+        for (;;) {
+          size_t chunk = next_chunk.fetch_add(1, std::memory_order_relaxed);
+          if (chunk >= chunks) break;
+          size_t begin = chunk * chunk_size;
+          size_t end = std::min(frontier_size, begin + chunk_size);
+          ChunkOut& out = crew.outs[chunk];
+          out.Clear();
+          ctx->out = &out;
+          EvalFrontierChunk(*ctx, begin, end);
+          ctx->out = nullptr;
+        }
+      });
+    }
+    crew.pool->Wait();
+    // Barrier: fold counters and apply candidates in chunk order —
+    // which is frontier order, so the log can't see the chunking.
+    ++parallel_rounds_;
+    parallel_chunks_ += chunks;
+    uint64_t total_candidates = 0;
+    uint64_t max_candidates = 0;
+    for (size_t chunk = 0; chunk < chunks; ++chunk) {
+      const ChunkOut& out = crew.outs[chunk];
+      SnapshotChunkCounters(out);
+      total_candidates += out.candidates.size();
+      max_candidates = std::max<uint64_t>(max_candidates,
+                                          out.candidates.size());
+    }
+    if (obs_ != nullptr && chunks > 1 && total_candidates > 0) {
+      // Max-over-mean chunk load in percent: 100 = perfectly balanced.
+      obs_->metrics.histogram("closure.parallel.chunk_imbalance_pct")
+          ->Record(max_candidates * 100 * chunks / total_candidates);
+    }
+    for (size_t chunk = 0; chunk < chunks; ++chunk) {
+      ApplyChunk(crew.outs[chunk]);
+    }
   }
+  // Phase B: equality merges, sequential and mutating, in frontier
+  // order. They run after the candidate merge so the cross-class
+  // re-fires see everything this round derived.
+  for (size_t i = 0; i < frontier_size; ++i) {
+    FactId fact_id = frontier_[i];
+    Fact fact = fact_of_[fact_id];  // copy: fact_of_ grows as rules fire
+    if (fact.kind == Fact::Kind::kEq) ProcessEqMerge(fact, fact_id);
+  }
+}
+
+void Closure::EvalFrontierChunk(EvalCtx& ctx, size_t begin, size_t end) {
+  for (size_t i = begin; i < end; ++i) {
+    FactId fact_id = frontier_[i];
+    const Fact fact = fact_of_[fact_id];
+    switch (fact.kind) {
+      case Fact::Kind::kTa:
+        ProcessTa(ctx, fact, fact_id);
+        break;
+      case Fact::Kind::kPa:
+        ProcessPa(ctx, fact, fact_id);
+        break;
+      case Fact::Kind::kEq:
+        break;  // merged in phase B
+      case Fact::Kind::kTi:
+        ProcessTi(ctx, fact, fact_id);
+        break;
+      case Fact::Kind::kPi:
+        ProcessPi(ctx, fact, fact_id);
+        break;
+      case Fact::Kind::kPiStar:
+        ProcessPiStar(ctx, fact, fact_id);
+        break;
+    }
+  }
+}
+
+void Closure::ApplyChunk(const ChunkOut& out) {
+  for (const Candidate& candidate : out.candidates) {
+    Premises premises{out.premise_pool.data() + candidate.premise_offset,
+                      candidate.premise_count};
+    const Fact& fact = candidate.fact;
+    switch (fact.kind) {
+      case Fact::Kind::kTa:
+        AddTa(direct_ctx_, fact.a, candidate.rule, premises);
+        break;
+      case Fact::Kind::kPa:
+        AddPa(direct_ctx_, fact.a, candidate.rule, premises);
+        break;
+      case Fact::Kind::kTi:
+        AddTi(direct_ctx_, fact.a, fact.origin, candidate.rule, premises);
+        break;
+      case Fact::Kind::kPi:
+        AddPi(direct_ctx_, fact.a, fact.origin, candidate.rule, premises);
+        break;
+      case Fact::Kind::kPiStar:
+        AddPiStar(direct_ctx_, fact.a, fact.b, fact.origin, candidate.rule,
+                  premises);
+        break;
+      case Fact::Kind::kEq:
+        AddEq(direct_ctx_, fact.a, fact.b, candidate.rule, premises);
+        break;
+    }
+  }
+}
+
+void Closure::SnapshotChunkCounters(const ChunkOut& out) {
+  find_calls_ += out.find_calls;
+  add_attempts_ += out.add_attempts;
+  rule_evals_ += out.rule_evals;
+  basic_reevals_ += out.basic_reevals;
 }
 
 // ---------------------------------------------------------------------
 // Alterability rules (Table 2, rule 1).
 
-void Closure::FireWriteValueRules(const Node* write, FactId alter_fact,
-                                  const Node* read) {
+void Closure::FireWriteValueRules(EvalCtx& ctx, const Node* write,
+                                  FactId alter_fact, const Node* read) {
   // Premises: the alterability of the written value plus the equality of
   // the write and read objects.
   const Node* value = write->value_child();
   std::vector<FactId> premises = {alter_fact};
-  ExplainEquality(write->object_child()->id, read->object_child()->id,
+  ExplainEquality(ctx, write->object_child()->id, read->object_child()->id,
                   premises);
   if (ta_[value->id] != kNoFact) {
-    AddTa(read->id, "alterability based on = (written value, total)",
+    AddTa(ctx, read->id, "alterability based on = (written value, total)",
           premises);
   } else {
-    AddPa(read->id, "alterability based on = (written value)", premises);
+    AddPa(ctx, read->id, "alterability based on = (written value)",
+          premises);
   }
 }
 
-void Closure::FireLetAndWriteRulesForAlterability(int id, bool total,
+void Closure::FireLetAndWriteRulesForAlterability(EvalCtx& ctx, int id,
+                                                  bool total,
                                                   FactId fact_id) {
   const Node* node = set_->node(id);
   const Node* parent = node->parent;
@@ -1039,9 +1320,9 @@ void Closure::FireLetAndWriteRulesForAlterability(int id, bool total,
   if (options_.write_read_equality && parent != nullptr &&
       parent->kind == NodeKind::kWriteAttr && node->child_index == 1) {
     for (const Node* read : set_->reads(parent->attribute)) {
-      if (Find(parent->object_child()->id) ==
-          Find(read->object_child()->id)) {
-        FireWriteValueRules(parent, fact_id, read);
+      if (CtxFind(ctx, parent->object_child()->id) ==
+          CtxFind(ctx, read->object_child()->id)) {
+        FireWriteValueRules(ctx, parent, fact_id, read);
       }
     }
   }
@@ -1052,35 +1333,37 @@ void Closure::FireLetAndWriteRulesForAlterability(int id, bool total,
   if (binder_id >= 0) {
     for (const Node* occurrence : set_->binder(binder_id).occurrences) {
       if (total) {
-        AddTa(occurrence->id, "let: bound expression to variable",
+        AddTa(ctx, occurrence->id, "let: bound expression to variable",
               {fact_id});
       } else {
-        AddPa(occurrence->id, "let: bound expression to variable",
+        AddPa(ctx, occurrence->id, "let: bound expression to variable",
               {fact_id});
       }
     }
   }
   if (parent != nullptr && parent->is_let() && parent->body() == node) {
     if (total) {
-      AddTa(parent->id, "let: body to let value", {fact_id});
+      AddTa(ctx, parent->id, "let: body to let value", {fact_id});
     } else {
-      AddPa(parent->id, "let: body to let value", {fact_id});
+      AddPa(ctx, parent->id, "let: body to let value", {fact_id});
     }
   }
 }
 
-void Closure::ProcessTa(const Fact& fact, FactId fact_id) {
-  AddPa(fact.a, "ta => pa", {fact_id});
-  FireLetAndWriteRulesForAlterability(fact.a, /*total=*/true, fact_id);
+void Closure::ProcessTa(EvalCtx& ctx, const Fact& fact, FactId fact_id) {
+  AddPa(ctx, fact.a, "ta => pa", {fact_id});
+  FireLetAndWriteRulesForAlterability(ctx, fact.a, /*total=*/true, fact_id);
   // The index lists the (parent-call) rules with a ta or pa premise on
-  // this occurrence; pa is included because the implication above lands
-  // in pa_ before the triggers run, exactly as the whole-call reeval saw
-  // it. Rules without such a premise read state this fact didn't change
-  // and could only re-derive duplicates.
-  if (options_.basic_function_rules) EvalTriggered(alter_triggers_[fact.a]);
+  // this occurrence. In the frozen phase the "ta => pa" conclusion above
+  // is only a buffered candidate, so a rule needing the pa premise fails
+  // here and fires next round, when the pa fact drains from the
+  // frontier and re-runs these triggers itself.
+  if (options_.basic_function_rules) {
+    EvalTriggered(ctx, AlterTriggers(fact.a));
+  }
 }
 
-void Closure::ProcessPa(const Fact& fact, FactId fact_id) {
+void Closure::ProcessPa(EvalCtx& ctx, const Fact& fact, FactId fact_id) {
   const Node* node = set_->node(fact.a);
   const Node* parent = node->parent;
 
@@ -1090,9 +1373,9 @@ void Closure::ProcessPa(const Fact& fact, FactId fact_id) {
       // ClosureOptions::read_object_total_alterability for the
       // conclusion's strength).
       if (options_.read_object_total_alterability) {
-        AddTa(parent->id, "alterability via read object", {fact_id});
+        AddTa(ctx, parent->id, "alterability via read object", {fact_id});
       } else {
-        AddPa(parent->id, "alterability via read object", {fact_id});
+        AddPa(ctx, parent->id, "alterability via read object", {fact_id});
       }
     }
     if (parent->kind == NodeKind::kWriteAttr &&
@@ -1100,14 +1383,16 @@ void Closure::ProcessPa(const Fact& fact, FactId fact_id) {
       // Altering which object is written lets the user hit the object of
       // any read of the attribute.
       for (const Node* read : set_->reads(parent->attribute)) {
-        AddTa(read->id, "alterability via write object", {fact_id});
+        AddTa(ctx, read->id, "alterability via write object", {fact_id});
       }
     }
   }
 
-  FireLetAndWriteRulesForAlterability(fact.a, /*total=*/false, fact_id);
+  FireLetAndWriteRulesForAlterability(ctx, fact.a, /*total=*/false, fact_id);
 
-  if (options_.basic_function_rules) EvalTriggered(alter_triggers_[fact.a]);
+  if (options_.basic_function_rules) {
+    EvalTriggered(ctx, AlterTriggers(fact.a));
+  }
 }
 
 // ---------------------------------------------------------------------
@@ -1133,20 +1418,22 @@ void Closure::ProcessEqMerge(const Fact& fact, FactId fact_id) {
           // =[e1,e2] -> =[e3, r_att(e2)] where w_att(e1, e3): the written
           // value equals reads of the attribute on an equal object.
           std::vector<FactId> premises;
-          ExplainEquality(write->object_child()->id,
+          ExplainEquality(direct_ctx_, write->object_child()->id,
                           read->object_child()->id, premises);
           // The merge is in progress: the chain runs through this fact.
           premises.push_back(fact_id);
           std::sort(premises.begin(), premises.end());
           premises.erase(std::unique(premises.begin(), premises.end()),
                          premises.end());
-          AddEq(write->value_child()->id, read->id,
+          AddEq(direct_ctx_, write->value_child()->id, read->id,
                 "=: written value equals read", premises);
           // Alterability of the written value transfers to the read.
           FactId alter = ta_[write->value_child()->id] != kNoFact
                              ? ta_[write->value_child()->id]
                              : pa_[write->value_child()->id];
-          if (alter != kNoFact) FireWriteValueRules(write, alter, read);
+          if (alter != kNoFact) {
+            FireWriteValueRules(direct_ctx_, write, alter, read);
+          }
         }
       }
       for (const Node* read1 : obj_reads_[obj_side]) {
@@ -1154,8 +1441,8 @@ void Closure::ProcessEqMerge(const Fact& fact, FactId fact_id) {
           if (read1 == read2 || read1->attribute != read2->attribute) {
             continue;
           }
-          AddEq(read1->id, read2->id, "=: reads of equal objects",
-                {fact_id});
+          AddEq(direct_ctx_, read1->id, read2->id,
+                "=: reads of equal objects", {fact_id});
         }
       }
     };
@@ -1202,12 +1489,12 @@ void Closure::ProcessEqMerge(const Fact& fact, FactId fact_id) {
         const OriginSet::Entry& left_entry = left_it->second.entries()[0];
         const OriginSet::Entry& right_entry =
             right_it->second.entries()[0];
-        const Fact& left_fact = steps_[left_entry.fact].fact;
-        const Fact& right_fact = steps_[right_entry.fact].fact;
+        const Fact& left_fact = fact_of_[left_entry.fact];
+        const Fact& right_fact = fact_of_[right_entry.fact];
         if (Find(left_fact.a) == Find(right_fact.b)) continue;
         // Conclusion keeps the first pair's provenance, mirroring
         // ProcessPiStar.
-        AddPiStar(left_fact.a, right_fact.b, left_entry.origin,
+        AddPiStar(direct_ctx_, left_fact.a, right_fact.b, left_entry.origin,
                   "pi*: join", {left_entry.fact, right_entry.fact});
       }
     }
@@ -1216,7 +1503,8 @@ void Closure::ProcessEqMerge(const Fact& fact, FactId fact_id) {
   cross_join(side_b, rb, side_a, ra);
 
   // =[e1,e2] -> pi*[(e1,e2), 0, +]: equal expressions form a known pair.
-  AddPiStar(fact.a, fact.b, {0, '+'}, "=: pair of equals", {fact_id});
+  AddPiStar(direct_ctx_, fact.a, fact.b, {0, '+'}, "=: pair of equals",
+            {fact_id});
 
   // The merged class may have gained inferability origins (pi-join) and
   // new rule opportunities.
@@ -1224,7 +1512,8 @@ void Closure::ProcessEqMerge(const Fact& fact, FactId fact_id) {
     const OriginSet& joined = pi_[root];
     if (joined.size() >= 2) {
       std::span<const OriginSet::Entry> entries = joined.entries();
-      AddTi(fact.a, entries[0].origin, "join of partial inferabilities",
+      AddTi(direct_ctx_, fact.a, entries[0].origin,
+            "join of partial inferabilities",
             {entries[0].fact, entries[1].fact});
     }
   }
@@ -1323,70 +1612,74 @@ int Closure::MergeClasses(int ra, int rb) {
 // ---------------------------------------------------------------------
 // Inferability rules (Table 2, rule 2 + basic-function rules).
 
-void Closure::ProcessTi(const Fact& fact, FactId fact_id) {
-  AddPi(fact.a, fact.origin, "ti => pi", {fact_id});
-  // infer_triggers_ covers rules with a ti *or* pi premise in the class:
-  // the implication above already sits in pi_ when they run, exactly as
-  // the whole-class reeval saw it.
+void Closure::ProcessTi(EvalCtx& ctx, const Fact& fact, FactId fact_id) {
+  AddPi(ctx, fact.a, fact.origin, "ti => pi", {fact_id});
+  // infer_triggers_ covers rules with a ti *or* pi premise in the class.
+  // The "ti => pi" conclusion above is only buffered, so a rule whose pi
+  // premise it would satisfy fails here and fires when that pi fact
+  // drains from the frontier next round.
   if (options_.basic_function_rules) {
-    EvalTriggered(infer_triggers_[Find(fact.a)]);
+    EvalTriggered(ctx, infer_triggers_[CtxFind(ctx, fact.a)]);
   }
 }
 
-void Closure::ProcessPi(const Fact& fact, FactId fact_id) {
+void Closure::ProcessPi(EvalCtx& ctx, const Fact& fact, FactId fact_id) {
   if (options_.pi_join_to_ti) {
-    const OriginSet& origins = pi_[Find(fact.a)];
+    const OriginSet& origins = pi_[CtxFind(ctx, fact.a)];
     if (origins.size() >= 2) {
       // pi[e,n1,d1], pi[e,n2,d2] -> ti[e,n1,d1] for (n1,d1) != (n2,d2):
       // two differently-obtained candidate sets may intersect to a
       // single value (pessimistic assumption 2 of §4.1).
       for (const OriginSet::Entry& entry : origins.entries()) {
         if (entry.origin == fact.origin) continue;
-        AddTi(fact.a, fact.origin, "join of partial inferabilities",
+        AddTi(ctx, fact.a, fact.origin, "join of partial inferabilities",
               {fact_id, entry.fact});
-        AddTi(fact.a, entry.origin, "join of partial inferabilities",
+        AddTi(ctx, fact.a, entry.origin, "join of partial inferabilities",
               {entry.fact, fact_id});
         break;
       }
     }
   }
   if (options_.basic_function_rules) {
-    EvalTriggered(infer_triggers_[Find(fact.a)]);
+    EvalTriggered(ctx, infer_triggers_[CtxFind(ctx, fact.a)]);
   }
 }
 
-void Closure::ProcessPiStar(const Fact& fact, FactId fact_id) {
+void Closure::ProcessPiStar(EvalCtx& ctx, const Fact& fact,
+                            FactId fact_id) {
   // pi*[(e1,e2)] -> pi*[(e2,e1)] (transposing the set is free).
-  AddPiStar(fact.b, fact.a, fact.origin, "pi*: swap", {fact_id});
+  AddPiStar(ctx, fact.b, fact.a, fact.origin, "pi*: swap", {fact_id});
 
-  // Join: pi*[(ea,eb)], pi*[(eb,ec)] -> pi*[(ea,ec)].
-  int ra = Find(fact.a);
-  int rb = Find(fact.b);
-  std::vector<std::pair<int, int>> keys = pistar_touching_[rb];  // copy
-  for (const std::pair<int, int>& key : keys) {
+  // Join: pi*[(ea,eb)], pi*[(eb,ec)] -> pi*[(ea,ec)]. Frontier dispatch
+  // only reaches here in the frozen phase, where pistar_touching_ cannot
+  // grow (AddPiStar buffers instead of inserting), so iterating the
+  // lists in place is safe.
+  int ra = CtxFind(ctx, fact.a);
+  int rb = CtxFind(ctx, fact.b);
+  for (const std::pair<int, int>& key : pistar_touching_[rb]) {
     if (key.first != rb) continue;
     auto it = pistar_.find(PairKey(key.first, key.second));
     if (it == pistar_.end() || it->second.empty()) continue;
     int rc = key.second;
     if (rc == ra) continue;
     // Conclusion keeps the first pair's provenance (paper Table 2).
-    AddPiStar(fact.a, members_[rc].front(), fact.origin, "pi*: join",
+    AddPiStar(ctx, fact.a, members_[rc].front(), fact.origin, "pi*: join",
               {fact_id, it->second.entries()[0].fact});
   }
-  std::vector<std::pair<int, int>> left_keys = pistar_touching_[ra];
-  for (const std::pair<int, int>& key : left_keys) {
+  for (const std::pair<int, int>& key : pistar_touching_[ra]) {
     if (key.second != ra) continue;
     auto it = pistar_.find(PairKey(key.first, key.second));
     if (it == pistar_.end() || it->second.empty()) continue;
     int rc = key.first;
     if (rc == rb) continue;
-    AddPiStar(members_[rc].front(), fact.b, it->second.entries()[0].origin,
-              "pi*: join", {it->second.entries()[0].fact, fact_id});
+    AddPiStar(ctx, members_[rc].front(), fact.b,
+              it->second.entries()[0].origin, "pi*: join",
+              {it->second.entries()[0].fact, fact_id});
   }
 
   if (options_.basic_function_rules) {
-    EvalTriggered(pistar_triggers_[ra]);
-    if (rb != ra) EvalTriggered(pistar_triggers_[rb]);
+    EvalTriggered(ctx, pistar_triggers_[ra]);
+    if (rb != ra) EvalTriggered(ctx, pistar_triggers_[rb]);
   }
 }
 
@@ -1404,8 +1697,10 @@ bool Closure::PickOrigin(const OriginSet& origins, const Origin* excluded,
   return false;
 }
 
-void Closure::EvalRule(const Node* call, const BasicRule& rule) {
-  ++rule_evals_;
+void Closure::EvalRule(EvalCtx& ctx, const Node* call,
+                       const BasicRule& rule) {
+  if (ctx.buffering()) ++ctx.out->rule_evals;
+  else ++rule_evals_;
   auto id_at = [&](int pos) {
     return pos == kResultPos ? call->id : call->children[pos]->id;
   };
@@ -1416,7 +1711,7 @@ void Closure::EvalRule(const Node* call, const BasicRule& rule) {
   Origin result_guard = {call->id, '+'};
 
   {
-    std::vector<FactId>& premises = scratch_premises_;
+    std::vector<FactId>& premises = ctx.scratch_premises;
     premises.clear();
     bool ok = true;
     for (const RuleAtom& atom : rule.premises) {
@@ -1435,7 +1730,8 @@ void Closure::EvalRule(const Node* call, const BasicRule& rule) {
           const Origin* excluded =
               atom.pos == kResultPos ? &result_guard : &arg_guard;
           const OriginSet& origins =
-              (atom.pred == RuleAtom::Pred::kTi ? ti_ : pi_)[Find(id)];
+              (atom.pred == RuleAtom::Pred::kTi ? ti_
+                                                : pi_)[CtxFind(ctx, id)];
           Origin origin;
           FactId fact;
           if (!PickOrigin(origins, excluded, origin, fact)) {
@@ -1444,8 +1740,10 @@ void Closure::EvalRule(const Node* call, const BasicRule& rule) {
             premises.push_back(fact);
             // The stored fact may live on another member of id's
             // equality class; include the =-chain in the justification.
-            int stored_at = steps_[fact].fact.a;
-            if (stored_at != id) ExplainEquality(stored_at, id, premises);
+            int stored_at = fact_of_[fact].a;
+            if (stored_at != id) {
+              ExplainEquality(ctx, stored_at, id, premises);
+            }
           }
           break;
         }
@@ -1454,7 +1752,8 @@ void Closure::EvalRule(const Node* call, const BasicRule& rule) {
               atom.pos == kResultPos || atom.pos2 == kResultPos;
           const Origin* excluded =
               involves_result ? &result_guard : &arg_guard;
-          auto it = pistar_.find(PairKey(Find(id), Find(id_at(atom.pos2))));
+          auto it = pistar_.find(
+              PairKey(CtxFind(ctx, id), CtxFind(ctx, id_at(atom.pos2))));
           Origin origin;
           FactId fact;
           if (it == pistar_.end() ||
@@ -1483,45 +1782,48 @@ void Closure::EvalRule(const Node* call, const BasicRule& rule) {
     const RuleAtom& conclusion = rule.conclusion;
     switch (conclusion.pred) {
       case RuleAtom::Pred::kTa:
-        AddTa(id_at(conclusion.pos), rule.label, premises);
+        AddTa(ctx, id_at(conclusion.pos), rule.label, premises);
         break;
       case RuleAtom::Pred::kPa:
-        AddPa(id_at(conclusion.pos), rule.label, premises);
+        AddPa(ctx, id_at(conclusion.pos), rule.label, premises);
         break;
       case RuleAtom::Pred::kTi:
-        AddTi(id_at(conclusion.pos),
+        AddTi(ctx, id_at(conclusion.pos),
               {call->id, conclusion.pos == kResultPos ? '+' : '-'},
               rule.label, premises);
         break;
       case RuleAtom::Pred::kPi:
-        AddPi(id_at(conclusion.pos),
+        AddPi(ctx, id_at(conclusion.pos),
               {call->id, conclusion.pos == kResultPos ? '+' : '-'},
               rule.label, premises);
         break;
       case RuleAtom::Pred::kPiStar:
-        AddPiStar(id_at(conclusion.pos), id_at(conclusion.pos2),
+        AddPiStar(ctx, id_at(conclusion.pos), id_at(conclusion.pos2),
                   {call->id, dir}, rule.label, premises);
         break;
     }
   }
 }
 
-void Closure::ReevalBasicCall(const Node* call) {
-  ++basic_reevals_;
-  for (const BasicRule& rule : RulesFor(*call->basic)) EvalRule(call, rule);
+void Closure::ReevalBasicCall(EvalCtx& ctx, const Node* call) {
+  if (ctx.buffering()) ++ctx.out->basic_reevals;
+  else ++basic_reevals_;
+  for (const BasicRule& rule : RulesFor(*call->basic)) {
+    EvalRule(ctx, call, rule);
+  }
 }
 
-void Closure::EvalTriggered(const std::vector<RuleRef>& triggers) {
-  // Safe to iterate by reference: rule firing only logs facts (merges
-  // happen at ProcessEqMerge time, never inside Add*), so the trigger
-  // tables cannot move under us.
-  for (const RuleRef& ref : triggers) EvalRule(ref.call, *ref.rule);
+void Closure::EvalTriggered(EvalCtx& ctx, std::span<const RuleRef> triggers) {
+  // Safe to iterate in place: rule firing only logs or buffers facts
+  // (merges happen at ProcessEqMerge time, never inside Add*), so the
+  // trigger tables cannot move under us.
+  for (const RuleRef& ref : triggers) EvalRule(ctx, ref.call, *ref.rule);
 }
 
 void Closure::ReevalCallsTouching(int rep) {
   // Copy: merges triggered by derived equalities may mutate the table.
   std::vector<const Node*> calls = touching_calls_[rep];
-  for (const Node* call : calls) ReevalBasicCall(call);
+  for (const Node* call : calls) ReevalBasicCall(direct_ctx_, call);
 }
 
 // ---------------------------------------------------------------------
@@ -1568,6 +1870,10 @@ void Closure::FlushMetrics() {
   metrics.counter("closure.basic_call.reevals")->Increment(basic_reevals_);
   metrics.counter("closure.eq.merges")->Increment(eq_merges_);
   metrics.counter("closure.delta.rule_evals")->Increment(rule_evals_);
+  if (parallel_rounds_ > 0) {
+    metrics.counter("closure.parallel.rounds")->Increment(parallel_rounds_);
+    metrics.counter("closure.parallel.chunks")->Increment(parallel_chunks_);
+  }
   if (warm_started_ && !retracted_) {
     metrics.counter("closure.delta.warm_starts")->Increment();
     metrics.counter("closure.delta.replayed_facts")

@@ -40,10 +40,16 @@
 //    lookups (millions of Add* calls for tens of thousands of accepted
 //    facts), so the miss path allocates nothing.
 //
-// Thread-safety contract: construction is single-threaded and does all
-// the mutation; Run() ends with a full path-compression pass over the
-// union-find, after which a Closure is deeply immutable. Every const
-// member function (the Has*/TaFact*/AreEqual queries, ExplainFact*,
+// Thread-safety contract: all table *mutation* happens on the
+// constructing thread. With ClosureOptions::closure_threads > 1, Run()
+// additionally spawns a short-lived worker crew, but workers only
+// evaluate rules against the frozen round-start state into private
+// buffers — every write (dedup, Log(), union-find merge, pi* re-keying)
+// still happens sequentially at the round barrier, and the resulting
+// derivation log is byte-identical for every thread count (see Run()).
+// Run() ends with a full path-compression pass over the union-find,
+// after which a Closure is deeply immutable. Every const member
+// function (the Has*/TaFact*/AreEqual queries, ExplainFact*,
 // FactToString) is a pure read and safe to call from many threads
 // concurrently — this is what lets the service layer share one Closure
 // among parallel requirement checks.
@@ -221,9 +227,26 @@ struct ClosureOptions {
   // w_budget is also granted (§3.1).
   bool read_object_total_alterability = false;
 
-  // Warm-start seeding requires identical semantics on both sides.
-  friend bool operator==(const ClosureOptions&, const ClosureOptions&) =
-      default;
+  // Worker threads for the fixpoint rounds inside Run(): 1 (default)
+  // evaluates every round on the calling thread, 0 resolves to the
+  // hardware concurrency, N > 1 caps the round crew at N. This is
+  // purely an execution knob — the derivation log and every published
+  // closure.* metric are byte-identical for all values (see Run()) —
+  // which is why operator== below ignores it: closures built at
+  // different thread counts warm-start from each other, share cache
+  // entries, and replay each other's snapshots.
+  int closure_threads = 1;
+
+  // Warm-start seeding requires identical *semantics* on both sides;
+  // closure_threads never changes the result and is excluded.
+  friend bool operator==(const ClosureOptions& x, const ClosureOptions& y) {
+    return x.same_type_argument_equality == y.same_type_argument_equality &&
+           x.pi_join_to_ti == y.pi_join_to_ti &&
+           x.basic_function_rules == y.basic_function_rules &&
+           x.write_read_equality == y.write_read_equality &&
+           x.read_object_total_alterability ==
+               y.read_object_total_alterability;
+  }
 };
 
 class Closure {
@@ -354,58 +377,141 @@ class Closure {
   std::string ExplainFacts(const std::vector<FactId>& facts) const;
 
  private:
+  // --- parallel round engine (see Run) ---
+  // One buffered conclusion from the read-only half of a round: the
+  // fact, its rule label, and a premise slice in the owning chunk's
+  // premise pool. Every premise FactId references a fact from an
+  // earlier round — the frozen tables never hand out ids minted in the
+  // current one — so a candidate is position-independent and the
+  // barrier replays it through the ordinary Add*/Log() path unchanged.
+  struct Candidate {
+    Fact fact;
+    std::string_view rule;
+    uint32_t premise_offset = 0;
+    uint32_t premise_count = 0;
+  };
+  // Per-chunk output buffer: candidates in evaluation order plus their
+  // premise pool, and the work counters accumulated while producing
+  // them. The counters are snapshotted into the closure totals at the
+  // barrier, in chunk order, so the published metrics are identical
+  // for every thread count (and never racy).
+  struct ChunkOut {
+    std::vector<Candidate> candidates;
+    std::vector<FactId> premise_pool;
+    uint64_t find_calls = 0;
+    uint64_t add_attempts = 0;
+    uint64_t rule_evals = 0;
+    uint64_t basic_reevals = 0;
+
+    void Clear() {
+      candidates.clear();
+      premise_pool.clear();
+      find_calls = add_attempts = rule_evals = basic_reevals = 0;
+    }
+  };
+  // Evaluation context threaded through every rule-firing helper. The
+  // direct context (out == nullptr) mutates the tables through the
+  // Add*/Log() tails; a buffering context (out != nullptr) only reads
+  // the frozen round-start state and appends candidates to its chunk.
+  // Each context owns the scratch one evaluation strand needs — the
+  // rule premise buffer and the equality-explanation BFS state — so
+  // chunk workers share nothing writable.
+  struct EvalCtx {
+    ChunkOut* out = nullptr;
+    std::vector<FactId> scratch_premises;
+    std::vector<int> bfs_prev_node;
+    std::vector<FactId> bfs_prev_edge;
+    std::vector<int> bfs_queue;
+    // Visitation is epoch-stamped so the BFS state never needs clearing.
+    std::vector<uint32_t> bfs_seen_epoch;
+    uint32_t bfs_epoch = 0;
+
+    bool buffering() const { return out != nullptr; }
+  };
+  // Lazily-spawned worker pool + per-worker contexts for one Run();
+  // defined in closure.cc.
+  struct RoundCrew;
+
   // --- union-find with proof forest ---
-  // Mutating find with path compression; construction only.
+  // Mutating find with path compression; single-threaded phases only.
   int Find(int id);
+  // Non-mutating find for the frozen evaluation phase: chunk workers
+  // walk parent links without path compression (the sequential phases
+  // compress; the parent array is stable while workers run).
+  int FindRoot(int id) const {
+    while (uf_parent_[id] != id) id = uf_parent_[id];
+    return id;
+  }
+  // Find through `ctx`: the mutating find in direct mode, the read-only
+  // walk (with chunk-local accounting) in buffering mode.
+  int CtxFind(EvalCtx& ctx, int id) {
+    if (!ctx.buffering()) return Find(id);
+    ++ctx.out->find_calls;
+    return FindRoot(id);
+  }
   // Post-construction representative lookup: Run() ends with a full
   // compression pass, so every parent link points at the root and this
   // is a single read — safe for concurrent readers (no path-compression
   // writes behind const, unlike the classic mutable-parent find).
   int Rep(int id) const { return uf_parent_[id]; }
-  // Appends the base =-fact ids proving id1 == id2 to `out`.
-  void ExplainEquality(int id1, int id2, std::vector<FactId>& out);
+  // Appends the base =-fact ids proving id1 == id2 to `out`, using the
+  // context's BFS scratch.
+  void ExplainEquality(EvalCtx& ctx, int id1, int id2,
+                       std::vector<FactId>& out);
 
   // --- fact derivation (dedup + log + worklist) ---
   // The rule string must have static (or closure-outliving) storage.
-  FactId AddTa(int id, std::string_view rule, Premises premises);
-  FactId AddPa(int id, std::string_view rule, Premises premises);
-  FactId AddTi(int id, Origin origin, std::string_view rule,
+  // In direct mode the returned FactId is the logged (or deduplicated)
+  // fact; in buffering mode the conclusion is appended to the chunk and
+  // kNoFact is returned — no caller on the frozen path consumes Add*
+  // return values (the invariant that makes candidate buffers
+  // premise-complete; see Run()).
+  FactId AddTa(EvalCtx& ctx, int id, std::string_view rule,
                Premises premises);
-  FactId AddPi(int id, Origin origin, std::string_view rule,
+  FactId AddPa(EvalCtx& ctx, int id, std::string_view rule,
                Premises premises);
-  FactId AddPiStar(int id1, int id2, Origin origin, std::string_view rule,
-                   Premises premises);
-  FactId AddEq(int id1, int id2, std::string_view rule, Premises premises);
+  FactId AddTi(EvalCtx& ctx, int id, Origin origin, std::string_view rule,
+               Premises premises);
+  FactId AddPi(EvalCtx& ctx, int id, Origin origin, std::string_view rule,
+               Premises premises);
+  FactId AddPiStar(EvalCtx& ctx, int id1, int id2, Origin origin,
+                   std::string_view rule, Premises premises);
+  FactId AddEq(EvalCtx& ctx, int id1, int id2, std::string_view rule,
+               Premises premises);
   FactId Log(Fact fact, std::string_view rule, Premises premises);
+  // The buffering tail shared by the Add* functions.
+  FactId Buffer(EvalCtx& ctx, const Fact& fact, std::string_view rule,
+                Premises premises);
 
   // Brace-list forwarders (a braced argument prefers an initializer_list
   // parameter, whose backing array lives for the whole call).
-  FactId AddTa(int id, std::string_view rule,
+  FactId AddTa(EvalCtx& ctx, int id, std::string_view rule,
                std::initializer_list<FactId> premises) {
-    return AddTa(id, rule, Premises{premises.begin(), premises.size()});
+    return AddTa(ctx, id, rule, Premises{premises.begin(), premises.size()});
   }
-  FactId AddPa(int id, std::string_view rule,
+  FactId AddPa(EvalCtx& ctx, int id, std::string_view rule,
                std::initializer_list<FactId> premises) {
-    return AddPa(id, rule, Premises{premises.begin(), premises.size()});
+    return AddPa(ctx, id, rule, Premises{premises.begin(), premises.size()});
   }
-  FactId AddTi(int id, Origin origin, std::string_view rule,
+  FactId AddTi(EvalCtx& ctx, int id, Origin origin, std::string_view rule,
                std::initializer_list<FactId> premises) {
-    return AddTi(id, origin, rule,
+    return AddTi(ctx, id, origin, rule,
                  Premises{premises.begin(), premises.size()});
   }
-  FactId AddPi(int id, Origin origin, std::string_view rule,
+  FactId AddPi(EvalCtx& ctx, int id, Origin origin, std::string_view rule,
                std::initializer_list<FactId> premises) {
-    return AddPi(id, origin, rule,
+    return AddPi(ctx, id, origin, rule,
                  Premises{premises.begin(), premises.size()});
   }
-  FactId AddPiStar(int id1, int id2, Origin origin, std::string_view rule,
+  FactId AddPiStar(EvalCtx& ctx, int id1, int id2, Origin origin,
+                   std::string_view rule,
                    std::initializer_list<FactId> premises) {
-    return AddPiStar(id1, id2, origin, rule,
+    return AddPiStar(ctx, id1, id2, origin, rule,
                      Premises{premises.begin(), premises.size()});
   }
-  FactId AddEq(int id1, int id2, std::string_view rule,
+  FactId AddEq(EvalCtx& ctx, int id1, int id2, std::string_view rule,
                std::initializer_list<FactId> premises) {
-    return AddEq(id1, id2, rule,
+    return AddEq(ctx, id1, id2, rule,
                  Premises{premises.begin(), premises.size()});
   }
 
@@ -493,30 +599,65 @@ class Closure {
 
   // --- rule application ---
   void Seed();
+  // Runs the semi-naive fixpoint to completion. Every round has the
+  // same two-phase shape regardless of thread count:
+  //
+  //   Phase A (frozen): every non-eq frontier fact is evaluated against
+  //   the round-*start* tables — no writes — and its conclusions are
+  //   buffered as Candidates, per contiguous frontier chunk. With
+  //   closure_threads > 1 and a large enough frontier, the chunks run
+  //   on a worker crew; otherwise the calling thread evaluates one
+  //   chunk inline. Chunk boundaries never leak into the output: the
+  //   buffers are concatenated in (chunk index, intra-chunk) order,
+  //   which is exactly frontier order.
+  //
+  //   Barrier: the candidates are applied in that canonical order
+  //   through the ordinary dedup + Log() path (duplicates melt here).
+  //
+  //   Phase B (sequential): the round's =-facts are merged in frontier
+  //   order — union-find mutation, pi* re-keying, and the cross-class
+  //   re-fires stay single-threaded.
+  //
+  // Facts derived mid-round become visible one round later (they enter
+  // the next frontier), so the log differs from a live-interleaved
+  // engine but is *identical across thread counts* — the determinism
+  // the snapshot, warm-start, and shard layers already pin.
   void Run();
+  // One fixpoint round over frontier_ (the phases described on Run).
+  void RunRound(RoundCrew& crew);
+  // Phase A for frontier_[begin, end): frozen evaluation into ctx.out.
+  void EvalFrontierChunk(EvalCtx& ctx, size_t begin, size_t end);
+  // Barrier half: replays one chunk's candidates through the direct
+  // Add* path, in buffer order.
+  void ApplyChunk(const ChunkOut& out);
+  // Folds one chunk's work counters into the closure totals.
+  void SnapshotChunkCounters(const ChunkOut& out);
   // Publishes the construction-time counters (and a per-rule-family
   // breakdown of steps_) into obs_->metrics; no-op without obs_.
   void FlushMetrics();
-  void Process(FactId fact_id);
-  void ProcessTa(const Fact& fact, FactId fact_id);
-  void ProcessPa(const Fact& fact, FactId fact_id);
+  void ProcessTa(EvalCtx& ctx, const Fact& fact, FactId fact_id);
+  void ProcessPa(EvalCtx& ctx, const Fact& fact, FactId fact_id);
+  // Equality merge; always direct-mode (phase B / replay / rederive).
   void ProcessEqMerge(const Fact& fact, FactId fact_id);
-  void ProcessTi(const Fact& fact, FactId fact_id);
-  void ProcessPi(const Fact& fact, FactId fact_id);
-  void ProcessPiStar(const Fact& fact, FactId fact_id);
-  void FireLetAndWriteRulesForAlterability(int id, bool total,
+  void ProcessTi(EvalCtx& ctx, const Fact& fact, FactId fact_id);
+  void ProcessPi(EvalCtx& ctx, const Fact& fact, FactId fact_id);
+  void ProcessPiStar(EvalCtx& ctx, const Fact& fact, FactId fact_id);
+  void FireLetAndWriteRulesForAlterability(EvalCtx& ctx, int id, bool total,
                                            FactId fact_id);
-  void FireWriteValueRules(const unfold::Node* write, FactId eq_or_alter,
-                           const unfold::Node* read);
+  void FireWriteValueRules(EvalCtx& ctx, const unfold::Node* write,
+                           FactId eq_or_alter, const unfold::Node* read);
   // Structural half of an equality merge: union by rank plus the merge
   // of every per-class table (members, reads/writes, touching calls,
   // trigger lists, origin sets, pi* re-keying). Shared between
   // ProcessEqMerge and warm-start replay; returns the surviving root.
   int MergeClasses(int ra, int rb);
-  void EvalRule(const unfold::Node* call, const BasicRule& rule);
-  void EvalTriggered(const std::vector<RuleRef>& triggers);
-  void ReevalBasicCall(const unfold::Node* call);
+  void EvalRule(EvalCtx& ctx, const unfold::Node* call,
+                const BasicRule& rule);
+  void EvalTriggered(EvalCtx& ctx, std::span<const RuleRef> triggers);
+  void ReevalBasicCall(EvalCtx& ctx, const unfold::Node* call);
   void ReevalCallsTouching(int rep);
+  // Sizes a context's BFS scratch for this closure's id space.
+  void InitCtx(EvalCtx& ctx) const;
 
   // Picks an origin of `origins` different from `excluded` (or any if
   // `excluded` is null); returns false if none.
@@ -531,9 +672,11 @@ class Closure {
   const unfold::UnfoldedSet* set_;
   ClosureOptions options_;
   // Observability (construction only; may be null). The work counters
-  // below are plain members — the fixpoint is single-threaded — bumped
-  // unconditionally (one add each, noise-level cost) and published to
-  // the shared registry once, in FlushMetrics().
+  // below are plain members, only ever touched from the constructing
+  // thread: chunk workers accumulate into their ChunkOut and RunRound
+  // folds those in at the barrier (SnapshotChunkCounters), so the
+  // totals are deterministic across thread counts and published to the
+  // shared registry once, in FlushMetrics().
   obs::Observability* obs_ = nullptr;
   uint64_t find_calls_ = 0;     // union-find lookups during construction
   uint64_t add_attempts_ = 0;   // Add* calls (dedup lookups), incl. misses
@@ -541,6 +684,8 @@ class Closure {
   uint64_t rule_evals_ = 0;     // single-rule evaluations (incl. indexed)
   uint64_t eq_merges_ = 0;      // equality merges actually performed
   uint64_t rounds_ = 0;         // fixpoint delta rounds
+  uint64_t parallel_rounds_ = 0;  // rounds evaluated on the worker crew
+  uint64_t parallel_chunks_ = 0;  // chunks dispatched across those rounds
 
   bool warm_started_ = false;
   size_t replayed_facts_ = 0;
@@ -572,13 +717,22 @@ class Closure {
   // Rep id -> basic calls with an argument or themselves in the class,
   // sorted by occurrence id, unique.
   std::vector<std::vector<const unfold::Node*>> touching_calls_;
-  // Premise index (see BuildPremiseIndex). alter_triggers_ is keyed by
-  // occurrence id (ta/pa are per-occurrence and never merge);
-  // infer_triggers_ / pistar_triggers_ are keyed by class representative
-  // and merged on union, like touching_calls_. All lists are sorted by
-  // (call id, catalog order), unique — the evaluation order of the full
-  // per-call scan they replace.
-  std::vector<std::vector<RuleRef>> alter_triggers_;
+  // Premise index (see BuildPremiseIndex). The alterability triggers
+  // are keyed by occurrence id (ta/pa are per-occurrence and never
+  // merge), so the table is frozen after BuildPremiseIndex and stored
+  // CSR-style — one offsets array over one contiguous RuleRef payload —
+  // which chunk workers scan without chasing a per-id vector header.
+  // infer_triggers_ / pistar_triggers_ must stay vector-of-vectors:
+  // they are keyed by class representative and merged on every union
+  // (MergeClasses), which a flattened layout cannot absorb mid-
+  // fixpoint. All lists are sorted by (call id, catalog order), unique
+  // — the evaluation order of the full per-call scan they replace.
+  std::vector<uint32_t> alter_trigger_offsets_;  // id -> payload range
+  std::vector<RuleRef> alter_trigger_refs_;
+  std::span<const RuleRef> AlterTriggers(int id) const {
+    return {alter_trigger_refs_.data() + alter_trigger_offsets_[id],
+            alter_trigger_offsets_[id + 1] - alter_trigger_offsets_[id]};
+  }
   std::vector<std::vector<RuleRef>> infer_triggers_;
   std::vector<std::vector<RuleRef>> pistar_triggers_;
   // Rep id -> reads/writes whose *object* child is in the class.
@@ -588,6 +742,13 @@ class Closure {
   std::vector<int> binder_of_bound_expr_;
 
   std::vector<DerivationStep> steps_;
+  // Struct-of-arrays mirror of steps_[i].fact: the fixpoint hot paths
+  // (frontier dispatch, EvalRule's stored-at lookup, RederiveClass)
+  // only need the fact, and reading it from a dense Fact array instead
+  // of the 48-byte DerivationStep keeps chunk workers' shared read
+  // traffic compact. Appended alongside steps_ in Log() and the replay
+  // paths.
+  std::vector<Fact> fact_of_;
   std::vector<FactId> premise_arena_;
   // Semi-naive delta frontiers: Log() appends every accepted fact to
   // next_frontier_; Run() swaps it into frontier_ and processes one
@@ -595,16 +756,10 @@ class Closure {
   std::vector<FactId> frontier_;
   std::vector<FactId> next_frontier_;
 
-  // Scratch buffers (construction only): rule premises under evaluation
-  // and the equality-explanation BFS state, reused across millions of
-  // rule attempts instead of reallocated per call.
-  std::vector<FactId> scratch_premises_;
-  std::vector<int> bfs_prev_node_;
-  std::vector<FactId> bfs_prev_edge_;
-  std::vector<int> bfs_queue_;
-  // Visitation is epoch-stamped so the BFS state never needs clearing.
-  std::vector<uint32_t> bfs_seen_epoch_;
-  uint32_t bfs_epoch_ = 0;
+  // The direct (table-mutating) evaluation context: seeding, replay,
+  // rederivation, the barrier merge, and phase B all run through it on
+  // the constructing thread. Worker contexts live in the RoundCrew.
+  EvalCtx direct_ctx_;
 };
 
 }  // namespace oodbsec::core

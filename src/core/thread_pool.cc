@@ -1,10 +1,10 @@
-#include "service/thread_pool.h"
+#include "core/thread_pool.h"
 
 #include <utility>
 
 #include "common/strings.h"
 
-namespace oodbsec::service {
+namespace oodbsec::core {
 
 ThreadPool::ThreadPool(int threads, obs::Observability* obs) {
   if (threads < 1) threads = 1;
@@ -93,4 +93,4 @@ void ThreadPool::WorkerLoop(size_t index) {
   }
 }
 
-}  // namespace oodbsec::service
+}  // namespace oodbsec::core

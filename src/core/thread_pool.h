@@ -1,4 +1,6 @@
-// A small work-stealing thread pool for the batch analysis service.
+// A small work-stealing thread pool, shared by the batch analysis
+// service (one long-lived pool per service) and the closure engine (one
+// short-lived crew per Closure::Run when closure_threads > 1).
 //
 // Design notes. Each worker owns a deque: it pops its own work LIFO
 // (the task it just produced is the one whose data is still hot) and
@@ -13,8 +15,8 @@
 // Chase-Lev deques would buy nothing measurable while costing a great
 // deal of subtlety. The lock is held only to move one std::function in
 // or out.
-#ifndef OODBSEC_SERVICE_THREAD_POOL_H_
-#define OODBSEC_SERVICE_THREAD_POOL_H_
+#ifndef OODBSEC_CORE_THREAD_POOL_H_
+#define OODBSEC_CORE_THREAD_POOL_H_
 
 #include <condition_variable>
 #include <cstddef>
@@ -26,7 +28,7 @@
 
 #include "obs/obs.h"
 
-namespace oodbsec::service {
+namespace oodbsec::core {
 
 class ThreadPool {
  public:
@@ -51,7 +53,9 @@ class ThreadPool {
   void Submit(std::function<void()> task);
 
   // Blocks until every submitted task has finished executing. Only the
-  // owning (non-worker) thread may call this.
+  // owning thread may call this — which may itself be a worker of a
+  // *different* pool (a closure build running on a service worker owns
+  // its round crew and waits on it), but never a worker of this one.
   void Wait();
 
   int thread_count() const { return static_cast<int>(workers_.size()); }
@@ -78,6 +82,6 @@ class ThreadPool {
   std::vector<obs::Counter*> worker_tasks_;
 };
 
-}  // namespace oodbsec::service
+}  // namespace oodbsec::core
 
-#endif  // OODBSEC_SERVICE_THREAD_POOL_H_
+#endif  // OODBSEC_CORE_THREAD_POOL_H_

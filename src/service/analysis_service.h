@@ -65,7 +65,7 @@
 #include "core/requirement.h"
 #include "schema/schema.h"
 #include "schema/user.h"
-#include "service/thread_pool.h"
+#include "core/thread_pool.h"
 
 namespace oodbsec::service {
 
@@ -73,9 +73,12 @@ namespace oodbsec::service {
 // session. Prefer constructing an AnalysisSession yourself and passing
 // it in — that is the one place options and observability live.
 struct ServiceOptions {
-  // Worker threads for closure builds and requirement checks.
+  // Worker threads for closure builds and requirement checks — the
+  // across-closures pool. Independent of closure.closure_threads below.
   int threads = 1;
-  // Fixpoint semantics; part of every cache key.
+  // Fixpoint semantics; part of every cache key (except
+  // closure.closure_threads, which parallelises each build's fixpoint
+  // rounds without changing its derivation log).
   core::ClosureOptions closure;
   // LRU bound on cached closures (see core::ClosureCache).
   size_t cache_capacity = core::ClosureCache::kDefaultCapacity;
@@ -189,7 +192,7 @@ class AnalysisService {
  private:
   std::unique_ptr<core::AnalysisSession> owned_session_;
   core::AnalysisSession* session_;  // owned_session_.get() or borrowed
-  ThreadPool pool_;
+  core::ThreadPool pool_;
   // Subset-lattice LRU cache of (unfolded set, closure) entries, shared
   // as shared_ptr so eviction never invalidates in-flight work (see
   // core::ClosureCache). Lookups and inserts happen only in sequential

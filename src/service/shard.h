@@ -63,6 +63,9 @@ struct ShardOptions {
   int shard_count = 4;
   // Worker threads *per shard process* (each worker's pool width).
   int threads = 1;
+  // Fixpoint semantics, forwarded to every worker's session.
+  // closure.closure_threads parallelises each fixpoint inside a worker
+  // (reports stay byte-identical; it is not part of any cache key).
   core::ClosureOptions closure;
   size_t cache_capacity = core::ClosureCache::kDefaultCapacity;
   // Deprecated shim: a non-empty directory opens a DirectoryStore when

@@ -15,6 +15,7 @@
 #include "query/binder.h"
 #include "query/query_parser.h"
 #include "snapshot/snapshot_store.h"
+#include "test_util.h"
 #include "text/workspace.h"
 #include "unfold/unfolded.h"
 
@@ -440,9 +441,9 @@ TEST(SessionGuardTest, ConcurrentDecisionsAreSafe) {
 }
 
 TEST(SessionGuardTest, SnapshotStoreWarmsRestartedGuard) {
-  char dir_template[] = "/tmp/oodbsec_guard_test.XXXXXX";
-  const char* dir = ::mkdtemp(dir_template);
-  ASSERT_NE(dir, nullptr);
+  test_util::ScopedTempDir tmp("oodbsec_guard_test");
+  ASSERT_TRUE(tmp.ok());
+  const std::string& dir = tmp.path();
   GuardOptions options;
   options.snapshot_store = snapshot::OpenDirectoryStore(dir);
 

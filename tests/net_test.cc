@@ -43,6 +43,7 @@
 #include "snapshot/remote_store.h"
 #include "snapshot/snapshot.h"
 #include "snapshot/snapshot_store.h"
+#include "test_util.h"
 
 namespace oodbsec {
 namespace {
@@ -108,17 +109,7 @@ Fleet MakeFleet(int accounts_per_role = 3) {
   return fleet;
 }
 
-std::string MakeTempDir() {
-  char buf[] = "/tmp/oodbsec_net_test.XXXXXX";
-  const char* dir = ::mkdtemp(buf);
-  EXPECT_NE(dir, nullptr);
-  return dir;
-}
-
-void RemoveDir(const std::string& dir) {
-  std::error_code ec;
-  std::filesystem::remove_all(dir, ec);
-}
+using test_util::ScopedTempDir;
 
 // A loopback worker fleet on threads. Each worker owns its listener and
 // serves until Stop(); addresses() feeds TcpTransportOptions::workers.
@@ -463,7 +454,9 @@ TEST(TcpShardTest, AllWorkersDeadFailsAudit) {
 // from remote snapshot hits — and report identical bytes.
 TEST(TcpShardTest, SnapshotWarmedFleetServesRemoteHits) {
   Fleet fleet = MakeFleet();
-  std::string dir = MakeTempDir();
+  ScopedTempDir tmp("oodbsec_net_test");
+  ASSERT_TRUE(tmp.ok());
+  const std::string& dir = tmp.path();
   auto store = snapshot::OpenDirectoryStore(dir);
 
   service::AnalysisService single(*fleet.schema, *fleet.users);
@@ -504,7 +497,6 @@ TEST(TcpShardTest, SnapshotWarmedFleetServesRemoteHits) {
               single_run.value()[i].ToString());
   }
   loopback.Stop();
-  RemoveDir(dir);
 }
 
 // ---------------------------------------------------------------------------
@@ -514,7 +506,9 @@ TEST(TcpShardTest, SnapshotWarmedFleetServesRemoteHits) {
 TEST(RemoteStoreTest, FindSaveStatsRoundTrip) {
   auto schema = BrokerSchema();
   ClosureOptions options;
-  std::string dir = MakeTempDir();
+  ScopedTempDir tmp("oodbsec_net_test");
+  ASSERT_TRUE(tmp.ok());
+  const std::string& dir = tmp.path();
   auto backing = snapshot::OpenDirectoryStore(dir);
 
   snapshot::StoreServer server;
@@ -561,13 +555,14 @@ TEST(RemoteStoreTest, FindSaveStatsRoundTrip) {
             common::StatusCode::kFailedPrecondition);
 
   server.Stop();
-  RemoveDir(dir);
 }
 
 TEST(RemoteStoreTest, FingerprintMismatchRefusedAndCached) {
   auto schema = BrokerSchema();
   ClosureOptions options;
-  std::string dir = MakeTempDir();
+  ScopedTempDir tmp("oodbsec_net_test");
+  ASSERT_TRUE(tmp.ok());
+  const std::string& dir = tmp.path();
   auto backing = snapshot::OpenDirectoryStore(dir);
 
   snapshot::StoreServer server;
@@ -594,7 +589,6 @@ TEST(RemoteStoreTest, FingerprintMismatchRefusedAndCached) {
   EXPECT_EQ(second.status().code(), common::StatusCode::kFailedPrecondition);
 
   server.Stop();
-  RemoveDir(dir);
 }
 
 // ---------------------------------------------------------------------------
@@ -603,7 +597,9 @@ TEST(RemoteStoreTest, FingerprintMismatchRefusedAndCached) {
 
 TEST(ForkShardTest, WorkerDeathSurfacesShardError) {
   Fleet fleet = MakeFleet();
-  std::string dir = MakeTempDir();
+  ScopedTempDir tmp("oodbsec_net_test");
+  ASSERT_TRUE(tmp.ok());
+  const std::string& dir = tmp.path();
   std::string pack = dir + "/cache.pack";
   auto store = snapshot::OpenPackedStore(pack);
   ASSERT_TRUE(store.ok()) << store.status();
@@ -649,7 +645,6 @@ TEST(ForkShardTest, WorkerDeathSurfacesShardError) {
     EXPECT_EQ(retry.value().reports[i].ToString(),
               single_run.value()[i].ToString());
   }
-  RemoveDir(dir);
 }
 
 }  // namespace

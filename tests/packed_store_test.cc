@@ -43,6 +43,7 @@
 #include "snapshot/packed_store.h"
 #include "snapshot/snapshot.h"
 #include "snapshot/snapshot_store.h"
+#include "test_util.h"
 #include "unfold/unfolded.h"
 
 namespace {
@@ -98,17 +99,7 @@ std::unique_ptr<schema::Schema> DriftedBrokerSchema() {
   return std::move(result).value();
 }
 
-std::string MakeTempDir() {
-  char buf[] = "/tmp/oodbsec_packed_test.XXXXXX";
-  const char* dir = ::mkdtemp(buf);
-  EXPECT_NE(dir, nullptr);
-  return dir;
-}
-
-void RemoveDir(const std::string& dir) {
-  std::error_code ec;
-  std::filesystem::remove_all(dir, ec);
-}
+using test_util::ScopedTempDir;
 
 uint64_t FileBytes(const std::string& path) {
   std::error_code ec;
@@ -213,11 +204,11 @@ Fleet MakeFleet(int accounts_per_role = 3) {
 class PackedStoreTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = MakeTempDir();
+    ASSERT_TRUE(tmp_.ok());
+    dir_ = tmp_.path();
     pack_ = common::StrCat(dir_, "/cache.pack");
     schema_ = BrokerSchema();
   }
-  void TearDown() override { RemoveDir(dir_); }
 
   std::shared_ptr<SnapshotStore> Open(size_t page_capacity = 64) {
     auto store = snapshot::OpenPackedStore(pack_, page_capacity);
@@ -225,6 +216,7 @@ class PackedStoreTest : public ::testing::Test {
     return store.ok() ? std::move(store).value() : nullptr;
   }
 
+  ScopedTempDir tmp_{"oodbsec_packed_test"};
   std::string dir_;
   std::string pack_;
   std::unique_ptr<schema::Schema> schema_;
@@ -548,7 +540,9 @@ TEST_F(PackedStoreTest, MigrateDirectoryToPackVerifiesDigests) {
 // --- sharded audit over one shared pack ------------------------------
 
 TEST(PackedShard, SharedPackParityAcrossRestart) {
-  std::string dir = MakeTempDir();
+  ScopedTempDir tmp("oodbsec_packed_test");
+  ASSERT_TRUE(tmp.ok());
+  const std::string& dir = tmp.path();
   std::string pack = common::StrCat(dir, "/fleet.pack");
   Fleet fleet = MakeFleet();
 
@@ -590,14 +584,15 @@ TEST(PackedShard, SharedPackParityAcrossRestart) {
   for (size_t i = 0; i < cold->reports.size(); ++i) {
     EXPECT_EQ(cold->reports[i].ToString(), warm->reports[i].ToString());
   }
-  RemoveDir(dir);
 }
 
 // --- the cross-process fixture (ctest: packed_roundtrip) -------------
 
 TEST(PackedShard, FreshProcessReplaysFromThePack) {
   ASSERT_NE(g_argv0, nullptr);
-  std::string dir = MakeTempDir();
+  ScopedTempDir tmp("oodbsec_packed_test");
+  ASSERT_TRUE(tmp.ok());
+  const std::string& dir = tmp.path();
   std::string pack = common::StrCat(dir, "/fleet.pack");
   Fleet fleet = MakeFleet();
 
@@ -649,7 +644,6 @@ TEST(PackedShard, FreshProcessReplaysFromThePack) {
   std::string marker = "\n--stats closures_built=0 snapshot_hits=3\n";
   ASSERT_NE(output.find(marker), std::string::npos) << output;
   EXPECT_EQ(output.substr(0, output.size() - marker.size()), expected);
-  RemoveDir(dir);
 }
 
 }  // namespace

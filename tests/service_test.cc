@@ -13,7 +13,7 @@
 #include "obs/metrics.h"
 #include "service/analysis_service.h"
 #include "service/capability_signature.h"
-#include "service/thread_pool.h"
+#include "core/thread_pool.h"
 #include "text/workspace.h"
 
 namespace oodbsec {
@@ -392,7 +392,7 @@ TEST(AnalysisSessionTest, TracedCheckProducesNestedPhaseSpans) {
 }
 
 TEST(ThreadPoolTest, RunsEverySubmittedTask) {
-  service::ThreadPool pool(4);
+  core::ThreadPool pool(4);
   std::atomic<int> counter{0};
   for (int i = 0; i < 100; ++i) {
     pool.Submit([&counter] { counter.fetch_add(1); });
@@ -402,7 +402,7 @@ TEST(ThreadPoolTest, RunsEverySubmittedTask) {
 }
 
 TEST(ThreadPoolTest, WaitCoversNestedSubmissions) {
-  service::ThreadPool pool(3);
+  core::ThreadPool pool(3);
   std::atomic<int> counter{0};
   for (int i = 0; i < 10; ++i) {
     pool.Submit([&pool, &counter] {
@@ -415,7 +415,7 @@ TEST(ThreadPoolTest, WaitCoversNestedSubmissions) {
 }
 
 TEST(ThreadPoolTest, ReusableAcrossWaves) {
-  service::ThreadPool pool(2);
+  core::ThreadPool pool(2);
   std::atomic<int> counter{0};
   for (int wave = 0; wave < 3; ++wave) {
     for (int i = 0; i < 25; ++i) {
@@ -427,7 +427,7 @@ TEST(ThreadPoolTest, ReusableAcrossWaves) {
 }
 
 TEST(ThreadPoolTest, SingleThreadStillDrains) {
-  service::ThreadPool pool(1);
+  core::ThreadPool pool(1);
   std::atomic<int> counter{0};
   for (int i = 0; i < 50; ++i) {
     pool.Submit([&counter] { counter.fetch_add(1); });

@@ -41,6 +41,7 @@
 #include "service/shard.h"
 #include "snapshot/binio.h"
 #include "snapshot/snapshot.h"
+#include "test_util.h"
 #include "unfold/unfolded.h"
 
 namespace {
@@ -144,17 +145,7 @@ service::ServiceOptions MakeServiceOptions(int threads,
   return options;
 }
 
-std::string MakeTempDir() {
-  char buf[] = "/tmp/oodbsec_snapshot_test.XXXXXX";
-  const char* dir = ::mkdtemp(buf);
-  EXPECT_NE(dir, nullptr);
-  return dir;
-}
-
-void RemoveDir(const std::string& dir) {
-  std::error_code ec;
-  std::filesystem::remove_all(dir, ec);
-}
+using test_util::ScopedTempDir;
 
 std::string ReadFileBytes(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
@@ -202,7 +193,9 @@ void ExpectIdenticalLogs(const core::Closure& a, const core::Closure& b) {
 const std::vector<std::string> kFullRoots = {"checkBudget", "updateSalary"};
 
 TEST(SnapshotRoundtrip, ByteIdenticalReplay) {
-  std::string dir = MakeTempDir();
+  ScopedTempDir tmp("oodbsec_snapshot_test");
+  ASSERT_TRUE(tmp.ok());
+  const std::string& dir = tmp.path();
   auto schema = BrokerSchema();
   ClosureOptions options;
 
@@ -223,11 +216,12 @@ TEST(SnapshotRoundtrip, ByteIdenticalReplay) {
   EXPECT_EQ(loaded->closure->FactSetDigest(),
             built.value()->closure->FactSetDigest());
   ExpectIdenticalLogs(*built.value()->closure, *loaded->closure);
-  RemoveDir(dir);
 }
 
 TEST(SnapshotRoundtrip, GetOrBuildChainsExactThenSnapshotThenBuild) {
-  std::string dir = MakeTempDir();
+  ScopedTempDir tmp("oodbsec_snapshot_test");
+  ASSERT_TRUE(tmp.ok());
+  const std::string& dir = tmp.path();
   auto schema = BrokerSchema();
   ClosureOptions options;
 
@@ -253,11 +247,12 @@ TEST(SnapshotRoundtrip, GetOrBuildChainsExactThenSnapshotThenBuild) {
   auto other = cache.GetOrBuild({"checkBudget"});
   ASSERT_TRUE(other.ok());
   EXPECT_EQ(cache.stats().snapshot_misses, 1u);
-  RemoveDir(dir);
 }
 
 TEST(SnapshotRoundtrip, LoadedSnapshotServesAsWarmBase) {
-  std::string dir = MakeTempDir();
+  ScopedTempDir tmp("oodbsec_snapshot_test");
+  ASSERT_TRUE(tmp.ok());
+  const std::string& dir = tmp.path();
   auto schema = BrokerSchema();
   ClosureOptions options;
 
@@ -283,14 +278,15 @@ TEST(SnapshotRoundtrip, LoadedSnapshotServesAsWarmBase) {
   ASSERT_TRUE(cold.ok());
   EXPECT_EQ(superset.value()->closure->FactSetDigest(),
             cold.value()->closure->FactSetDigest());
-  RemoveDir(dir);
 }
 
 TEST(SnapshotRoundtrip, RetractedClosureSnapshotRoundtrips) {
   // A retraction-built closure's log is complete and premise-ordered —
   // structurally indistinguishable from a cold log — so the snapshot
   // tier must persist and replay it like any other entry.
-  std::string dir = MakeTempDir();
+  ScopedTempDir tmp("oodbsec_snapshot_test");
+  ASSERT_TRUE(tmp.ok());
+  const std::string& dir = tmp.path();
   auto schema = BrokerSchema();
   ClosureOptions options;
   const std::vector<std::string> reduced = {"checkBudget"};
@@ -316,7 +312,6 @@ TEST(SnapshotRoundtrip, RetractedClosureSnapshotRoundtrips) {
   ASSERT_TRUE(cold_set.ok());
   core::Closure cold(*cold_set.value());
   EXPECT_EQ(loaded->closure->FactSetDigest(), cold.FactSetDigest());
-  RemoveDir(dir);
 }
 
 TEST(SnapshotRoundtrip, OptionsChangeTheFileName) {
@@ -335,7 +330,9 @@ TEST(SnapshotRoundtrip, OptionsChangeTheFileName) {
 
 TEST(SnapshotRoundtrip, FreshProcessReplaysTheAudit) {
   ASSERT_NE(g_argv0, nullptr);
-  std::string dir = MakeTempDir();
+  ScopedTempDir tmp("oodbsec_snapshot_test");
+  ASSERT_TRUE(tmp.ok());
+  const std::string& dir = tmp.path();
   Fleet fleet = MakeFleet();
 
   // In-process pass: run the audit cold, persist every closure, and
@@ -384,7 +381,6 @@ TEST(SnapshotRoundtrip, FreshProcessReplaysTheAudit) {
   std::string marker = "\n--stats closures_built=0 snapshot_hits=3\n";
   ASSERT_NE(output.find(marker), std::string::npos) << output;
   EXPECT_EQ(output.substr(0, output.size() - marker.size()), expected);
-  RemoveDir(dir);
 }
 
 // --- robustness: hostile bytes fall back to a cold build -------------
@@ -392,7 +388,8 @@ TEST(SnapshotRoundtrip, FreshProcessReplaysTheAudit) {
 class SnapshotRobustnessTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = MakeTempDir();
+    ASSERT_TRUE(tmp_.ok());
+    dir_ = tmp_.path();
     schema_ = BrokerSchema();
     ClosureCache saver(*schema_, options_, 64, nullptr, dir_);
     auto built = saver.GetOrBuild(kFullRoots);
@@ -402,7 +399,6 @@ class SnapshotRobustnessTest : public ::testing::Test {
     path_ = SnapshotPath(dir_, options_, kFullRoots);
   }
 
-  void TearDown() override { RemoveDir(dir_); }
 
   // The invariant all corruption cases share: the probe rejects the
   // file (counted invalid, no crash) and GetOrBuild still serves the
@@ -419,6 +415,7 @@ class SnapshotRobustnessTest : public ::testing::Test {
     EXPECT_EQ(rebuilt.value()->closure->FactSetDigest(), reference_digest_);
   }
 
+  ScopedTempDir tmp_{"oodbsec_snapshot_test"};
   std::string dir_;
   std::string path_;
   std::unique_ptr<schema::Schema> schema_;
@@ -686,7 +683,9 @@ TEST(ShardTest, UnknownUserErrorMatchesCheckBatch) {
 }
 
 TEST(ShardTest, ShardedWorkersShareTheSnapshotTier) {
-  std::string dir = MakeTempDir();
+  ScopedTempDir tmp("oodbsec_snapshot_test");
+  ASSERT_TRUE(tmp.ok());
+  const std::string& dir = tmp.path();
   Fleet fleet = MakeFleet();
   service::ShardOptions options;
   options.shard_count = 4;
@@ -708,7 +707,6 @@ TEST(ShardTest, ShardedWorkersShareTheSnapshotTier) {
   for (size_t i = 0; i < cold->reports.size(); ++i) {
     EXPECT_EQ(cold->reports[i].ToString(), warm->reports[i].ToString());
   }
-  RemoveDir(dir);
 }
 
 }  // namespace

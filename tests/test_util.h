@@ -1,0 +1,44 @@
+// Shared test helpers. ScopedTempDir replaces the hand-rolled
+// mkdtemp/remove_all pairs the suites used to carry: those leaked the
+// directory whenever an ASSERT bailed out of the test body before the
+// trailing cleanup call ran. Tying removal to the destructor makes
+// cleanup unconditional — early returns, skipped sections, and fixture
+// teardown all converge on the same path.
+#ifndef OODBSEC_TESTS_TEST_UTIL_H_
+#define OODBSEC_TESTS_TEST_UTIL_H_
+
+#include <stdlib.h>
+
+#include <filesystem>
+#include <string>
+
+namespace oodbsec::test_util {
+
+class ScopedTempDir {
+ public:
+  // Creates /tmp/<prefix>.XXXXXX. ok() is false (and path() empty) when
+  // mkdtemp fails; callers assert on it once and use path() freely.
+  explicit ScopedTempDir(const std::string& prefix = "oodbsec_test") {
+    std::string templ = "/tmp/" + prefix + ".XXXXXX";
+    if (::mkdtemp(templ.data()) != nullptr) path_ = templ;
+  }
+
+  ~ScopedTempDir() {
+    if (path_.empty()) return;
+    std::error_code ec;
+    std::filesystem::remove_all(path_, ec);
+  }
+
+  ScopedTempDir(const ScopedTempDir&) = delete;
+  ScopedTempDir& operator=(const ScopedTempDir&) = delete;
+
+  bool ok() const { return !path_.empty(); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+}  // namespace oodbsec::test_util
+
+#endif  // OODBSEC_TESTS_TEST_UTIL_H_
